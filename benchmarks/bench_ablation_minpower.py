@@ -1,0 +1,43 @@
+"""Future-work extension — power minimization under a reward floor.
+
+Section VIII proposes the inverted problem: minimize total power subject
+to a reward-rate constraint.  This benchmark sweeps the reward target as
+a fraction of the power-capped optimum and prints the resulting
+power/reward frontier (which must be monotone: more reward, more power).
+"""
+
+import numpy as np
+
+from repro.core import minimize_power, three_stage_assignment
+
+FRACTIONS = (0.5, 0.7, 0.85, 0.95)
+
+
+def bench_ablation_minpower(benchmark, capsys, bench_scenario):
+    sc = bench_scenario
+    primal = three_stage_assignment(sc.datacenter, sc.workload, sc.p_const,
+                                    psi=50.0)
+
+    def sweep():
+        return {f: minimize_power(sc.datacenter, sc.workload,
+                                  f * primal.reward_rate, psi=50.0)
+                for f in FRACTIONS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    powers = [results[f].total_power_kw for f in FRACTIONS]
+    assert all(np.diff(powers) >= -1e-6), "frontier must be monotone"
+    assert powers[-1] <= sc.p_const + 1e-6
+
+    with capsys.disabled():
+        print()
+        print("power-minimization frontier (Section VIII extension)")
+        print(f"primal: cap {sc.p_const:.1f} kW -> reward "
+              f"{primal.reward_rate:.1f}/s")
+        print(f"{'target frac':>12}{'reward floor':>14}{'power kW':>10}"
+              f"{'saved vs cap':>14}")
+        for f in FRACTIONS:
+            r = results[f]
+            saved = 100 * (1 - r.total_power_kw / sc.p_const)
+            print(f"{f:>12.2f}{f * primal.reward_rate:>14.1f}"
+                  f"{r.total_power_kw:>10.1f}{saved:>13.1f}%")

@@ -1,0 +1,44 @@
+"""ψ sweep ablation — Section VII.B's discussion, quantified.
+
+The paper evaluates psi = 25 and psi = 50 and observes that the best
+choice depends on arrival rates, the power cap, and task/machine
+affinity.  This benchmark sweeps psi across the full range on one room
+and prints the final (Stage 3) reward next to the relaxed Stage 1
+objective, exposing the paper's explanation: small psi overestimates at
+Stage 1 (the few "best" types cannot keep cores busy), large psi dilutes
+the ARR with poor task types.
+"""
+
+import numpy as np
+
+from repro.core import three_stage_assignment
+
+PSIS = (12.5, 25.0, 37.5, 50.0, 75.0, 100.0)
+
+
+def bench_ablation_psi(benchmark, capsys, bench_scenario_set3):
+    sc = bench_scenario_set3
+
+    def sweep():
+        return {psi: three_stage_assignment(sc.datacenter, sc.workload,
+                                            sc.p_const, psi=psi)
+                for psi in PSIS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print("psi sweep — ARR aggregation level vs achieved reward")
+        print(f"{'psi':>7}{'stage1 obj':>12}{'stage3 reward':>15}"
+              f"{'stage1/stage3':>15}")
+        for psi in PSIS:
+            r = results[psi]
+            ratio = r.stage1.objective / r.reward_rate
+            print(f"{psi:>7.1f}{r.stage1.objective:>12.1f}"
+                  f"{r.reward_rate:>15.1f}{ratio:>15.2f}")
+        best_psi = max(results, key=lambda p: results[p].reward_rate)
+        print(f"best psi on this room: {best_psi:g} "
+              f"({results[best_psi].reward_rate:.1f} reward/s)")
+
+    for r in results.values():
+        r.verify(sc.datacenter, sc.p_const)

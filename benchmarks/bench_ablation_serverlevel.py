@@ -1,0 +1,59 @@
+"""Contribution 1 ablation — three-way technique comparison.
+
+The paper argues (introduction, Section II) that per-server
+utilization-threshold P-state control is ineffective under a room-level
+power cap.  This benchmark pits three techniques against each other on
+the same rooms under identical constraints:
+
+1. the paper's three-stage data-center-level assignment,
+2. the P0-or-off optimized baseline (Eq. 21),
+3. a server-level 80%-utilization governor with an uncoordinated
+   power-cap watchdog (the strawman the intro describes).
+
+Expected ordering: three-stage >= baseline > server-level.
+"""
+
+import numpy as np
+
+from repro.core import (solve_baseline, solve_server_level,
+                        three_stage_assignment)
+from repro.experiments import generate_scenario, scaled_down
+from repro.experiments.config import PAPER_SET_3
+
+
+def bench_ablation_serverlevel(benchmark, capsys, scale):
+    seeds = range(2000, 2000 + max(3, scale.n_runs // 2))
+    scenarios = [generate_scenario(scaled_down(PAPER_SET_3, scale.n_nodes),
+                                   s) for s in seeds]
+
+    def run():
+        rows = []
+        for sc in scenarios:
+            ours = three_stage_assignment(sc.datacenter, sc.workload,
+                                          sc.p_const, psi=50.0)
+            base, _ = solve_baseline(sc.datacenter, sc.workload,
+                                     sc.p_const)
+            srv, _ = solve_server_level(sc.datacenter, sc.workload,
+                                        sc.p_const)
+            rows.append((ours.reward_rate, base.reward_rate,
+                         srv.reward_rate, srv.cores_capped))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    arr = np.asarray([(o, b, s) for o, b, s, _ in rows])
+
+    with capsys.disabled():
+        print()
+        print("technique comparison (reward/s), set-3 rooms")
+        print(f"{'seed':>6}{'3-stage':>10}{'baseline':>10}"
+              f"{'server-lvl':>11}{'capped cores':>14}")
+        for seed, (o, b, s, c) in zip(seeds, rows):
+            print(f"{seed:>6}{o:>10.1f}{b:>10.1f}{s:>11.1f}{c:>14}")
+        means = arr.mean(axis=0)
+        print(f"{'mean':>6}{means[0]:>10.1f}{means[1]:>10.1f}"
+              f"{means[2]:>11.1f}")
+        print(f"server-level deficit vs 3-stage: "
+              f"{100 * (1 - means[2] / means[0]):.1f}%")
+
+    # the paper's ordering must hold on average
+    assert means[0] > means[1] > means[2]

@@ -1,0 +1,46 @@
+"""Consolidation extension — powering down dark chassis.
+
+Section II lists blade consolidation as a complementary technique for
+future combination with the paper's assignment.  This benchmark runs
+the combination: nodes whose cores the optimizer leaves dark are
+switched off, and their base power is reinvested through a re-run of the
+assignment.  Expected shape: a handful of chassis power down, and the
+freed base power (hundreds of watts each — comparable to tens of cores'
+worth of P-state power) buys a measurable reward uplift.
+"""
+
+import numpy as np
+
+from repro.core.consolidation import consolidate
+from repro.experiments import generate_scenario, scaled_down
+from repro.experiments.config import PAPER_SET_3
+
+
+def bench_consolidation(benchmark, capsys, scale):
+    seeds = range(3100, 3100 + max(3, scale.n_runs // 2))
+    scenarios = [generate_scenario(scaled_down(PAPER_SET_3, scale.n_nodes),
+                                   s) for s in seeds]
+
+    def run():
+        return [consolidate(sc.datacenter, sc.workload, sc.p_const)
+                for sc in scenarios]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print("consolidation: assignment + chassis power-down loop")
+        print(f"{'seed':>6}{'nodes off':>11}{'kW saved':>10}"
+              f"{'plain reward':>14}{'consolidated':>14}{'uplift':>9}")
+        for seed, res in zip(seeds, results):
+            print(f"{seed:>6}{int(res.powered_down.sum()):>11}"
+                  f"{res.base_power_saved_kw:>10.2f}"
+                  f"{res.baseline_reward:>14.1f}"
+                  f"{res.assignment.reward_rate:>14.1f}"
+                  f"{res.reward_uplift_pct:>+8.2f}%")
+        uplifts = [r.reward_uplift_pct for r in results]
+        print(f"mean uplift {np.mean(uplifts):+.2f}% "
+              f"(iterations: {[r.iterations for r in results]})")
+
+    for res in results:
+        assert res.assignment.reward_rate >= res.baseline_reward - 1e-6

@@ -1,0 +1,26 @@
+"""Eq. 8 — the HP Utility Data Center CoP curve (supporting data).
+
+Prints CoP over the CRAC operating range and the resulting cost of
+removing 1 kW of heat, the trade-off the thermal-aware assignment
+exploits (warmer outlets are cheaper but squeeze the redline margins).
+"""
+
+import numpy as np
+
+from repro.power.cop import HP_UTILITY_COP
+
+
+def bench_cop_curve(benchmark, capsys):
+    taus = np.linspace(10.0, 30.0, 21)
+    cops = benchmark(HP_UTILITY_COP, taus)
+
+    assert np.all(np.diff(cops) > 0)          # monotone on the range
+    assert HP_UTILITY_COP(15.0) == 0.0068 * 225 + 0.0008 * 15 + 0.458
+
+    with capsys.disabled():
+        print()
+        print("Eq. 8 — CoP(tau) = 0.0068 tau^2 + 0.0008 tau + 0.458")
+        print(f"{'outlet C':>9}{'CoP':>8}{'kW input per kW heat':>22}")
+        for tau in (10.0, 15.0, 20.0, 25.0, 30.0):
+            cop = HP_UTILITY_COP(tau)
+            print(f"{tau:>9.0f}{cop:>8.3f}{1.0 / cop:>22.3f}")

@@ -1,0 +1,37 @@
+"""Figure 1 — the hot-aisle/cold-aisle room layout.
+
+Regenerates the paper's room geometry (racks dealt across hot aisles,
+one CRAC per aisle, labels A-E bottom-to-top) and prints an ASCII
+rendition plus the aggregate flow balance the CRAC sizing rule enforces.
+"""
+
+import numpy as np
+
+from repro.datacenter.builder import build_datacenter
+
+
+def bench_fig1(benchmark, capsys, scale):
+    dc = benchmark(build_datacenter, scale.n_nodes, 3,
+                   rng=np.random.default_rng(0))
+
+    np.testing.assert_allclose(dc.crac_flows.sum(), dc.node_flows.sum())
+
+    with capsys.disabled():
+        print()
+        print(f"Figure 1 — layout of a {dc.n_nodes}-node room")
+        for aisle in range(dc.n_crac):
+            racks = sorted({n.rack for n in dc.nodes
+                            if n.hot_aisle == aisle})
+            print(f"  hot aisle {aisle} <- CRAC{aisle}: "
+                  f"{len(racks)} racks ({racks[:8]}{'...' if len(racks) > 8 else ''})")
+        labels = {}
+        for n in dc.nodes:
+            labels.setdefault(n.label, 0)
+            labels[n.label] += 1
+        print("  rack slots (bottom->top):",
+              "  ".join(f"{l}:{labels.get(l, 0)}" for l in "ABCDE"))
+        print(f"  total node air flow {dc.node_flows.sum():.3f} m^3/s == "
+              f"total CRAC air flow {dc.crac_flows.sum():.3f} m^3/s")
+        mix = np.bincount(dc.node_type_index, minlength=2)
+        print(f"  node types: {mix[0]} x {dc.node_types[0].name}, "
+              f"{mix[1]} x {dc.node_types[1].name}")

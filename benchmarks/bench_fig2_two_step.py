@@ -1,0 +1,50 @@
+"""Figure 2 — the two-step assignment pipeline, end to end.
+
+Figure 2 is the paper's architecture diagram: the first step assigns
+CRAC outlet temperatures, P-states and desired execution rates; the
+second step dynamically maps/drops incoming tasks.  This benchmark runs
+the entire pipeline (all three stages + DES replay) and prints the
+decision summary of each box in the figure.
+"""
+
+import numpy as np
+
+from repro.core import three_stage_assignment
+from repro.simulate import simulate_trace
+from repro.workload import generate_trace
+
+
+def bench_fig2(benchmark, capsys, bench_scenario, scale):
+    sc = bench_scenario
+    rng = np.random.default_rng(42)
+    trace = generate_trace(sc.workload, scale.des_horizon, rng)
+
+    def pipeline():
+        plan = three_stage_assignment(sc.datacenter, sc.workload,
+                                      sc.p_const, psi=50.0)
+        metrics = simulate_trace(sc.datacenter, sc.workload, plan.tc,
+                                 plan.pstates, trace,
+                                 duration=scale.des_horizon)
+        return plan, metrics
+
+    plan, metrics = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        eta = sc.datacenter.node_types[0].n_pstates
+        hist = np.bincount(plan.pstates, minlength=eta)
+        print()
+        print("Figure 2 — two-step assignment pipeline")
+        print("first step:")
+        print(f"  CRAC outlet temperatures: {plan.t_crac_out} C")
+        print(f"  P-states: " + "  ".join(
+            f"P{k}:{hist[k]}" for k in range(eta - 1))
+            + f"  off:{hist[eta - 1]}")
+        print(f"  desired total service rate: {plan.tc.sum():.1f} tasks/s "
+              f"(arrivals {sc.workload.arrival_rates.sum():.1f}/s)")
+        print("second step (DES replay):")
+        print(f"  assigned {metrics.completed.sum()} tasks, dropped "
+              f"{metrics.dropped.sum()}")
+        print(f"  achieved reward rate {metrics.reward_rate:.1f}/s vs "
+              f"planned {plan.reward_rate:.1f}/s "
+              f"({100 * metrics.reward_rate / plan.reward_rate:.1f}%)")
+    assert metrics.reward_rate > 0.5 * plan.reward_rate

@@ -1,0 +1,26 @@
+"""Figure 3 — the example RR_{i,j} piecewise-linear function.
+
+Rebuilds the Section V.B.2 worked example with the library machinery and
+checks the curve against the paper's printed breakpoints
+(0,0) (0.05,0.5) (0.1,0.9) (0.15,1.2).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig3_rr_function
+
+
+def bench_fig3(benchmark, capsys):
+    rr = benchmark(fig3_rr_function)
+    np.testing.assert_allclose(rr.x, [0.0, 0.05, 0.10, 0.15])
+    np.testing.assert_allclose(rr.y, [0.0, 0.5, 0.9, 1.2])
+
+    with capsys.disabled():
+        print()
+        print("Figure 3 — RR_{i,j} for the example core type")
+        print(f"{'power (W)':>10}{'reward rate':>13}")
+        for x, y in zip(rr.x, rr.y):
+            print(f"{x * 1000:>9.0f}m{y:>13.2f}")
+        grid = np.linspace(0, 0.15, 7)
+        print("sampled curve:",
+              ", ".join(f"({p:.3f},{rr(p):.3f})" for p in grid))

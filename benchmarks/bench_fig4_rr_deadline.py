@@ -1,0 +1,27 @@
+"""Figure 4 — RR_{i,j} when a P-state cannot meet the deadline.
+
+Same example as Figure 3 but with m_i = 1.5: P-state 2's execution time
+(1/0.5 = 2s) exceeds the deadline slack, so its reward rate drops to
+zero and the curve stops being concave — the motivation for the "bad
+P-state" treatment of Figure 5.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig4_rr_function_with_deadline
+
+
+def bench_fig4(benchmark, capsys):
+    rr = benchmark(fig4_rr_function_with_deadline)
+    np.testing.assert_allclose(rr.x, [0.0, 0.05, 0.10, 0.15])
+    np.testing.assert_allclose(rr.y, [0.0, 0.0, 0.9, 1.2])
+    assert not rr.is_concave()
+
+    with capsys.disabled():
+        print()
+        print("Figure 4 — RR_{i,j} with m_i = 1.5 (P-state 2 misses)")
+        print(f"{'power (W)':>10}{'reward rate':>13}{'note':>28}")
+        notes = ["off", "P2: 1/ECS = 2.0 > 1.5 -> 0", "P1", "P0"]
+        for x, y, n in zip(rr.x, rr.y, notes):
+            print(f"{x * 1000:>9.0f}m{y:>13.2f}{n:>28}")
+        print(f"concave: {rr.is_concave()}")

@@ -1,0 +1,35 @@
+"""Figure 5 — the ARR function with "bad" P-states ignored.
+
+The aggregate reward-rate curve of Figure 4 is non-concave; the paper
+drops P-state 2 (whose reward:power ratio, 0, is worse than P-state 1's,
+9) to obtain the concave function Stage 1 can optimize as an LP.  The
+benchmark also verifies the paper's 2-core compute-node example: with
+0.1 W of node power, one core at P-state 1 plus one core off matches the
+hull value.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig5_arr_functions
+
+
+def bench_fig5(benchmark, capsys):
+    arr = benchmark(fig5_arr_functions)
+    np.testing.assert_allclose(arr.concave.x, [0.0, 0.10, 0.15])
+    np.testing.assert_allclose(arr.concave.y, [0.0, 0.9, 1.2])
+    assert arr.concave.is_concave()
+    # 2-core example: hull(0.05) * 2 == reward of {P1, off} = 0.9
+    assert 2 * arr.concave(0.05) == 0.9
+
+    with capsys.disabled():
+        print()
+        print("Figure 5 — ARR_j with the bad P-state ignored")
+        print("raw breakpoints:     ",
+              ", ".join(f"({x:.2f},{y:.2f})"
+                        for x, y in zip(arr.raw.x, arr.raw.y)))
+        print("concave majorant:    ",
+              ", ".join(f"({x:.2f},{y:.2f})"
+                        for x, y in zip(arr.concave.x, arr.concave.y)))
+        print("2-core node @ 0.1 W: hull total "
+              f"{2 * arr.concave(0.05):.2f} == integer optimum "
+              "(one core P1, one off) 0.90")

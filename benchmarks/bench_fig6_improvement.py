@@ -1,0 +1,51 @@
+"""Figure 6 — the headline result: % improvement over the baseline.
+
+Runs the paper's three simulation sets (static 30%/V_prop 0.1,
+static 30%/V_prop 0.3, static 20%/V_prop 0.3), each a collection of
+random rooms, comparing the three-stage technique (psi = 25, psi = 50,
+best-of) against the P0-or-off baseline under identical power caps and
+thermal models, and prints the mean improvement with 95% confidence
+intervals — the bars of Figure 6.
+
+Shape expectations from the paper (absolute numbers depend on the
+sampled rooms):
+* all bars positive (the technique wins on average),
+* set 2 > set 1 (higher V_prop -> more P-state/task affinity to exploit),
+* set 3 > set 2 (lower static share -> P0 less dominant in reward/W),
+* "best" >= each individual psi bar.
+
+At REPRO_BENCH_SCALE=paper this is the full 25-run, 150-node experiment
+(~20-30 minutes); the default small scale keeps the shape in ~2 minutes.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6_data, format_fig6, paper_sets, scaled_down
+
+
+def bench_fig6(benchmark, capsys, scale):
+    configs = [scaled_down(cfg, scale.n_nodes) for cfg in paper_sets()]
+
+    def run():
+        return fig6_data(n_runs=scale.n_runs, base_seed=1000,
+                         configs=configs)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(format_fig6(results))
+        best_means = [results[c.name].intervals["best"].mean
+                      for c in configs]
+        print(f"\nshape check (paper: bars positive, set3 largest):")
+        print(f"  set means: " + ", ".join(f"{m:+.2f}%" for m in best_means))
+
+    # qualitative shape assertions
+    for cfg in configs:
+        assert results[cfg.name].intervals["best"].mean > 0.0
+    # the best-of bar dominates single-psi bars by construction
+    for cfg in configs:
+        res = results[cfg.name]
+        assert res.intervals["best"].mean >= max(
+            res.intervals["psi=25"].mean,
+            res.intervals["psi=50"].mean) - 1e-9

@@ -1,0 +1,56 @@
+"""Queueing analysis — predicting the fluid-plan / DES gap analytically.
+
+The second-step DES drops tasks whose deadlines a bursty arrival stream
+overruns; the M/M/c predictor of :mod:`repro.core.queueing` forecasts
+those drops from the plan alone.  This benchmark compares prediction and
+simulation per task type on one room — the shape to look for: types
+whose slack barely covers their execution time drop hardest, and the
+predictor flags the same types.
+"""
+
+import numpy as np
+
+from repro.core import predict_completion, three_stage_assignment
+from repro.simulate import simulate_trace
+from repro.workload import generate_trace
+
+
+def bench_queueing_model(benchmark, capsys, bench_scenario, scale):
+    sc = bench_scenario
+    dc, wl = sc.datacenter, sc.workload
+    plan = three_stage_assignment(dc, wl, sc.p_const, psi=50.0)
+
+    rates, pools = benchmark(predict_completion, dc, wl, plan.pstates,
+                             plan.tc)
+
+    trace = generate_trace(wl, scale.des_horizon,
+                           np.random.default_rng(31))
+    metrics = simulate_trace(dc, wl, plan.tc, plan.pstates, trace,
+                             duration=scale.des_horizon)
+    planned = plan.tc.sum(axis=1)
+    achieved = metrics.atc.sum(axis=1)
+
+    with capsys.disabled():
+        print()
+        print("M/M/c prediction vs DES, per task type")
+        print(f"{'type':>6}{'slack/exec':>12}{'planned/s':>11}"
+              f"{'predicted/s':>13}{'simulated/s':>13}")
+        for i in range(wl.n_task_types):
+            if planned[i] <= 1e-9:
+                continue
+            # slack-to-execution ratio on the fastest core type at P0
+            best_exec = 1.0 / wl.ecs[i, :, 0].max()
+            ratio = wl.deadline_slack[i] / best_exec
+            print(f"{i:>6}{ratio:>12.1f}{planned[i]:>11.2f}"
+                  f"{rates[i]:>13.2f}{achieved[i]:>13.2f}")
+        pred_total = rates.sum()
+        sim_total = achieved.sum()
+        print(f"totals: predicted {pred_total:.1f}/s vs simulated "
+              f"{sim_total:.1f}/s "
+              f"({100 * abs(pred_total - sim_total) / sim_total:.1f}% apart)")
+        print(f"class pools: {len(pools)}, utilizations "
+              + ", ".join(f"{p.utilization:.2f}" for p in pools[:6]))
+
+    # predictions bounded by the plan and in the DES's ballpark
+    assert np.all(rates <= planned + 1e-9)
+    assert rates.sum() >= 0.5 * achieved.sum()

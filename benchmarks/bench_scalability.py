@@ -1,0 +1,53 @@
+"""Scalability ablation — solve time of the first-step assignment.
+
+The paper's central engineering argument is that the exact MINLP "is not
+scalable with respect to the number of cores", while the three-stage
+technique is: its Stage 1 LP has one variable per (node, ARR segment)
+— O(NCN) — and Stage 3 collapses to (node type, P-state) classes.  This
+benchmark times the full three-stage pipeline as the room grows and
+prints the trend (which should be near-linear in nodes, thousands of
+cores per second).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import three_stage_assignment
+from repro.experiments import ScenarioConfig, generate_scenario
+
+
+def bench_scalability(benchmark, capsys, scale):
+    sizes = [15, 30, 60] if not scale.is_paper else [30, 75, 150, 300]
+    rows = []
+    scenarios = {}
+    for n in sizes:
+        scenarios[n] = generate_scenario(
+            ScenarioConfig(name=f"scale{n}", n_nodes=n), 500 + n)
+
+    def solve_largest():
+        sc = scenarios[sizes[-1]]
+        return three_stage_assignment(sc.datacenter, sc.workload,
+                                      sc.p_const, psi=50.0)
+
+    result = benchmark.pedantic(solve_largest, rounds=1, iterations=1)
+    assert result.reward_rate > 0
+
+    for n in sizes:
+        sc = scenarios[n]
+        t0 = time.perf_counter()
+        res = three_stage_assignment(sc.datacenter, sc.workload,
+                                     sc.p_const, psi=50.0)
+        dt = time.perf_counter() - t0
+        rows.append((n, sc.datacenter.n_cores, dt, res.reward_rate))
+
+    with capsys.disabled():
+        print()
+        print("scalability — three-stage solve time vs room size")
+        print(f"{'nodes':>7}{'cores':>8}{'solve s':>9}{'cores/s':>10}")
+        for n, cores, dt, _ in rows:
+            print(f"{n:>7}{cores:>8}{dt:>9.2f}{cores / dt:>10.0f}")
+        small, large = rows[0], rows[-1]
+        growth = (large[2] / small[2]) / (large[0] / small[0])
+        print(f"time growth per node-count growth: {growth:.2f}x "
+              "(1.0 = perfectly linear)")

@@ -1,0 +1,45 @@
+"""Dynamic scheduler tracking — contribution 4, quantified.
+
+The second-step scheduler's goal is "the ratio ATC(i,k)/TC(i,k) as close
+as possible to 1".  This benchmark replays a Poisson trace through the
+scheduler and prints how well the achieved rates track the desired
+rates, plus the realized share of the planned reward.
+"""
+
+import numpy as np
+
+from repro.core import three_stage_assignment
+from repro.simulate import simulate_trace
+from repro.workload import generate_trace
+
+
+def bench_scheduler_tracking(benchmark, capsys, bench_scenario, scale):
+    sc = bench_scenario
+    plan = three_stage_assignment(sc.datacenter, sc.workload, sc.p_const,
+                                  psi=50.0)
+    trace = generate_trace(sc.workload, scale.des_horizon,
+                           np.random.default_rng(17))
+
+    metrics = benchmark.pedantic(
+        simulate_trace, args=(sc.datacenter, sc.workload, plan.tc,
+                              plan.pstates, trace),
+        kwargs={"duration": scale.des_horizon}, rounds=1, iterations=1)
+
+    ratios = metrics.rate_ratios()
+    realized = metrics.reward_rate / plan.reward_rate
+    assert realized > 0.6
+
+    with capsys.disabled():
+        print()
+        print(f"scheduler tracking over {len(trace)} tasks / "
+              f"{scale.des_horizon:.0f}s")
+        print(f"  planned reward rate : {plan.reward_rate:10.1f}/s")
+        print(f"  achieved reward rate: {metrics.reward_rate:10.1f}/s "
+              f"({100 * realized:.1f}%)")
+        print(f"  dropped tasks       : {metrics.dropped.sum()} "
+              f"of {len(trace)}")
+        print(f"  ATC/TC percentiles  : p25 {np.percentile(ratios, 25):.2f}"
+              f"  p50 {np.percentile(ratios, 50):.2f}"
+              f"  p75 {np.percentile(ratios, 75):.2f}")
+        print(f"  mean |ATC - TC|     : {metrics.tracking_error():.4f} "
+              "tasks/s per (type, core)")

@@ -1,0 +1,42 @@
+"""Table I — node-type parameters, rederived from the Appendix A model.
+
+The paper's Table I lists datasheet-derived parameters; the per-P-state
+powers follow from the CMOS static/dynamic split.  The benchmark times
+the derivation and prints the regenerated table next to the paper's
+printed values.
+"""
+
+import numpy as np
+
+from repro.datacenter.coretypes import paper_node_types
+from repro.experiments.tables import format_table1, pstate_static_percentages
+
+PAPER_TABLE1 = {
+    "base_power_kw": (0.353, 0.418),
+    "cores": (32, 32),
+    "n_pstates": (4, 4),
+    "p0_power_kw": (0.01375, 0.01625),
+    "flow_m3s": (0.07, 0.0828),
+}
+
+
+def bench_table1(benchmark, capsys):
+    types = benchmark(paper_node_types, 0.3)
+
+    # verify against the paper's printed values
+    assert tuple(t.base_power_kw for t in types) \
+        == PAPER_TABLE1["base_power_kw"]
+    assert tuple(t.cores_per_node for t in types) == PAPER_TABLE1["cores"]
+    assert tuple(t.n_active_pstates for t in types) \
+        == PAPER_TABLE1["n_pstates"]
+    assert tuple(t.p0_power_kw for t in types) == PAPER_TABLE1["p0_power_kw"]
+    assert tuple(t.flow_m3s for t in types) == PAPER_TABLE1["flow_m3s"]
+
+    with capsys.disabled():
+        print()
+        print(format_table1(0.3))
+        print("\nderived static power share per P-state "
+              "(Figure 6 annotations):")
+        for name, fracs in pstate_static_percentages(0.3).items():
+            pct = "/".join(f"{f * 100:.0f}%" for f in fracs)
+            print(f"  {name}: {pct}")

@@ -1,0 +1,43 @@
+"""Table II — EC/RC ranges, validated against a generated room.
+
+Times the Appendix B LP-feasibility generation and prints both the
+Table II ranges and the realized per-label coefficient statistics of the
+sampled cross-interference matrix (which must fall inside the ranges for
+balanced rooms).
+"""
+
+import numpy as np
+
+from repro.datacenter.layout import RACK_LABELS, TABLE_II_RANGES
+from repro.experiments.tables import format_table2
+from repro.thermal.interference import (exit_coefficients, generate_alpha,
+                                        recirculation_coefficients)
+
+
+def bench_table2(benchmark, capsys, bench_scenario):
+    dc = bench_scenario.datacenter
+    alpha = benchmark(generate_alpha, dc,
+                      rng=np.random.default_rng(2))
+    ec = exit_coefficients(alpha, dc.n_crac)
+    rc = recirculation_coefficients(alpha, dc.unit_flows, dc.n_crac)
+
+    with capsys.disabled():
+        print()
+        print(format_table2())
+        print(f"\nrealized coefficients over a generated {dc.n_nodes}-node "
+              "room:")
+        print(f"{'label':<8}{'EC mean':>10}{'RC mean':>10}")
+        for label in RACK_LABELS:
+            idx = dc.layout.nodes_with_label(label)
+            if idx.size == 0:
+                continue
+            r = TABLE_II_RANGES[label]
+            ec_mean = ec[idx].mean()
+            rc_mean = rc[idx].mean()
+            print(f"{label:<8}{ec_mean:>10.3f}{rc_mean:>10.3f}")
+            # balanced rooms satisfy the exact ranges
+            if dc.n_nodes % len(RACK_LABELS) == 0:
+                assert np.all(ec[idx] >= r.ec_min - 1e-6)
+                assert np.all(ec[idx] <= r.ec_max + 1e-6)
+                assert np.all(rc[idx] >= r.rc_min - 1e-6)
+                assert np.all(rc[idx] <= r.rc_max + 1e-6)

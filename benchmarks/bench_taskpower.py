@@ -1,0 +1,65 @@
+"""Task-dependent power extension — safety and cost of power-aware rates.
+
+Section III.C sketches the model extension ("a third index would have to
+be added to pi").  This benchmark implements the scenario that makes the
+extension matter: a compute-heavy task mix draws above the nominal
+P-state power, so the classic Stage 3 rates (budgeted at nominal,
+always-busy draw) overshoot the cap, while the power-aware Stage 3 stays
+inside it — and the benchmark measures what that safety costs in reward.
+"""
+
+import numpy as np
+
+from repro.core import three_stage_assignment
+from repro.core.stage3_power import solve_stage3_power_aware
+from repro.power.taskpower import TaskPowerModel, expected_node_power
+from repro.thermal.constraints import ThermalLinearization
+
+SPREADS = (0.0, 0.1, 0.2, 0.3)
+
+
+def bench_taskpower(benchmark, capsys, bench_scenario):
+    sc = bench_scenario
+    dc, wl = sc.datacenter, sc.workload
+    plan = three_stage_assignment(dc, wl, sc.p_const, psi=50.0)
+    lin = ThermalLinearization.build(dc.thermal, plan.t_crac_out,
+                                     dc.redline_c)
+
+    def sweep():
+        rows = []
+        for spread in SPREADS:
+            model = TaskPowerModel(
+                factors=np.full(wl.n_task_types, 1.0 + spread),
+                idle_fraction=0.6)
+            classic_p = expected_node_power(dc, wl, plan.pstates, plan.tc,
+                                            model)
+            classic_total = classic_p.sum() + lin.crac_power(classic_p)
+            aware = solve_stage3_power_aware(dc, wl, plan.pstates, model,
+                                             lin, sc.p_const)
+            aware_p = expected_node_power(dc, wl, plan.pstates, aware.tc,
+                                          model)
+            aware_total = aware_p.sum() + lin.crac_power(aware_p)
+            rows.append((spread, classic_total, aware_total,
+                         aware.reward_rate))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print("task-dependent power: classic vs power-aware Stage 3 "
+              f"(cap {sc.p_const:.1f} kW, classic reward "
+              f"{plan.reward_rate:.1f}/s)")
+        print(f"{'over-nominal':>13}{'classic kW':>12}{'aware kW':>10}"
+              f"{'aware reward':>14}{'reward cost':>13}")
+        for spread, classic_kw, aware_kw, reward in rows:
+            cost = 100 * (1 - reward / plan.reward_rate)
+            flag = " OVER CAP" if classic_kw > sc.p_const else ""
+            print(f"{spread:>12.0%}{classic_kw:>12.2f}{aware_kw:>10.2f}"
+                  f"{reward:>14.1f}{cost:>12.1f}%{flag}")
+
+    for spread, classic_kw, aware_kw, _ in rows:
+        assert aware_kw <= sc.p_const * (1 + 1e-6)
+        if spread >= 0.2:
+            # heavy mixes must expose the classic overshoot
+            assert classic_kw > sc.p_const

@@ -1,0 +1,46 @@
+"""Time-scale separation — the premise of the two-step split (Section V.A).
+
+"Temperature evolution in the data center is in orders of minutes, while
+the execution of a task is in orders of seconds or milliseconds."  This
+benchmark measures both sides on a generated room: the thermal settling
+time after a first-step reassignment, and the distribution of task
+execution times — their ratio is what makes the decomposition sound.
+"""
+
+import numpy as np
+
+from repro.core import three_stage_assignment
+from repro.thermal.transient import simulate_transient, time_to_steady_state
+
+
+def bench_transient_timescale(benchmark, capsys, bench_scenario):
+    sc = bench_scenario
+    dc, wl = sc.datacenter, sc.workload
+    model = dc.thermal
+    plan = three_stage_assignment(dc, wl, sc.p_const, psi=50.0)
+    p_new = dc.node_power_kw(plan.pstates)
+    p_old = dc.node_power_kw(dc.all_off_pstates())
+    start = model.steady_state(plan.t_crac_out, p_old).t_out
+
+    result = benchmark.pedantic(
+        simulate_transient,
+        args=(model, plan.t_crac_out, p_new, start, 1800.0),
+        rounds=1, iterations=1)
+
+    tts = time_to_steady_state(model, plan.t_crac_out, p_new, start)
+    # task execution times at the assigned P-states
+    ecs = wl.ecs[:, dc.core_type, plan.pstates]
+    exec_times = 1.0 / ecs[ecs > 0]
+
+    with capsys.disabled():
+        print()
+        print("time-scale separation (Section V.A premise)")
+        print(f"  thermal settling after reassignment: {tts:.0f} s "
+              f"({tts / 60:.1f} minutes)")
+        print(f"  task execution times: median "
+              f"{np.median(exec_times):.2f} s, p95 "
+              f"{np.percentile(exec_times, 95):.2f} s")
+        ratio = tts / np.median(exec_times)
+        print(f"  separation factor: {ratio:.0f}x "
+              "(thermal step can treat the workload as a fluid)")
+    assert tts > 10 * np.median(exec_times)

@@ -1,0 +1,72 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the rows it reports (via ``capsys.disabled()`` so the output is visible
+under pytest's default capture).
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``small`` (default) — 30-node rooms, few runs; the whole suite stays
+  interactive (~2-4 minutes).
+* ``paper`` — the full Section VI setup (150 nodes, 3 CRACs, 25 runs
+  per simulation set); expect ~20-30 minutes for the Figure 6 bench.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import generate_scenario, scaled_down
+from repro.experiments.config import PAPER_SET_1, PAPER_SET_3, ScenarioConfig
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs derived from REPRO_BENCH_SCALE."""
+
+    name: str
+    n_nodes: int
+    n_runs: int
+    des_horizon: float
+
+    @property
+    def is_paper(self) -> bool:
+        return self.name == "paper"
+
+
+def _scale_from_env() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if name == "paper":
+        return BenchScale(name="paper", n_nodes=150, n_runs=25,
+                          des_horizon=60.0)
+    if name == "small":
+        return BenchScale(name="small", n_nodes=30, n_runs=5,
+                          des_horizon=20.0)
+    raise ValueError(
+        f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {name!r}")
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return _scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def bench_config(scale) -> ScenarioConfig:
+    """A set-1 config at benchmark scale."""
+    return scaled_down(PAPER_SET_1, scale.n_nodes)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario(bench_config):
+    """One cached scenario reused by the non-Figure-6 benchmarks."""
+    return generate_scenario(bench_config, 1000)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario_set3(scale):
+    """A set-3 scenario (where the technique shines)."""
+    return generate_scenario(scaled_down(PAPER_SET_3, scale.n_nodes), 1000)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Epoch-based re-assignment over a diurnal load cycle.
+
+The paper's first-step assignment is static; a deployed controller
+re-runs it as load drifts. This example drives the
+:class:`repro.core.controller.EpochController` through a compressed
+day/night cycle, showing each epoch's re-plan, the thermal-transient
+safety check on every transition, and the achieved versus planned
+reward.
+
+Run:  python examples/diurnal_control.py [n_nodes] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import EpochController
+from repro.experiments import PAPER_SET_1, generate_scenario, scaled_down
+from repro.workload import DiurnalProfile
+
+
+def main(n_nodes: int = 15, seed: int = 9) -> None:
+    scenario = generate_scenario(scaled_down(PAPER_SET_1, n_nodes), seed)
+    dc, wl = scenario.datacenter, scenario.workload
+
+    # one "day" compressed into an hour: 15-minute epochs, thermal time
+    # constant of a minute so transitions settle well within an epoch
+    profile = DiurnalProfile(base_rates=wl.arrival_rates, amplitude=0.4,
+                             period_s=3600.0)
+    controller = EpochController(dc, wl, scenario.p_const,
+                                 epoch_s=900.0, tau_s=60.0)
+    print(f"room: {dc.n_nodes} nodes, cap {scenario.p_const:.1f} kW; "
+          "diurnal load +/-40% over a 1h cycle, 15-min epochs\n")
+    result = controller.run(profile, horizon_s=3600.0,
+                            rng=np.random.default_rng(seed + 1))
+
+    print(f"{'epoch':>12}{'offered/s':>11}{'planned/s':>11}"
+          f"{'achieved/s':>12}{'P0 cores':>10}{'overshoot C':>13}")
+    eta = dc.node_types[0].n_pstates
+    for e in result.epochs:
+        p0 = int((e.plan.pstates == 0).sum())
+        print(f"{e.start_s:>5.0f}-{e.end_s:<6.0f}{e.rates.sum():>11.1f}"
+              f"{e.plan.reward_rate:>11.1f}{e.metrics.reward_rate:>12.1f}"
+              f"{p0:>10}{e.transient_overshoot_c:>+13.2f}")
+    print(f"\nwhole horizon: achieved {result.reward_rate:.1f}/s of "
+          f"planned {result.planned_reward_rate:.1f}/s "
+          f"({100 * result.reward_rate / result.planned_reward_rate:.1f}%)")
+    print("every transition was verified transient-safe before commit "
+          "(overshoot <= 0).")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 9
+    main(n, s)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The paper's headline comparison on one oversubscribed room.
+
+Generates a Section VI scenario (paper set 3: 20% static power,
+V_prop = 0.3 — the configuration where data-center-level P-state
+assignment helps most), runs both techniques under the same power cap
+and thermal model, and explains *where* the improvement comes from by
+showing the P-state mix each technique chose.
+
+Run:  python examples/oversubscribed_datacenter.py [n_nodes] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import best_psi_assignment, solve_baseline
+from repro.experiments import PAPER_SET_3, generate_scenario, scaled_down
+
+
+def pstate_mix(pstates: np.ndarray, eta: int) -> str:
+    hist = np.bincount(pstates, minlength=eta)
+    parts = [f"P{k}:{hist[k]}" for k in range(eta - 1)]
+    parts.append(f"off:{hist[eta - 1]}")
+    return "  ".join(parts)
+
+
+def main(n_nodes: int = 50, seed: int = 7) -> None:
+    config = scaled_down(PAPER_SET_3, n_nodes)
+    print(f"generating scenario ({n_nodes} nodes, seed {seed}, "
+          f"static {config.static_fraction:.0%}, V_prop {config.v_prop}) ...")
+    scenario = generate_scenario(config, seed)
+    dc, wl = scenario.datacenter, scenario.workload
+    p_const = scenario.p_const
+    print(f"power cap {p_const:.1f} kW "
+          f"(idle {scenario.bounds.p_min:.1f}, flat-out "
+          f"{scenario.bounds.p_max:.1f})\n")
+
+    best, by_psi = best_psi_assignment(dc, wl, p_const, psis=(25.0, 50.0))
+    baseline, _ = solve_baseline(dc, wl, p_const)
+
+    eta = dc.node_types[0].n_pstates
+    print("three-stage (this paper):")
+    for psi, res in sorted(by_psi.items()):
+        print(f"  psi={psi:>4g}: reward {res.reward_rate:8.1f}/s   "
+              f"CRAC outlets {res.t_crac_out} C")
+        print(f"            P-state mix: {pstate_mix(res.pstates, eta)}")
+    print("baseline (P0-or-off, adapted from Parolini et al.):")
+    print(f"            reward {baseline.reward_rate:8.1f}/s   "
+          f"CRAC outlets {baseline.t_crac_out} C")
+    print(f"            P-state mix: {pstate_mix(baseline.pstates, eta)}")
+
+    imp = 100.0 * (best.reward_rate - baseline.reward_rate) \
+        / baseline.reward_rate
+    print(f"\nimprovement of best-psi over baseline: {imp:+.2f}%")
+    print("the gain comes from intermediate P-states: under a power cap,"
+          "\nmany cores at P1/P2 out-earn fewer cores at P0 whenever P0 is"
+          "\nnot the best reward-per-watt state.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    main(n, s)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart — assign P-states in a small power-constrained data center.
+
+Builds a 30-node, 3-CRAC room with the paper's two server types,
+generates a workload, derives the power cap (Eq. 18), runs the paper's
+three-stage thermal-aware assignment and prints what it decided.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (attach_thermal_model, build_datacenter, generate_workload,
+                   power_bounds, three_stage_assignment, total_power)
+
+
+def main(seed: int = 42) -> None:
+    rng = np.random.default_rng(seed)
+
+    # 1. a room: 30 heterogeneous nodes (Table I types), 3 CRAC units
+    dc = build_datacenter(n_nodes=30, n_crac=3, rng=rng)
+    print(f"room: {dc.n_nodes} nodes / {dc.n_cores} cores / "
+          f"{dc.n_crac} CRACs")
+
+    # 2. air recirculation + heat-flow model (Appendix B / Section IV)
+    attach_thermal_model(dc, rng=rng)
+
+    # 3. a workload: 8 task types with rewards, deadlines, arrival rates
+    wl = generate_workload(dc, rng)
+    print("task arrival rates (tasks/s):",
+          np.array2string(wl.arrival_rates, precision=1))
+
+    # 4. power cap: midpoint between idle and flat-out (Eqs. 17-18)
+    bounds = power_bounds(dc)
+    p_const = bounds.p_const
+    print(f"power: idle {bounds.p_min:.1f} kW, flat-out {bounds.p_max:.1f} kW"
+          f" -> cap {p_const:.1f} kW (oversubscribed)")
+
+    # 5. the paper's three-stage thermal-aware assignment
+    result = three_stage_assignment(dc, wl, p_const, psi=50)
+    result.verify(dc, p_const)
+
+    print(f"\nassigned CRAC outlet temperatures: {result.t_crac_out} C")
+    eta = dc.node_types[0].n_pstates
+    hist = np.bincount(result.pstates, minlength=eta)
+    for k in range(eta):
+        label = f"P{k}" if k < eta - 1 else "off"
+        print(f"  cores in {label:>3}: {hist[k]:4d}")
+    breakdown = result.power(dc)
+    print(f"power use: {breakdown.compute_total:.1f} kW compute + "
+          f"{breakdown.cooling_total:.1f} kW cooling = "
+          f"{breakdown.total:.1f} / {p_const:.1f} kW")
+    print(f"steady-state reward rate: {result.reward_rate:.1f} reward/s")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 42)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Exploring the thermal substrate: recirculation, redlines, CRAC economics.
+
+Shows the physics that makes the assignment problem thermal-aware:
+
+* the steady-state temperature field produced by the cross-interference
+  model at different CRAC outlet settings;
+* which rack positions (labels A-E) run hottest, and the redline margin;
+* the CRAC power / outlet-temperature trade-off of Eqs. 3+8 — warmer
+  outlets are cheaper to produce but push inlets toward the redlines.
+
+Run:  python examples/thermal_map.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import attach_thermal_model, build_datacenter, total_power
+from repro.datacenter import RACK_LABELS
+
+
+def main(seed: int = 3) -> None:
+    rng = np.random.default_rng(seed)
+    dc = build_datacenter(n_nodes=30, n_crac=3, rng=rng)
+    model = attach_thermal_model(dc, rng=rng)
+
+    # run every core at P-state 1 (a mid-power operating point)
+    pstates = np.ones(dc.n_cores, dtype=int)
+    node_power = dc.node_power_kw(pstates)
+    print(f"operating point: all cores at P1, node power total "
+          f"{node_power.sum():.1f} kW\n")
+
+    print("CRAC outlet sweep (uniform setting):")
+    print(f"{'outlet C':>9}{'max node inlet':>16}{'max CRAC inlet':>16}"
+          f"{'cooling kW':>12}{'total kW':>10}  redline?")
+    for t in (12.0, 16.0, 20.0, 24.0):
+        t_vec = np.full(dc.n_crac, t)
+        state = model.steady_state(t_vec, node_power)
+        node_in = state.t_in[dc.n_crac:]
+        crac_in = state.t_in[:dc.n_crac]
+        breakdown = total_power(dc, t_vec, node_power)
+        ok = model.is_feasible(t_vec, node_power, dc.redline_c)
+        print(f"{t:>9.0f}{node_in.max():>16.2f}{crac_in.max():>16.2f}"
+              f"{breakdown.cooling_total:>12.2f}{breakdown.total:>10.2f}"
+              f"  {'OK' if ok else 'VIOLATED'}")
+
+    # hottest positions by rack label at the warmest feasible setting
+    t_vec = np.full(dc.n_crac, 16.0)
+    state = model.steady_state(t_vec, node_power)
+    print(f"\nnode inlet temperature by rack label (outlets at 16 C, "
+          f"redline {dc.node_redline_c:.0f} C):")
+    for label in RACK_LABELS:
+        idx = dc.layout.nodes_with_label(label)
+        if idx.size == 0:
+            continue
+        temps = state.t_in[dc.n_crac + idx]
+        print(f"  {label} (slot {RACK_LABELS.index(label)}): "
+              f"mean {temps.mean():5.2f} C   max {temps.max():5.2f} C")
+    print("\ntop-of-rack nodes (D/E) recirculate the most exhaust and sit"
+          "\nclosest to the redline — they bound how warm the CRACs may run.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

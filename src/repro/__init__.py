@@ -1,0 +1,74 @@
+"""repro — thermal-aware performance optimization in power-constrained
+heterogeneous data centers.
+
+A from-scratch reproduction of Al-Qawasmeh, Pasricha, Maciejewski &
+Siegel, "Thermal-Aware Performance Optimization in Power Constrained
+Heterogeneous Data Centers" (IPDPSW 2012).
+
+Quick tour
+----------
+>>> import numpy as np
+>>> from repro import (build_datacenter, attach_thermal_model,
+...                    generate_workload, power_bounds,
+...                    three_stage_assignment, solve_baseline)
+>>> rng = np.random.default_rng(0)
+>>> dc = build_datacenter(n_nodes=30, n_crac=3, rng=rng)
+>>> _ = attach_thermal_model(dc, rng=rng)
+>>> wl = generate_workload(dc, rng)
+>>> p_const = power_bounds(dc).p_const
+>>> ours = three_stage_assignment(dc, wl, p_const, psi=50)
+>>> base, _ = solve_baseline(dc, wl, p_const)
+>>> ours.reward_rate >= 0 and base.reward_rate >= 0
+True
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: three-stage assignment, dynamic scheduler,
+    P0-or-off baseline.
+``repro.datacenter`` / ``repro.thermal`` / ``repro.power`` /
+``repro.workload``
+    The substrates: room model, heat flow, CMOS/CRAC power, workloads.
+``repro.simulate``
+    Discrete-event replay of the second-step scheduler.
+``repro.optimize``
+    Piecewise-linear machinery, LP wrapper, temperature searches.
+``repro.experiments``
+    Scenario generator and the Figure 6 comparison runner.
+"""
+
+from repro.core import (AssignmentResult, BaselineSolution, DynamicScheduler,
+                        best_psi_assignment, solve_baseline,
+                        three_stage_assignment)
+from repro.datacenter import (DataCenter, NodeTypeSpec, build_datacenter,
+                              paper_node_types, power_bounds, total_power)
+from repro.simulate import SimulationMetrics, simulate_trace
+from repro.thermal import HeatFlowModel, attach_thermal_model, generate_alpha
+from repro.workload import Task, Workload, generate_trace, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssignmentResult",
+    "BaselineSolution",
+    "DynamicScheduler",
+    "best_psi_assignment",
+    "solve_baseline",
+    "three_stage_assignment",
+    "DataCenter",
+    "NodeTypeSpec",
+    "build_datacenter",
+    "paper_node_types",
+    "power_bounds",
+    "total_power",
+    "SimulationMetrics",
+    "simulate_trace",
+    "HeatFlowModel",
+    "attach_thermal_model",
+    "generate_alpha",
+    "Task",
+    "Workload",
+    "generate_trace",
+    "generate_workload",
+    "__version__",
+]

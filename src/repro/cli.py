@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the experiment layer without writing any code:
+
+* ``tables``   — print Tables I and II.
+* ``compare``  — one room, all three techniques, constraint audit.
+* ``fig6``     — the headline experiment at a chosen scale (CSV export).
+* ``simulate`` — first step + second-step DES replay on one room.
+* ``sweep``    — capacity planning: reward vs power cap (CSV export).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thermal-aware data center P-state assignment "
+                    "(IPDPSW 2012 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="print Tables I and II")
+    p_tables.add_argument("--static", type=float, default=0.3,
+                          help="P-state-0 static power fraction "
+                               "(default 0.3)")
+
+    p_cmp = sub.add_parser("compare",
+                           help="compare techniques on one random room")
+    p_cmp.add_argument("--nodes", type=int, default=30)
+    p_cmp.add_argument("--seed", type=int, default=1)
+    p_cmp.add_argument("--set", dest="paper_set", type=int, default=3,
+                       choices=(1, 2, 3), help="paper simulation set")
+
+    p_fig6 = sub.add_parser("fig6", help="run the Figure 6 experiment")
+    p_fig6.add_argument("--runs", type=int, default=5,
+                        help="simulation runs per set (paper: 25)")
+    p_fig6.add_argument("--nodes", type=int, default=30,
+                        help="compute nodes per room (paper: 150)")
+    p_fig6.add_argument("--seed", type=int, default=1000)
+    p_fig6.add_argument("--csv", type=str, default=None,
+                        help="also write the bar series to this CSV file")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="capacity planning: reward vs power cap")
+    p_sweep.add_argument("--nodes", type=int, default=25)
+    p_sweep.add_argument("--seed", type=int, default=4)
+    p_sweep.add_argument("--points", type=int, default=6)
+    p_sweep.add_argument("--csv", type=str, default=None,
+                         help="also write the curve to this CSV file")
+
+    p_sim = sub.add_parser("simulate",
+                           help="first step + DES second step on one room")
+    p_sim.add_argument("--nodes", type=int, default=20)
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--horizon", type=float, default=30.0,
+                       help="simulated seconds of task arrivals")
+    return parser
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table1, format_table2
+
+    print(format_table1(args.static))
+    print()
+    print(format_table2())
+    return 0
+
+
+def _set_config(paper_set: int, n_nodes: int):
+    from repro.experiments.config import paper_sets, scaled_down
+
+    return scaled_down(paper_sets()[paper_set - 1], n_nodes)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core import (solve_baseline, solve_server_level,
+                            three_stage_assignment)
+    from repro.experiments.generator import generate_scenario
+
+    sc = generate_scenario(_set_config(args.paper_set, args.nodes),
+                           args.seed)
+    print(f"room: {args.nodes} nodes, cap {sc.p_const:.1f} kW "
+          f"(set {args.paper_set}, seed {args.seed})")
+    ours = three_stage_assignment(sc.datacenter, sc.workload, sc.p_const,
+                                  psi=50.0)
+    ours.verify(sc.datacenter, sc.p_const)
+    base, _ = solve_baseline(sc.datacenter, sc.workload, sc.p_const)
+    srv, _ = solve_server_level(sc.datacenter, sc.workload, sc.p_const)
+    print(f"  three-stage (psi=50): {ours.reward_rate:9.1f} reward/s")
+    print(f"  P0-or-off baseline  : {base.reward_rate:9.1f} reward/s")
+    print(f"  server-level 80%    : {srv.reward_rate:9.1f} reward/s")
+    imp = 100 * (ours.reward_rate - base.reward_rate) / base.reward_rate
+    print(f"  improvement over baseline: {imp:+.2f}%")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.config import paper_sets, scaled_down
+    from repro.experiments.export import fig6_csv, write_csv
+    from repro.experiments.figures import fig6_data, format_fig6
+
+    configs = [scaled_down(c, args.nodes) for c in paper_sets()]
+    results = fig6_data(n_runs=args.runs, base_seed=args.seed,
+                        configs=configs, progress=True)
+    print()
+    print(format_fig6(results))
+    if args.csv:
+        write_csv(fig6_csv(results), args.csv)
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.config import PAPER_SET_3, scaled_down
+    from repro.experiments.export import capacity_csv, write_csv
+    from repro.experiments.generator import generate_scenario
+    from repro.experiments.sweeps import sweep_power_cap
+
+    sc = generate_scenario(scaled_down(PAPER_SET_3, args.nodes), args.seed)
+    lo, hi = sc.bounds.p_min, sc.bounds.p_max
+    caps = np.linspace(lo * 1.02, hi, args.points)
+    points = sweep_power_cap(sc.datacenter, sc.workload, caps)
+    print(f"{'cap kW':>8}{'3-stage/s':>11}{'baseline/s':>12}{'edge %':>8}")
+    for p in points:
+        print(f"{p.p_const:>8.1f}{p.reward_three_stage:>11.1f}"
+              f"{p.reward_baseline:>12.1f}{p.improvement_pct:>+8.2f}")
+    if args.csv:
+        write_csv(capacity_csv(points), args.csv)
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core import three_stage_assignment
+    from repro.experiments.config import PAPER_SET_1, scaled_down
+    from repro.experiments.generator import generate_scenario
+    from repro.simulate import simulate_trace
+    from repro.workload import generate_trace
+
+    sc = generate_scenario(scaled_down(PAPER_SET_1, args.nodes), args.seed)
+    plan = three_stage_assignment(sc.datacenter, sc.workload, sc.p_const,
+                                  psi=50.0)
+    trace = generate_trace(sc.workload, args.horizon,
+                           np.random.default_rng(args.seed + 1))
+    metrics = simulate_trace(sc.datacenter, sc.workload, plan.tc,
+                             plan.pstates, trace, duration=args.horizon)
+    print(f"planned reward rate : {plan.reward_rate:9.1f}/s")
+    print(f"achieved (DES)      : {metrics.reward_rate:9.1f}/s "
+          f"({100 * metrics.reward_rate / plan.reward_rate:.1f}%)")
+    print(f"tasks               : {metrics.completed.sum()} completed, "
+          f"{metrics.dropped.sum()} dropped of {len(trace)}")
+    print(f"mean core utilization: {metrics.utilization.mean():.1%}")
+    return 0
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "compare": _cmd_compare,
+    "fig6": _cmd_fig6,
+    "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Aggregate reward-rate functions ``ARR_j`` (Section V.B.2, Figure 5).
+
+Stage 1 needs one reward-vs-power curve per *core type*, not per
+(task type, core type) pair, so the paper aggregates: rank task types by
+their average reward-rate : power ratio on that core type, keep the best
+``ψ%``, and average their ``RR_{i,j}`` functions.  The result is not
+guaranteed concave — a "bad" P-state whose reward:power ratio is worse
+than its next *lower-power* P-state dents the curve (Figure 4) — and a
+non-concave objective would force binary variables into Stage 1.  The
+paper's fix: ignore bad P-states, i.e. take the upper concave majorant
+(Figure 5); the relaxed optimum is unchanged because an optimal solution
+splits power across cores rather than parking one in a bad state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.coretypes import NodeTypeSpec
+from repro.optimize.piecewise import PiecewiseLinear
+from repro.core.reward import reward_power_ratio, reward_rate_function
+from repro.workload.tasktypes import Workload
+
+__all__ = ["select_best_task_types", "AggregateRewardRate",
+           "aggregate_reward_rate"]
+
+
+def select_best_task_types(workload: Workload, node_type: NodeTypeSpec,
+                           node_type_index: int, psi: float) -> np.ndarray:
+    """Indices of the "best ψ%" task types for a core type.
+
+    ``psi`` is a percentage in (0, 100].  The count is
+    ``max(1, round(psi% * T))``; ties in the ranking ratio are broken
+    arbitrarily (by index, matching "we break the ties arbitrarily").
+    """
+    if not 0.0 < psi <= 100.0:
+        raise ValueError(f"psi must be in (0, 100], got {psi}")
+    t = workload.n_task_types
+    count = max(1, int(round(psi / 100.0 * t)))
+    ratios = np.asarray([
+        reward_power_ratio(workload, i, node_type, node_type_index)
+        for i in range(t)
+    ])
+    # stable argsort descending: negate, ties keep index order
+    order = np.argsort(-ratios, kind="stable")
+    return np.sort(order[:count])
+
+
+@dataclass(frozen=True)
+class AggregateRewardRate:
+    """``ARR_j`` for one core type, raw and concave forms.
+
+    Attributes
+    ----------
+    node_type_index:
+        Which core type this function describes.
+    selected_task_types:
+        The "best ψ%" indices that were averaged.
+    raw:
+        Plain average of the selected ``RR_{i,j}`` (may be non-concave).
+    concave:
+        Upper concave majorant of ``raw`` — the function Stage 1
+        optimizes ("bad" P-states ignored).
+    """
+
+    node_type_index: int
+    selected_task_types: np.ndarray
+    raw: PiecewiseLinear
+    concave: PiecewiseLinear
+
+    @property
+    def max_power(self) -> float:
+        """P-state-0 power — the relaxation's per-core power ceiling."""
+        return float(self.concave.x[-1])
+
+    def segments_decreasing_slope(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lengths, slopes)`` of the concave curve, steepest first.
+
+        Because the curve is concave and anchored at ``(0, 0)``, its
+        segments are already ordered by non-increasing slope left to
+        right; Stage 1's LP and the greedy power split rely on that.
+        """
+        lengths = np.diff(self.concave.x)
+        slopes = np.diff(self.concave.y) / lengths
+        return lengths, slopes
+
+
+def aggregate_reward_rate(workload: Workload, node_type: NodeTypeSpec,
+                          node_type_index: int, psi: float
+                          ) -> AggregateRewardRate:
+    """Build ``ARR_j`` for one core type at aggregation level ``psi``."""
+    selected = select_best_task_types(workload, node_type, node_type_index,
+                                      psi)
+    functions = [
+        reward_rate_function(workload, int(i), node_type, node_type_index)
+        for i in selected
+    ]
+    raw = PiecewiseLinear.average(functions)
+    concave = raw.concave_majorant()
+    return AggregateRewardRate(
+        node_type_index=node_type_index,
+        selected_task_types=selected,
+        raw=raw,
+        concave=concave,
+    )

@@ -1,0 +1,132 @@
+"""Three-stage assignment facade (Section V.B) and result verification.
+
+``three_stage_assignment`` chains Stage 1 (power + CRAC outlets, with the
+discretized temperature search), Stage 2 (integer P-states) and Stage 3
+(desired execution rates) and returns everything a caller needs: the
+final ``TC`` matrix for the dynamic scheduler, the predicted reward rate
+(the Figure 6 metric), and enough intermediate state to audit the
+constraints.
+
+``best_psi_assignment`` reproduces the paper's "best of the two"
+treatment: run the pipeline at several aggregation levels ψ and keep the
+assignment with the highest Stage 3 reward rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.stage1 import Stage1Solution, solve_stage1
+from repro.core.stage2 import Stage2Solution, solve_stage2
+from repro.core.stage3 import Stage3Solution, solve_stage3
+from repro.datacenter.builder import DataCenter
+from repro.datacenter.power import PowerBreakdown, total_power
+from repro.optimize.search import SearchResult
+from repro.workload.tasktypes import Workload
+
+__all__ = ["AssignmentResult", "three_stage_assignment", "best_psi_assignment"]
+
+
+@dataclass
+class AssignmentResult:
+    """Complete output of the paper's first-step assignment.
+
+    Attributes
+    ----------
+    psi:
+        Aggregation level the ARR functions were built with.
+    t_crac_out:
+        Assigned CRAC outlet temperatures (decision 3 of Eq. 7).
+    pstates:
+        Per-core integer P-states (decision 1).
+    tc:
+        Desired execution-rate matrix (decision 2), ``(T, NCORES)``.
+    reward_rate:
+        Stage 3 objective — the steady-state total reward rate.
+    stage1 / stage2 / stage3 / search:
+        Intermediate artifacts for auditing and plots.
+    """
+
+    psi: float
+    t_crac_out: np.ndarray
+    pstates: np.ndarray
+    tc: np.ndarray
+    reward_rate: float
+    stage1: Stage1Solution
+    stage2: Stage2Solution
+    stage3: Stage3Solution
+    search: SearchResult
+
+    def power(self, datacenter: DataCenter) -> PowerBreakdown:
+        """Exact (nonlinear, clamped) total power at this assignment."""
+        return total_power(datacenter, self.t_crac_out,
+                           self.stage2.node_power_kw)
+
+    def verify(self, datacenter: DataCenter, p_const: float,
+               tol: float = 1e-6) -> None:
+        """Assert the power cap and redlines hold at the final assignment.
+
+        Raises ``AssertionError`` with a diagnostic message on violation;
+        used by tests and the experiment runner as a safety net.
+        """
+        model = datacenter.require_thermal()
+        margin = model.redline_margin(self.t_crac_out,
+                                      self.stage2.node_power_kw,
+                                      datacenter.redline_c)
+        if margin.min() < -tol:
+            raise AssertionError(
+                f"redline violated by {-margin.min():.4f} C at unit "
+                f"{int(margin.argmin())}")
+        breakdown = self.power(datacenter)
+        if breakdown.total > p_const + tol * max(1.0, p_const):
+            raise AssertionError(
+                f"power cap violated: {breakdown.total:.3f} kW > "
+                f"{p_const:.3f} kW")
+
+
+def three_stage_assignment(datacenter: DataCenter, workload: Workload,
+                           p_const: float, psi: float = 50.0, *,
+                           search: str = "fast") -> AssignmentResult:
+    """Run the full three-stage technique (Section V.B).
+
+    See :func:`repro.core.stage1.solve_stage1` for the ``search`` modes.
+    """
+    stage1, trace = solve_stage1(datacenter, workload, psi, p_const,
+                                 search=search)
+    stage2 = solve_stage2(datacenter, stage1)
+    stage3 = solve_stage3(datacenter, workload, stage2.pstates)
+    return AssignmentResult(
+        psi=psi,
+        t_crac_out=stage1.t_crac_out,
+        pstates=stage2.pstates,
+        tc=stage3.tc,
+        reward_rate=stage3.reward_rate,
+        stage1=stage1,
+        stage2=stage2,
+        stage3=stage3,
+        search=trace,
+    )
+
+
+def best_psi_assignment(datacenter: DataCenter, workload: Workload,
+                        p_const: float,
+                        psis: Sequence[float] = (25.0, 50.0), *,
+                        search: str = "fast"
+                        ) -> tuple[AssignmentResult, dict[float, AssignmentResult]]:
+    """Run the pipeline for each ψ and keep the best Stage 3 reward.
+
+    Returns ``(best, all_results)`` — the paper reports ψ=25, ψ=50 and
+    "best of the two" separately (Figure 6), so callers get both.
+    """
+    if not psis:
+        raise ValueError("need at least one psi value")
+    results = {
+        float(psi): three_stage_assignment(datacenter, workload, p_const,
+                                           psi, search=search)
+        for psi in psis
+    }
+    best = max(results.values(), key=lambda r: r.reward_rate)
+    return best, results

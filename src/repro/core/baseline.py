@@ -1,0 +1,233 @@
+"""Baseline assignment — P-state 0 or off (Section VII.A, Eqs. 19-22).
+
+The paper compares against an adaptation of Parolini et al. [26]: each
+compute node *j* devotes a fraction ``FRAC(i, j)`` of its cores to task
+type *i*, every active core runs P-state 0, the rest are off.  For fixed
+CRAC outlet temperatures this is the LP of Eq. 21; the same discretized
+outlet-temperature search used by Stage 1 closes the loop, keeping the
+comparison apples-to-apples.
+
+After the LP, the paper rounds: the number of cores used at a node
+(Eq. 22) may be fractional, so all of the node's fractions are scaled
+down by a common factor until the core count is integral.
+
+Note (DESIGN.md §3.4): the printed Eq. 19 omits the ``|cores_j|`` factor
+in the node power; we include it, consistent with Eq. 22 and with the
+reward term of Eq. 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.builder import DataCenter
+from repro.optimize.linprog import InfeasibleError, LinearProgram
+from repro.optimize.search import (SearchResult, coarse_to_fine_search,
+                                   uniform_then_coordinate_search)
+from repro.thermal.constraints import ThermalLinearization
+from repro.workload.tasktypes import Workload
+
+__all__ = ["BaselineSolution", "solve_baseline_fixed_temps", "solve_baseline"]
+
+
+@dataclass
+class BaselineSolution:
+    """Result of the P0-or-off baseline at one outlet-temperature vector.
+
+    Attributes
+    ----------
+    frac:
+        Rounded ``FRAC`` matrix, shape ``(T, NCN)``.
+    cores_on:
+        Integer number of P-state-0 cores per node (Eq. 22 after
+        rounding); the rest of each node's cores are off.
+    reward_rate:
+        Eq. 21 objective evaluated on the *rounded* fractions — what the
+        baseline actually achieves.
+    pstates:
+        Global per-core P-states (0 or the off index) realizing
+        ``cores_on``.
+    tc:
+        Desired-rate matrix equivalent, ``(T, NCORES)``, for driving the
+        same dynamic scheduler / DES as the three-stage technique.
+    node_power_kw:
+        Eq. 1 node powers under ``pstates``.
+    t_crac_out:
+        The outlet temperatures this solution was computed at.
+    """
+
+    frac: np.ndarray
+    cores_on: np.ndarray
+    reward_rate: float
+    pstates: np.ndarray
+    tc: np.ndarray
+    node_power_kw: np.ndarray
+    t_crac_out: np.ndarray
+
+
+def solve_baseline_fixed_temps(datacenter: DataCenter, workload: Workload,
+                               linearization: ThermalLinearization,
+                               p_const: float) -> BaselineSolution | None:
+    """Solve Eq. 21 at fixed CRAC outlets, then round (Eq. 22).
+
+    Returns ``None`` for infeasible outlet temperatures, mirroring
+    :func:`repro.core.stage1.solve_stage1_fixed_temps`.
+    """
+    lin = linearization
+    base = datacenter.node_base_power
+    gain = lin.inlet_gain
+    base_inlet_load = gain @ base
+    if np.any(base_inlet_load > lin.redline_rhs + 1e-9):
+        return None
+    base_total = float(base.sum()) + lin.crac_const + float(lin.crac_coeff @ base)
+    if base_total > p_const + 1e-9:
+        return None
+
+    t_count = workload.n_task_types
+    n_nodes = datacenter.n_nodes
+    ecs0 = workload.ecs[:, :, 0]                 # (T, NTYPES) at P-state 0
+    # per-node constants
+    n_cores = np.asarray([n.n_cores for n in datacenter.nodes], dtype=float)
+    p0 = np.asarray([n.spec.p0_power_kw for n in datacenter.nodes])
+    type_of = datacenter.node_type_index
+
+    lp = LinearProgram(name="baseline", maximize=True)
+    var = np.full((t_count, n_nodes), -1, dtype=int)
+    for j in range(n_nodes):
+        jt = type_of[j]
+        for i in range(t_count):
+            speed = float(ecs0[i, jt])
+            if speed <= 0.0:
+                continue
+            # deadline handling: FRAC(i, j) = 0 when m_i < 1/ECS(i,j,0)
+            if 1.0 / speed > float(workload.deadline_slack[i]):
+                continue
+            reward = float(workload.rewards[i]) * speed * n_cores[j]
+            var[i, j] = lp.add_variables(1, lb=0.0, ub=1.0,
+                                         objective=reward)[0]
+    if lp.num_variables == 0:
+        return None
+
+    # Constraint 2: per node, fractions sum to at most 1.
+    for j in range(n_nodes):
+        coeffs = {var[i, j]: 1.0 for i in range(t_count) if var[i, j] >= 0}
+        if coeffs:
+            lp.add_le_constraint(coeffs, 1.0)
+    # Constraint 1: per task type, executed rate <= arrival rate.
+    for i in range(t_count):
+        coeffs = {var[i, j]: float(n_cores[j] * ecs0[i, type_of[j]])
+                  for j in range(n_nodes) if var[i, j] >= 0}
+        if coeffs:
+            lp.add_le_constraint(coeffs, float(workload.arrival_rates[i]))
+    # Constraints 3/4: power cap and redlines — node core power is
+    # p0_j * n_cores_j * sum_i FRAC(i, j).
+    node_core_coeff = p0 * n_cores
+    rhs_power = p_const - base_total
+    power_coeffs: dict[int, float] = {}
+    for j in range(n_nodes):
+        w = float((1.0 + lin.crac_coeff[j]) * node_core_coeff[j])
+        for i in range(t_count):
+            if var[i, j] >= 0:
+                power_coeffs[var[i, j]] = w
+    lp.add_le_constraint(power_coeffs, rhs_power)
+    rhs_redline = lin.redline_rhs - base_inlet_load
+    for u in range(gain.shape[0]):
+        coeffs = {}
+        for j in range(n_nodes):
+            w = float(gain[u, j] * node_core_coeff[j])
+            if w == 0.0:
+                continue
+            for i in range(t_count):
+                if var[i, j] >= 0:
+                    coeffs[var[i, j]] = w
+        if coeffs:
+            lp.add_le_constraint(coeffs, float(rhs_redline[u]))
+
+    try:
+        sol = lp.solve()
+    except InfeasibleError:
+        return None
+
+    frac = np.zeros((t_count, n_nodes))
+    mask = var >= 0
+    frac[mask] = sol.x[var[mask]]
+
+    # Eq. 22 rounding: scale each node's fractions down so that the used
+    # core count is integral.
+    used = n_cores * frac.sum(axis=0)
+    cores_on = np.floor(used + 1e-9).astype(int)
+    scale = np.ones(n_nodes)
+    nonzero = used > 1e-12
+    scale[nonzero] = cores_on[nonzero] / used[nonzero]
+    frac *= scale[None, :]
+
+    # rounded reward (what the baseline actually earns)
+    reward = 0.0
+    for i in range(t_count):
+        reward += float(workload.rewards[i]) * float(
+            (n_cores * ecs0[i, type_of] * frac[i]).sum())
+
+    # realize P-states: first cores_on cores of each node at P0, rest off
+    pstates = datacenter.all_off_pstates()
+    tc = np.zeros((t_count, datacenter.n_cores))
+    for node in datacenter.nodes:
+        k = int(cores_on[node.index])
+        if k <= 0:
+            continue
+        first = node.first_core
+        pstates[first:first + k] = 0
+        node_rate = (n_cores[node.index]
+                     * ecs0[:, type_of[node.index]]
+                     * frac[:, node.index])
+        tc[:, first:first + k] = (node_rate / k)[:, None]
+    node_power = datacenter.node_power_kw(pstates)
+    # validity of the linearized CRAC power at the rounded solution
+    t_in = lin.inlet_temperatures(node_power)
+    n_crac = lin.t_crac_out.size
+    if np.any(t_in[:n_crac] < lin.t_crac_out - 1e-6):
+        return None
+    return BaselineSolution(
+        frac=frac,
+        cores_on=cores_on,
+        reward_rate=reward,
+        pstates=pstates,
+        tc=tc,
+        node_power_kw=node_power,
+        t_crac_out=lin.t_crac_out.copy(),
+    )
+
+
+def solve_baseline(datacenter: DataCenter, workload: Workload,
+                   p_const: float, *, search: str = "fast",
+                   coarse_step: float = 5.0, final_step: float = 1.0
+                   ) -> tuple[BaselineSolution, SearchResult]:
+    """Baseline with the same CRAC outlet-temperature search as Stage 1."""
+    model = datacenter.require_thermal()
+    redline = datacenter.redline_c
+    lows = [c.outlet_range_c[0] for c in datacenter.cracs]
+    highs = [c.outlet_range_c[1] for c in datacenter.cracs]
+    cop_model = datacenter.cracs[0].cop_model
+    cache: dict[bytes, BaselineSolution] = {}
+
+    def objective(t_vec: np.ndarray) -> float | None:
+        lin = ThermalLinearization.build(model, t_vec, redline, cop_model)
+        sol = solve_baseline_fixed_temps(datacenter, workload, lin, p_const)
+        if sol is None:
+            return None
+        cache[t_vec.tobytes()] = sol
+        return sol.reward_rate
+
+    if search == "fast":
+        result = uniform_then_coordinate_search(
+            objective, datacenter.n_crac, min(lows), max(highs),
+            step=final_step, maximize=True)
+    elif search == "full":
+        result = coarse_to_fine_search(
+            objective, datacenter.n_crac, min(lows), max(highs),
+            coarse_step=coarse_step, final_step=final_step,
+            uniform_first=True, maximize=True)
+    else:
+        raise ValueError(f"unknown search mode {search!r} (use 'fast' or 'full')")
+    return cache[result.temperatures.tobytes()], result

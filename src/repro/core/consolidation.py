@@ -1,0 +1,153 @@
+"""Node consolidation — relaxing the "nodes never power off" assumption.
+
+Section III.C keeps every chassis powered ("we are not considering the
+case where compute nodes can be turned off"), so base power — disks,
+fans, boards — is a fixed tax even on nodes whose cores the optimizer
+leaves dark.  Section II names server consolidation (Tolia et al. [30])
+as a complementary technique "in combination with our assignment
+technique".  This module implements that combination:
+
+1. run the three-stage assignment as usual;
+2. any node whose cores all ended up off is powered down: its base
+   power is credited back to the budget (its airflow is assumed
+   maintained — passively or by row-level fans — so the Appendix B
+   interference coefficients stay valid; see the docstring note);
+3. re-run the assignment with those nodes' cores excluded and their
+   base power zeroed — the freed kilowatts buy higher P-states (or more
+   active cores) elsewhere;
+4. repeat until the powered-down set stops growing.
+
+The powered-down set only ever grows, so termination is guaranteed in
+at most ``NCN`` iterations (in practice 2-3).
+
+.. note::
+   Powering a chassis down in reality also removes its fan flow, which
+   would alter the room's flow field and invalidate the measured
+   cross-interference coefficients.  We keep flows fixed — equivalent to
+   assuming chassis fans keep spinning (their draw is part of the base
+   power we save, so the savings reported here are optimistic by the
+   fan share).  A flow-coupled model would need per-configuration
+   coefficient regeneration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.assignment import AssignmentResult
+from repro.core.stage1 import build_arr_functions, solve_stage1
+from repro.core.stage2 import solve_stage2
+from repro.core.stage3 import solve_stage3
+from repro.datacenter.builder import DataCenter
+from repro.workload.tasktypes import Workload
+
+__all__ = ["ConsolidationResult", "consolidate"]
+
+
+@dataclass
+class ConsolidationResult:
+    """Output of the consolidation loop.
+
+    Attributes
+    ----------
+    assignment:
+        Final :class:`AssignmentResult` (on the modified room).
+    powered_down:
+        Boolean mask of chassis that were switched off.
+    base_power_saved_kw:
+        Base power credited back by powering those chassis down.
+    iterations:
+        Assignment solves performed (>= 1).
+    baseline_reward:
+        Reward of the plain (no-consolidation) assignment, for the
+        uplift comparison.
+    datacenter:
+        The modified room (zeroed base power on powered-down nodes);
+        needed to validate/simulate the final assignment consistently.
+    """
+
+    assignment: AssignmentResult
+    powered_down: np.ndarray
+    base_power_saved_kw: float
+    iterations: int
+    baseline_reward: float
+    datacenter: DataCenter
+
+    @property
+    def reward_uplift_pct(self) -> float:
+        if self.baseline_reward <= 0:
+            return float("nan")
+        return 100.0 * (self.assignment.reward_rate
+                        - self.baseline_reward) / self.baseline_reward
+
+
+def _with_bases_zeroed(datacenter: DataCenter,
+                       mask: np.ndarray) -> DataCenter:
+    """A copy of the room with base power zeroed on masked nodes.
+
+    Node specs are shared per type, so masked nodes get a private spec
+    copy; the thermal model carries over unchanged (same flows).
+    """
+    new_nodes = []
+    for node in datacenter.nodes:
+        if mask[node.index]:
+            spec = replace(node.spec, base_power_kw=0.0)
+            node = replace(node, spec=spec)
+        new_nodes.append(node)
+    dc = DataCenter(node_types=list(datacenter.node_types),
+                    nodes=new_nodes, cracs=list(datacenter.cracs),
+                    layout=datacenter.layout,
+                    node_redline_c=datacenter.node_redline_c,
+                    crac_redline_c=datacenter.crac_redline_c)
+    dc.thermal = datacenter.thermal
+    return dc
+
+
+def _assign(datacenter: DataCenter, workload: Workload, p_const: float,
+            psi: float, disabled: np.ndarray) -> AssignmentResult:
+    stage1, trace = solve_stage1(datacenter, workload, psi, p_const,
+                                 disabled_nodes=disabled)
+    stage2 = solve_stage2(datacenter, stage1)
+    stage3 = solve_stage3(datacenter, workload, stage2.pstates)
+    return AssignmentResult(
+        psi=psi, t_crac_out=stage1.t_crac_out, pstates=stage2.pstates,
+        tc=stage3.tc, reward_rate=stage3.reward_rate, stage1=stage1,
+        stage2=stage2, stage3=stage3, search=trace)
+
+
+def consolidate(datacenter: DataCenter, workload: Workload,
+                p_const: float, psi: float = 50.0,
+                max_iterations: int = 10) -> ConsolidationResult:
+    """Run the assignment + power-down loop to a fixed point."""
+    n = datacenter.n_nodes
+    powered_down = np.zeros(n, dtype=bool)
+    current_dc = datacenter
+    result = _assign(current_dc, workload, p_const, psi, powered_down)
+    baseline_reward = result.reward_rate
+    iterations = 1
+    off_state = np.asarray([datacenter.node_types[t].off_pstate
+                            for t in datacenter.core_type])
+    while iterations < max_iterations:
+        dark = np.ones(n, dtype=bool)
+        active = result.pstates != off_state
+        for node in datacenter.nodes:
+            sl = slice(node.first_core, node.first_core + node.n_cores)
+            dark[node.index] = not active[sl].any()
+        newly = dark & ~powered_down
+        if not newly.any():
+            break
+        powered_down |= newly
+        current_dc = _with_bases_zeroed(datacenter, powered_down)
+        result = _assign(current_dc, workload, p_const, psi, powered_down)
+        iterations += 1
+    saved = float(datacenter.node_base_power[powered_down].sum())
+    return ConsolidationResult(
+        assignment=result,
+        powered_down=powered_down,
+        base_power_saved_kw=saved,
+        iterations=iterations,
+        baseline_reward=baseline_reward,
+        datacenter=current_dc,
+    )

@@ -1,0 +1,223 @@
+"""Epoch-based re-assignment controller (deployment extension).
+
+The paper's first step produces one static assignment ("Once a P-state
+of a core is assigned, we assume that it is not changed") sized for the
+current arrival rates.  Real load drifts, so a deployed system re-runs
+the first step periodically.  This controller closes that loop:
+
+* at each epoch boundary it measures the profile's arrival rates,
+  rebuilds the workload, and re-solves the three-stage assignment under
+  the same power cap;
+* before committing a new assignment it simulates the **thermal
+  transient** from the previous operating point
+  (:mod:`repro.thermal.transient`): a plan whose steady state is feasible
+  can still overshoot a redline mid-transition, in which case the
+  controller derates the plan (shrinks the power cap) until the
+  transition is safe;
+* within each epoch the second-step dynamic scheduler replays the
+  (non-stationary) task stream against the epoch's plan.
+
+This is precisely the deployment the paper's two-step time-scale
+argument sanctions: epochs are long (minutes+) relative to the thermal
+settling time, and tasks are short relative to epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.assignment import AssignmentResult, three_stage_assignment
+from repro.datacenter.builder import DataCenter
+from repro.simulate.engine import simulate_trace
+from repro.simulate.metrics import SimulationMetrics
+from repro.thermal.transient import simulate_transient
+from repro.workload.profiles import ArrivalProfile, generate_nonstationary_trace
+from repro.workload.tasktypes import Workload
+from repro.workload.trace import Task
+
+__all__ = ["EpochRecord", "ControllerResult", "EpochController"]
+
+
+@dataclass
+class EpochRecord:
+    """One epoch of the controller's run.
+
+    Attributes
+    ----------
+    start_s / end_s:
+        Epoch boundaries.
+    rates:
+        Arrival rates the plan was sized for (profile at epoch start).
+    plan:
+        The epoch's first-step assignment.
+    derated:
+        How many derating steps the transient check forced (0 = the
+        initial plan transitioned safely).
+    transient_overshoot_c:
+        Worst redline overshoot during the transition into this epoch
+        (after derating; <= 0 means safe).
+    metrics:
+        Second-step DES metrics for the epoch's task stream.
+    """
+
+    start_s: float
+    end_s: float
+    rates: np.ndarray
+    plan: AssignmentResult
+    derated: int
+    transient_overshoot_c: float
+    metrics: SimulationMetrics
+
+
+@dataclass
+class ControllerResult:
+    """Full controller run output."""
+
+    epochs: list[EpochRecord]
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(e.metrics.total_reward for e in self.epochs))
+
+    @property
+    def reward_rate(self) -> float:
+        horizon = self.epochs[-1].end_s - self.epochs[0].start_s
+        return self.total_reward / horizon
+
+    @property
+    def planned_reward_rate(self) -> float:
+        """Time-weighted mean of the epochs' first-step predictions."""
+        total = sum(e.plan.reward_rate * (e.end_s - e.start_s)
+                    for e in self.epochs)
+        horizon = self.epochs[-1].end_s - self.epochs[0].start_s
+        return float(total / horizon)
+
+
+class EpochController:
+    """Re-runs the first step at fixed epochs over a drifting workload.
+
+    Parameters
+    ----------
+    datacenter:
+        Room with a thermal model attached.
+    base_workload:
+        Supplies everything except arrival rates (ECS, rewards,
+        deadlines); rates are re-measured from the profile per epoch.
+    p_const:
+        Room power cap, kW.
+    epoch_s:
+        Re-assignment period, seconds.  Should comfortably exceed the
+        thermal settling time (see
+        :func:`repro.thermal.transient.time_to_steady_state`).
+    psi:
+        ARR aggregation level for the three-stage solver.
+    tau_s:
+        Node thermal time constant used in the transient safety check.
+    derate_step:
+        Each derating iteration multiplies the plan's power cap by
+        ``1 - derate_step`` until the transition is transient-safe.
+    max_derate:
+        Give up (raise) after this many derating steps.
+    """
+
+    def __init__(self, datacenter: DataCenter, base_workload: Workload,
+                 p_const: float, epoch_s: float = 1800.0,
+                 psi: float = 50.0, tau_s: float = 120.0,
+                 derate_step: float = 0.05, max_derate: int = 10):
+        if epoch_s <= 0:
+            raise ValueError("epoch length must be positive")
+        if not 0.0 < derate_step < 1.0:
+            raise ValueError("derate_step must be in (0, 1)")
+        self.datacenter = datacenter
+        self.base_workload = base_workload
+        self.p_const = p_const
+        self.epoch_s = epoch_s
+        self.psi = psi
+        self.tau_s = tau_s
+        self.derate_step = derate_step
+        self.max_derate = max_derate
+
+    # ------------------------------------------------------------------
+    def _plan_for_rates(self, rates: np.ndarray,
+                        p_cap: float) -> AssignmentResult:
+        workload = replace(self.base_workload, arrival_rates=rates)
+        return three_stage_assignment(self.datacenter, workload, p_cap,
+                                      psi=self.psi)
+
+    def _transient_overshoot(self, t_out_prev: np.ndarray,
+                             plan: AssignmentResult) -> float:
+        model = self.datacenter.require_thermal()
+        node_power = self.datacenter.node_power_kw(plan.pstates)
+        horizon = min(10.0 * self.tau_s, self.epoch_s)
+        result = simulate_transient(model, plan.t_crac_out, node_power,
+                                    t_out_prev, duration_s=horizon,
+                                    tau_s=self.tau_s)
+        return result.max_inlet_overshoot(self.datacenter.redline_c)
+
+    def plan_epoch(self, rates: np.ndarray, t_out_prev: np.ndarray
+                   ) -> tuple[AssignmentResult, int, float]:
+        """Solve one epoch's plan with the transient safety loop."""
+        cap = self.p_const
+        for derated in range(self.max_derate + 1):
+            plan = self._plan_for_rates(rates, cap)
+            overshoot = self._transient_overshoot(t_out_prev, plan)
+            if overshoot <= 1e-6:
+                return plan, derated, overshoot
+            cap *= 1.0 - self.derate_step
+        raise RuntimeError(
+            f"transition still overshoots redlines by {overshoot:.2f} C "
+            f"after {self.max_derate} derating steps")
+
+    # ------------------------------------------------------------------
+    def run(self, profile: ArrivalProfile, horizon_s: float,
+            rng: np.random.Generator) -> ControllerResult:
+        """Drive the controller over ``horizon_s`` seconds of load.
+
+        The task stream is drawn from ``profile`` once (one realization)
+        and split at epoch boundaries; each epoch's slice replays against
+        that epoch's plan.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        dc = self.datacenter
+        model = dc.require_thermal()
+        trace = generate_nonstationary_trace(self.base_workload, profile,
+                                             horizon_s, rng)
+        n_epochs = int(np.ceil(horizon_s / self.epoch_s))
+        # the room starts idle at the first epoch's outlet setting
+        idle_power = dc.node_power_kw(dc.all_off_pstates())
+        t_out_prev: np.ndarray | None = None
+        epochs: list[EpochRecord] = []
+        cursor = 0
+        for e in range(n_epochs):
+            start = e * self.epoch_s
+            end = min((e + 1) * self.epoch_s, horizon_s)
+            rates = np.asarray(profile.rates(start), dtype=float)
+            if t_out_prev is None:
+                # cold start: previous state is the idle room at a
+                # mid-range outlet setting
+                t_mid = np.full(dc.n_crac, float(np.mean(
+                    [c.outlet_range_c for c in dc.cracs])))
+                t_out_prev = model.steady_state(t_mid, idle_power).t_out
+            plan, derated, overshoot = self.plan_epoch(rates, t_out_prev)
+            # epoch task slice, re-based to epoch-local time
+            chunk: list[Task] = []
+            while cursor < len(trace) and trace[cursor].arrival < end:
+                t = trace[cursor]
+                chunk.append(Task(arrival=t.arrival - start,
+                                  task_type=t.task_type, uid=t.uid,
+                                  deadline=t.deadline - start))
+                cursor += 1
+            workload = replace(self.base_workload, arrival_rates=rates)
+            metrics = simulate_trace(dc, workload, plan.tc, plan.pstates,
+                                     chunk, duration=end - start)
+            epochs.append(EpochRecord(
+                start_s=start, end_s=end, rates=rates, plan=plan,
+                derated=derated, transient_overshoot_c=overshoot,
+                metrics=metrics))
+            node_power = dc.node_power_kw(plan.pstates)
+            t_out_prev = model.steady_state(plan.t_crac_out,
+                                            node_power).t_out
+        return ControllerResult(epochs=epochs)

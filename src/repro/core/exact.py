@@ -1,0 +1,185 @@
+"""Exact (brute-force) solution of the first-step MINLP on tiny rooms.
+
+The paper validates its heuristic the same way: "tests on smaller
+problems, i.e., 2 CRAC units, 40 compute nodes, and 8 task types, have
+shown no improvement" over the heuristic solutions.  This module makes
+that check reproducible: it enumerates *every* integer P-state
+assignment and every discretized CRAC outlet vector, solves the Stage 3
+LP for each feasible combination, and returns the true optimum of the
+discretized problem.
+
+Complexity is combinatorial — per node the cores are interchangeable, so
+node assignments are multisets (``C(n_cores + eta - 1, eta - 1)`` each),
+and the cross product over nodes is taken.  Two prunings keep tiny
+instances tractable:
+
+* thermal/power feasibility is checked before any LP (cheap affine
+  algebra), and
+* the Stage 3 reward depends only on the *histogram* of (node type,
+  P-state) classes, so LP results are memoized by histogram.
+
+Intended for rooms of a handful of nodes with a few cores each;
+:func:`solve_exact` refuses anything whose enumeration would exceed
+``max_assignments``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stage3 import solve_stage3
+from repro.datacenter.builder import DataCenter
+from repro.thermal.constraints import ThermalLinearization
+from repro.optimize.search import temperature_grid
+from repro.workload.tasktypes import Workload
+
+__all__ = ["ExactResult", "solve_exact", "count_assignments"]
+
+
+@dataclass
+class ExactResult:
+    """The discretized-MINLP optimum.
+
+    Attributes
+    ----------
+    reward_rate:
+        Best achievable steady-state reward rate.
+    pstates / t_crac_out / tc:
+        The optimizing decisions (same conventions as the heuristics).
+    assignments_checked:
+        Number of (P-state assignment, outlet vector) pairs enumerated.
+    lp_solves:
+        Stage 3 LPs actually solved (after histogram memoization).
+    """
+
+    reward_rate: float
+    pstates: np.ndarray
+    t_crac_out: np.ndarray
+    tc: np.ndarray
+    assignments_checked: int
+    lp_solves: int
+
+
+def count_assignments(datacenter: DataCenter) -> int:
+    """Size of the P-state assignment space (before outlet choices)."""
+    total = 1
+    for node in datacenter.nodes:
+        eta = node.spec.n_pstates
+        n = node.n_cores
+        # multisets of size n from eta states
+        from math import comb
+
+        total *= comb(n + eta - 1, eta - 1)
+    return total
+
+
+def _node_options(datacenter: DataCenter
+                  ) -> list[list[tuple[tuple[int, ...], float]]]:
+    """Per node: every core-P-state multiset and its Eq. 1 node power."""
+    options = []
+    for node in datacenter.nodes:
+        eta = node.spec.n_pstates
+        table = np.asarray(node.spec.pstate_power_kw)
+        opts = []
+        for combo in itertools.combinations_with_replacement(
+                range(eta), node.n_cores):
+            power = node.spec.base_power_kw + float(table[list(combo)].sum())
+            opts.append((combo, power))
+        options.append(opts)
+    return options
+
+
+def solve_exact(datacenter: DataCenter, workload: Workload, p_const: float,
+                *, temp_step: float = 3.0,
+                max_assignments: int = 200_000) -> ExactResult:
+    """Brute-force the discretized first-step problem.
+
+    Parameters
+    ----------
+    temp_step:
+        Granularity of the CRAC outlet grid (the full product grid is
+        enumerated, so coarser steps keep small rooms fast).
+    max_assignments:
+        Refuse rooms whose P-state space alone exceeds this bound.
+
+    Raises
+    ------
+    ValueError
+        If the enumeration would be too large.
+    RuntimeError
+        If no feasible (assignment, outlets) pair exists.
+    """
+    space = count_assignments(datacenter)
+    if space > max_assignments:
+        raise ValueError(
+            f"P-state space has {space} assignments; exact enumeration is "
+            f"only sensible for tiny rooms (limit {max_assignments})")
+    model = datacenter.require_thermal()
+    redline = datacenter.redline_c
+    cop_model = datacenter.cracs[0].cop_model
+    options = _node_options(datacenter)
+    eta = workload.n_pstates
+
+    lows = [c.outlet_range_c[0] for c in datacenter.cracs]
+    highs = [c.outlet_range_c[1] for c in datacenter.cracs]
+    axis = temperature_grid(min(lows), max(highs), temp_step)
+
+    best_reward = -np.inf
+    best = None
+    checked = 0
+    lp_cache: dict[bytes, float] = {}
+    lp_solves = 0
+
+    for t_combo in itertools.product(axis, repeat=datacenter.n_crac):
+        t_vec = np.asarray(t_combo)
+        lin = ThermalLinearization.build(model, t_vec, redline, cop_model)
+        for combo in itertools.product(*options):
+            checked += 1
+            node_power = np.asarray([power for _, power in combo])
+            # feasibility: redlines (exact — the affine map is the model)
+            if np.any(lin.inlet_gain @ node_power
+                      > lin.redline_rhs + 1e-9):
+                continue
+            # exact power cap with Eq. 3 clamping: heat removed at each
+            # CRAC is max(0, rho*Cp*F*(T_in - t)), unlike the heuristics'
+            # linearization this never under-counts
+            t_in = lin.inlet_temperatures(node_power)
+            lift = np.maximum(t_in[:datacenter.n_crac] - t_vec, 0.0)
+            cop = np.asarray(cop_model(t_vec), dtype=float)
+            crac_kw = float((model.crac_capacity * lift / cop).sum())
+            if node_power.sum() + crac_kw > p_const + 1e-9:
+                continue
+            # build global P-state vector + class histogram
+            pstates = np.concatenate(
+                [np.asarray(states, dtype=int) for states, _ in combo])
+            class_id = datacenter.core_type * eta + pstates
+            hist = np.bincount(class_id,
+                               minlength=len(datacenter.node_types) * eta)
+            key = hist.tobytes()
+            if key in lp_cache:
+                reward = lp_cache[key]
+            else:
+                reward = solve_stage3(datacenter, workload,
+                                      pstates).reward_rate
+                lp_cache[key] = reward
+                lp_solves += 1
+            if reward > best_reward:
+                best_reward = reward
+                best = (pstates, t_vec.copy())
+
+    if best is None:
+        raise RuntimeError("no feasible assignment exists at this "
+                           "power cap / outlet grid")
+    pstates, t_vec = best
+    stage3 = solve_stage3(datacenter, workload, pstates)
+    return ExactResult(
+        reward_rate=stage3.reward_rate,
+        pstates=pstates,
+        t_crac_out=t_vec,
+        tc=stage3.tc,
+        assignments_checked=checked,
+        lp_solves=lp_solves,
+    )

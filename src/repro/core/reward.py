@@ -1,0 +1,90 @@
+"""Per-task-type reward-rate functions ``RR_{i,j}`` (Section V.B.2).
+
+Stage 1 relaxes integer P-states by letting a core consume any power
+between 0 (off) and its P-state-0 power; the reward rate it can then
+earn from task type *i* is the piecewise-linear interpolation through
+the P-state operating points::
+
+    (pi[j, k],  r_i * ECS(i, j, k))      for every P-state k
+
+— the paper's intuition being that a core can time-multiplex two
+adjacent P-states to average any intermediate power (Figure 3).
+
+Deadline awareness (Figure 4): a P-state whose execution time exceeds
+the type's deadline slack ``m_i`` can never collect reward, so its point
+drops to zero reward rate, which is what makes some ARR functions
+non-concave and motivates the "bad P-state" majorant of
+:mod:`repro.core.arr`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datacenter.coretypes import NodeTypeSpec
+from repro.optimize.piecewise import PiecewiseLinear
+from repro.workload.tasktypes import Workload
+
+__all__ = ["reward_rate_function", "reward_power_ratio"]
+
+
+def reward_rate_function(workload: Workload, task_type: int,
+                         node_type: NodeTypeSpec, node_type_index: int,
+                         *, apply_deadline: bool = True) -> PiecewiseLinear:
+    """Build ``RR_{i,j}`` for one (task type, node type) pair.
+
+    Parameters
+    ----------
+    workload:
+        Supplies ECS values, rewards and deadline slacks.
+    task_type / node_type / node_type_index:
+        The pair; ``node_type_index`` selects the ECS column for
+        ``node_type`` (callers hold both because the spec alone cannot
+        be looked up in the tensor).
+    apply_deadline:
+        When True (the paper's definition), P-states that cannot meet
+        ``m_i`` contribute zero reward rate.  False gives the raw
+        Figure 3 variant, useful for analysis.
+
+    Returns
+    -------
+    PiecewiseLinear
+        Defined on ``[0, pi_{j,0}]``; evaluating at a P-state's power
+        returns exactly that P-state's reward rate.
+    """
+    ecs = workload.ecs[task_type, node_type_index, :]
+    powers = np.asarray(node_type.pstate_power_kw)
+    if ecs.shape != powers.shape:
+        raise ValueError(
+            f"ECS has {ecs.shape[0]} P-states but node type "
+            f"{node_type.name} has {powers.shape[0]}")
+    reward = float(workload.rewards[task_type])
+    rates = reward * ecs.copy()
+    if apply_deadline:
+        slack = float(workload.deadline_slack[task_type])
+        # Constraint 2 of Eq. 7: zero reward when 1/ECS > m_i.  The off
+        # state (ECS 0) is zero either way.
+        misses = np.empty_like(ecs, dtype=bool)
+        misses[ecs > 0] = (1.0 / ecs[ecs > 0]) > slack
+        misses[ecs <= 0] = True
+        rates[misses] = 0.0
+    # points ordered by increasing power: off state (0 kW) first
+    return PiecewiseLinear.through_points(zip(powers, rates))
+
+
+def reward_power_ratio(workload: Workload, task_type: int,
+                       node_type: NodeTypeSpec,
+                       node_type_index: int) -> float:
+    """Average reward-rate : power ratio over active P-states.
+
+    Section V.B.2 ranks task types for the "best ψ%" selection by the
+    average over all P-states *except the turned-off one* of
+    ``RR_{i,j}(pi[j,k]) / pi[j,k]``.
+    """
+    rr = reward_rate_function(workload, task_type, node_type,
+                              node_type_index)
+    powers = np.asarray(node_type.pstate_power_kw[:-1])  # drop off state
+    if np.any(powers <= 0):
+        raise ValueError(
+            f"{node_type.name}: active P-states must consume positive power")
+    return float(np.mean(rr(powers) / powers))

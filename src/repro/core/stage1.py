@@ -1,0 +1,270 @@
+"""Stage 1 — power-to-cores and CRAC outlet assignment (Section V.B.2).
+
+For *fixed* CRAC outlet temperatures the relaxed problem (Eq. 9) is a
+linear program: maximize the summed concave ``ARR`` of every core subject
+to the total power cap (Constraint 1) and the redlines (Constraint 2),
+both of which are affine in node powers
+(:class:`repro.thermal.constraints.ThermalLinearization`).
+
+Scalability comes from an exact aggregation (DESIGN.md §3.1): cores in a
+node are identical and ``ARR`` is concave, so the node's best aggregate
+reward from total core power ``C`` is the concave PWL whose segments are
+the per-core hull segments with capacities multiplied by the core count.
+The LP therefore has one variable per (node, hull segment) —
+``O(NCN * eta)`` — instead of one per core, and per-core powers are
+recovered by a breakpoint-quantized greedy fill whose values are real
+P-state powers except for at most one partial core per node (which keeps
+the Stage 2 integer conversion nearly lossless).
+
+The outer search over CRAC outlet temperatures is the paper's
+coarse-to-fine discretized scan (:func:`repro.optimize.search.coarse_to_fine_search`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.arr import AggregateRewardRate, aggregate_reward_rate
+from repro.datacenter.builder import DataCenter
+from repro.datacenter.power import total_power
+from repro.optimize.linprog import InfeasibleError, LinearProgram
+from repro.optimize.search import (SearchResult, coarse_to_fine_search,
+                                   uniform_then_coordinate_search)
+from repro.thermal.constraints import ThermalLinearization
+from repro.workload.tasktypes import Workload
+
+__all__ = ["Stage1Solution", "build_arr_functions",
+           "solve_stage1_fixed_temps", "solve_stage1", "distribute_node_power"]
+
+
+@dataclass
+class Stage1Solution:
+    """Output of Stage 1 for one CRAC outlet vector.
+
+    Attributes
+    ----------
+    t_crac_out:
+        Assigned CRAC outlet temperatures, C.
+    core_power_kw:
+        ``PCORE_k`` for every core (global index), kW.
+    node_power_kw:
+        Total node power including base, kW (Eq. 1 with relaxed cores).
+    objective:
+        Predicted aggregate reward rate (the Eq. 9 objective).
+    linearization:
+        The thermal/power linear view the LP was built from, reused by
+        Stage 2 feasibility checks.
+    arr_functions:
+        ``ARR_j`` per node type, as used (for diagnostics/plots).
+    """
+
+    t_crac_out: np.ndarray
+    core_power_kw: np.ndarray
+    node_power_kw: np.ndarray
+    objective: float
+    linearization: ThermalLinearization
+    arr_functions: list[AggregateRewardRate]
+
+
+def build_arr_functions(datacenter: DataCenter, workload: Workload,
+                        psi: float) -> list[AggregateRewardRate]:
+    """One ``ARR_j`` per node type in the catalog."""
+    return [
+        aggregate_reward_rate(workload, spec, t, psi)
+        for t, spec in enumerate(datacenter.node_types)
+    ]
+
+
+def _node_segments(datacenter: DataCenter,
+                   arrs: list[AggregateRewardRate]
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten per-node hull segments for the LP.
+
+    Returns ``(node_of_var, capacity, slope)`` — one entry per
+    (node, segment) variable; capacity is segment length times the
+    node's core count.
+    """
+    node_ids: list[int] = []
+    caps: list[float] = []
+    slopes: list[float] = []
+    per_type = []
+    for arr in arrs:
+        lengths, slps = arr.segments_decreasing_slope()
+        per_type.append((lengths, slps))
+    for node in datacenter.nodes:
+        lengths, slps = per_type[node.type_index]
+        for length, slope in zip(lengths, slps):
+            node_ids.append(node.index)
+            caps.append(float(length) * node.n_cores)
+            slopes.append(float(slope))
+    return (np.asarray(node_ids, dtype=int), np.asarray(caps),
+            np.asarray(slopes))
+
+
+def solve_stage1_fixed_temps(datacenter: DataCenter,
+                             arrs: list[AggregateRewardRate],
+                             linearization: ThermalLinearization,
+                             p_const: float,
+                             disabled_nodes: np.ndarray | None = None
+                             ) -> Stage1Solution | None:
+    """Solve the Stage 1 LP at fixed CRAC outlet temperatures.
+
+    Returns ``None`` when the temperatures admit no feasible operating
+    point (even all-cores-off violates a redline or the power cap) or
+    when the linearized CRAC model is invalid at the optimum (a CRAC's
+    inlet below its outlet, so Eq. 3 would clamp; see DESIGN.md §3.3).
+
+    ``disabled_nodes`` (boolean mask) removes nodes' cores from the
+    optimization — used by the consolidation extension for powered-down
+    chassis, whose base power the caller zeroes separately.
+    """
+    lin = linearization
+    base = datacenter.node_base_power
+    gain = lin.inlet_gain                       # (n_units, n_nodes)
+    # Feasibility with all cores off: redlines and cap at base power.
+    base_inlet_load = gain @ base
+    if np.any(base_inlet_load > lin.redline_rhs + 1e-9):
+        return None
+    base_total = float(base.sum()) + lin.crac_const + float(lin.crac_coeff @ base)
+    if base_total > p_const + 1e-9:
+        return None
+
+    node_of_var, caps, slopes = _node_segments(datacenter, arrs)
+    if disabled_nodes is not None:
+        disabled_nodes = np.asarray(disabled_nodes, dtype=bool)
+        if disabled_nodes.shape != (datacenter.n_nodes,):
+            raise ValueError("disabled_nodes mask shape mismatch")
+        caps = np.where(disabled_nodes[node_of_var], 0.0, caps)
+    n_vars = caps.size
+    lp = LinearProgram(name="stage1", maximize=True)
+    lp.add_variables(n_vars, lb=0.0, ub=caps, objective=slopes)
+
+    # Redline rows: gain[u] @ (base + C) <= redline_rhs[u].
+    # Expand node coefficients onto segment variables.
+    rows = gain[:, node_of_var]
+    rhs = lin.redline_rhs - base_inlet_load
+    lp.add_dense_le_rows(rows, rhs)
+
+    # Power cap: sum_j (1 + crac_coeff_j) * C_j <= Pconst - base_total.
+    power_row = (1.0 + lin.crac_coeff)[node_of_var]
+    lp.add_dense_le_rows(power_row[None, :], np.asarray([p_const - base_total]))
+
+    try:
+        sol = lp.solve()
+    except InfeasibleError:
+        return None
+
+    fills = sol.x
+    core_sums = np.bincount(node_of_var, weights=fills,
+                            minlength=datacenter.n_nodes)
+    node_power = base + core_sums
+    # Validity of the linearized CRAC power: every CRAC inlet must be at
+    # or above its assigned outlet, otherwise Eq. 3 clamps and the LP
+    # under-counted cooling power.
+    t_in = lin.inlet_temperatures(node_power)
+    n_crac = lin.t_crac_out.size
+    if np.any(t_in[:n_crac] < lin.t_crac_out - 1e-6):
+        return None
+    core_power = distribute_node_power(datacenter, arrs, core_sums)
+    return Stage1Solution(
+        t_crac_out=lin.t_crac_out.copy(),
+        core_power_kw=core_power,
+        node_power_kw=node_power,
+        objective=float(sol.objective),
+        linearization=lin,
+        arr_functions=arrs,
+    )
+
+
+def distribute_node_power(datacenter: DataCenter,
+                          arrs: list[AggregateRewardRate],
+                          node_core_power: np.ndarray) -> np.ndarray:
+    """Split each node's total core power onto its cores.
+
+    Breakpoint-quantized greedy (DESIGN.md §3.1): raise all cores of the
+    node through the concave-hull breakpoints in order; within the last
+    affordable level, advance as many whole cores as possible and give
+    the remainder to a single partial core.  Every resulting per-core
+    power is a hull breakpoint (a real, "good" P-state power) except at
+    most one per node, and the summed ``ARR`` equals the LP objective.
+    """
+    core_power = np.zeros(datacenter.n_cores)
+    for node in datacenter.nodes:
+        budget = float(node_core_power[node.index])
+        if budget <= 0.0:
+            continue
+        hull_x = arrs[node.type_index].concave.x
+        n = node.n_cores
+        powers = np.zeros(n)
+        level = 0.0
+        for bp in hull_x[1:]:
+            step = bp - level
+            full_cost = n * step
+            if budget >= full_cost - 1e-12:
+                powers[:] = bp
+                budget -= full_cost
+                level = bp
+                continue
+            k = int(budget // step)
+            powers[:k] = bp
+            powers[k] = level + (budget - k * step)
+            budget = 0.0
+            break
+        first = node.first_core
+        core_power[first:first + n] = powers
+    return core_power
+
+
+def solve_stage1(datacenter: DataCenter, workload: Workload, psi: float,
+                 p_const: float, *, search: str = "fast",
+                 coarse_step: float = 5.0,
+                 final_step: float = 1.0,
+                 disabled_nodes: np.ndarray | None = None
+                 ) -> tuple[Stage1Solution, SearchResult]:
+    """Full Stage 1: discretized CRAC temperature search around the LP.
+
+    Parameters
+    ----------
+    search:
+        ``"fast"`` — uniform scalar scan at 1-degree granularity plus
+        coordinate descent (near-optimal for homogeneous CRACs, and the
+        default because the full grid "increases exponentially with the
+        number of CRAC units" as the paper notes); ``"full"`` — the
+        paper's coarse-to-fine product-grid scan.
+
+    Returns the best solution and the search trace.  Raises
+    ``RuntimeError`` if no outlet-temperature vector admits a feasible
+    operating point (e.g. ``p_const`` below the idle power of the room).
+    """
+    model = datacenter.require_thermal()
+    redline = datacenter.redline_c
+    lows = [c.outlet_range_c[0] for c in datacenter.cracs]
+    highs = [c.outlet_range_c[1] for c in datacenter.cracs]
+    arrs = build_arr_functions(datacenter, workload, psi)
+    cop_model = datacenter.cracs[0].cop_model
+    best: dict[bytes, Stage1Solution] = {}
+
+    def objective(t_vec: np.ndarray) -> float | None:
+        lin = ThermalLinearization.build(model, t_vec, redline, cop_model)
+        sol = solve_stage1_fixed_temps(datacenter, arrs, lin, p_const,
+                                       disabled_nodes=disabled_nodes)
+        if sol is None:
+            return None
+        best[t_vec.tobytes()] = sol
+        return sol.objective
+
+    if search == "fast":
+        result = uniform_then_coordinate_search(
+            objective, datacenter.n_crac, min(lows), max(highs),
+            step=final_step, maximize=True)
+    elif search == "full":
+        result = coarse_to_fine_search(
+            objective, datacenter.n_crac, min(lows), max(highs),
+            coarse_step=coarse_step, final_step=final_step,
+            uniform_first=True, maximize=True)
+    else:
+        raise ValueError(f"unknown search mode {search!r} (use 'fast' or 'full')")
+    solution = best[result.temperatures.tobytes()]
+    return solution, result

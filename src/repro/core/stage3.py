@@ -1,0 +1,132 @@
+"""Stage 3 — optimal desired execution rates (Section V.B.4).
+
+With P-states and CRAC outlets fixed by Stages 1-2, the Eq. 7 problem
+collapses to a linear program over the ``TC`` matrix (desired rate of
+executing each task type on each core):
+
+* Constraint 1 — per core: ``sum_i TC(i, k) / ECS(i, CT_k, PS_k) <= 1``
+  (a core cannot be more than 100% busy);
+* Constraint 2 — ``TC(i, k) = 0`` when P-state ``PS_k`` cannot meet the
+  type's deadline (``1/ECS > m_i``) or cannot run it at all (ECS = 0);
+* Constraint 3 — per task type: ``sum_k TC(i, k) <= lambda_i`` (cannot
+  execute more than arrives).
+
+Cores with the same (node type, P-state) are interchangeable in every
+coefficient, so the LP is solved over equivalence classes —
+``O(T * NTYPES * eta)`` variables — and the class rates are split
+equally over member cores, which preserves feasibility of Constraint 1
+core-by-core (DESIGN.md §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.builder import DataCenter
+from repro.optimize.linprog import LinearProgram
+from repro.workload.tasktypes import Workload
+
+__all__ = ["Stage3Solution", "solve_stage3"]
+
+
+@dataclass
+class Stage3Solution:
+    """Desired execution rates and the reward they predict.
+
+    Attributes
+    ----------
+    tc:
+        ``(T, NCORES)`` desired-rate matrix (tasks/second).
+    reward_rate:
+        The Eq. 7 objective at ``tc`` — the technique's final predicted
+        total reward rate, the quantity compared in Figure 6.
+    class_rates:
+        Aggregated rate per (task type, class) for diagnostics, where a
+        class is a distinct (node type, P-state) pair actually present.
+    class_key:
+        ``(node_type, pstate)`` per class column of ``class_rates``.
+    """
+
+    tc: np.ndarray
+    reward_rate: float
+    class_rates: np.ndarray
+    class_key: list[tuple[int, int]]
+
+
+def solve_stage3(datacenter: DataCenter, workload: Workload,
+                 pstates: np.ndarray) -> Stage3Solution:
+    """Solve the Stage 3 LP for a fixed P-state assignment."""
+    pstates = np.asarray(pstates, dtype=int)
+    if pstates.shape != (datacenter.n_cores,):
+        raise ValueError(
+            f"expected {datacenter.n_cores} P-states, got {pstates.shape}")
+    n_types = len(datacenter.node_types)
+    eta = workload.n_pstates
+    if np.any(pstates < 0) or np.any(pstates >= eta):
+        raise ValueError("P-state index out of ECS range")
+    t_count = workload.n_task_types
+
+    # ------------------------------------------------------------------
+    # group cores into (node type, P-state) classes
+    class_id = datacenter.core_type * eta + pstates
+    present = np.unique(class_id)
+    class_count = np.asarray([(class_id == c).sum() for c in present])
+    class_key = [(int(c // eta), int(c % eta)) for c in present]
+    n_classes = present.size
+
+    # drop classes that can execute nothing (off state) from the LP but
+    # keep them in the key list for reporting
+    lp = LinearProgram(name="stage3", maximize=True)
+    # variable u[i, g] = total rate of type i over class g's cores
+    var = np.full((t_count, n_classes), -1, dtype=int)
+    rates_ub: dict[int, float] = {}
+    for g, (jtype, k) in enumerate(class_key):
+        ecs_col = workload.ecs[:, jtype, k]
+        for i in range(t_count):
+            if ecs_col[i] <= 0.0:
+                continue                      # cannot run / off: TC = 0
+            if not workload.can_meet_deadline(i, jtype, k):
+                continue                      # Constraint 2: TC = 0
+            idx = lp.add_variables(
+                1, lb=0.0, ub=np.inf,
+                objective=float(workload.rewards[i]))[0]
+            var[i, g] = idx
+    if lp.num_variables == 0:
+        # nothing can earn reward (e.g. everything off)
+        tc = np.zeros((t_count, datacenter.n_cores))
+        return Stage3Solution(tc=tc, reward_rate=0.0,
+                              class_rates=np.zeros((t_count, n_classes)),
+                              class_key=class_key)
+
+    # Constraint 1 aggregated per class: sum_i u[i,g]/ECS <= count_g
+    for g, (jtype, k) in enumerate(class_key):
+        coeffs = {}
+        for i in range(t_count):
+            if var[i, g] >= 0:
+                coeffs[var[i, g]] = 1.0 / float(workload.ecs[i, jtype, k])
+        if coeffs:
+            lp.add_le_constraint(coeffs, float(class_count[g]))
+    # Constraint 3 per task type: sum_g u[i,g] <= lambda_i
+    for i in range(t_count):
+        coeffs = {var[i, g]: 1.0 for g in range(n_classes) if var[i, g] >= 0}
+        if coeffs:
+            lp.add_le_constraint(coeffs, float(workload.arrival_rates[i]))
+
+    sol = lp.solve()
+    class_rates = np.zeros((t_count, n_classes))
+    for i in range(t_count):
+        for g in range(n_classes):
+            if var[i, g] >= 0:
+                class_rates[i, g] = sol.x[var[i, g]]
+
+    # ------------------------------------------------------------------
+    # distribute class rates equally over member cores
+    tc = np.zeros((t_count, datacenter.n_cores))
+    for g, c in enumerate(present):
+        members = np.nonzero(class_id == c)[0]
+        if class_rates[:, g].any():
+            tc[:, members] = (class_rates[:, g] / members.size)[:, None]
+    return Stage3Solution(tc=tc, reward_rate=float(sol.objective),
+                          class_rates=class_rates, class_key=class_key)

@@ -1,0 +1,195 @@
+"""Power-aware Stage 3 — desired rates under task-dependent power.
+
+With the :class:`~repro.power.taskpower.TaskPowerModel` extension,
+a core's power depends on *what* it runs, so the classic Stage 3 (which
+trusts Stages 1-2 to have budgeted power for fully-busy cores at nominal
+draw) can overshoot the cap when compute-heavy task types draw more
+than nominal.  This solver re-introduces the power cap and the redlines
+into the Stage 3 LP:
+
+* variables: class rates ``u(i, g)`` exactly as in classic Stage 3, but
+  classes are refined to (node, P-state) granularity when needed — here
+  we keep per-(node type, P-state) classes and distribute rates equally,
+  so each node's time-averaged power is linear in ``u``;
+* the time-averaged power of a core is
+  ``idle + sum_i u(i,g)/(n_g * ECS) * (factor_i - idle) * pi`` — linear;
+* one power row (cap) and one row per unit (redline) complete the LP.
+
+The result is the best deadline-feasible rate assignment that is *also*
+power- and thermally-safe under the task-dependent draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stage3 import Stage3Solution
+from repro.datacenter.builder import DataCenter
+from repro.optimize.linprog import InfeasibleError, LinearProgram
+from repro.power.taskpower import TaskPowerModel, expected_node_power
+from repro.thermal.constraints import ThermalLinearization
+from repro.workload.tasktypes import Workload
+
+__all__ = ["solve_stage3_power_aware"]
+
+
+def solve_stage3_power_aware(datacenter: DataCenter, workload: Workload,
+                             pstates: np.ndarray,
+                             task_power: TaskPowerModel,
+                             linearization: ThermalLinearization,
+                             p_const: float) -> Stage3Solution:
+    """Stage 3 with task-dependent power, cap and redline rows.
+
+    Parameters
+    ----------
+    pstates:
+        Fixed per-core P-states (from Stage 2).
+    task_power:
+        The task-type power factors.
+    linearization:
+        Thermal linear view at the assignment's CRAC outlet temperatures
+        (supplies the affine CRAC power and redline rows).
+    p_const:
+        Total power cap, kW.
+
+    Raises
+    ------
+    InfeasibleError
+        If even the all-idle room violates the cap (the idle draw of the
+        chosen P-states plus base power exceeds ``p_const``).
+    """
+    pstates = np.asarray(pstates, dtype=int)
+    if pstates.shape != (datacenter.n_cores,):
+        raise ValueError("pstates shape mismatch")
+    if task_power.n_task_types != workload.n_task_types:
+        raise ValueError("task power model dimension mismatch")
+    lin = linearization
+    t_count = workload.n_task_types
+    eta = workload.n_pstates
+    n_types = len(datacenter.node_types)
+
+    # nominal per-core P-state power and idle power
+    nominal = np.empty(datacenter.n_cores)
+    for t, spec in enumerate(datacenter.node_types):
+        mask = datacenter.core_type == t
+        nominal[mask] = np.asarray(spec.pstate_power_kw)[pstates[mask]]
+    idle_core = task_power.idle_fraction * nominal
+    idle_node = datacenter.node_base_power + np.bincount(
+        datacenter.core_node, weights=idle_core,
+        minlength=datacenter.n_nodes)
+
+    # all-idle feasibility
+    if np.any(lin.inlet_gain @ idle_node > lin.redline_rhs + 1e-9):
+        raise InfeasibleError(
+            "idle room already violates a redline at these P-states")
+    idle_total = idle_node.sum() + lin.crac_power(idle_node)
+    if idle_total > p_const + 1e-9:
+        raise InfeasibleError(
+            f"idle room draws {idle_total:.2f} kW > cap {p_const:.2f} kW")
+
+    # classes and per-node class membership counts
+    class_id = datacenter.core_type * eta + pstates
+    present = np.unique(class_id)
+    n_classes = present.size
+    class_count = np.asarray([(class_id == c).sum() for c in present])
+    class_key = [(int(c // eta), int(c % eta)) for c in present]
+    # membership[j, g] = cores of class g in node j
+    membership = np.zeros((datacenter.n_nodes, n_classes))
+    for g, c in enumerate(present):
+        members = class_id == c
+        membership[:, g] = np.bincount(
+            datacenter.core_node[members],
+            minlength=datacenter.n_nodes)
+
+    lp = LinearProgram(name="stage3-power-aware", maximize=True)
+    var = np.full((t_count, n_classes), -1, dtype=int)
+    # marginal node power per unit of u(i, g):
+    # busy share per core = u / (n_g * ECS); extra draw over idle per
+    # busy second = (factor_i - idle_fraction) * nominal_class
+    marginal = np.zeros((t_count, n_classes))
+    for g, (jtype, k) in enumerate(class_key):
+        spec = datacenter.node_types[jtype]
+        nominal_class = spec.pstate_power_kw[k]
+        for i in range(t_count):
+            speed = float(workload.ecs[i, jtype, k])
+            if speed <= 0.0 or not workload.can_meet_deadline(i, jtype, k):
+                continue
+            var[i, g] = lp.add_variables(
+                1, lb=0.0, objective=float(workload.rewards[i]))[0]
+            marginal[i, g] = (float(task_power.factors[i])
+                              - task_power.idle_fraction) \
+                * nominal_class / (speed * class_count[g])
+    if lp.num_variables == 0:
+        tc = np.zeros((t_count, datacenter.n_cores))
+        return Stage3Solution(tc=tc, reward_rate=0.0,
+                              class_rates=np.zeros((t_count, n_classes)),
+                              class_key=class_key)
+
+    # classic constraints 1 and 3
+    for g, (jtype, k) in enumerate(class_key):
+        coeffs = {}
+        for i in range(t_count):
+            if var[i, g] >= 0:
+                coeffs[var[i, g]] = 1.0 / float(workload.ecs[i, jtype, k])
+        if coeffs:
+            lp.add_le_constraint(coeffs, float(class_count[g]))
+    for i in range(t_count):
+        coeffs = {var[i, g]: 1.0 for g in range(n_classes)
+                  if var[i, g] >= 0}
+        if coeffs:
+            lp.add_le_constraint(coeffs,
+                                 float(workload.arrival_rates[i]))
+
+    # node power as a function of u:
+    #   P_j(u) = idle_node_j + sum_{i,g} membership[j,g] * marginal[i,g] * u
+    # power cap row: sum_j (1 + crac_coeff_j) P_j(u) <= p_const - const
+    cap_coeffs: dict[int, float] = {}
+    weight_j = 1.0 + lin.crac_coeff
+    for i in range(t_count):
+        for g in range(n_classes):
+            if var[i, g] < 0 or marginal[i, g] == 0.0:
+                continue
+            w = float((weight_j * membership[:, g]).sum() * marginal[i, g])
+            cap_coeffs[var[i, g]] = cap_coeffs.get(var[i, g], 0.0) + w
+    rhs_cap = p_const - idle_total
+    lp.add_le_constraint(cap_coeffs, rhs_cap)
+    # redline rows: gain[u_row] @ P(u) <= redline_rhs
+    base_load = lin.inlet_gain @ idle_node
+    for row in range(lin.inlet_gain.shape[0]):
+        coeffs = {}
+        gain_row = lin.inlet_gain[row]
+        for g in range(n_classes):
+            gw = float(gain_row @ membership[:, g])
+            if gw == 0.0:
+                continue
+            for i in range(t_count):
+                if var[i, g] >= 0 and marginal[i, g] != 0.0:
+                    key = var[i, g]
+                    coeffs[key] = coeffs.get(key, 0.0) \
+                        + gw * marginal[i, g]
+        if coeffs:
+            lp.add_le_constraint(
+                coeffs, float(lin.redline_rhs[row] - base_load[row]))
+
+    sol = lp.solve()
+    class_rates = np.zeros((t_count, n_classes))
+    for i in range(t_count):
+        for g in range(n_classes):
+            if var[i, g] >= 0:
+                class_rates[i, g] = sol.x[var[i, g]]
+    tc = np.zeros((t_count, datacenter.n_cores))
+    for g, c in enumerate(present):
+        members = np.nonzero(class_id == c)[0]
+        if class_rates[:, g].any():
+            tc[:, members] = (class_rates[:, g] / members.size)[:, None]
+    # safety net: the evaluated expected power must respect the cap
+    node_power = expected_node_power(datacenter, workload, pstates, tc,
+                                     task_power)
+    total = node_power.sum() + lin.crac_power(node_power)
+    if total > p_const * (1 + 1e-6) + 1e-6:
+        raise AssertionError(
+            f"power-aware stage 3 violated its own cap: {total:.3f} kW")
+    return Stage3Solution(tc=tc, reward_rate=float(sol.objective),
+                          class_rates=class_rates, class_key=class_key)

@@ -1,0 +1,32 @@
+"""Data center substrate: hardware catalog, layout, assembly, power accounting."""
+
+from repro.datacenter.builder import DataCenter, build_datacenter
+from repro.datacenter.coretypes import (NodeTypeSpec, hp_proliant_dl785_g5,
+                                        nec_express5800_a1080a, paper_node_types)
+from repro.datacenter.crac import CRACUnit
+from repro.datacenter.layout import (RACK_LABELS, TABLE_II_RANGES, LabelRanges,
+                                     Layout, build_layout, hot_aisle_split_matrix)
+from repro.datacenter.nodes import ComputeNode
+from repro.datacenter.power import (PowerBounds, PowerBreakdown, power_bounds,
+                                    total_power)
+
+__all__ = [
+    "DataCenter",
+    "build_datacenter",
+    "NodeTypeSpec",
+    "hp_proliant_dl785_g5",
+    "nec_express5800_a1080a",
+    "paper_node_types",
+    "CRACUnit",
+    "RACK_LABELS",
+    "TABLE_II_RANGES",
+    "LabelRanges",
+    "Layout",
+    "build_layout",
+    "hot_aisle_split_matrix",
+    "ComputeNode",
+    "PowerBounds",
+    "PowerBreakdown",
+    "power_bounds",
+    "total_power",
+]

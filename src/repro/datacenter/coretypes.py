@@ -1,0 +1,212 @@
+"""Node/core type catalog (Table I and Appendix A of the paper).
+
+A *node type* fixes everything about a compute node except its position
+in the room: base (non-compute) power, number of identical cores, the
+P-state table of those cores (frequencies, voltages, and the derived
+per-core power of each P-state), the air flow rate through the chassis,
+and a relative performance scale used by the ECS generator.
+
+The two concrete node types of the paper's simulations are provided as
+:func:`hp_proliant_dl785_g5` (AMD Opteron 8381 HE based) and
+:func:`nec_express5800_a1080a(S)` (Intel Xeon X7560 based); both are
+parameterized on the static power fraction, which the paper varies
+between simulation sets (30% vs 20%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.power.cmos import pstate_powers
+
+__all__ = [
+    "NodeTypeSpec",
+    "shrunken_node_types",
+    "hp_proliant_dl785_g5",
+    "nec_express5800_a1080a",
+    "paper_node_types",
+]
+
+
+@dataclass(frozen=True)
+class NodeTypeSpec:
+    """Immutable description of a compute node type.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    base_power_kw:
+        ``B_j`` — power of non-compute devices (disks, fans, ...), drawn
+        whenever the node is on, independent of core utilization
+        (Section III.C).
+    cores_per_node:
+        Number of identical cores in the node.
+    frequencies_mhz / voltages_v:
+        Per *active* P-state operating points, index 0 = P-state 0.
+    pstate_power_kw:
+        Per-core power of each P-state *including* the trailing
+        turned-off state (0 kW), so its length is ``n_pstates + 1``.
+    flow_m3s:
+        Air flow rate through the node, m^3/s.
+    performance_scale:
+        Relative mean ECS of this node type (Section VI.C fixes the
+        type-1 : type-2 ratio at 0.6 : 1).
+    static_fraction_p0:
+        Static share of P-state-0 core power used to derive the P-state
+        power table (0.3 or 0.2 in the paper's simulation sets).
+    """
+
+    name: str
+    base_power_kw: float
+    cores_per_node: int
+    frequencies_mhz: tuple[float, ...]
+    voltages_v: tuple[float, ...]
+    pstate_power_kw: tuple[float, ...]
+    flow_m3s: float
+    performance_scale: float
+    static_fraction_p0: float
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node <= 0:
+            raise ValueError(f"{self.name}: cores_per_node must be positive")
+        if len(self.frequencies_mhz) != len(self.voltages_v):
+            raise ValueError(f"{self.name}: frequency/voltage length mismatch")
+        if len(self.pstate_power_kw) != len(self.frequencies_mhz) + 1:
+            raise ValueError(
+                f"{self.name}: pstate_power_kw must include the off state")
+        if self.pstate_power_kw[-1] != 0.0:
+            raise ValueError(f"{self.name}: the off P-state must consume 0 kW")
+        if any(np.diff(self.pstate_power_kw) >= 0):
+            raise ValueError(
+                f"{self.name}: P-state powers must be strictly decreasing "
+                f"(P0 highest), got {self.pstate_power_kw}")
+        if self.flow_m3s <= 0:
+            raise ValueError(f"{self.name}: air flow must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_active_pstates(self) -> int:
+        """Number of P-states excluding the turned-off state (``eta - 1``)."""
+        return len(self.frequencies_mhz)
+
+    @property
+    def n_pstates(self) -> int:
+        """``eta_j`` — total P-states including the turned-off state."""
+        return len(self.pstate_power_kw)
+
+    @property
+    def off_pstate(self) -> int:
+        """Index of the turned-off P-state (the highest index)."""
+        return self.n_pstates - 1
+
+    @property
+    def p0_power_kw(self) -> float:
+        """Per-core power at P-state 0 (the most power-hungry state)."""
+        return self.pstate_power_kw[0]
+
+    @property
+    def max_node_power_kw(self) -> float:
+        """Node power with every core at P-state 0 (Eq. 1 upper bound)."""
+        return self.base_power_kw + self.cores_per_node * self.p0_power_kw
+
+    def core_power(self, pstate: int) -> float:
+        """Per-core power of ``pstate`` with bounds checking."""
+        if not 0 <= pstate < self.n_pstates:
+            raise IndexError(
+                f"{self.name}: P-state {pstate} out of range 0..{self.off_pstate}")
+        return self.pstate_power_kw[pstate]
+
+    def max_delta_t(self) -> float:
+        """Largest possible air temperature rise across the node, C."""
+        from repro.units import delta_t_for_power
+        return delta_t_for_power(self.max_node_power_kw, self.flow_m3s)
+
+
+def _make_spec(name: str, base_power_kw: float, cores: int,
+               p0_power_kw: float, freqs: tuple[float, ...],
+               volts: tuple[float, ...], flow: float, perf: float,
+               static_fraction: float) -> NodeTypeSpec:
+    powers = pstate_powers(p0_power_kw, static_fraction, freqs, volts,
+                           include_off=True)
+    return NodeTypeSpec(
+        name=name,
+        base_power_kw=base_power_kw,
+        cores_per_node=cores,
+        frequencies_mhz=freqs,
+        voltages_v=volts,
+        pstate_power_kw=tuple(float(p) for p in powers),
+        flow_m3s=flow,
+        performance_scale=perf,
+        static_fraction_p0=static_fraction,
+    )
+
+
+def hp_proliant_dl785_g5(static_fraction: float = 0.3) -> NodeTypeSpec:
+    """Node type 1: HP ProLiant DL785 G5 (8x AMD Opteron 8381 HE, 4 cores each).
+
+    Parameters are from Table I / Appendix A: TDP-derived P-state-0 core
+    power of 13.75 W, base power 0.353 kW, air flow 0.07 m^3/s, and the
+    AMD datasheet frequency/voltage ladder.
+    """
+    return _make_spec(
+        name="HP ProLiant DL785 G5",
+        base_power_kw=0.353,
+        cores=32,
+        p0_power_kw=0.01375,
+        freqs=(2500.0, 2100.0, 1700.0, 800.0),
+        volts=(1.325, 1.25, 1.175, 1.025),
+        flow=0.07,
+        perf=0.6,
+        static_fraction=static_fraction,
+    )
+
+
+def nec_express5800_a1080a(static_fraction: float = 0.3) -> NodeTypeSpec:
+    """Node type 2: NEC Express5800/A1080a-S (4x Intel Xeon X7560, 8 cores each).
+
+    P-state-0 voltage 1.35 V is based on the Intel Xeon E7540 with the
+    same feature size (Appendix A); P-states 1-3 frequencies/voltages are
+    the paper's assumed values.
+    """
+    return _make_spec(
+        name="NEC Express5800/A1080a-S",
+        base_power_kw=0.418,
+        cores=32,
+        p0_power_kw=0.01625,
+        freqs=(2666.0, 2200.0, 1700.0, 1000.0),
+        volts=(1.35, 1.268, 1.18, 1.056),
+        flow=0.0828,
+        perf=1.0,
+        static_fraction=static_fraction,
+    )
+
+
+def paper_node_types(static_fraction: float = 0.3) -> list[NodeTypeSpec]:
+    """The two node types of the paper's simulations (Table I order)."""
+    return [hp_proliant_dl785_g5(static_fraction),
+            nec_express5800_a1080a(static_fraction)]
+
+
+def shrunken_node_types(cores_per_node: int,
+                        static_fraction: float = 0.3
+                        ) -> list[NodeTypeSpec]:
+    """Table I node types scaled down to ``cores_per_node`` cores.
+
+    Base power and air flow scale proportionally with the core count so
+    the compute-to-overhead ratio of the original servers is preserved.
+    Used by the exact (brute-force) solver's validation, whose
+    enumeration is only tractable for rooms with a handful of cores.
+    """
+    if cores_per_node <= 0:
+        raise ValueError("cores_per_node must be positive")
+    out = []
+    for spec in paper_node_types(static_fraction):
+        scale = cores_per_node / spec.cores_per_node
+        out.append(replace(spec,
+                           cores_per_node=cores_per_node,
+                           base_power_kw=spec.base_power_kw * scale,
+                           flow_m3s=spec.flow_m3s * scale))
+    return out

@@ -1,0 +1,50 @@
+"""CRAC unit description (Section III.E).
+
+The paper assumes homogeneous CRAC units whose total air flow matches
+the total compute-node air flow (Section VI.G); each unit's power is
+given by Eqs. 2-3 using the CoP curve of Eq. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.cop import CoPModel, HP_UTILITY_COP
+from repro.power.crac import crac_power_kw
+
+__all__ = ["CRACUnit"]
+
+
+@dataclass(frozen=True)
+class CRACUnit:
+    """One CRAC unit.
+
+    Attributes
+    ----------
+    index:
+        CRAC index ``i`` in ``0..NCRAC-1``; unit *i* faces hot aisle *i*.
+    flow_m3s:
+        Air flow rate ``FCRAC_i``.
+    cop_model:
+        Coefficient-of-performance curve (defaults to Eq. 8).
+    outlet_range_c:
+        Admissible assigned outlet temperatures, used to bound the
+        discretized search of Section V.B.2.
+    """
+
+    index: int
+    flow_m3s: float
+    cop_model: CoPModel = field(default=HP_UTILITY_COP)
+    outlet_range_c: tuple[float, float] = (10.0, 25.0)
+
+    def __post_init__(self) -> None:
+        if self.flow_m3s <= 0:
+            raise ValueError(f"CRAC {self.index}: flow must be positive")
+        lo, hi = self.outlet_range_c
+        if lo > hi:
+            raise ValueError(f"CRAC {self.index}: empty outlet range {self.outlet_range_c}")
+
+    def power_kw(self, inlet_temp_c: float, outlet_temp_c: float) -> float:
+        """Electrical power at the given inlet/outlet temperatures (Eq. 3)."""
+        return crac_power_kw(self.flow_m3s, inlet_temp_c, outlet_temp_c,
+                             cop_model=self.cop_model)

@@ -1,0 +1,153 @@
+"""Hot-aisle/cold-aisle data center layout (Figure 1, Appendix B).
+
+The paper's room (Figure 1) alternates cold aisles (fed by perforated
+floor tiles) and hot aisles (exhaust), with one CRAC unit facing each hot
+aisle.  Racks hold a column of compute nodes; following Tang et al. [29],
+the vertical slot of a node inside its rack determines its *label*
+(A at the bottom through E at the top), and the label determines the
+ranges of its exit coefficient (EC — share of its exhaust that reaches
+CRAC intakes) and recirculation coefficient (RC — share of its inlet air
+that is re-ingested exhaust), reproduced in Table II.
+
+.. note::
+   The paper's Appendix B sentence "Node A is at the bottom of the rack
+   and node B is at the top of the rack" is an evident typo for *E* at
+   the top: Table II and the surrounding text give bottom nodes low
+   EC/RC and top nodes high EC/RC, which matches A..E bottom-to-top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RACK_LABELS", "LabelRanges", "TABLE_II_RANGES", "Layout",
+           "build_layout", "hot_aisle_split_matrix"]
+
+#: Rack slot labels, bottom of rack to top (Tang et al. [29]).
+RACK_LABELS: tuple[str, ...] = ("A", "B", "C", "D", "E")
+
+
+@dataclass(frozen=True)
+class LabelRanges:
+    """EC/RC ranges for one rack label (one row of Table II).
+
+    All four values are fractions in [0, 1].
+    """
+
+    ec_min: float
+    ec_max: float
+    rc_min: float
+    rc_max: float
+
+    def __post_init__(self) -> None:
+        vals = (self.ec_min, self.ec_max, self.rc_min, self.rc_max)
+        if not all(0.0 <= v <= 1.0 for v in vals):
+            raise ValueError(f"coefficient ranges must be in [0,1]: {vals}")
+        if self.ec_min > self.ec_max or self.rc_min > self.rc_max:
+            raise ValueError(f"range min exceeds max: {vals}")
+
+
+#: Table II of the paper: EC/RC ranges by rack label, from the CFD
+#: simulations of Tang et al. [29].
+TABLE_II_RANGES: dict[str, LabelRanges] = {
+    "A": LabelRanges(0.30, 0.40, 0.00, 0.10),
+    "B": LabelRanges(0.30, 0.40, 0.00, 0.20),
+    "C": LabelRanges(0.40, 0.50, 0.10, 0.30),
+    "D": LabelRanges(0.70, 0.80, 0.30, 0.70),
+    "E": LabelRanges(0.80, 0.90, 0.40, 0.80),
+}
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Physical placement of compute nodes relative to hot aisles.
+
+    Attributes
+    ----------
+    n_crac:
+        Number of CRAC units (= number of hot aisles, Figure 1).
+    rack_of_node / slot_of_node:
+        Rack index and vertical slot (0 = bottom) of each node.
+    label_of_node:
+        Rack label character per node (slot -> ``RACK_LABELS``).
+    hot_aisle_of_node:
+        Hot aisle each node exhausts into; CRAC unit *i* faces hot
+        aisle *i* (Appendix B).
+    """
+
+    n_crac: int
+    rack_of_node: np.ndarray
+    slot_of_node: np.ndarray
+    label_of_node: tuple[str, ...]
+    hot_aisle_of_node: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.rack_of_node.size)
+
+    @property
+    def n_racks(self) -> int:
+        return int(self.rack_of_node.max()) + 1 if self.n_nodes else 0
+
+    def nodes_with_label(self, label: str) -> np.ndarray:
+        """Indices of nodes at the rack position ``label``."""
+        if label not in RACK_LABELS:
+            raise ValueError(f"unknown rack label {label!r}")
+        mask = np.asarray([lab == label for lab in self.label_of_node])
+        return np.nonzero(mask)[0]
+
+
+def build_layout(n_nodes: int, n_crac: int,
+                 nodes_per_rack: int = len(RACK_LABELS)) -> Layout:
+    """Arrange ``n_nodes`` into racks of ``nodes_per_rack`` across hot aisles.
+
+    Racks are filled bottom-up (slot 0 = label A) and dealt to hot aisles
+    round-robin so every aisle serves a nearly equal share of the load,
+    matching the symmetric room of Figure 1.  The paper's setup is
+    150 nodes = 30 racks of 5, over 3 hot aisles.
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    if n_crac <= 0:
+        raise ValueError(f"n_crac must be positive, got {n_crac}")
+    if not 1 <= nodes_per_rack <= len(RACK_LABELS):
+        raise ValueError(
+            f"nodes_per_rack must be in 1..{len(RACK_LABELS)}, got {nodes_per_rack}")
+    idx = np.arange(n_nodes)
+    rack = idx // nodes_per_rack
+    slot = idx % nodes_per_rack
+    labels = tuple(RACK_LABELS[s] for s in slot)
+    hot_aisle = rack % n_crac
+    return Layout(n_crac=n_crac, rack_of_node=rack, slot_of_node=slot,
+                  label_of_node=labels, hot_aisle_of_node=hot_aisle)
+
+
+def hot_aisle_split_matrix(n_crac: int, facing_share: float = 0.7) -> np.ndarray:
+    """The paper's ``M(i, j)`` — share of a hot aisle's CRAC-bound air per CRAC.
+
+    ``M[i, j]`` is the fraction of the exit coefficient of a node in hot
+    aisle *i* that reaches CRAC unit *j* (Appendix B).  The paper assumes
+    the facing CRAC receives the dominant share; we give it
+    ``facing_share`` and split the remainder over the other CRACs in
+    inverse proportion to their aisle distance, normalizing rows to 1.
+
+    With a single CRAC the matrix is the 1x1 identity.
+    """
+    if n_crac <= 0:
+        raise ValueError(f"n_crac must be positive, got {n_crac}")
+    if not 0.0 < facing_share <= 1.0:
+        raise ValueError(f"facing_share must be in (0, 1], got {facing_share}")
+    if n_crac == 1:
+        return np.ones((1, 1))
+    m = np.zeros((n_crac, n_crac))
+    for i in range(n_crac):
+        weights = np.zeros(n_crac)
+        for j in range(n_crac):
+            if j != i:
+                weights[j] = 1.0 / abs(i - j)
+        weights *= (1.0 - facing_share) / weights.sum()
+        weights[i] = facing_share
+        m[i] = weights
+    return m

@@ -1,0 +1,73 @@
+"""Compute node and core bookkeeping (Section III.C).
+
+A :class:`ComputeNode` ties a :class:`~repro.datacenter.coretypes.NodeTypeSpec`
+to a physical position in the room.  Cores use a *global* index across
+the whole data center, as in the paper; :class:`ComputeNode` records the
+range of global core indices it owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.coretypes import NodeTypeSpec
+
+__all__ = ["ComputeNode"]
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """One compute node placed in the data center.
+
+    Attributes
+    ----------
+    index:
+        Node index ``j`` in ``0..NCN-1``.
+    spec:
+        The node type (``NT_j``); nodes of equal type are identical.
+    type_index:
+        Index of ``spec`` in the data center's node-type list (``NT_j``
+        as an integer, convenient for array indexing).
+    rack, slot, label, hot_aisle:
+        Physical placement (see :mod:`repro.datacenter.layout`).
+    first_core:
+        Global index of this node's first core; the node owns
+        ``first_core .. first_core + spec.cores_per_node - 1``.
+    """
+
+    index: int
+    spec: NodeTypeSpec
+    type_index: int
+    rack: int
+    slot: int
+    label: str
+    hot_aisle: int
+    first_core: int
+
+    @property
+    def n_cores(self) -> int:
+        return self.spec.cores_per_node
+
+    @property
+    def core_indices(self) -> range:
+        """Global indices of the cores in this node (``cores_j``)."""
+        return range(self.first_core, self.first_core + self.n_cores)
+
+    def node_power_kw(self, core_pstates: np.ndarray | list[int]) -> float:
+        """Eq. 1: base power plus the power of each core's P-state.
+
+        ``core_pstates`` holds one P-state index per core of this node
+        (local order).  The turned-off state contributes 0 kW but the
+        base power is always drawn — the paper does not allow switching
+        whole nodes off in an oversubscribed system.
+        """
+        ps = np.asarray(core_pstates, dtype=int)
+        if ps.shape != (self.n_cores,):
+            raise ValueError(
+                f"node {self.index} expects {self.n_cores} P-states, got {ps.shape}")
+        table = np.asarray(self.spec.pstate_power_kw)
+        if np.any(ps < 0) or np.any(ps >= table.size):
+            raise IndexError(f"P-state out of range for node {self.index}")
+        return self.spec.base_power_kw + float(table[ps].sum())

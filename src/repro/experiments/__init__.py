@@ -1,0 +1,68 @@
+"""Experiment layer: scenario generation (Section VI), the Figure 6
+comparison runner (Section VII), and regenerators for every table and
+figure of the paper."""
+
+from repro.experiments.config import (PAPER_SET_1, PAPER_SET_2, PAPER_SET_3,
+                                      ScenarioConfig, paper_sets, scaled_down)
+from repro.experiments.figures import (example_node_type, example_workload,
+                                       fig3_rr_function,
+                                       fig4_rr_function_with_deadline,
+                                       fig5_arr_functions, fig6_data,
+                                       format_fig6)
+from repro.experiments.generator import Scenario, generate_scenario
+from repro.experiments.report import (ascii_bar_chart, comparison_markdown,
+                                      fig6_bar_chart, fig6_markdown)
+from repro.experiments.sweeps import (CapSweepPoint, RedlineSweepPoint,
+                                      sweep_node_redline, sweep_power_cap)
+from repro.experiments.export import capacity_csv, fig6_csv, write_csv
+from repro.experiments.robustness import (RobustnessPoint, evaluate_robustness,
+                                          perturb_ecs)
+from repro.experiments.runner import (ConfidenceInterval, RunResult, SetResult,
+                                      confidence_interval, run_comparison,
+                                      run_simulation_set)
+from repro.experiments.tables import (format_table1, format_table2,
+                                      pstate_static_percentages, table1_rows,
+                                      table2_rows)
+
+__all__ = [
+    "PAPER_SET_1",
+    "PAPER_SET_2",
+    "PAPER_SET_3",
+    "ScenarioConfig",
+    "paper_sets",
+    "scaled_down",
+    "example_node_type",
+    "example_workload",
+    "fig3_rr_function",
+    "fig4_rr_function_with_deadline",
+    "fig5_arr_functions",
+    "fig6_data",
+    "format_fig6",
+    "Scenario",
+    "generate_scenario",
+    "ascii_bar_chart",
+    "comparison_markdown",
+    "fig6_bar_chart",
+    "fig6_markdown",
+    "CapSweepPoint",
+    "RedlineSweepPoint",
+    "sweep_node_redline",
+    "sweep_power_cap",
+    "capacity_csv",
+    "fig6_csv",
+    "write_csv",
+    "RobustnessPoint",
+    "evaluate_robustness",
+    "perturb_ecs",
+    "ConfidenceInterval",
+    "RunResult",
+    "SetResult",
+    "confidence_interval",
+    "run_comparison",
+    "run_simulation_set",
+    "format_table1",
+    "format_table2",
+    "pstate_static_percentages",
+    "table1_rows",
+    "table2_rows",
+]

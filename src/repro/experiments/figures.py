@@ -1,0 +1,127 @@
+"""Data behind every figure of the paper (Figures 1-6).
+
+Figures 3-5 are worked examples in Section V.B.2; this module rebuilds
+them with the real library machinery (not hard-coded curves) so the
+benchmarks can check the library against the paper's printed numbers.
+Figure 6 is the headline experiment; :func:`fig6_data` runs it via
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.arr import AggregateRewardRate, aggregate_reward_rate
+from repro.core.reward import reward_rate_function
+from repro.datacenter.coretypes import NodeTypeSpec
+from repro.experiments.config import ScenarioConfig, paper_sets
+from repro.experiments.runner import SetResult, run_simulation_set
+from repro.optimize.piecewise import PiecewiseLinear
+from repro.workload.tasktypes import Workload
+
+__all__ = ["example_node_type", "example_workload", "fig3_rr_function",
+           "fig4_rr_function_with_deadline", "fig5_arr_functions",
+           "fig6_data", "format_fig6"]
+
+
+def example_node_type() -> NodeTypeSpec:
+    """The Section V.B.2 example core type.
+
+    "Assume a core of type j with 4 P-states.  The power consumption of
+    P-states 0, 1, 2, and 3 is 0.15, 0.1, 0.05, and 0 Watts" — the 0 W
+    P-state 3 plays the role of the off state.  Frequencies/voltages are
+    placeholders (the example never uses them); powers are the paper's.
+    """
+    return NodeTypeSpec(
+        name="paper-example",
+        base_power_kw=0.0,
+        cores_per_node=2,          # the example's 2-core compute node
+        frequencies_mhz=(3000.0, 2000.0, 1000.0),
+        voltages_v=(1.3, 1.2, 1.1),
+        pstate_power_kw=(0.15, 0.10, 0.05, 0.0),
+        flow_m3s=0.07,
+        performance_scale=1.0,
+        static_fraction_p0=0.3,
+    )
+
+
+def example_workload(deadline_slack: float) -> Workload:
+    """One task type with the example's ECS ladder and reward 1.
+
+    "The ECS values for task type i for each of the 4 P-states are 1.2,
+    0.9, 0.5, and 0 ... the reward of completing a task of type i by its
+    deadline is 1."
+    """
+    return Workload(
+        ecs=np.asarray([[[1.2, 0.9, 0.5, 0.0]]]),
+        rewards=np.asarray([1.0]),
+        deadline_slack=np.asarray([deadline_slack]),
+        arrival_rates=np.asarray([1.0]),
+    )
+
+
+def fig3_rr_function() -> PiecewiseLinear:
+    """Figure 3 — RR through (0,0), (0.05,0.5), (0.1,0.9), (0.15,1.2).
+
+    Deadlines are generous enough (``m_i = 10``) that no P-state misses.
+    """
+    return reward_rate_function(example_workload(10.0), 0,
+                                example_node_type(), 0)
+
+
+def fig4_rr_function_with_deadline() -> PiecewiseLinear:
+    """Figure 4 — same RR but ``m_i = 1.5`` zeroes P-state 2.
+
+    P-state 2's execution time is ``1/0.5 = 2 > 1.5``, so its point
+    drops to (0.05, 0), denting the curve.
+    """
+    return reward_rate_function(example_workload(1.5), 0,
+                                example_node_type(), 0)
+
+
+def fig5_arr_functions() -> AggregateRewardRate:
+    """Figure 5 — the ARR whose "bad" P-state 2 is ignored.
+
+    With a single task type the raw ARR equals Figure 4's RR; the
+    concave majorant removes the (0.05, 0) breakpoint, going straight
+    from (0, 0) to (0.1, 0.9).
+    """
+    return aggregate_reward_rate(example_workload(1.5), example_node_type(),
+                                 0, psi=100.0)
+
+
+def fig6_data(n_runs: int = 25, base_seed: int = 1000,
+              configs: list[ScenarioConfig] | None = None,
+              progress: bool = False) -> dict[str, SetResult]:
+    """Run the Figure 6 experiment — all simulation sets.
+
+    At paper scale (150 nodes, 25 runs) this takes minutes; benchmarks
+    pass smaller configs for interactive use (see DESIGN.md §4).
+    """
+    if configs is None:
+        configs = paper_sets()
+    return {
+        cfg.name: run_simulation_set(cfg, n_runs=n_runs,
+                                     base_seed=base_seed, progress=progress)
+        for cfg in configs
+    }
+
+
+def format_fig6(results: dict[str, SetResult]) -> str:
+    """Render Figure 6 as the text table the benchmarks print."""
+    lines = [
+        "Figure 6 — average % improvement of the three-stage assignment "
+        "over the P0-or-off baseline (95% CI)",
+        f"{'set':<8}{'static%':>8}{'V_prop':>8}"
+        f"{'psi=25':>18}{'psi=50':>18}{'best':>18}",
+    ]
+    for name, res in results.items():
+        cfg = res.config
+        cells = []
+        for label in ("psi=25", "psi=50", "best"):
+            ci = res.intervals[label]
+            cells.append(f"{ci.mean:+6.2f} +/- {ci.half_width:4.2f}")
+        lines.append(
+            f"{name:<8}{cfg.static_fraction * 100:>7.0f}%"
+            f"{cfg.v_prop:>8.1f}{cells[0]:>18}{cells[1]:>18}{cells[2]:>18}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Plain-text reporting: ASCII bar charts and markdown experiment tables.
+
+The paper presents Figure 6 as grouped bars with confidence-interval
+whiskers; these helpers render the same data in a terminal (ASCII) and
+in EXPERIMENTS.md (markdown), so the benchmark harness and the committed
+results stay generated from one code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import SetResult
+
+__all__ = ["ascii_bar_chart", "fig6_bar_chart", "fig6_markdown",
+           "comparison_markdown"]
+
+
+def ascii_bar_chart(labels: list[str], values: list[float],
+                    errors: list[float] | None = None,
+                    width: int = 50, unit: str = "%") -> str:
+    """Horizontal ASCII bars with optional +/- whiskers.
+
+    Bars scale to the largest ``value + error``; negative values render
+    with a left-pointing bar so regressions are visually distinct.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if errors is not None and len(errors) != len(values):
+        raise ValueError("errors must match values")
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    errs = [0.0] * len(values) if errors is None else list(errors)
+    peak = max((abs(v) + e for v, e in zip(values, errs)), default=1.0)
+    peak = max(peak, 1e-12)
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, v, e in zip(labels, values, errs):
+        n = int(round(abs(v) / peak * width))
+        bar = ("#" * n) if v >= 0 else ("<" + "-" * max(n - 1, 0))
+        suffix = f" {v:+.2f}{unit}"
+        if e:
+            suffix += f" +/- {e:.2f}"
+        lines.append(f"{label:<{label_w}} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def fig6_bar_chart(results: dict[str, SetResult], width: int = 40) -> str:
+    """Figure 6 as grouped ASCII bars (one group per simulation set)."""
+    labels: list[str] = []
+    values: list[float] = []
+    errors: list[float] = []
+    for name, res in results.items():
+        for key in sorted(res.intervals):
+            ci = res.intervals[key]
+            labels.append(f"{name}/{key}")
+            values.append(ci.mean)
+            errors.append(ci.half_width)
+    return ascii_bar_chart(labels, values, errors, width=width)
+
+
+def fig6_markdown(results: dict[str, SetResult]) -> str:
+    """Figure 6 as a markdown table (used to build EXPERIMENTS.md)."""
+    lines = [
+        "| set | static % | V_prop | psi=25 | psi=50 | best of |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, res in results.items():
+        cfg = res.config
+        cells = []
+        for key in ("psi=25", "psi=50", "best"):
+            ci = res.intervals[key]
+            cells.append(f"{ci.mean:+.2f}% ± {ci.half_width:.2f}")
+        lines.append(
+            f"| {name} | {cfg.static_fraction * 100:.0f}% | {cfg.v_prop} "
+            f"| {cells[0]} | {cells[1]} | {cells[2]} |")
+    return "\n".join(lines)
+
+
+def comparison_markdown(headers: list[str],
+                        rows: list[list[str]]) -> str:
+    """Generic markdown table builder for benchmark reports."""
+    if any(len(r) != len(headers) for r in rows):
+        raise ValueError("every row must match the header width")
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "---|" * len(headers)]
+    out.extend("| " + " | ".join(r) + " |" for r in rows)
+    return "\n".join(out)

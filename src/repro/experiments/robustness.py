@@ -1,0 +1,100 @@
+"""Robustness of first-step plans to ECS estimation error.
+
+The whole pipeline runs on *estimated* computational speeds ("The ETC
+values for a given system can be obtained from user supplied
+information, experimental data, or task profiling" — Section III.D).
+Estimates are stale or noisy in practice, so a natural question the
+paper leaves open (its authors' companion work studies robust resource
+allocation) is how much reward a plan loses when the true ECS deviates
+from the estimate it was optimized for.
+
+Protocol: plan on the nominal workload; then, for each perturbation
+level δ, multiply the true ECS by i.i.d. ``rand[1-δ, 1+δ]`` factors and
+re-evaluate the *frozen* decisions — P-states and CRAC outlets stay, and
+the desired rates are re-derived by Stage 3 on the true workload (the
+second step would adapt rates online; P-states are the sticky decision).
+Reported per level: mean achieved reward relative to the ideal plan that
+knew the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.assignment import three_stage_assignment
+from repro.core.stage3 import solve_stage3
+from repro.datacenter.builder import DataCenter
+from repro.workload.tasktypes import Workload
+
+__all__ = ["RobustnessPoint", "perturb_ecs", "evaluate_robustness"]
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Aggregated outcome at one perturbation level.
+
+    ``achieved_fraction`` is the mean over trials of (frozen plan's
+    reward on the truth) / (oracle plan's reward on the truth); 1.0
+    means ECS error did not matter at all.
+    """
+
+    delta: float
+    achieved_fraction: float
+    worst_fraction: float
+    n_trials: int
+
+
+def perturb_ecs(workload: Workload, delta: float,
+                rng: np.random.Generator) -> Workload:
+    """A "true" workload whose ECS deviates by ``rand[1-delta, 1+delta]``.
+
+    Monotonicity across P-states is restored by sorting each (type,
+    node-type) ladder descending, mirroring the Section VI.C repair; the
+    off state stays zero.  Rewards/deadlines/rates are unchanged (they
+    are contractual, not estimated).
+    """
+    if not 0.0 <= delta < 1.0:
+        raise ValueError(f"delta must be in [0, 1), got {delta}")
+    ecs = workload.ecs.copy()
+    active = ecs[:, :, :-1]
+    noise = rng.uniform(1.0 - delta, 1.0 + delta, size=active.shape)
+    perturbed = active * noise
+    # restore the physical ordering: higher P-state never faster
+    perturbed = -np.sort(-perturbed, axis=2)
+    ecs[:, :, :-1] = perturbed
+    return replace(workload, ecs=ecs)
+
+
+def evaluate_robustness(datacenter: DataCenter, workload: Workload,
+                        p_const: float, deltas, *,
+                        n_trials: int = 5, psi: float = 50.0,
+                        seed: int = 0) -> list[RobustnessPoint]:
+    """Sweep perturbation levels; see module docstring for the protocol."""
+    if n_trials <= 0:
+        raise ValueError("need at least one trial")
+    plan = three_stage_assignment(datacenter, workload, p_const, psi=psi)
+    points: list[RobustnessPoint] = []
+    for delta in deltas:
+        fractions = []
+        for t in range(n_trials):
+            rng = np.random.default_rng(seed + 1000 * t + int(delta * 1e6))
+            truth = perturb_ecs(workload, float(delta), rng)
+            # frozen decisions, rates re-derived on the truth
+            frozen = solve_stage3(datacenter, truth, plan.pstates)
+            # oracle re-plans everything on the truth
+            oracle = three_stage_assignment(datacenter, truth, p_const,
+                                            psi=psi)
+            if oracle.reward_rate <= 0:
+                continue
+            fractions.append(frozen.reward_rate / oracle.reward_rate)
+        if not fractions:
+            continue
+        points.append(RobustnessPoint(
+            delta=float(delta),
+            achieved_fraction=float(np.mean(fractions)),
+            worst_fraction=float(np.min(fractions)),
+            n_trials=len(fractions),
+        ))
+    return points

@@ -1,0 +1,162 @@
+"""Comparison runner — the Figure 6 experiment (Section VII).
+
+For each scenario both techniques solve the first-step assignment under
+the same power cap and thermal model:
+
+* the paper's three-stage technique at each ψ level (and "best of"),
+* the P0-or-off baseline adapted from Parolini et al. [26].
+
+A *simulation set* aggregates the per-run percentage improvements into a
+mean with a 95% confidence interval (Student t), exactly the quantity
+each Figure 6 bar reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+from repro.core.assignment import best_psi_assignment
+from repro.core.baseline import solve_baseline
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.generator import Scenario, generate_scenario
+
+__all__ = ["RunResult", "ConfidenceInterval", "SetResult",
+           "run_comparison", "run_simulation_set", "confidence_interval"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Rewards and improvements for one scenario.
+
+    Attributes
+    ----------
+    seed:
+        Scenario seed.
+    reward_by_psi:
+        Stage 3 reward rate of the three-stage technique per ψ.
+    baseline_reward:
+        Reward rate of the rounded Eq. 21 baseline.
+    p_const:
+        The cap both techniques ran under.
+    """
+
+    seed: int
+    reward_by_psi: dict[float, float]
+    baseline_reward: float
+    p_const: float
+
+    @property
+    def best_reward(self) -> float:
+        """Best-of-ψ reward (the paper's third bar per set)."""
+        return max(self.reward_by_psi.values())
+
+    def improvement_pct(self, psi: float | None = None) -> float:
+        """Percentage improvement over the baseline.
+
+        ``psi=None`` uses the best-of-ψ reward.
+        """
+        ours = self.best_reward if psi is None else self.reward_by_psi[psi]
+        if self.baseline_reward <= 0:
+            raise ZeroDivisionError(
+                "baseline earned zero reward; improvement undefined")
+        return 100.0 * (ours - self.baseline_reward) / self.baseline_reward
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Mean with a symmetric t-distribution confidence interval."""
+
+    mean: float
+    half_width: float
+    level: float = 0.95
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} +/- {self.half_width:.2f}"
+
+
+def confidence_interval(samples: np.ndarray,
+                        level: float = 0.95) -> ConfidenceInterval:
+    """95% (by default) CI of the mean using the Student t quantile."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 2:
+        raise ValueError("need at least two samples for a confidence interval")
+    mean = float(samples.mean())
+    sem = float(samples.std(ddof=1) / np.sqrt(samples.size))
+    t_crit = float(stats.t.ppf(0.5 + level / 2.0, df=samples.size - 1))
+    return ConfidenceInterval(mean=mean, half_width=t_crit * sem, level=level)
+
+
+@dataclass
+class SetResult:
+    """Aggregated Figure 6 numbers for one simulation set.
+
+    ``improvements`` maps a label (``"psi=25"``, ``"psi=50"``, ``"best"``)
+    to the per-run percentage improvements; ``intervals`` to their CIs.
+    """
+
+    config: ScenarioConfig
+    runs: list[RunResult]
+    improvements: dict[str, np.ndarray] = field(init=False)
+    intervals: dict[str, ConfidenceInterval] = field(init=False)
+
+    def __post_init__(self) -> None:
+        labels: dict[str, np.ndarray] = {}
+        for psi in self.config.psis:
+            labels[f"psi={psi:g}"] = np.asarray(
+                [r.improvement_pct(psi) for r in self.runs])
+        labels["best"] = np.asarray(
+            [r.improvement_pct(None) for r in self.runs])
+        self.improvements = labels
+        self.intervals = {k: confidence_interval(v)
+                          for k, v in labels.items()}
+
+
+def run_comparison(scenario: Scenario) -> RunResult:
+    """Run both techniques on one scenario (one Figure 6 sample)."""
+    config = scenario.config
+    _, by_psi = best_psi_assignment(
+        scenario.datacenter, scenario.workload, scenario.p_const,
+        psis=config.psis, search=config.search)
+    for result in by_psi.values():
+        result.verify(scenario.datacenter, scenario.p_const)
+    baseline, _ = solve_baseline(
+        scenario.datacenter, scenario.workload, scenario.p_const,
+        search=config.search)
+    return RunResult(
+        seed=scenario.seed,
+        reward_by_psi={psi: r.reward_rate for psi, r in by_psi.items()},
+        baseline_reward=baseline.reward_rate,
+        p_const=scenario.p_const,
+    )
+
+
+def run_simulation_set(config: ScenarioConfig, n_runs: int = 25,
+                       base_seed: int = 1000,
+                       progress: bool = False) -> SetResult:
+    """Run a whole simulation set (paper: 25 runs) and aggregate.
+
+    Seeds are ``base_seed + run_index`` so individual runs can be
+    reproduced in isolation.
+    """
+    if n_runs < 2:
+        raise ValueError("a simulation set needs at least two runs for CIs")
+    runs: list[RunResult] = []
+    for r in range(n_runs):
+        scenario = generate_scenario(config, base_seed + r)
+        runs.append(run_comparison(scenario))
+        if progress:  # pragma: no cover - console output
+            last = runs[-1]
+            print(f"  [{config.name}] run {r + 1}/{n_runs}: "
+                  f"best improvement {last.improvement_pct(None):+.2f}%")
+    return SetResult(config=config, runs=runs)

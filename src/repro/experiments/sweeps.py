@@ -1,0 +1,136 @@
+"""Parameter sweeps for capacity planning and what-if analysis.
+
+The paper fixes ``Pconst`` at the Eq. 18 midpoint; an operator deciding
+*how much* power to provision (the Morgan Stanley problem of the
+introduction — power availability limits deployment) wants the whole
+reward-vs-cap curve, and a facilities engineer wants to know what a
+degree of redline headroom is worth.  Both sweeps reuse the first-step
+solvers unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import three_stage_assignment
+from repro.core.baseline import solve_baseline
+from repro.datacenter.builder import DataCenter
+from repro.workload.tasktypes import Workload
+
+__all__ = ["CapSweepPoint", "sweep_power_cap", "RedlineSweepPoint",
+           "sweep_node_redline"]
+
+
+@dataclass(frozen=True)
+class CapSweepPoint:
+    """One point of the reward-vs-power-cap curve.
+
+    ``marginal_reward_per_kw`` is the forward difference to the next
+    point (NaN at the last point) — the operator's "what is one more
+    kilowatt worth" number.
+    """
+
+    p_const: float
+    reward_three_stage: float
+    reward_baseline: float
+    power_used_kw: float
+    marginal_reward_per_kw: float = float("nan")
+
+    @property
+    def improvement_pct(self) -> float:
+        if self.reward_baseline <= 0:
+            return float("nan")
+        return 100.0 * (self.reward_three_stage - self.reward_baseline) \
+            / self.reward_baseline
+
+
+def sweep_power_cap(datacenter: DataCenter, workload: Workload,
+                    caps_kw: np.ndarray, *, psi: float = 50.0,
+                    include_baseline: bool = True
+                    ) -> list[CapSweepPoint]:
+    """Solve both techniques across a grid of power caps.
+
+    Caps below the room's idle power are skipped (no feasible
+    operating point).  Points are returned in increasing cap order with
+    forward-difference marginal rewards filled in.
+    """
+    caps = np.sort(np.asarray(caps_kw, dtype=float))
+    if caps.size == 0:
+        raise ValueError("need at least one cap")
+    rows: list[CapSweepPoint] = []
+    for cap in caps:
+        try:
+            ours = three_stage_assignment(datacenter, workload, float(cap),
+                                          psi=psi)
+        except RuntimeError:
+            continue        # cap below idle power: nothing to operate
+        base_reward = float("nan")
+        if include_baseline:
+            base, _ = solve_baseline(datacenter, workload, float(cap))
+            base_reward = base.reward_rate
+        rows.append(CapSweepPoint(
+            p_const=float(cap),
+            reward_three_stage=ours.reward_rate,
+            reward_baseline=base_reward,
+            power_used_kw=ours.power(datacenter).total,
+        ))
+    # forward-difference marginal value of provisioned power
+    out: list[CapSweepPoint] = []
+    for idx, point in enumerate(rows):
+        if idx + 1 < len(rows):
+            nxt = rows[idx + 1]
+            dcap = nxt.p_const - point.p_const
+            marginal = (nxt.reward_three_stage
+                        - point.reward_three_stage) / dcap \
+                if dcap > 0 else float("nan")
+        else:
+            marginal = float("nan")
+        out.append(CapSweepPoint(
+            p_const=point.p_const,
+            reward_three_stage=point.reward_three_stage,
+            reward_baseline=point.reward_baseline,
+            power_used_kw=point.power_used_kw,
+            marginal_reward_per_kw=marginal,
+        ))
+    return out
+
+
+@dataclass(frozen=True)
+class RedlineSweepPoint:
+    """One point of the reward-vs-node-redline curve."""
+
+    node_redline_c: float
+    reward_rate: float
+    t_crac_out_mean: float
+
+
+def sweep_node_redline(datacenter: DataCenter, workload: Workload,
+                       p_const: float, redlines_c: np.ndarray,
+                       *, psi: float = 50.0) -> list[RedlineSweepPoint]:
+    """What is a degree of thermal headroom worth?
+
+    Re-solves the three-stage assignment while varying the compute-node
+    redline temperature (CRAC redlines unchanged).  Warmer redlines let
+    the CRACs run warmer (cheaper cooling), freeing cap for compute.
+    The data center's redline attribute is restored afterwards.
+    """
+    original = datacenter.node_redline_c
+    rows: list[RedlineSweepPoint] = []
+    try:
+        for redline in np.asarray(redlines_c, dtype=float):
+            datacenter.node_redline_c = float(redline)
+            try:
+                res = three_stage_assignment(datacenter, workload, p_const,
+                                             psi=psi)
+            except RuntimeError:
+                continue    # too strict to operate at all
+            rows.append(RedlineSweepPoint(
+                node_redline_c=float(redline),
+                reward_rate=res.reward_rate,
+                t_crac_out_mean=float(res.t_crac_out.mean()),
+            ))
+    finally:
+        datacenter.node_redline_c = original
+    return rows

@@ -1,0 +1,102 @@
+"""Data behind the paper's tables (Table I and Table II).
+
+Table I is *derived* — the P-state power ladder comes from the
+Appendix A CMOS model — so regenerating it exercises
+:mod:`repro.power.cmos` and :mod:`repro.datacenter.coretypes` and checks
+them against the paper's printed values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datacenter.coretypes import NodeTypeSpec, paper_node_types
+from repro.datacenter.layout import RACK_LABELS, TABLE_II_RANGES
+from repro.power.cmos import static_fraction as cmos_static_fraction
+
+__all__ = ["table1_rows", "format_table1", "table2_rows", "format_table2",
+           "pstate_static_percentages"]
+
+
+def table1_rows(static_frac: float = 0.3) -> list[dict]:
+    """Table I as a list of dicts, one per node type."""
+    rows = []
+    for i, spec in enumerate(paper_node_types(static_frac), start=1):
+        rows.append({
+            "node_type": i,
+            "name": spec.name,
+            "base_power_kw": spec.base_power_kw,
+            "cores": spec.cores_per_node,
+            "n_pstates": spec.n_active_pstates,
+            "p0_power_kw": spec.p0_power_kw,
+            "frequencies_mhz": spec.frequencies_mhz,
+            "pstate_power_kw": spec.pstate_power_kw[:-1],
+            "flow_m3s": spec.flow_m3s,
+        })
+    return rows
+
+
+def format_table1(static_frac: float = 0.3) -> str:
+    """Render Table I (plus the derived per-P-state powers)."""
+    rows = table1_rows(static_frac)
+    lines = ["Table I — parameters of the two node types "
+             f"(P-state-0 static share {static_frac * 100:.0f}%)"]
+    fields = [
+        ("Base power (kW)", lambda r: f"{r['base_power_kw']:.3f}"),
+        ("Number of cores", lambda r: str(r["cores"])),
+        ("Number of P-states", lambda r: str(r["n_pstates"])),
+        ("P-state 0 power (kW)", lambda r: f"{r['p0_power_kw']:.5f}"),
+        ("P-state clocks (MHz)",
+         lambda r: "/".join(f"{f:.0f}" for f in r["frequencies_mhz"])),
+        ("P-state powers (kW)",
+         lambda r: "/".join(f"{p:.5f}" for p in r["pstate_power_kw"])),
+        ("Air flow (m^3/s)", lambda r: f"{r['flow_m3s']:.4f}"),
+    ]
+    header = f"{'parameter':<24}" + "".join(
+        f"{'type ' + str(r['node_type']):>28}" for r in rows)
+    lines.append(header)
+    for label, fmt in fields:
+        lines.append(f"{label:<24}" + "".join(f"{fmt(r):>28}" for r in rows))
+    return "\n".join(lines)
+
+
+def table2_rows() -> list[dict]:
+    """Table II as a list of dicts, one per rack label."""
+    return [
+        {
+            "label": label,
+            "ec_min": TABLE_II_RANGES[label].ec_min,
+            "ec_max": TABLE_II_RANGES[label].ec_max,
+            "rc_min": TABLE_II_RANGES[label].rc_min,
+            "rc_max": TABLE_II_RANGES[label].rc_max,
+        }
+        for label in RACK_LABELS
+    ]
+
+
+def format_table2() -> str:
+    """Render Table II."""
+    lines = ["Table II — EC and RC ranges per rack label",
+             f"{'label':<8}{'EC range':>16}{'RC range':>16}"]
+    for row in table2_rows():
+        ec = f"{row['ec_min'] * 100:.0f}-{row['ec_max'] * 100:.0f}%"
+        rc = f"{row['rc_min'] * 100:.0f}-{row['rc_max'] * 100:.0f}%"
+        lines.append(f"{row['label']:<8}{ec:>16}{rc:>16}")
+    return "\n".join(lines)
+
+
+def pstate_static_percentages(static_frac: float = 0.3
+                              ) -> dict[str, np.ndarray]:
+    """Static power share per active P-state for each node type.
+
+    These are the percentages annotated on Figure 6 ("The static power
+    consumption percentage for the other P-states for each node type is
+    also shown"): fixing the P-state-0 static share fixes the rest via
+    the CMOS model, and slower P-states are *more* static-dominated.
+    """
+    out: dict[str, np.ndarray] = {}
+    for spec in paper_node_types(static_frac):
+        out[spec.name] = cmos_static_fraction(
+            spec.p0_power_kw, static_frac,
+            np.asarray(spec.frequencies_mhz), np.asarray(spec.voltages_v))
+    return out

@@ -1,0 +1,219 @@
+"""JSON persistence for rooms, workloads and assignments.
+
+Reproduction tooling: every object a Figure 6 run needs can be saved to
+a JSON document and reloaded bit-exactly, so specific rooms (e.g. the
+ones behind an interesting data point) can be archived, shared and
+re-analyzed without re-running the generators.
+
+The format is versioned (``"format"`` key) and deliberately flat: numpy
+arrays become nested lists, dataclasses become objects.  Loaders
+validate dimensions through the same constructors the generators use,
+so a corrupted document fails loudly rather than producing a subtly
+broken room.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.datacenter.builder import DataCenter
+from repro.datacenter.coretypes import NodeTypeSpec
+from repro.datacenter.crac import CRACUnit
+from repro.datacenter.layout import build_layout
+from repro.datacenter.nodes import ComputeNode
+from repro.power.cop import CoPModel
+from repro.thermal.heatflow import HeatFlowModel
+from repro.workload.tasktypes import Workload
+
+__all__ = [
+    "workload_to_dict", "workload_from_dict",
+    "node_type_to_dict", "node_type_from_dict",
+    "datacenter_to_dict", "datacenter_from_dict",
+    "assignment_to_dict",
+    "save_json", "load_json",
+]
+
+FORMAT_VERSION = 1
+
+
+def _require(doc: dict, kind: str) -> None:
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported document format {doc.get('format')!r} "
+            f"(expected {FORMAT_VERSION})")
+    if doc.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} document, got "
+                         f"{doc.get('kind')!r}")
+
+
+# ---------------------------------------------------------------------------
+# workload
+# ---------------------------------------------------------------------------
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """Serialize a :class:`~repro.workload.tasktypes.Workload`."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "workload",
+        "ecs": workload.ecs.tolist(),
+        "rewards": workload.rewards.tolist(),
+        "deadline_slack": workload.deadline_slack.tolist(),
+        "arrival_rates": workload.arrival_rates.tolist(),
+    }
+
+
+def workload_from_dict(doc: dict[str, Any]) -> Workload:
+    """Rebuild a workload; validation happens in the constructor."""
+    _require(doc, "workload")
+    return Workload(
+        ecs=np.asarray(doc["ecs"], dtype=float),
+        rewards=np.asarray(doc["rewards"], dtype=float),
+        deadline_slack=np.asarray(doc["deadline_slack"], dtype=float),
+        arrival_rates=np.asarray(doc["arrival_rates"], dtype=float),
+    )
+
+
+# ---------------------------------------------------------------------------
+# node types
+# ---------------------------------------------------------------------------
+def node_type_to_dict(spec: NodeTypeSpec) -> dict[str, Any]:
+    """Serialize a node type (the derived P-state powers included)."""
+    return {
+        "name": spec.name,
+        "base_power_kw": spec.base_power_kw,
+        "cores_per_node": spec.cores_per_node,
+        "frequencies_mhz": list(spec.frequencies_mhz),
+        "voltages_v": list(spec.voltages_v),
+        "pstate_power_kw": list(spec.pstate_power_kw),
+        "flow_m3s": spec.flow_m3s,
+        "performance_scale": spec.performance_scale,
+        "static_fraction_p0": spec.static_fraction_p0,
+    }
+
+
+def node_type_from_dict(doc: dict[str, Any]) -> NodeTypeSpec:
+    return NodeTypeSpec(
+        name=doc["name"],
+        base_power_kw=float(doc["base_power_kw"]),
+        cores_per_node=int(doc["cores_per_node"]),
+        frequencies_mhz=tuple(doc["frequencies_mhz"]),
+        voltages_v=tuple(doc["voltages_v"]),
+        pstate_power_kw=tuple(doc["pstate_power_kw"]),
+        flow_m3s=float(doc["flow_m3s"]),
+        performance_scale=float(doc["performance_scale"]),
+        static_fraction_p0=float(doc["static_fraction_p0"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# data center (geometry + thermal model)
+# ---------------------------------------------------------------------------
+def datacenter_to_dict(datacenter: DataCenter) -> dict[str, Any]:
+    """Serialize a room, including its cross-interference matrix.
+
+    The thermal model (if attached) is stored as the raw ``alpha``
+    matrix; everything else it needs (flows, CRAC count) is already in
+    the geometry.
+    """
+    alpha = None
+    if datacenter.thermal is not None:
+        model: HeatFlowModel = datacenter.thermal
+        # reconstruct alpha from the mixing matrix:
+        # mix[j, i] = alpha[i, j] * F_i / F_j  =>
+        # alpha[i, j] = mix[j, i] * F_j / F_i
+        flows = datacenter.unit_flows
+        alpha = (model.mix.T * flows[None, :] / flows[:, None]).tolist()
+    crac0 = datacenter.cracs[0]
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "datacenter",
+        "node_types": [node_type_to_dict(t) for t in datacenter.node_types],
+        "type_index": datacenter.node_type_index.tolist(),
+        "n_crac": datacenter.n_crac,
+        "nodes_per_rack": int(np.max(datacenter.layout.slot_of_node)) + 1,
+        "crac_outlet_range_c": list(crac0.outlet_range_c),
+        "cop_coefficients": [crac0.cop_model.a2, crac0.cop_model.a1,
+                             crac0.cop_model.a0],
+        "node_redline_c": datacenter.node_redline_c,
+        "crac_redline_c": datacenter.crac_redline_c,
+        "alpha": alpha,
+    }
+
+
+def datacenter_from_dict(doc: dict[str, Any]) -> DataCenter:
+    """Rebuild a room (and re-attach its thermal model if stored)."""
+    _require(doc, "datacenter")
+    node_types = [node_type_from_dict(t) for t in doc["node_types"]]
+    type_index = [int(i) for i in doc["type_index"]]
+    if any(not 0 <= i < len(node_types) for i in type_index):
+        raise ValueError("type_index out of range for the stored catalog")
+    n_nodes = len(type_index)
+    n_crac = int(doc["n_crac"])
+    layout = build_layout(n_nodes, n_crac, int(doc["nodes_per_rack"]))
+    nodes = []
+    next_core = 0
+    for j in range(n_nodes):
+        spec = node_types[type_index[j]]
+        nodes.append(ComputeNode(
+            index=j, spec=spec, type_index=type_index[j],
+            rack=int(layout.rack_of_node[j]),
+            slot=int(layout.slot_of_node[j]),
+            label=layout.label_of_node[j],
+            hot_aisle=int(layout.hot_aisle_of_node[j]),
+            first_core=next_core))
+        next_core += spec.cores_per_node
+    total_flow = float(sum(n.spec.flow_m3s for n in nodes))
+    a2, a1, a0 = doc["cop_coefficients"]
+    cop = CoPModel(a2=a2, a1=a1, a0=a0)
+    cracs = [CRACUnit(index=i, flow_m3s=total_flow / n_crac, cop_model=cop,
+                      outlet_range_c=tuple(doc["crac_outlet_range_c"]))
+             for i in range(n_crac)]
+    dc = DataCenter(node_types=node_types, nodes=nodes, cracs=cracs,
+                    layout=layout,
+                    node_redline_c=float(doc["node_redline_c"]),
+                    crac_redline_c=float(doc["crac_redline_c"]))
+    if doc.get("alpha") is not None:
+        alpha = np.asarray(doc["alpha"], dtype=float)
+        dc.thermal = HeatFlowModel(alpha, dc.unit_flows, n_crac)
+    return dc
+
+
+# ---------------------------------------------------------------------------
+# assignments
+# ---------------------------------------------------------------------------
+def assignment_to_dict(t_crac_out: np.ndarray, pstates: np.ndarray,
+                       tc: np.ndarray, reward_rate: float,
+                       extra: dict[str, Any] | None = None
+                       ) -> dict[str, Any]:
+    """Serialize the three first-step decisions plus the reward.
+
+    Works for any technique (three-stage, baseline, server-level) since
+    all expose the same decision triple; pass provenance via ``extra``.
+    """
+    doc: dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "kind": "assignment",
+        "t_crac_out": np.asarray(t_crac_out, dtype=float).tolist(),
+        "pstates": np.asarray(pstates, dtype=int).tolist(),
+        "tc": np.asarray(tc, dtype=float).tolist(),
+        "reward_rate": float(reward_rate),
+    }
+    if extra:
+        doc["extra"] = extra
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# file helpers
+# ---------------------------------------------------------------------------
+def save_json(doc: dict[str, Any], path: str | Path) -> None:
+    """Write a document; parent directories must already exist."""
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a document back (no kind dispatch — callers know the kind)."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,26 @@
+"""Optimization utilities: piecewise-linear functions, LP wrapper, search.
+
+These are the generic mathematical tools the paper's three-stage
+assignment is built from; nothing in this subpackage knows about data
+centers.
+"""
+
+from repro.optimize.linprog import InfeasibleError, LinearProgram, LPSolution
+from repro.optimize.piecewise import PiecewiseLinear, Segment, concave_majorant_points
+from repro.optimize.search import (SearchResult, coarse_to_fine_search,
+                                   golden_refine, temperature_grid,
+                                   uniform_then_coordinate_search)
+
+__all__ = [
+    "InfeasibleError",
+    "LinearProgram",
+    "LPSolution",
+    "PiecewiseLinear",
+    "Segment",
+    "concave_majorant_points",
+    "SearchResult",
+    "coarse_to_fine_search",
+    "golden_refine",
+    "temperature_grid",
+    "uniform_then_coordinate_search",
+]

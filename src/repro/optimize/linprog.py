@@ -1,0 +1,209 @@
+"""Thin wrapper around :func:`scipy.optimize.linprog` (HiGHS).
+
+All linear programs in the library are built as sparse inequality /
+equality systems and solved with the HiGHS dual simplex, which is exact
+enough for the small-to-medium LPs produced after the aggregation
+described in DESIGN.md section 3.1.
+
+The wrapper exists so that
+
+* every LP in the code base states its intent (maximize vs minimize)
+  explicitly,
+* infeasibility is reported with the model name attached, and
+* constraint matrices can be assembled incrementally row-by-row without
+  each call site repeating the scipy boilerplate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog as _scipy_linprog
+
+__all__ = ["LinearProgram", "LPSolution", "InfeasibleError"]
+
+
+class InfeasibleError(RuntimeError):
+    """Raised when an LP that is expected to be feasible is not."""
+
+
+@dataclass
+class LPSolution:
+    """Result of an LP solve.
+
+    Attributes
+    ----------
+    x:
+        Optimal variable vector.
+    objective:
+        Optimal objective value *in the caller's sense* (i.e. already
+        negated back for maximization problems).
+    status:
+        HiGHS status code (0 = optimal).
+    """
+
+    x: np.ndarray
+    objective: float
+    status: int
+
+
+@dataclass
+class LinearProgram:
+    """Incrementally assembled linear program.
+
+    Variables are identified by integer index; the caller allocates them
+    with :meth:`add_variables` which returns the index range.
+
+    Example
+    -------
+    >>> lp = LinearProgram(name="toy", maximize=True)
+    >>> x = lp.add_variables(2, lb=0.0, ub=4.0, objective=[1.0, 2.0])
+    >>> lp.add_le_constraint({x[0]: 1.0, x[1]: 1.0}, 5.0)
+    >>> sol = lp.solve()
+    >>> float(sol.objective)
+    9.0
+    """
+
+    name: str = "lp"
+    maximize: bool = False
+    _num_vars: int = field(default=0, init=False)
+    _obj: list[float] = field(default_factory=list, init=False)
+    _lb: list[float] = field(default_factory=list, init=False)
+    _ub: list[float] = field(default_factory=list, init=False)
+    # COO triplets for A_ub / A_eq
+    _ub_rows: list[int] = field(default_factory=list, init=False)
+    _ub_cols: list[int] = field(default_factory=list, init=False)
+    _ub_vals: list[float] = field(default_factory=list, init=False)
+    _b_ub: list[float] = field(default_factory=list, init=False)
+    _eq_rows: list[int] = field(default_factory=list, init=False)
+    _eq_cols: list[int] = field(default_factory=list, init=False)
+    _eq_vals: list[float] = field(default_factory=list, init=False)
+    _b_eq: list[float] = field(default_factory=list, init=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._b_ub) + len(self._b_eq)
+
+    def add_variables(self, n: int, lb: float | Sequence[float] = 0.0,
+                      ub: float | Sequence[float] = np.inf,
+                      objective: float | Sequence[float] = 0.0) -> range:
+        """Allocate ``n`` new variables, returning their index range."""
+        if n <= 0:
+            raise ValueError(f"variable count must be positive, got {n}")
+        lb_arr = np.broadcast_to(np.asarray(lb, dtype=float), (n,))
+        ub_arr = np.broadcast_to(np.asarray(ub, dtype=float), (n,))
+        obj_arr = np.broadcast_to(np.asarray(objective, dtype=float), (n,))
+        if np.any(lb_arr > ub_arr):
+            raise ValueError("lower bound exceeds upper bound")
+        start = self._num_vars
+        self._num_vars += n
+        self._lb.extend(lb_arr.tolist())
+        self._ub.extend(ub_arr.tolist())
+        self._obj.extend(obj_arr.tolist())
+        return range(start, start + n)
+
+    def set_bounds(self, index: int, lb: float, ub: float) -> None:
+        """Tighten the bounds of an existing variable."""
+        if not 0 <= index < self._num_vars:
+            raise IndexError(f"variable index {index} out of range")
+        if lb > ub:
+            raise ValueError(f"lower bound {lb} exceeds upper bound {ub}")
+        self._lb[index] = float(lb)
+        self._ub[index] = float(ub)
+
+    def _check_coeffs(self, coeffs: dict[int, float]) -> None:
+        for idx in coeffs:
+            if not 0 <= idx < self._num_vars:
+                raise IndexError(f"variable index {idx} out of range "
+                                 f"(have {self._num_vars} variables)")
+
+    def add_le_constraint(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add ``sum coeffs[i] * x_i <= rhs``."""
+        self._check_coeffs(coeffs)
+        row = len(self._b_ub)
+        for idx, val in coeffs.items():
+            if val != 0.0:
+                self._ub_rows.append(row)
+                self._ub_cols.append(idx)
+                self._ub_vals.append(float(val))
+        self._b_ub.append(float(rhs))
+
+    def add_ge_constraint(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add ``sum coeffs[i] * x_i >= rhs`` (stored negated)."""
+        self.add_le_constraint({i: -v for i, v in coeffs.items()}, -rhs)
+
+    def add_eq_constraint(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add ``sum coeffs[i] * x_i == rhs``."""
+        self._check_coeffs(coeffs)
+        row = len(self._b_eq)
+        for idx, val in coeffs.items():
+            if val != 0.0:
+                self._eq_rows.append(row)
+                self._eq_cols.append(idx)
+                self._eq_vals.append(float(val))
+        self._b_eq.append(float(rhs))
+
+    def add_dense_le_rows(self, rows: np.ndarray, rhs: np.ndarray) -> None:
+        """Add many dense ``<=`` rows at once (shape checks included)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=float))
+        if rows.shape[0] != rhs.shape[0]:
+            raise ValueError("row/rhs count mismatch")
+        if rows.shape[1] != self._num_vars:
+            raise ValueError(
+                f"row width {rows.shape[1]} != variable count {self._num_vars}")
+        base = len(self._b_ub)
+        r_idx, c_idx = np.nonzero(rows)
+        self._ub_rows.extend((r_idx + base).tolist())
+        self._ub_cols.extend(c_idx.tolist())
+        self._ub_vals.extend(rows[r_idx, c_idx].tolist())
+        self._b_ub.extend(rhs.tolist())
+
+    # ------------------------------------------------------------------
+    def solve(self, *, require_feasible: bool = True) -> LPSolution:
+        """Solve with HiGHS and return an :class:`LPSolution`.
+
+        Raises
+        ------
+        InfeasibleError
+            If the LP is infeasible/unbounded and ``require_feasible``.
+        """
+        if self._num_vars == 0:
+            raise ValueError(f"LP '{self.name}' has no variables")
+        c = np.asarray(self._obj, dtype=float)
+        if self.maximize:
+            c = -c
+        n = self._num_vars
+        a_ub = b_ub = a_eq = b_eq = None
+        if self._b_ub:
+            a_ub = sparse.csr_matrix(
+                (self._ub_vals, (self._ub_rows, self._ub_cols)),
+                shape=(len(self._b_ub), n))
+            b_ub = np.asarray(self._b_ub, dtype=float)
+        if self._b_eq:
+            a_eq = sparse.csr_matrix(
+                (self._eq_vals, (self._eq_rows, self._eq_cols)),
+                shape=(len(self._b_eq), n))
+            b_eq = np.asarray(self._b_eq, dtype=float)
+        bounds = np.column_stack([self._lb, self._ub])
+        res = _scipy_linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                             bounds=bounds, method="highs")
+        if not res.success:
+            if require_feasible:
+                raise InfeasibleError(
+                    f"LP '{self.name}' failed: {res.message} (status {res.status})")
+            return LPSolution(x=np.full(n, np.nan), objective=np.nan,
+                              status=int(res.status))
+        obj = float(res.fun)
+        if self.maximize:
+            obj = -obj
+        return LPSolution(x=np.asarray(res.x, dtype=float), objective=obj,
+                          status=int(res.status))

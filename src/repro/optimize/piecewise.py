@@ -1,0 +1,193 @@
+"""Piecewise-linear function machinery.
+
+The heart of the paper's Stage 1 relaxation is the family of
+piecewise-linear (PWL) reward-rate functions:
+
+* ``RR_{i,j}(p)`` — reward rate of task type *i* on a core of type *j* as
+  a function of assigned core power *p* (Section V.B.2, Figures 3 and 4);
+* ``ARR_j(p)``   — the aggregate reward rate of a core of type *j*
+  (Figure 5), which must be made *concave* by ignoring "bad" P-states so
+  that the Stage 1 optimization stays an LP.
+
+This module provides a small, vectorized :class:`PiecewiseLinear` type
+supporting evaluation, averaging, the upper concave majorant, and the
+segment decomposition used to express concave-PWL maximization as a
+linear program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["PiecewiseLinear", "Segment", "concave_majorant_points"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One linear piece of a PWL function.
+
+    Attributes
+    ----------
+    length:
+        Extent of the piece along the x axis (>= 0).
+    slope:
+        Slope of the piece (reward per unit power for ARR functions).
+    """
+
+    length: float
+    slope: float
+
+
+class PiecewiseLinear:
+    """A continuous piecewise-linear function defined by breakpoints.
+
+    The function is defined on ``[x[0], x[-1]]``; evaluation outside the
+    domain clamps to the boundary values (a core cannot consume less than
+    the off-state power or more than P-state 0 power).
+
+    Parameters
+    ----------
+    x:
+        Strictly increasing breakpoint abscissae.
+    y:
+        Function values at the breakpoints, same length as ``x``.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: Sequence[float], y: Sequence[float]):
+        x_arr = np.asarray(x, dtype=float)
+        y_arr = np.asarray(y, dtype=float)
+        if x_arr.ndim != 1 or y_arr.ndim != 1:
+            raise ValueError("breakpoints must be one-dimensional")
+        if x_arr.size != y_arr.size:
+            raise ValueError(
+                f"x and y must have equal length, got {x_arr.size} and {y_arr.size}")
+        if x_arr.size < 2:
+            raise ValueError("a piecewise-linear function needs >= 2 breakpoints")
+        if not np.all(np.diff(x_arr) > 0):
+            raise ValueError("breakpoint abscissae must be strictly increasing")
+        self.x = x_arr
+        self.y = y_arr
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def through_points(cls, points: Iterable[tuple[float, float]]) -> "PiecewiseLinear":
+        """Build a PWL function through unordered ``(x, y)`` points.
+
+        Points are sorted by ``x``.  Duplicate abscissae are rejected
+        because they would make the function multivalued.
+        """
+        pts = sorted(points)
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        if len(set(xs)) != len(xs):
+            raise ValueError(f"duplicate abscissae in points: {xs}")
+        return cls(xs, ys)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, p):
+        """Evaluate the function at scalar or array ``p`` (clamped)."""
+        return np.interp(p, self.x, self.y)
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The ``(xmin, xmax)`` interval the function is defined on."""
+        return float(self.x[0]), float(self.x[-1])
+
+    def slopes(self) -> np.ndarray:
+        """Slope of each of the ``len(x) - 1`` pieces."""
+        return np.diff(self.y) / np.diff(self.x)
+
+    def segments(self) -> list[Segment]:
+        """Decompose into :class:`Segment` pieces, left to right."""
+        lengths = np.diff(self.x)
+        slopes = self.slopes()
+        return [Segment(float(l), float(s)) for l, s in zip(lengths, slopes)]
+
+    def is_concave(self, tol: float = 1e-9) -> bool:
+        """True if slopes are non-increasing left to right."""
+        s = self.slopes()
+        return bool(np.all(np.diff(s) <= tol))
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def scale(self, factor: float) -> "PiecewiseLinear":
+        """Return the function multiplied by a scalar."""
+        return PiecewiseLinear(self.x, self.y * factor)
+
+    @staticmethod
+    def average(functions: Sequence["PiecewiseLinear"]) -> "PiecewiseLinear":
+        """Pointwise average of PWL functions (used to build ARR_j).
+
+        The result's breakpoints are the union of all inputs'
+        breakpoints, so the average is exact, not sampled.
+        """
+        if not functions:
+            raise ValueError("cannot average zero functions")
+        grid = np.unique(np.concatenate([f.x for f in functions]))
+        total = np.zeros_like(grid)
+        for f in functions:
+            total += f(grid)
+        return PiecewiseLinear(grid, total / len(functions))
+
+    def concave_majorant(self) -> "PiecewiseLinear":
+        """Upper concave envelope of the breakpoints.
+
+        This is exactly the paper's "ignore the bad P-states" operation
+        (Section V.B.2, Figure 5): breakpoints that lie strictly below a
+        chord between two other breakpoints are dropped, producing the
+        smallest concave PWL function that dominates this one at every
+        breakpoint.
+        """
+        hx, hy = concave_majorant_points(self.x, self.y)
+        return PiecewiseLinear(hx, hy)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PiecewiseLinear):
+            return NotImplemented
+        return (self.x.shape == other.x.shape
+                and np.allclose(self.x, other.x)
+                and np.allclose(self.y, other.y))
+
+    def __hash__(self):  # pragma: no cover - dataclass-like identity
+        return hash((self.x.tobytes(), self.y.tobytes()))
+
+    def __repr__(self) -> str:
+        pts = ", ".join(f"({xi:g}, {yi:g})" for xi, yi in zip(self.x, self.y))
+        return f"PiecewiseLinear([{pts}])"
+
+
+def concave_majorant_points(x: np.ndarray, y: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Upper concave hull of points already sorted by increasing ``x``.
+
+    A standard monotone-chain sweep: a breakpoint is kept only while the
+    sequence of slopes remains non-increasing.  Runs in O(n).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    keep: list[int] = []
+    for i in range(x.size):
+        while len(keep) >= 2:
+            i1, i2 = keep[-2], keep[-1]
+            # cross product test: is point i above the line (i1 -> i2)?
+            lhs = (y[i2] - y[i1]) * (x[i] - x[i1])
+            rhs = (y[i] - y[i1]) * (x[i2] - x[i1])
+            if lhs >= rhs:  # i2 keeps the chain concave
+                break
+            keep.pop()
+        keep.append(i)
+    idx = np.asarray(keep)
+    return x[idx], y[idx]

@@ -1,0 +1,21 @@
+"""Power models: CMOS core power (Appendix A), CRAC CoP and power (Eqs. 2-3, 8)."""
+
+from repro.power.cmos import CmosConstants, derive_constants, pstate_powers, static_fraction
+from repro.power.cop import CoPModel, HP_UTILITY_COP
+from repro.power.crac import crac_power_kw, heat_removed_kw
+from repro.power.taskpower import (TaskPowerModel, expected_node_power,
+                                   sample_task_power_model)
+
+__all__ = [
+    "CmosConstants",
+    "derive_constants",
+    "pstate_powers",
+    "static_fraction",
+    "CoPModel",
+    "HP_UTILITY_COP",
+    "crac_power_kw",
+    "heat_removed_kw",
+    "TaskPowerModel",
+    "expected_node_power",
+    "sample_task_power_model",
+]

@@ -1,0 +1,143 @@
+"""CMOS static + dynamic core power model (Appendix A of the paper).
+
+The total power consumption of a core of type *j* running in P-state *k*
+is modeled as (Eq. 23)::
+
+    pi[j, k] = SC_j * f[j, k] * V[j, k]**2  +  beta_j * V[j, k]
+
+where the first term is the standard CMOS dynamic dissipation
+(``S * C_L * f * V^2`` with ``SC = S * C_L`` assumed P-state independent)
+and the second is the static power model of Butts & Sohi [11]
+(a constant times the supply voltage).
+
+The paper's simulations do not measure ``SC`` and ``beta`` directly;
+instead they fix
+
+* the total per-core power at P-state 0 (from TDP datasheets), and
+* the *fraction* of that P-state-0 power that is static (30% or 20%
+  depending on the simulation set),
+
+from which both constants follow and the power of every other P-state is
+derived.  :func:`pstate_powers` performs that derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CmosConstants", "derive_constants", "pstate_powers"]
+
+
+@dataclass(frozen=True)
+class CmosConstants:
+    """Fitted constants of Eq. 23 for one core type.
+
+    Attributes
+    ----------
+    switching_capacitance:
+        ``SC = S * C_L`` — effective switched capacitance per cycle.  In
+        the library's unit system (power in kW, frequency in MHz,
+        voltage in V) its unit is kW / (MHz * V^2).
+    static_coefficient:
+        ``beta`` — static power per volt of supply, kW/V.
+    """
+
+    switching_capacitance: float
+    static_coefficient: float
+
+    def power(self, frequency_mhz: float, voltage_v: float) -> float:
+        """Total core power (kW) at a frequency/voltage operating point."""
+        dynamic = self.switching_capacitance * frequency_mhz * voltage_v ** 2
+        static = self.static_coefficient * voltage_v
+        return dynamic + static
+
+
+def derive_constants(p0_power_kw: float, p0_static_fraction: float,
+                     p0_frequency_mhz: float, p0_voltage_v: float
+                     ) -> CmosConstants:
+    """Fit ``SC`` and ``beta`` from the P-state-0 operating point.
+
+    Parameters
+    ----------
+    p0_power_kw:
+        Total per-core power at P-state 0 (e.g. TDP / number of cores).
+    p0_static_fraction:
+        Fraction of ``p0_power_kw`` that is static (the paper uses 0.3
+        in simulation sets 1-2 and 0.2 in set 3).  Must be in (0, 1).
+    p0_frequency_mhz, p0_voltage_v:
+        Frequency and supply voltage of P-state 0.
+    """
+    if not 0.0 < p0_static_fraction < 1.0:
+        raise ValueError(
+            f"static fraction must be in (0, 1), got {p0_static_fraction}")
+    if min(p0_power_kw, p0_frequency_mhz, p0_voltage_v) <= 0.0:
+        raise ValueError("P-state-0 power, frequency and voltage must be positive")
+    static = p0_static_fraction * p0_power_kw
+    dynamic = p0_power_kw - static
+    beta = static / p0_voltage_v
+    sc = dynamic / (p0_frequency_mhz * p0_voltage_v ** 2)
+    return CmosConstants(switching_capacitance=sc, static_coefficient=beta)
+
+
+def pstate_powers(p0_power_kw: float, p0_static_fraction: float,
+                  frequencies_mhz: np.ndarray | list[float],
+                  voltages_v: np.ndarray | list[float],
+                  *, include_off: bool = True) -> np.ndarray:
+    """Per-core power of every P-state, kW (Appendix A derivation).
+
+    Parameters
+    ----------
+    p0_power_kw, p0_static_fraction:
+        See :func:`derive_constants`.
+    frequencies_mhz, voltages_v:
+        Arrays over the *active* P-states (index 0 = P-state 0), strictly
+        decreasing frequency is expected but only positivity is enforced.
+    include_off:
+        When True the returned array gains one trailing entry of 0.0 kW —
+        the paper models "core turned off" as one extra highest P-state
+        (Section III.C).
+
+    Returns
+    -------
+    numpy.ndarray
+        Power of each P-state, ``len(frequencies) (+1)`` entries, kW.
+    """
+    freqs = np.asarray(frequencies_mhz, dtype=float)
+    volts = np.asarray(voltages_v, dtype=float)
+    if freqs.shape != volts.shape or freqs.ndim != 1:
+        raise ValueError("frequency and voltage arrays must be equal-length 1-D")
+    if freqs.size == 0:
+        raise ValueError("need at least one active P-state")
+    if np.any(freqs <= 0) or np.any(volts <= 0):
+        raise ValueError("frequencies and voltages must be positive")
+    constants = derive_constants(p0_power_kw, p0_static_fraction,
+                                 float(freqs[0]), float(volts[0]))
+    powers = constants.switching_capacitance * freqs * volts ** 2 \
+        + constants.static_coefficient * volts
+    # Fitting is exact at P-state 0 by construction; enforce it to the
+    # last bit so Table I reproduces the datasheet value verbatim.
+    powers[0] = p0_power_kw
+    if include_off:
+        powers = np.append(powers, 0.0)
+    return powers
+
+
+def static_fraction(p0_power_kw: float, p0_static_fraction: float,
+                    frequencies_mhz: np.ndarray | list[float],
+                    voltages_v: np.ndarray | list[float]) -> np.ndarray:
+    """Static share of total power for each active P-state.
+
+    Used to reproduce the per-P-state static percentages annotated on
+    Figure 6 of the paper ("The static power consumption percentage for
+    the other P-states for each node type is also shown").
+    """
+    freqs = np.asarray(frequencies_mhz, dtype=float)
+    volts = np.asarray(voltages_v, dtype=float)
+    constants = derive_constants(p0_power_kw, p0_static_fraction,
+                                 float(freqs[0]), float(volts[0]))
+    total = pstate_powers(p0_power_kw, p0_static_fraction, freqs, volts,
+                          include_off=False)
+    static = constants.static_coefficient * volts
+    return static / total

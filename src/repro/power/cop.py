@@ -1,0 +1,51 @@
+"""Coefficient of Performance (CoP) model for CRAC units.
+
+The paper uses the CoP curve measured at the HP Labs Utility Data Center
+(Moore et al. [22]), Eq. 8::
+
+    CoP(tau) = 0.0068 tau^2 + 0.0008 tau + 0.458
+
+where ``tau`` is the CRAC *outlet* temperature in Celsius.  Higher outlet
+temperatures make the chiller more efficient (more heat removed per watt
+of cooling power), which is the coupling that makes the whole assignment
+problem thermal-aware: running nodes hotter lets the CRACs run at higher
+outlet temperatures, but risks the redline constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CoPModel", "HP_UTILITY_COP"]
+
+
+@dataclass(frozen=True)
+class CoPModel:
+    """Quadratic CoP model ``a2 * tau^2 + a1 * tau + a0``.
+
+    The default coefficients reproduce Eq. 8.  Instances are callable.
+    """
+
+    a2: float = 0.0068
+    a1: float = 0.0008
+    a0: float = 0.458
+
+    def __call__(self, outlet_temp_c):
+        """CoP at outlet temperature(s) ``tau`` (Celsius).
+
+        Accepts scalars or arrays.  Raises if the CoP would be
+        non-positive (the quadratic is positive for all tau >= 0 with the
+        default coefficients; custom coefficients could violate this).
+        """
+        tau = np.asarray(outlet_temp_c, dtype=float)
+        cop = self.a2 * tau ** 2 + self.a1 * tau + self.a0
+        if np.any(cop <= 0.0):
+            raise ValueError(
+                f"CoP model produced non-positive CoP at tau={outlet_temp_c}")
+        return cop if cop.ndim else float(cop)
+
+
+#: The measured HP Labs Utility Data Center CoP curve (paper Eq. 8).
+HP_UTILITY_COP = CoPModel()

@@ -1,0 +1,56 @@
+"""CRAC unit heat removal and power consumption (Eqs. 2-3).
+
+A CRAC unit draws hot air at ``T_in`` and supplies cold air at its
+assigned outlet temperature ``T_out``.  The heat it removes is
+
+    q = rho * Cp * F * (T_in - T_out)                        (Eq. 2)
+
+and the electrical power it consumes to do so is
+
+    P_CRAC = q / CoP(T_out)                                  (Eq. 3)
+
+clamped at zero when ``T_in <= T_out`` ("when the inlet air temperature
+of a CRAC unit is less than or equal to the assigned outlet temperature
+there is no heat to be removed [and] the power consumption is 0").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power.cop import CoPModel, HP_UTILITY_COP
+from repro.units import AIR_DENSITY, AIR_SPECIFIC_HEAT
+
+__all__ = ["heat_removed_kw", "crac_power_kw"]
+
+
+def heat_removed_kw(flow_m3s, inlet_temp_c, outlet_temp_c,
+                    rho: float = AIR_DENSITY,
+                    cp: float = AIR_SPECIFIC_HEAT):
+    """Heat removed by a CRAC unit, kW (Eq. 2), clamped at >= 0.
+
+    All arguments broadcast, so a vector of CRAC units can be evaluated
+    in one call.
+    """
+    flow = np.asarray(flow_m3s, dtype=float)
+    if np.any(flow <= 0.0):
+        raise ValueError("CRAC air flow rates must be positive")
+    q = rho * cp * flow * (np.asarray(inlet_temp_c, dtype=float)
+                           - np.asarray(outlet_temp_c, dtype=float))
+    q = np.maximum(q, 0.0)
+    return q if q.ndim else float(q)
+
+
+def crac_power_kw(flow_m3s, inlet_temp_c, outlet_temp_c,
+                  cop_model: CoPModel = HP_UTILITY_COP,
+                  rho: float = AIR_DENSITY,
+                  cp: float = AIR_SPECIFIC_HEAT):
+    """Electrical power consumed by a CRAC unit, kW (Eq. 3).
+
+    Parameters broadcast like :func:`heat_removed_kw`.  The CoP is
+    evaluated at the *outlet* temperature per Eq. 3.
+    """
+    q = heat_removed_kw(flow_m3s, inlet_temp_c, outlet_temp_c, rho, cp)
+    cop = cop_model(outlet_temp_c)
+    p = np.asarray(q, dtype=float) / np.asarray(cop, dtype=float)
+    return p if p.ndim else float(p)

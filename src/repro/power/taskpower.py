@@ -1,0 +1,130 @@
+"""Task-type-dependent core power (the Section III.C model extension).
+
+The paper assumes core power depends only on core type and P-state, but
+notes the model extension explicitly: "In some cases, the power
+consumption of a core is also a function of the task type that it
+executes.  For example, I/O intensive tasks usually consume less power
+than other tasks [23] ... A third index would have to be added to pi to
+represent the effect of a task type on the power consumption of a core."
+
+:class:`TaskPowerModel` adds that third index multiplicatively: a core
+of type *j* in P-state *k* draws
+
+* ``pi[j,k] * factor_i`` while executing a task of type *i* (I/O-bound
+  types have ``factor < 1``, AVX-style compute-bound types ``> 1``), and
+* ``pi[j,k] * idle_fraction`` while idle,
+
+so the *time-averaged* power of a core serving desired rates
+``TC(i, k)`` is linear in the rates — which is what lets
+:func:`repro.core.stage3_power.solve_stage3_power_aware` keep the power
+and thermal constraints as LP rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # imports would be circular at runtime: this module is
+    # re-exported from repro.power, which repro.datacenter and
+    # repro.workload both depend on
+    from repro.datacenter.builder import DataCenter
+    from repro.workload.tasktypes import Workload
+
+__all__ = ["TaskPowerModel", "sample_task_power_model",
+           "expected_node_power"]
+
+
+@dataclass(frozen=True)
+class TaskPowerModel:
+    """Multiplicative task-type power factors.
+
+    Attributes
+    ----------
+    factors:
+        Per-task-type active-power multiplier on the nominal P-state
+        power (1.0 = the paper's base model).
+    idle_fraction:
+        Idle draw as a fraction of the nominal P-state power; must not
+        exceed any active factor (running a task cannot be cheaper than
+        idling at the same P-state).
+    """
+
+    factors: np.ndarray
+    idle_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        f = np.asarray(self.factors, dtype=float)
+        object.__setattr__(self, "factors", f)
+        if f.ndim != 1 or np.any(f <= 0):
+            raise ValueError("factors must be a 1-D positive array")
+        if not 0.0 <= self.idle_fraction <= float(f.min()):
+            raise ValueError(
+                f"idle_fraction ({self.idle_fraction}) must be in "
+                f"[0, min(factors)={f.min():.3f}]")
+
+    @property
+    def n_task_types(self) -> int:
+        return int(self.factors.size)
+
+    def active_power(self, nominal_kw: float, task_type: int) -> float:
+        """Draw while executing ``task_type`` at a nominal P-state power."""
+        return nominal_kw * float(self.factors[task_type])
+
+    def idle_power(self, nominal_kw: float) -> float:
+        """Draw while idle at a nominal P-state power."""
+        return nominal_kw * self.idle_fraction
+
+
+def sample_task_power_model(workload: "Workload", rng: np.random.Generator,
+                            spread: float = 0.2,
+                            idle_fraction: float = 0.6) -> TaskPowerModel:
+    """Sample factors uniformly in ``[1 - spread, 1 + spread]``.
+
+    A symmetric spread keeps the paper's nominal powers as the *mean*
+    model while admitting both I/O-light and compute-heavy types.
+    """
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"spread must be in [0, 1), got {spread}")
+    factors = rng.uniform(1.0 - spread, 1.0 + spread,
+                          size=workload.n_task_types)
+    idle = min(idle_fraction, float(factors.min()))
+    return TaskPowerModel(factors=factors, idle_fraction=idle)
+
+
+def expected_node_power(datacenter: "DataCenter", workload: "Workload",
+                        pstates: np.ndarray, tc: np.ndarray,
+                        model: TaskPowerModel) -> np.ndarray:
+    """Time-averaged Eq. 1 node powers under task-dependent draw.
+
+    For each core: busy share on type *i* is ``TC(i,k) / ECS(i, CT_k,
+    PS_k)``; the remainder idles.  Returns one power per node, kW.
+    """
+    pstates = np.asarray(pstates, dtype=int)
+    tc = np.asarray(tc, dtype=float)
+    if tc.shape != (workload.n_task_types, datacenter.n_cores):
+        raise ValueError("tc shape mismatch")
+    if model.n_task_types != workload.n_task_types:
+        raise ValueError("task power model dimension mismatch")
+    nominal = np.empty(datacenter.n_cores)
+    for t, spec in enumerate(datacenter.node_types):
+        mask = datacenter.core_type == t
+        table = np.asarray(spec.pstate_power_kw)
+        nominal[mask] = table[pstates[mask]]
+    ecs = workload.ecs[:, datacenter.core_type, pstates]   # (T, NCORES)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        busy = np.where(ecs > 0, tc / np.maximum(ecs, 1e-300), 0.0)
+    if np.any(tc[ecs <= 0] > 0):
+        raise ValueError("tc assigns rate to a core that cannot run the type")
+    total_busy = busy.sum(axis=0)
+    if np.any(total_busy > 1.0 + 1e-6):
+        raise ValueError("tc over-subscribes a core (utilization > 1)")
+    active_kw = (busy * model.factors[:, None]).sum(axis=0) * nominal
+    idle_kw = (1.0 - np.minimum(total_busy, 1.0)) \
+        * model.idle_fraction * nominal
+    core_kw = active_kw + idle_kw
+    sums = np.bincount(datacenter.core_node, weights=core_kw,
+                       minlength=datacenter.n_nodes)
+    return datacenter.node_base_power + sums

@@ -1,0 +1,16 @@
+"""Discrete-event simulation of the second-step dynamic scheduling."""
+
+from repro.simulate.energy import EnergyReport, energy_report
+from repro.simulate.engine import simulate_trace
+from repro.simulate.events import Event, EventKind, EventQueue
+from repro.simulate.metrics import SimulationMetrics
+
+__all__ = [
+    "EnergyReport",
+    "energy_report",
+    "simulate_trace",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "SimulationMetrics",
+]

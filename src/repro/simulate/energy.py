@@ -1,0 +1,113 @@
+"""Measured energy accounting for second-step simulation runs.
+
+The first-step optimizers budget *worst-case* power (fully busy cores at
+nominal draw).  Given the DES's per-type busy times, this module
+computes what the room *actually* drew — optionally under the
+task-dependent power extension — closing the loop between the planning
+model and the simulated reality:
+
+* compute energy: per core, busy seconds per task type weighted by the
+  active draw of its P-state (+ idle draw for the remainder);
+* cooling energy: the CRACs remove the average dissipated heat at the
+  assignment's outlet temperatures (steady state — horizons are long
+  against the thermal time constant, see the transient benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.builder import DataCenter
+from repro.datacenter.power import total_power
+from repro.power.taskpower import TaskPowerModel
+from repro.simulate.metrics import SimulationMetrics
+from repro.workload.tasktypes import Workload
+
+__all__ = ["EnergyReport", "energy_report"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Average power and total energy over a simulated horizon.
+
+    Attributes
+    ----------
+    compute_kw / cooling_kw:
+        Average electric power, kW.
+    energy_kwh:
+        Total energy over the horizon (compute + cooling), kWh.
+    reward_per_kwh:
+        The run's economic efficiency — total reward per kWh.
+    budgeted_kw:
+        The worst-case power the planner budgeted (nominal, always-busy);
+        the gap to ``total_kw`` is the conservatism of the plan.
+    """
+
+    compute_kw: float
+    cooling_kw: float
+    energy_kwh: float
+    reward_per_kwh: float
+    budgeted_kw: float
+
+    @property
+    def total_kw(self) -> float:
+        return self.compute_kw + self.cooling_kw
+
+
+def energy_report(datacenter: DataCenter, workload: Workload,
+                  metrics: SimulationMetrics, pstates: np.ndarray,
+                  t_crac_out: np.ndarray,
+                  task_power: TaskPowerModel | None = None) -> EnergyReport:
+    """Account the energy actually drawn during a simulated run.
+
+    Parameters
+    ----------
+    metrics:
+        Output of :func:`repro.simulate.engine.simulate_trace` (must
+        carry ``busy_by_type``).
+    pstates / t_crac_out:
+        The assignment the run executed.
+    task_power:
+        Optional task-dependent draw; ``None`` uses the paper's base
+        model (factor 1 active, and idle draw equal to the P-state power
+        — i.e. the planner's own always-on assumption).
+    """
+    if metrics.busy_by_type is None:
+        raise ValueError("metrics lack busy_by_type; re-run the simulation")
+    pstates = np.asarray(pstates, dtype=int)
+    nominal = np.empty(datacenter.n_cores)
+    for t, spec in enumerate(datacenter.node_types):
+        mask = datacenter.core_type == t
+        nominal[mask] = np.asarray(spec.pstate_power_kw)[pstates[mask]]
+    busy_share = metrics.busy_by_type / metrics.duration   # (T, NCORES)
+    total_busy = busy_share.sum(axis=0)
+    if np.any(total_busy > 1.0 + 1e-6):
+        raise ValueError("busy share exceeds 1; inconsistent metrics")
+    if task_power is None:
+        factors = np.ones(workload.n_task_types)
+        idle_frac = 1.0          # the base model never powers down a core
+    else:
+        factors = task_power.factors
+        idle_frac = task_power.idle_fraction
+    active_kw = (busy_share * factors[:, None]).sum(axis=0) * nominal
+    idle_kw = (1.0 - np.minimum(total_busy, 1.0)) * idle_frac * nominal
+    core_kw = active_kw + idle_kw
+    node_kw = datacenter.node_base_power + np.bincount(
+        datacenter.core_node, weights=core_kw,
+        minlength=datacenter.n_nodes)
+    breakdown = total_power(datacenter, np.asarray(t_crac_out, dtype=float),
+                            node_kw)
+    budgeted = float(datacenter.node_power_kw(pstates).sum())
+    hours = metrics.duration / 3600.0
+    energy_kwh = breakdown.total * hours
+    reward_per_kwh = (metrics.total_reward / energy_kwh
+                      if energy_kwh > 0 else float("inf"))
+    return EnergyReport(
+        compute_kw=breakdown.compute_total,
+        cooling_kw=breakdown.cooling_total,
+        energy_kwh=energy_kwh,
+        reward_per_kwh=reward_per_kwh,
+        budgeted_kw=budgeted,
+    )

@@ -1,0 +1,77 @@
+"""Minimal discrete-event kernel used by the data center simulator.
+
+A binary-heap event queue with a tie-breaking sequence number so that
+events at equal timestamps pop in insertion order (deterministic runs).
+The kernel is deliberately tiny — arrivals and completions are the only
+event kinds the paper's second-step evaluation needs — but is kept
+separate from the engine so extensions (P-state changes, thermal
+transients) have a place to plug in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(IntEnum):
+    """Kinds of simulation events (ordered: arrivals before completions
+    at equal time would be wrong — a finishing core should free up first,
+    so COMPLETION sorts ahead of ARRIVAL at identical timestamps)."""
+
+    COMPLETION = 0
+    ARRIVAL = 1
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """One scheduled event.
+
+    Sort key is ``(time, kind, seq)``; ``payload`` is excluded from
+    ordering.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Heap-based future event list."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns it (useful for assertions)."""
+        if not time >= 0.0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=float(time), kind=kind, seq=next(self._counter),
+                      payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event."""
+        if not self._heap:
+            raise IndexError("peek on empty event queue")
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

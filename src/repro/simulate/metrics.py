@@ -1,0 +1,108 @@
+"""Metrics collected by the second-step simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimulationMetrics"]
+
+
+@dataclass
+class SimulationMetrics:
+    """Outcome of replaying a task trace through the dynamic scheduler.
+
+    Attributes
+    ----------
+    duration:
+        Simulated horizon, seconds.
+    total_reward:
+        Reward collected from tasks completed by their deadlines.
+    completed / dropped:
+        Per-task-type counts.  Tasks are only assigned when the target
+        core can meet the deadline, so assigned == completed-by-deadline.
+    atc:
+        Achieved execution-rate matrix ``(T, NCORES)``, tasks/second.
+    tc:
+        The desired-rate matrix the scheduler was tracking.
+    busy_time:
+        Per-core cumulative busy seconds.
+    """
+
+    duration: float
+    total_reward: float
+    completed: np.ndarray
+    dropped: np.ndarray
+    atc: np.ndarray
+    tc: np.ndarray
+    busy_time: np.ndarray
+    #: ``(T, NCORES)`` busy seconds split by task type (energy accounting).
+    busy_by_type: np.ndarray | None = None
+    #: per-type lists of response times (completion - arrival), seconds.
+    response_times: list[np.ndarray] | None = None
+
+    @property
+    def reward_rate(self) -> float:
+        """Reward per second — comparable to the Stage 3 prediction."""
+        return self.total_reward / self.duration
+
+    @property
+    def drop_fraction(self) -> np.ndarray:
+        """Per-type fraction of arrivals that were dropped."""
+        arrivals = self.completed + self.dropped
+        out = np.zeros_like(arrivals, dtype=float)
+        nz = arrivals > 0
+        out[nz] = self.dropped[nz] / arrivals[nz]
+        return out
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-core fraction of the horizon spent executing."""
+        return self.busy_time / self.duration
+
+    def tracking_error(self) -> float:
+        """Mean absolute ``ATC - TC`` over entries with ``TC > 0``.
+
+        The second step's stated goal is to keep ``ATC/TC`` close to 1;
+        this reports how well it did, in tasks/second.
+        """
+        mask = self.tc > 0
+        if not mask.any():
+            return 0.0
+        return float(np.abs(self.atc[mask] - self.tc[mask]).mean())
+
+    def rate_ratios(self) -> np.ndarray:
+        """``ATC/TC`` over entries with ``TC > 0`` (flattened)."""
+        mask = self.tc > 0
+        return self.atc[mask] / self.tc[mask]
+
+    def response_time_percentiles(self, task_type: int,
+                                  qs=(50.0, 95.0, 99.0)) -> np.ndarray:
+        """Response-time (sojourn) percentiles for one task type, seconds.
+
+        Requires the engine to have collected latencies
+        (``collect_latency=True``, the default); raises otherwise.
+        Returns NaNs when the type completed no tasks.
+        """
+        if self.response_times is None:
+            raise RuntimeError("latencies were not collected in this run")
+        samples = self.response_times[task_type]
+        if samples.size == 0:
+            return np.full(len(qs), np.nan)
+        return np.percentile(samples, qs)
+
+    def slack_utilization(self, task_type: int,
+                          deadline_slack: float) -> float:
+        """Mean fraction of the deadline slack actually consumed.
+
+        1.0 would mean every completion landed exactly on its deadline;
+        small values mean the scheduler had headroom.  NaN with no
+        completions.
+        """
+        if self.response_times is None:
+            raise RuntimeError("latencies were not collected in this run")
+        samples = self.response_times[task_type]
+        if samples.size == 0:
+            return float("nan")
+        return float(samples.mean() / deadline_slack)

@@ -1,0 +1,30 @@
+"""Thermal substrate: heat-flow model (Section IV), cross-interference
+generation (Appendix B), and the linearized constraint views used by the
+optimizers."""
+
+from repro.thermal.constraints import ThermalLinearization
+from repro.thermal.heatflow import HeatFlowModel, SteadyState
+from repro.thermal.estimation import (Measurement, collect_measurements,
+                                      estimate_mix_matrix, estimation_error)
+from repro.thermal.interference import (attach_thermal_model,
+                                        exit_coefficients, generate_alpha,
+                                        recirculation_coefficients)
+from repro.thermal.transient import (TransientResult, simulate_transient,
+                                     time_to_steady_state)
+
+__all__ = [
+    "ThermalLinearization",
+    "HeatFlowModel",
+    "SteadyState",
+    "attach_thermal_model",
+    "exit_coefficients",
+    "generate_alpha",
+    "recirculation_coefficients",
+    "Measurement",
+    "collect_measurements",
+    "estimate_mix_matrix",
+    "estimation_error",
+    "TransientResult",
+    "simulate_transient",
+    "time_to_steady_state",
+]

@@ -1,0 +1,146 @@
+"""Transient temperature evolution (supporting Section V.A).
+
+The paper's two-step decomposition rests on a time-scale separation:
+"Temperature evolution in the data center is in orders of minutes, while
+the execution of a task is in orders of seconds or milliseconds."  The
+steady-state model of :mod:`repro.thermal.heatflow` never shows that;
+this module adds the missing dynamics with the standard first-order
+thermal-mass extension of the abstract heat-flow model:
+
+* inlet mixing is instantaneous (air transport is fast):
+  ``T_in(t) = A @ T_out(t)``;
+* each compute node's *outlet* relaxes toward its steady target with a
+  thermal time constant ``tau`` (chassis + heatsink mass):
+  ``dT_out/dt = (T_in + P/(rho Cp F) - T_out) / tau``;
+* CRAC outlets track their setpoints immediately (their control loops
+  are much faster than room dynamics).
+
+The resulting linear ODE is integrated with the exact exponential
+update for the linear part (matrix-free explicit stepping is fine since
+``tau >> dt``).  Its fixed point is exactly the
+:meth:`~repro.thermal.heatflow.HeatFlowModel.steady_state` solution,
+which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.thermal.heatflow import HeatFlowModel
+
+__all__ = ["TransientResult", "simulate_transient", "time_to_steady_state"]
+
+#: Default node thermal time constant, seconds ("orders of minutes").
+DEFAULT_TAU_S: float = 120.0
+
+
+@dataclass
+class TransientResult:
+    """Trajectory of a transient thermal simulation.
+
+    Attributes
+    ----------
+    times:
+        Sample instants, seconds.
+    t_out:
+        Outlet temperatures, shape ``(len(times), n_units)``.
+    t_in:
+        Inlet temperatures, same shape.
+    """
+
+    times: np.ndarray
+    t_out: np.ndarray
+    t_in: np.ndarray
+
+    def max_inlet_overshoot(self, redline_c: np.ndarray) -> float:
+        """Largest transient redline violation along the trajectory, C.
+
+        Positive values mean some inlet exceeded its redline *during*
+        the transient even if the final steady state is feasible — the
+        hazard a first-step assignment must leave margin for.
+        """
+        return float((self.t_in - redline_c[None, :]).max())
+
+
+def simulate_transient(model: HeatFlowModel,
+                       t_crac_out: np.ndarray,
+                       node_power_kw: np.ndarray,
+                       t_out_initial: np.ndarray,
+                       duration_s: float,
+                       tau_s: float = DEFAULT_TAU_S,
+                       dt_s: float = 1.0) -> TransientResult:
+    """Integrate the first-order room dynamics from an initial state.
+
+    Parameters
+    ----------
+    model:
+        The steady-state heat-flow model supplying ``A`` and flows.
+    t_crac_out / node_power_kw:
+        The (new) operating point being approached.
+    t_out_initial:
+        Outlet temperatures at ``t = 0`` for every unit (CRACs first);
+        typically the steady state of the *previous* operating point.
+    duration_s / dt_s:
+        Horizon and step.  ``dt_s`` must be well below ``tau_s``.
+    tau_s:
+        Node thermal time constant.
+    """
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration and step must be positive")
+    if dt_s > tau_s / 4:
+        raise ValueError(
+            f"dt {dt_s}s too coarse for tau {tau_s}s (need dt <= tau/4)")
+    t_crac_out = np.asarray(t_crac_out, dtype=float)
+    p = np.asarray(node_power_kw, dtype=float)
+    x = np.asarray(t_out_initial, dtype=float).copy()
+    n_units = model.n_units
+    if x.shape != (n_units,):
+        raise ValueError(f"initial state must have {n_units} entries")
+    nc = model.n_crac
+
+    steps = int(np.ceil(duration_s / dt_s))
+    times = np.empty(steps + 1)
+    outs = np.empty((steps + 1, n_units))
+    ins = np.empty((steps + 1, n_units))
+    decay = 1.0 - np.exp(-dt_s / tau_s)   # exact first-order update
+    rise = model.node_heat_coeff * p
+
+    x[:nc] = t_crac_out                    # CRAC control is instantaneous
+    for s in range(steps + 1):
+        t_in = model.mix @ x
+        times[s] = s * dt_s
+        outs[s] = x
+        ins[s] = t_in
+        if s == steps:
+            break
+        target = t_in[nc:] + rise
+        x = x.copy()
+        x[nc:] += decay * (target - x[nc:])
+    return TransientResult(times=times, t_out=outs, t_in=ins)
+
+
+def time_to_steady_state(model: HeatFlowModel,
+                         t_crac_out: np.ndarray,
+                         node_power_kw: np.ndarray,
+                         t_out_initial: np.ndarray,
+                         tolerance_c: float = 0.1,
+                         tau_s: float = DEFAULT_TAU_S,
+                         dt_s: float = 1.0,
+                         max_s: float = 3600.0) -> float:
+    """Seconds until every outlet is within ``tolerance_c`` of steady state.
+
+    Returns ``inf`` if not settled within ``max_s`` (should not happen
+    for a stable model).  This quantifies the "orders of minutes" claim
+    that justifies the paper's two-step split.
+    """
+    target = model.steady_state(np.asarray(t_crac_out, dtype=float),
+                                np.asarray(node_power_kw, dtype=float))
+    result = simulate_transient(model, t_crac_out, node_power_kw,
+                                t_out_initial, max_s, tau_s, dt_s)
+    err = np.abs(result.t_out - target.t_out[None, :]).max(axis=1)
+    settled = np.nonzero(err <= tolerance_c)[0]
+    if settled.size == 0:
+        return float("inf")
+    return float(result.times[settled[0]])

@@ -1,0 +1,70 @@
+"""Physical constants and unit conventions used throughout the library.
+
+The paper (Appendix A) works in a consistent unit system which we adopt
+everywhere:
+
+* power        — kilowatts (kW)
+* temperature  — degrees Celsius
+* air flow     — cubic metres per second (m^3/s)
+* air density  — kg/m^3
+* specific heat— kJ/(kg.K)  (so that ``P [kW] = rho * Cp * F * dT``)
+* time         — seconds
+* frequency    — MHz (only ratios of frequencies matter)
+* voltage      — volts
+
+With ``rho = 1.205`` and ``Cp = 1.0`` the paper's sanity check holds: an
+HP ProLiant DL785 G5 node at full load (0.793 kW, 0.07 m^3/s air flow)
+heats its air stream by ``0.793 / (1.205 * 0.07) = 9.4 C``.
+"""
+
+from __future__ import annotations
+
+#: Density of air used in the paper's simulations, kg/m^3.
+AIR_DENSITY: float = 1.205
+
+#: Specific heat capacity of air used in the paper's simulations,
+#: kJ/(kg.K).  The paper notes this is a simplification ("in reality, the
+#: density of air and its specific heat capacity depend on multiple
+#: factors such as pressure and temperature").
+AIR_SPECIFIC_HEAT: float = 1.0
+
+#: Redline inlet temperature for compute nodes, Celsius (Section VI.F).
+NODE_REDLINE_C: float = 25.0
+
+#: Redline inlet temperature for CRAC units, Celsius (Section VI.F).
+CRAC_REDLINE_C: float = 40.0
+
+
+def heat_capacity_rate(flow_m3s: float,
+                       rho: float = AIR_DENSITY,
+                       cp: float = AIR_SPECIFIC_HEAT) -> float:
+    """Heat capacity rate ``rho * Cp * F`` of an air stream, kW/K.
+
+    Multiplying by a temperature difference in Kelvin (or Celsius, since
+    only differences appear) yields heat flow in kW.
+
+    Parameters
+    ----------
+    flow_m3s:
+        Volumetric air flow rate in m^3/s.  Must be positive: a zero-flow
+        stream cannot carry heat and would make downstream temperature
+        equations singular.
+    rho, cp:
+        Air density and specific heat; defaults are the paper's values.
+    """
+    if flow_m3s <= 0.0:
+        raise ValueError(f"air flow rate must be positive, got {flow_m3s}")
+    return rho * cp * flow_m3s
+
+
+def delta_t_for_power(power_kw: float, flow_m3s: float,
+                      rho: float = AIR_DENSITY,
+                      cp: float = AIR_SPECIFIC_HEAT) -> float:
+    """Temperature rise (C) of an air stream absorbing ``power_kw``.
+
+    Implements the rearranged Equation 4 of the paper:
+    ``Tout - Tin = P / (rho * Cp * F)``.
+    """
+    if power_kw < 0.0:
+        raise ValueError(f"power must be non-negative, got {power_kw}")
+    return power_kw / heat_capacity_rate(flow_m3s, rho, cp)

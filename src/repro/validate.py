@@ -1,0 +1,141 @@
+"""One-call validation of any first-step solution.
+
+Every technique in the library (three-stage, baseline, server-level,
+exact, minpower) produces the same decision triple — CRAC outlet
+temperatures, per-core P-states, desired rates — and must satisfy the
+same constraints.  :func:`validate_solution` checks all of them against
+the *exact* models (steady-state thermals, clamped Eq. 3 CRAC power),
+returning a structured report instead of raising, so tests, benchmarks
+and users audit solutions uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datacenter.builder import DataCenter
+from repro.datacenter.power import total_power
+from repro.workload.tasktypes import Workload
+
+__all__ = ["ValidationReport", "validate_solution"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one solution.
+
+    ``violations`` is empty iff the solution is feasible; each entry is
+    a human-readable description with the measured magnitude.
+    """
+
+    total_power_kw: float
+    power_cap_kw: float
+    worst_redline_margin_c: float
+    reward_rate: float
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``AssertionError`` listing every violation."""
+        if self.violations:
+            raise AssertionError("; ".join(self.violations))
+
+
+def validate_solution(datacenter: DataCenter, workload: Workload,
+                      p_const: float, t_crac_out: np.ndarray,
+                      pstates: np.ndarray, tc: np.ndarray,
+                      tol: float = 1e-6) -> ValidationReport:
+    """Check every constraint of Eq. 7 at an integer solution.
+
+    Verified against the exact (nonlinear, clamped) models:
+
+    1. per-core utilization ≤ 1 (Eq. 7 constraint 1);
+    2. no rate on a (type, core) pair that misses its deadline or cannot
+       run (constraint 2);
+    3. per-type service ≤ arrival rate (constraint 3);
+    4. total power ≤ cap at the resolved steady state (constraint 4);
+    5. all inlet temperatures ≤ redlines (constraint 5);
+    6. structural sanity: P-state indices in range, rates non-negative.
+    """
+    t_crac_out = np.asarray(t_crac_out, dtype=float)
+    pstates = np.asarray(pstates, dtype=int)
+    tc = np.asarray(tc, dtype=float)
+    violations: list[str] = []
+    eta = workload.n_pstates
+
+    # 6. structure
+    if pstates.shape != (datacenter.n_cores,):
+        raise ValueError("pstates shape mismatch")
+    if tc.shape != (workload.n_task_types, datacenter.n_cores):
+        raise ValueError("tc shape mismatch")
+    if np.any(pstates < 0) or np.any(pstates >= eta):
+        # unusable decision vector: report without evaluating the models
+        return ValidationReport(
+            total_power_kw=float("nan"), power_cap_kw=float(p_const),
+            worst_redline_margin_c=float("nan"), reward_rate=float("nan"),
+            violations=["P-state index out of range"])
+    if tc.min() < -tol:
+        violations.append(f"negative desired rate ({tc.min():.3e})")
+
+    # 1 & 2. utilization and deadlines
+    ecs = workload.ecs[:, datacenter.core_type, pstates]
+    misplaced = (tc > tol) & (ecs <= 0.0)
+    if misplaced.any():
+        violations.append(
+            f"{int(misplaced.sum())} rates on cores that cannot run the type")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        util = np.where(ecs > 0, tc / np.maximum(ecs, 1e-300), 0.0).sum(axis=0)
+    if util.max() > 1.0 + tol:
+        violations.append(
+            f"core over-utilized ({util.max():.6f} > 1)")
+    for i in range(workload.n_task_types):
+        for jtype in range(len(datacenter.node_types)):
+            for k in range(eta):
+                if workload.ecs[i, jtype, k] <= 0:
+                    continue
+                if workload.can_meet_deadline(i, jtype, k):
+                    continue
+                mask = (datacenter.core_type == jtype) & (pstates == k)
+                if np.any(tc[i, mask] > tol):
+                    violations.append(
+                        f"type {i} scheduled on (node type {jtype}, "
+                        f"P{k}) which misses its deadline")
+
+    # 3. arrival rates
+    served = tc.sum(axis=1)
+    over = served - workload.arrival_rates
+    if over.max() > tol * max(1.0, float(workload.arrival_rates.max())):
+        i = int(over.argmax())
+        violations.append(
+            f"type {i} served above its arrival rate "
+            f"({served[i]:.4f} > {workload.arrival_rates[i]:.4f})")
+
+    # 4 & 5. power and thermals at the exact steady state
+    node_power = datacenter.node_power_kw(pstates)
+    model = datacenter.require_thermal()
+    margin = model.redline_margin(t_crac_out, node_power,
+                                  datacenter.redline_c)
+    worst_margin = float(margin.min())
+    if worst_margin < -tol:
+        violations.append(
+            f"redline violated by {-worst_margin:.4f} C at unit "
+            f"{int(margin.argmin())}")
+    breakdown = total_power(datacenter, t_crac_out, node_power)
+    if breakdown.total > p_const + tol * max(1.0, p_const):
+        violations.append(
+            f"power cap violated ({breakdown.total:.3f} kW > "
+            f"{p_const:.3f} kW)")
+
+    reward = float(workload.rewards @ served)
+    return ValidationReport(
+        total_power_kw=breakdown.total,
+        power_cap_kw=float(p_const),
+        worst_redline_margin_c=worst_margin,
+        reward_rate=reward,
+        violations=violations,
+    )

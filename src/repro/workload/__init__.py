@@ -1,0 +1,30 @@
+"""Workload substrate: ECS matrices, task types, rewards/deadlines/arrivals,
+and Poisson task traces (Sections III.B-D, VI.C-D)."""
+
+from repro.workload.ecs import (extend_ecs, generate_ecs, generate_p0_ecs,
+                                task_type_means)
+from repro.workload.profiles import (ArrivalProfile, ConstantProfile,
+                                     DiurnalProfile, StepProfile,
+                                     generate_nonstationary_trace)
+from repro.workload.tasktypes import (Workload, arrival_rates, deadline_slacks,
+                                      generate_workload, rewards_from_ecs)
+from repro.workload.trace import Task, generate_trace
+
+__all__ = [
+    "extend_ecs",
+    "generate_ecs",
+    "generate_p0_ecs",
+    "task_type_means",
+    "ArrivalProfile",
+    "ConstantProfile",
+    "DiurnalProfile",
+    "StepProfile",
+    "generate_nonstationary_trace",
+    "Workload",
+    "arrival_rates",
+    "deadline_slacks",
+    "generate_workload",
+    "rewards_from_ecs",
+    "Task",
+    "generate_trace",
+]

@@ -1,0 +1,124 @@
+"""Estimated Computational Speed (ECS) matrix generation (Section VI.C).
+
+``ECS(i, j, k)`` is the number of tasks of type *i* completed per second
+by a core of type *j* in P-state *k* (the reciprocal of the estimated
+time to compute, ETC).  The paper generates it in two steps:
+
+1. A 2-D P-state-0 matrix: the product of a per-task-type mean (each
+   task type is twice as "easy" as the previous one), a per-node-type
+   performance scale (0.6 : 1 for the two Table I servers, from their
+   SPECpower_ssj2008 throughput ratio), and a uniform variation factor
+   ``rand[1-V_ecs, 1+V_ecs]`` that creates task/machine *affinity*.
+2. Extension along the P-state axis (Eq. 10): scale by the clock
+   frequency ratio and another variation factor
+   ``rand[1-V_prop, 1+V_prop]`` so performance is not exactly
+   proportional to frequency — re-drawing the factor whenever it would
+   make a higher-numbered P-state faster than a lower one.
+
+The turned-off P-state appends a slice of zeros ("when the core is
+turned off, the ECS of a task of any type is 0").
+
+The paper pins only ECS *ratios*; we normalize the mean over task types
+to 1 task/s, which fixes the time unit (see DESIGN.md §3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datacenter.coretypes import NodeTypeSpec
+
+__all__ = ["task_type_means", "generate_p0_ecs", "extend_ecs", "generate_ecs"]
+
+#: Draws allowed when repairing Eq. 10 monotonicity before clamping.
+_MAX_REDRAWS = 1000
+
+
+def task_type_means(n_task_types: int) -> np.ndarray:
+    """Mean ECS per task type, doubling each step, normalized to mean 1.
+
+    Section VI.C: "the average ECS over all node types for task type i is
+    half that of task type i + 1" — low-index task types are the hard
+    (slow) ones.
+    """
+    if n_task_types <= 0:
+        raise ValueError(f"n_task_types must be positive, got {n_task_types}")
+    raw = 2.0 ** np.arange(n_task_types)
+    return raw / raw.mean()
+
+
+def generate_p0_ecs(n_task_types: int, node_types: Sequence[NodeTypeSpec],
+                    rng: np.random.Generator, v_ecs: float = 0.1
+                    ) -> np.ndarray:
+    """The 2-D P-state-0 ECS matrix, shape ``(T, NTYPES)``.
+
+    ``v_ecs`` is the paper's ``V_ECS`` (0.1 in all simulation sets); it
+    controls how much task/machine affinity the room exhibits.
+    """
+    if not 0.0 <= v_ecs < 1.0:
+        raise ValueError(f"v_ecs must be in [0, 1), got {v_ecs}")
+    if not node_types:
+        raise ValueError("need at least one node type")
+    task_mean = task_type_means(n_task_types)
+    node_scale = np.asarray([nt.performance_scale for nt in node_types])
+    variation = rng.uniform(1.0 - v_ecs, 1.0 + v_ecs,
+                            size=(n_task_types, len(node_types)))
+    return task_mean[:, None] * node_scale[None, :] * variation
+
+
+def extend_ecs(ecs_p0: np.ndarray, node_types: Sequence[NodeTypeSpec],
+               rng: np.random.Generator, v_prop: float = 0.1) -> np.ndarray:
+    """Extend a P-state-0 matrix along the P-state axis (Eq. 10).
+
+    Returns shape ``(T, NTYPES, eta)`` where ``eta`` includes the
+    turned-off state (all-zero slice).  All node types must share the
+    same P-state count (true of the paper's two types); heterogeneous
+    ladders would need a ragged representation the paper never exercises.
+
+    Monotonicity repair: if a draw makes ``ECS(i, j, k) >=
+    ECS(i, j, k-1)``, the variation factor is redrawn (the paper's
+    procedure); after ``_MAX_REDRAWS`` failed draws the value is clamped
+    just below its predecessor — only reachable with extreme ``v_prop``.
+    """
+    if not 0.0 <= v_prop < 1.0:
+        raise ValueError(f"v_prop must be in [0, 1), got {v_prop}")
+    ecs_p0 = np.asarray(ecs_p0, dtype=float)
+    n_task_types, n_types = ecs_p0.shape
+    if n_types != len(node_types):
+        raise ValueError(
+            f"ecs_p0 has {n_types} node types, catalog has {len(node_types)}")
+    active_counts = {nt.n_active_pstates for nt in node_types}
+    if len(active_counts) != 1:
+        raise ValueError(
+            "all node types must have the same number of P-states, got "
+            f"{sorted(active_counts)}")
+    n_active = active_counts.pop()
+    eta = n_active + 1
+    ecs = np.zeros((n_task_types, n_types, eta))
+    ecs[:, :, 0] = ecs_p0
+    for j, nt in enumerate(node_types):
+        freqs = np.asarray(nt.frequencies_mhz)
+        for k in range(1, n_active):
+            ratio = freqs[k] / freqs[0]
+            for i in range(n_task_types):
+                prev = ecs[i, j, k - 1]
+                for _ in range(_MAX_REDRAWS):
+                    factor = rng.uniform(1.0 - v_prop, 1.0 + v_prop)
+                    candidate = ecs_p0[i, j] * ratio * factor
+                    if candidate < prev:
+                        break
+                else:  # pragma: no cover - requires pathological v_prop
+                    candidate = np.nextafter(prev, 0.0)
+                ecs[i, j, k] = candidate
+    # slice eta-1 (turned off) stays zero
+    return ecs
+
+
+def generate_ecs(n_task_types: int, node_types: Sequence[NodeTypeSpec],
+                 rng: np.random.Generator, v_ecs: float = 0.1,
+                 v_prop: float = 0.1) -> np.ndarray:
+    """Full ECS tensor ``(T, NTYPES, eta)`` per Section VI.C."""
+    p0 = generate_p0_ecs(n_task_types, node_types, rng, v_ecs)
+    return extend_ecs(p0, node_types, rng, v_prop)

@@ -1,0 +1,155 @@
+"""Task types, rewards, deadlines and the Workload container
+(Sections III.B, VI.C, VI.D).
+
+A workload is a set of ``T`` known task types.  Type *i* carries
+
+* a reward ``r_i`` collected when one of its tasks finishes by its
+  deadline (Eq. 11: reciprocal of the type's average P-state-0 ECS over
+  node types — harder tasks are worth more);
+* a relative deadline ``m_i`` (Eq. 14: ``1.5 * rand[1/MaxECS_i,
+  1/MinECS_i]``, guaranteeing at least one core type can meet it);
+* a Poisson arrival rate ``lambda_i`` (Eq. 16: sized so the room could
+  absorb the load at full P-state-0 capacity but is oversubscribed under
+  the power cap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.builder import DataCenter
+
+__all__ = ["Workload", "rewards_from_ecs", "deadline_slacks", "arrival_rates",
+           "generate_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Immutable workload description used by every optimizer and the DES.
+
+    Attributes
+    ----------
+    ecs:
+        ``(T, NTYPES, eta)`` tensor; ``ecs[i, j, k]`` = tasks of type *i*
+        per second on a type-*j* core in P-state *k* (0 when off).
+    rewards:
+        ``r_i`` per task type.
+    deadline_slack:
+        ``m_i`` — deadline = arrival time + ``m_i`` (Section III.B).
+    arrival_rates:
+        ``lambda_i`` — tasks of type *i* per second entering the room.
+    """
+
+    ecs: np.ndarray
+    rewards: np.ndarray
+    deadline_slack: np.ndarray
+    arrival_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = self.ecs.shape[0]
+        for name in ("rewards", "deadline_slack", "arrival_rates"):
+            arr = getattr(self, name)
+            if arr.shape != (t,):
+                raise ValueError(f"{name} must have shape ({t},), got {arr.shape}")
+        if self.ecs.ndim != 3:
+            raise ValueError("ecs must be a (T, NTYPES, eta) tensor")
+        if np.any(self.ecs < 0):
+            raise ValueError("ECS values must be non-negative")
+        if not np.allclose(self.ecs[:, :, -1], 0.0):
+            raise ValueError("the turned-off P-state must have zero ECS")
+        if np.any(self.rewards <= 0) or np.any(self.deadline_slack <= 0):
+            raise ValueError("rewards and deadline slacks must be positive")
+        if np.any(self.arrival_rates < 0):
+            raise ValueError("arrival rates must be non-negative")
+
+    @property
+    def n_task_types(self) -> int:
+        return int(self.ecs.shape[0])
+
+    @property
+    def n_node_types(self) -> int:
+        return int(self.ecs.shape[1])
+
+    @property
+    def n_pstates(self) -> int:
+        """``eta`` including the turned-off state."""
+        return int(self.ecs.shape[2])
+
+    def exec_time(self, task_type: int, node_type: int, pstate: int) -> float:
+        """ETC = 1 / ECS; ``inf`` for the off state or unsupported pairs."""
+        speed = self.ecs[task_type, node_type, pstate]
+        return float("inf") if speed <= 0.0 else 1.0 / speed
+
+    def can_meet_deadline(self, task_type: int, node_type: int,
+                          pstate: int) -> bool:
+        """True when ``1/ECS <= m_i`` — the Constraint 2 test (Eq. 7)."""
+        return self.exec_time(task_type, node_type, pstate) \
+            <= float(self.deadline_slack[task_type])
+
+
+def rewards_from_ecs(ecs_p0: np.ndarray) -> np.ndarray:
+    """Eq. 11: ``r_i = 1 / mean_j ECS(i, j, 0)``."""
+    ecs_p0 = np.asarray(ecs_p0, dtype=float)
+    means = ecs_p0.mean(axis=1)
+    if np.any(means <= 0):
+        raise ValueError("every task type needs positive mean P-state-0 ECS")
+    return 1.0 / means
+
+
+def deadline_slacks(ecs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Eqs. 12-14: ``m_i = 1.5 * rand[1/MaxECS_i, 1/MinECS_i]``.
+
+    ``MinECS_i`` is taken over the *slowest active* P-state (``eta - 2``)
+    across node types, ``MaxECS_i`` over P-state 0, so at least one core
+    type running flat out can always meet the deadline while slow
+    P-states may not.
+    """
+    ecs = np.asarray(ecs, dtype=float)
+    min_ecs = ecs[:, :, -2].min(axis=1)          # Eq. 12
+    max_ecs = ecs[:, :, 0].max(axis=1)           # Eq. 13
+    if np.any(min_ecs <= 0):
+        raise ValueError("slowest active P-state must have positive ECS")
+    lo = 1.0 / max_ecs
+    hi = 1.0 / min_ecs
+    return 1.5 * rng.uniform(lo, hi)             # Eq. 14
+
+
+def arrival_rates(ecs: np.ndarray, datacenter: DataCenter,
+                  rng: np.random.Generator,
+                  v_arrival: float = 0.3) -> np.ndarray:
+    """Eqs. 15-16: rates sized to oversubscribe a power-capped room.
+
+    ``SumECS_i`` (Eq. 15) is type *i*'s throughput if every core ran
+    P-state 0 and split itself evenly over the ``T`` task types; the rate
+    is that value times ``rand[1 - V_arrival, 1 + V_arrival]``.
+    """
+    if not 0.0 <= v_arrival < 1.0:
+        raise ValueError(f"v_arrival must be in [0, 1), got {v_arrival}")
+    ecs = np.asarray(ecs, dtype=float)
+    n_task_types = ecs.shape[0]
+    # cores per node type, summed over the whole room
+    type_counts = np.bincount(datacenter.core_type,
+                              minlength=len(datacenter.node_types))
+    sum_ecs = (ecs[:, :, 0] * type_counts[None, :]).sum(axis=1) / n_task_types
+    variation = rng.uniform(1.0 - v_arrival, 1.0 + v_arrival,
+                            size=n_task_types)
+    return sum_ecs * variation
+
+
+def generate_workload(datacenter: DataCenter, rng: np.random.Generator,
+                      n_task_types: int = 8, v_ecs: float = 0.1,
+                      v_prop: float = 0.1, v_arrival: float = 0.3
+                      ) -> Workload:
+    """Generate the full Section VI workload for a data center."""
+    from repro.workload.ecs import extend_ecs, generate_p0_ecs
+
+    ecs_p0 = generate_p0_ecs(n_task_types, datacenter.node_types, rng, v_ecs)
+    ecs = extend_ecs(ecs_p0, datacenter.node_types, rng, v_prop)
+    return Workload(
+        ecs=ecs,
+        rewards=rewards_from_ecs(ecs_p0),
+        deadline_slack=deadline_slacks(ecs, rng),
+        arrival_rates=arrival_rates(ecs, datacenter, rng, v_arrival),
+    )

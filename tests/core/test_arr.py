@@ -1,0 +1,107 @@
+"""Tests for repro.core.arr — ARR aggregation and the Figure 5 hull."""
+
+import numpy as np
+import pytest
+
+from repro.core.arr import aggregate_reward_rate, select_best_task_types
+from repro.core.reward import reward_rate_function
+from repro.experiments.figures import example_node_type, example_workload
+
+
+class TestSelection:
+    def test_psi_counts(self, small_dc, small_workload):
+        spec = small_dc.node_types[0]
+        sel25 = select_best_task_types(small_workload, spec, 0, 25.0)
+        sel50 = select_best_task_types(small_workload, spec, 0, 50.0)
+        sel100 = select_best_task_types(small_workload, spec, 0, 100.0)
+        assert sel25.size == 2      # 25% of 8
+        assert sel50.size == 4
+        assert sel100.size == 8
+
+    def test_subset_nesting(self, small_dc, small_workload):
+        """The best 25% are contained in the best 50%."""
+        spec = small_dc.node_types[0]
+        sel25 = set(select_best_task_types(small_workload, spec, 0, 25.0))
+        sel50 = set(select_best_task_types(small_workload, spec, 0, 50.0))
+        assert sel25 <= sel50
+
+    def test_at_least_one(self):
+        sel = select_best_task_types(example_workload(10.0),
+                                     example_node_type(), 0, 1.0)
+        assert sel.size == 1
+
+    def test_invalid_psi(self, small_dc, small_workload):
+        spec = small_dc.node_types[0]
+        for bad in (0.0, -5.0, 150.0):
+            with pytest.raises(ValueError, match="psi"):
+                select_best_task_types(small_workload, spec, 0, bad)
+
+    def test_selection_ranks_by_ratio(self, small_dc, small_workload):
+        """Every selected type has ratio >= every unselected type."""
+        from repro.core.reward import reward_power_ratio
+        spec = small_dc.node_types[1]
+        sel = set(select_best_task_types(small_workload, spec, 1, 50.0))
+        ratios = [reward_power_ratio(small_workload, i, spec, 1)
+                  for i in range(small_workload.n_task_types)]
+        worst_selected = min(ratios[i] for i in sel)
+        best_unselected = max(ratios[i] for i in range(8) if i not in sel)
+        assert worst_selected >= best_unselected - 1e-12
+
+
+class TestFigure5:
+    def test_raw_equals_figure4(self):
+        arr = aggregate_reward_rate(example_workload(1.5),
+                                    example_node_type(), 0, psi=100.0)
+        np.testing.assert_allclose(arr.raw.y, [0.0, 0.0, 0.9, 1.2])
+
+    def test_concave_ignores_bad_pstate(self):
+        """Figure 5: the hull goes (0,0) -> (0.1,0.9) -> (0.15,1.2)."""
+        arr = aggregate_reward_rate(example_workload(1.5),
+                                    example_node_type(), 0, psi=100.0)
+        np.testing.assert_allclose(arr.concave.x, [0.0, 0.10, 0.15])
+        np.testing.assert_allclose(arr.concave.y, [0.0, 0.9, 1.2])
+
+    def test_paper_two_core_example(self):
+        """Section V.B.2: with 0.1 W for 2 cores, hull and exact integer
+        optimum agree (one core at P1, one off)."""
+        arr = aggregate_reward_rate(example_workload(1.5),
+                                    example_node_type(), 0, psi=100.0)
+        # node-level optimum = 2 * ARR_hull(0.05) = chord value at 0.1 W
+        assert 2 * arr.concave(0.05) == pytest.approx(0.9)
+
+
+class TestAggregateProperties:
+    @pytest.mark.parametrize("psi", [25.0, 50.0, 100.0])
+    def test_concave_and_dominating(self, small_dc, small_workload, psi):
+        for j, spec in enumerate(small_dc.node_types):
+            arr = aggregate_reward_rate(small_workload, spec, j, psi)
+            assert arr.concave.is_concave(tol=1e-7)
+            grid = arr.raw.x
+            assert np.all(arr.concave(grid) >= arr.raw(grid) - 1e-9)
+
+    def test_anchored_at_origin(self, small_dc, small_workload):
+        for j, spec in enumerate(small_dc.node_types):
+            arr = aggregate_reward_rate(small_workload, spec, j, 50.0)
+            assert arr.concave(0.0) == pytest.approx(0.0)
+
+    def test_max_power_is_p0(self, small_dc, small_workload):
+        for j, spec in enumerate(small_dc.node_types):
+            arr = aggregate_reward_rate(small_workload, spec, j, 50.0)
+            assert arr.max_power == pytest.approx(spec.p0_power_kw)
+
+    def test_segments_decreasing_slope(self, small_dc, small_workload):
+        for j, spec in enumerate(small_dc.node_types):
+            arr = aggregate_reward_rate(small_workload, spec, j, 25.0)
+            _, slopes = arr.segments_decreasing_slope()
+            assert np.all(np.diff(slopes) <= 1e-9)
+
+    def test_average_of_selected_rrs(self, small_dc, small_workload):
+        """raw ARR == mean of the selected types' RR functions."""
+        spec = small_dc.node_types[0]
+        arr = aggregate_reward_rate(small_workload, spec, 0, 50.0)
+        grid = np.linspace(0.0, spec.p0_power_kw, 33)
+        manual = np.mean([
+            reward_rate_function(small_workload, int(i), spec, 0)(grid)
+            for i in arr.selected_task_types
+        ], axis=0)
+        np.testing.assert_allclose(arr.raw(grid), manual, atol=1e-12)

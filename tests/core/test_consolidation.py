@@ -1,0 +1,69 @@
+"""Tests for repro.core.consolidation — node power-down extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.consolidation import consolidate
+from repro.validate import validate_solution
+
+
+@pytest.fixture(scope="module")
+def consolidated(scenario):
+    return consolidate(scenario.datacenter, scenario.workload,
+                       scenario.p_const)
+
+
+class TestConsolidation:
+    def test_never_hurts_reward(self, consolidated):
+        """Freed base power can only help (the plain plan remains
+        feasible in the consolidated problem)."""
+        assert consolidated.assignment.reward_rate \
+            >= consolidated.baseline_reward - 1e-6
+
+    def test_powered_down_nodes_fully_dark(self, scenario, consolidated):
+        dc = scenario.datacenter
+        off = np.asarray([dc.node_types[t].off_pstate
+                          for t in dc.core_type])
+        for node in dc.nodes:
+            if consolidated.powered_down[node.index]:
+                sl = slice(node.first_core,
+                           node.first_core + node.n_cores)
+                np.testing.assert_array_equal(
+                    consolidated.assignment.pstates[sl], off[sl])
+
+    def test_savings_match_mask(self, scenario, consolidated):
+        expect = scenario.datacenter.node_base_power[
+            consolidated.powered_down].sum()
+        assert consolidated.base_power_saved_kw == pytest.approx(expect)
+
+    def test_final_solution_valid_on_modified_room(self, scenario,
+                                                   consolidated):
+        rep = validate_solution(
+            consolidated.datacenter, scenario.workload, scenario.p_const,
+            consolidated.assignment.t_crac_out,
+            consolidated.assignment.pstates,
+            consolidated.assignment.tc)
+        assert rep.ok, rep.violations
+
+    def test_terminates_quickly(self, consolidated):
+        assert 1 <= consolidated.iterations <= 10
+
+    def test_uplift_positive_when_nodes_powered_down(self, consolidated):
+        if consolidated.powered_down.any():
+            assert consolidated.reward_uplift_pct >= 0.0
+
+    def test_modified_room_shares_thermal_model(self, scenario,
+                                                consolidated):
+        assert consolidated.datacenter.thermal \
+            is scenario.datacenter.thermal
+
+    def test_power_cap_still_respected_on_original_accounting(
+            self, scenario, consolidated):
+        """On the modified room (zeroed bases) the total power including
+        cooling stays under the cap."""
+        from repro.datacenter.power import total_power
+        dc2 = consolidated.datacenter
+        node_power = dc2.node_power_kw(consolidated.assignment.pstates)
+        total = total_power(dc2, consolidated.assignment.t_crac_out,
+                            node_power).total
+        assert total <= scenario.p_const + 1e-6

@@ -1,0 +1,96 @@
+"""Tests for repro.core.controller — epoch-based re-assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import EpochController
+from repro.experiments import ScenarioConfig, generate_scenario
+from repro.workload.profiles import ConstantProfile, StepProfile
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    """A very small, fast room for controller runs."""
+    return generate_scenario(ScenarioConfig(name="ctrl", n_nodes=10), 21)
+
+
+@pytest.fixture(scope="module")
+def controller(tiny_scenario):
+    sc = tiny_scenario
+    return EpochController(sc.datacenter, sc.workload, sc.p_const,
+                           epoch_s=60.0, tau_s=10.0)
+
+
+@pytest.fixture(scope="module")
+def step_run(tiny_scenario, controller):
+    """One run over a load step (half rates -> full rates)."""
+    sc = tiny_scenario
+    profile = StepProfile(
+        boundaries=np.asarray([60.0]),
+        rate_levels=np.vstack([0.5 * sc.workload.arrival_rates,
+                               sc.workload.arrival_rates]))
+    return controller.run(profile, horizon_s=120.0,
+                          rng=np.random.default_rng(3))
+
+
+class TestRun:
+    def test_epoch_count_and_boundaries(self, step_run):
+        assert len(step_run.epochs) == 2
+        assert step_run.epochs[0].start_s == 0.0
+        assert step_run.epochs[0].end_s == 60.0
+        assert step_run.epochs[1].end_s == 120.0
+
+    def test_plans_track_the_load_step(self, tiny_scenario, step_run):
+        sc = tiny_scenario
+        e0, e1 = step_run.epochs
+        np.testing.assert_allclose(e0.rates,
+                                   0.5 * sc.workload.arrival_rates)
+        np.testing.assert_allclose(e1.rates, sc.workload.arrival_rates)
+        # more offered load -> at least as much planned reward
+        assert e1.plan.reward_rate >= e0.plan.reward_rate - 1e-6
+
+    def test_transitions_are_transient_safe(self, step_run):
+        for e in step_run.epochs:
+            assert e.transient_overshoot_c <= 1e-6
+
+    def test_plans_respect_cap(self, tiny_scenario, step_run):
+        sc = tiny_scenario
+        for e in step_run.epochs:
+            e.plan.verify(sc.datacenter, sc.p_const)
+
+    def test_aggregate_metrics(self, step_run):
+        total = sum(e.metrics.total_reward for e in step_run.epochs)
+        assert step_run.total_reward == pytest.approx(total)
+        assert step_run.reward_rate > 0
+        assert step_run.planned_reward_rate > 0
+
+    def test_constant_profile_keeps_same_plan_quality(self, tiny_scenario,
+                                                      controller):
+        sc = tiny_scenario
+        profile = ConstantProfile(sc.workload.arrival_rates)
+        res = controller.run(profile, horizon_s=120.0,
+                             rng=np.random.default_rng(4))
+        r0 = res.epochs[0].plan.reward_rate
+        for e in res.epochs[1:]:
+            assert e.plan.reward_rate == pytest.approx(r0, rel=1e-6)
+
+
+class TestValidation:
+    def test_bad_epoch_length(self, tiny_scenario):
+        sc = tiny_scenario
+        with pytest.raises(ValueError, match="epoch"):
+            EpochController(sc.datacenter, sc.workload, sc.p_const,
+                            epoch_s=0.0)
+
+    def test_bad_derate_step(self, tiny_scenario):
+        sc = tiny_scenario
+        with pytest.raises(ValueError, match="derate"):
+            EpochController(sc.datacenter, sc.workload, sc.p_const,
+                            derate_step=1.5)
+
+    def test_bad_horizon(self, tiny_scenario, controller):
+        sc = tiny_scenario
+        profile = ConstantProfile(sc.workload.arrival_rates)
+        with pytest.raises(ValueError, match="horizon"):
+            controller.run(profile, horizon_s=0.0,
+                           rng=np.random.default_rng(0))

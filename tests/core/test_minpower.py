@@ -1,0 +1,63 @@
+"""Tests for repro.core.minpower — the Section VIII extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import three_stage_assignment
+from repro.core.minpower import minimize_power
+
+
+@pytest.fixture(scope="module")
+def primal(scenario):
+    return three_stage_assignment(scenario.datacenter, scenario.workload,
+                                  scenario.p_const, psi=50.0)
+
+
+@pytest.fixture(scope="module")
+def minpower(scenario, primal):
+    target = 0.8 * primal.reward_rate
+    return target, minimize_power(scenario.datacenter, scenario.workload,
+                                  target, psi=50.0)
+
+
+class TestMinPower:
+    def test_relaxed_reward_meets_target(self, minpower):
+        target, res = minpower
+        assert res.relaxed_reward >= target - 1e-6
+
+    def test_cheaper_than_primal_cap(self, scenario, minpower):
+        """Asking for 80% of the reward must cost less than the cap the
+        primal problem saturated."""
+        _, res = minpower
+        assert res.total_power_kw < scenario.p_const
+
+    def test_thermally_feasible(self, scenario, minpower):
+        _, res = minpower
+        dc = scenario.datacenter
+        node_power = dc.node_power_kw(res.pstates)
+        assert dc.thermal.is_feasible(res.t_crac_out, node_power,
+                                      dc.redline_c)
+
+    def test_monotone_in_target(self, scenario, primal):
+        """Higher reward targets cost at least as much power."""
+        lo = minimize_power(scenario.datacenter, scenario.workload,
+                            0.5 * primal.reward_rate)
+        hi = minimize_power(scenario.datacenter, scenario.workload,
+                            0.9 * primal.reward_rate)
+        assert hi.total_power_kw >= lo.total_power_kw - 1e-6
+
+    def test_unreachable_target_raises(self, scenario, primal):
+        with pytest.raises(RuntimeError, match="unreachable"):
+            minimize_power(scenario.datacenter, scenario.workload,
+                           100.0 * primal.reward_rate)
+
+    def test_bad_target_rejected(self, scenario):
+        with pytest.raises(ValueError, match="positive"):
+            minimize_power(scenario.datacenter, scenario.workload, 0.0)
+
+    def test_decisions_well_formed(self, scenario, minpower):
+        _, res = minpower
+        dc = scenario.datacenter
+        assert res.pstates.shape == (dc.n_cores,)
+        assert res.tc.shape == (scenario.workload.n_task_types, dc.n_cores)
+        assert res.reward_rate > 0

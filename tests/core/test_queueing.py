@@ -1,0 +1,147 @@
+"""Tests for repro.core.queueing — the M/M/c drop predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.queueing import (ClassQueue, erlang_c, mm1k_blocking,
+                                 predict_completion)
+from repro.simulate.engine import simulate_trace
+from repro.workload.trace import generate_trace
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        """For M/M/1, P(wait) = rho."""
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_zero_load(self):
+        assert erlang_c(10, 0.0) == 0.0
+
+    def test_saturation(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 9.9) == 1.0
+
+    def test_monotone_in_load(self):
+        loads = np.linspace(0.1, 7.9, 20)
+        vals = [erlang_c(8, a) for a in loads]
+        assert all(np.diff(vals) > 0)
+
+    def test_more_servers_less_waiting(self):
+        """At equal utilization, bigger pools wait less (pooling gain)."""
+        assert erlang_c(20, 16.0) < erlang_c(5, 4.0)
+
+    def test_known_value(self):
+        # c=2, a=1 (rho=0.5): ErlangB = 1/(1+... ) b2 = (1*... ) = 0.2;
+        # C = 0.2/(0.5 + 0.5*0.2) = 1/3
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="server"):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError, match="load"):
+            erlang_c(2, -1.0)
+
+
+class TestMM1KBlocking:
+    def test_rho_one(self):
+        assert mm1k_blocking(1.0, 4) == pytest.approx(0.2)
+
+    def test_light_load_vanishes(self):
+        assert mm1k_blocking(0.2, 20) < 1e-10
+
+    def test_zero_capacity_blocks_all(self):
+        assert mm1k_blocking(0.5, 0) == 1.0
+
+    def test_zero_load(self):
+        assert mm1k_blocking(0.0, 5) == 0.0
+
+    def test_monotone_in_rho(self):
+        rhos = np.linspace(0.1, 2.0, 15)
+        vals = [mm1k_blocking(r, 5) for r in rhos]
+        assert all(np.diff(vals) > 0)
+
+    def test_monotone_in_capacity(self):
+        vals = [mm1k_blocking(0.9, k) for k in range(1, 10)]
+        assert all(np.diff(vals) < 0)
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(ValueError, match="utilization"):
+            mm1k_blocking(-0.1, 5)
+
+
+class TestClassQueue:
+    def make(self, wait_p=0.5, servers=4, lam=2.0, mean_s=1.0):
+        return ClassQueue(node_type=0, pstate=0, servers=servers,
+                          arrival_rate=lam, mean_service_s=mean_s,
+                          wait_probability=wait_p)
+
+    def test_impossible_deadline(self):
+        q = self.make()
+        assert q.on_time_probability(service_s=2.0, slack_s=1.0) == 0.0
+
+    def test_idle_pool_always_on_time(self):
+        q = self.make(lam=0.0)
+        assert q.on_time_probability(1.0, 1.5) == pytest.approx(1.0)
+
+    def test_saturated_pool_drops_inverse_capacity(self):
+        """At rho = 1 the M/M/1/K blocking is 1/(K+1)."""
+        q = self.make(servers=4, lam=4.0, mean_s=1.0)   # rho = 1
+        # margin 3 -> capacity 4 -> blocking 1/5
+        assert q.on_time_probability(1.0, 4.0) == pytest.approx(0.8)
+
+    def test_large_slack_approaches_one(self):
+        q = self.make()
+        assert q.on_time_probability(1.0, 100.0) == pytest.approx(1.0)
+
+    def test_monotone_in_slack(self):
+        q = self.make()
+        slacks = np.linspace(1.0, 5.0, 10)
+        vals = [q.on_time_probability(1.0, s) for s in slacks]
+        assert all(np.diff(vals) >= 0)
+
+    def test_utilization(self):
+        q = self.make(servers=4, lam=2.0, mean_s=1.0)
+        assert q.utilization == pytest.approx(0.5)
+
+
+class TestPrediction:
+    def test_bounded_by_plan(self, scenario, assignment):
+        rates, pools = predict_completion(
+            scenario.datacenter, scenario.workload, assignment.pstates,
+            assignment.tc)
+        planned = assignment.tc.sum(axis=1)
+        assert np.all(rates <= planned + 1e-9)
+        assert np.all(rates >= 0)
+        assert pools  # at least one active class
+
+    def test_pools_within_utilization(self, scenario, assignment):
+        _, pools = predict_completion(
+            scenario.datacenter, scenario.workload, assignment.pstates,
+            assignment.tc)
+        for p in pools:
+            assert 0.0 <= p.utilization <= 1.0 + 1e-6
+
+    def test_predicts_des_direction(self, scenario, assignment):
+        """The predictor identifies which types the DES actually drops:
+        its predicted completion fraction correlates positively with the
+        simulated one across served types."""
+        dc, wl = scenario.datacenter, scenario.workload
+        rates, _ = predict_completion(dc, wl, assignment.pstates,
+                                      assignment.tc)
+        trace = generate_trace(wl, 30.0, np.random.default_rng(8))
+        m = simulate_trace(dc, wl, assignment.tc, assignment.pstates,
+                           trace, duration=30.0)
+        planned = assignment.tc.sum(axis=1)
+        served = planned > 1e-9
+        pred_frac = rates[served] / planned[served]
+        sim_frac = (m.atc.sum(axis=1)[served]) / planned[served]
+        # both identify the same weakest type
+        assert int(np.argmin(pred_frac)) == int(np.argmin(sim_frac)) or \
+            abs(pred_frac[np.argmin(sim_frac)]
+                - pred_frac.min()) < 0.2
+
+    def test_shape_check(self, scenario, assignment):
+        with pytest.raises(ValueError, match="shape"):
+            predict_completion(scenario.datacenter, scenario.workload,
+                               assignment.pstates, assignment.tc[:, :4])

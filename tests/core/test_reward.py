@@ -1,0 +1,87 @@
+"""Tests for repro.core.reward — the RR_{i,j} functions (Figs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reward import reward_power_ratio, reward_rate_function
+from repro.experiments.figures import example_node_type, example_workload
+
+
+class TestFigure3:
+    def test_exact_paper_points(self):
+        """Figure 3: (0,0), (0.05,0.5), (0.1,0.9), (0.15,1.2)."""
+        rr = reward_rate_function(example_workload(10.0), 0,
+                                  example_node_type(), 0)
+        np.testing.assert_allclose(rr.x, [0.0, 0.05, 0.10, 0.15])
+        np.testing.assert_allclose(rr.y, [0.0, 0.5, 0.9, 1.2])
+
+    def test_interpolation_between_pstates(self):
+        """Time-multiplexing two P-states averages their reward rates."""
+        rr = reward_rate_function(example_workload(10.0), 0,
+                                  example_node_type(), 0)
+        assert rr(0.125) == pytest.approx((0.9 + 1.2) / 2)
+
+
+class TestFigure4:
+    def test_deadline_zeroes_slow_pstate(self):
+        """m_i = 1.5 < 1/0.5: P-state 2's point drops to zero reward."""
+        rr = reward_rate_function(example_workload(1.5), 0,
+                                  example_node_type(), 0)
+        np.testing.assert_allclose(rr.y, [0.0, 0.0, 0.9, 1.2])
+
+    def test_non_concave_after_deadline(self):
+        rr = reward_rate_function(example_workload(1.5), 0,
+                                  example_node_type(), 0)
+        assert not rr.is_concave()
+
+    def test_deadline_boundary_inclusive(self):
+        """exec time exactly equal to m_i still meets the deadline."""
+        rr = reward_rate_function(example_workload(2.0), 0,
+                                  example_node_type(), 0)
+        assert rr(0.05) == pytest.approx(0.5)  # 1/0.5 = 2.0 <= 2.0
+
+    def test_apply_deadline_false_gives_raw(self):
+        rr = reward_rate_function(example_workload(1.5), 0,
+                                  example_node_type(), 0,
+                                  apply_deadline=False)
+        np.testing.assert_allclose(rr.y, [0.0, 0.5, 0.9, 1.2])
+
+
+class TestOnGeneratedWorkloads:
+    def test_scales_with_reward(self, small_dc, small_workload):
+        spec = small_dc.node_types[0]
+        rr = reward_rate_function(small_workload, 2, spec, 0)
+        at_p0 = rr(spec.p0_power_kw)
+        expect = small_workload.rewards[2] * small_workload.ecs[2, 0, 0]
+        # P0 always meets the deadline (Eq. 14 guarantees some core can,
+        # but for *this* core type only if fast enough)
+        if small_workload.can_meet_deadline(2, 0, 0):
+            assert at_p0 == pytest.approx(expect)
+        else:
+            assert at_p0 == 0.0
+
+    def test_zero_at_zero_power(self, small_dc, small_workload):
+        for j, spec in enumerate(small_dc.node_types):
+            for i in range(small_workload.n_task_types):
+                rr = reward_rate_function(small_workload, i, spec, j)
+                assert rr(0.0) == 0.0
+
+    def test_mismatched_pstate_count_rejected(self, small_workload):
+        bad_spec = example_node_type()  # 4 states vs workload's 5
+        with pytest.raises(ValueError, match="P-states"):
+            reward_rate_function(small_workload, 0, bad_spec, 0)
+
+
+class TestRewardPowerRatio:
+    def test_paper_example_value(self):
+        """Fig. 3 setup: mean of (0.5/0.05, 0.9/0.1, 1.2/0.15)."""
+        ratio = reward_power_ratio(example_workload(10.0), 0,
+                                   example_node_type(), 0)
+        assert ratio == pytest.approx(np.mean([10.0, 9.0, 8.0]))
+
+    def test_deadline_lowers_ratio(self):
+        full = reward_power_ratio(example_workload(10.0), 0,
+                                  example_node_type(), 0)
+        cut = reward_power_ratio(example_workload(1.5), 0,
+                                 example_node_type(), 0)
+        assert cut < full

@@ -1,0 +1,84 @@
+"""Tests for repro.core.serverlevel — the utilization-governor strawman."""
+
+import numpy as np
+import pytest
+
+from repro.core.serverlevel import local_governor_pstate, solve_server_level
+from repro.datacenter.power import total_power
+
+
+@pytest.fixture(scope="module")
+def server_level(scenario):
+    sol, trace = solve_server_level(scenario.datacenter, scenario.workload,
+                                    scenario.p_const)
+    return sol, trace
+
+
+class TestLocalGovernor:
+    def test_oversubscribed_picks_p0(self, scenario):
+        """The paper's observation: near-100% utilization -> P-state 0."""
+        wl = scenario.workload
+        huge_demand = 10.0 * float(wl.ecs[:, 0, 0].mean())
+        assert local_governor_pstate(wl, 0, huge_demand) == 0
+
+    def test_idle_picks_weakest(self, scenario):
+        wl = scenario.workload
+        eta = wl.n_pstates
+        assert local_governor_pstate(wl, 0, 0.0) == eta - 2
+
+    def test_threshold_shifts_choice(self, scenario):
+        """A mid-range demand needs a faster P-state when the threshold
+        tightens."""
+        wl = scenario.workload
+        # demand sized to ~60% of P-state-1 capacity
+        demand = 0.6 * float(wl.ecs[:, 0, 1].mean())
+        loose = local_governor_pstate(wl, 0, demand, threshold=0.9)
+        tight = local_governor_pstate(wl, 0, demand, threshold=0.3)
+        assert tight <= loose  # tighter threshold -> lower P-state index
+
+    def test_validation(self, scenario):
+        wl = scenario.workload
+        with pytest.raises(ValueError, match="threshold"):
+            local_governor_pstate(wl, 0, 1.0, threshold=0.0)
+        with pytest.raises(ValueError, match="demand"):
+            local_governor_pstate(wl, 0, -1.0)
+
+
+class TestSolveServerLevel:
+    def test_governor_lands_on_p0(self, scenario, server_level):
+        sol, _ = server_level
+        np.testing.assert_array_equal(sol.governor_pstate, 0)
+
+    def test_watchdog_caps_cores(self, scenario, server_level):
+        """Under the Eq. 18 cap the watchdog must turn cores off."""
+        sol, _ = server_level
+        assert sol.cores_capped > 0
+
+    def test_constraints_respected(self, scenario, server_level):
+        sol, _ = server_level
+        dc = scenario.datacenter
+        node_power = dc.node_power_kw(sol.pstates)
+        assert dc.thermal.is_feasible(sol.t_crac_out, node_power,
+                                      dc.redline_c)
+        total = total_power(dc, sol.t_crac_out, node_power).total
+        assert total <= scenario.p_const + 1e-6
+
+    def test_underperforms_three_stage(self, scenario, server_level,
+                                       assignment):
+        """Contribution 1, quantified: uncoordinated server-level control
+        earns less than the data-center-level technique."""
+        sol, _ = server_level
+        assert sol.reward_rate < assignment.reward_rate
+
+    def test_pstates_p0_or_off(self, scenario, server_level):
+        """With a P0 governor, the room ends up P0-or-off (but chosen
+        blindly, unlike the optimized baseline)."""
+        sol, _ = server_level
+        dc = scenario.datacenter
+        off = np.asarray([dc.node_types[t].off_pstate
+                          for t in dc.core_type])
+        assert np.all((sol.pstates == 0) | (sol.pstates == off))
+
+    def test_reward_consistent_with_stage3(self, server_level):
+        sol, _ = server_level
+        assert sol.reward_rate == pytest.approx(sol.stage3.reward_rate)

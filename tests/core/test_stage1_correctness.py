@@ -1,0 +1,139 @@
+"""Independent verification of the Stage 1 LP.
+
+The Stage 1 solver relies on two nontrivial reductions (DESIGN.md §3.1):
+node-level segment aggregation and the concave hull.  These tests verify
+its optimum against implementations that use *neither* — random feasible
+allocations (the LP must dominate them all) and a dense grid search on a
+tiny room (the LP must match its best point).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stage1 import (build_arr_functions, distribute_node_power,
+                               solve_stage1_fixed_temps)
+from repro.datacenter import build_datacenter, power_bounds
+from repro.datacenter.coretypes import shrunken_node_types
+from repro.thermal import ThermalLinearization, attach_thermal_model
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    rng = np.random.default_rng(11)
+    dc = build_datacenter(n_nodes=4, n_crac=2,
+                          node_types=shrunken_node_types(2), rng=rng,
+                          nodes_per_rack=4)
+    attach_thermal_model(dc, rng=rng)
+    wl = generate_workload(dc, rng, n_task_types=4)
+    pc = power_bounds(dc).p_const
+    lin = ThermalLinearization.build(
+        dc.thermal, np.full(dc.n_crac, 16.0), dc.redline_c)
+    arrs = build_arr_functions(dc, wl, 100.0)
+    return dc, wl, pc, lin, arrs
+
+
+def objective_of(dc, arrs, core_power):
+    """Sum of concave-ARR values at given per-core powers."""
+    total = 0.0
+    for node in dc.nodes:
+        hull = arrs[node.type_index].concave
+        total += hull(core_power[list(node.core_indices)]).sum()
+    return total
+
+
+def feasible(dc, lin, pc, core_power):
+    node_power = dc.node_base_power + np.asarray([
+        core_power[list(n.core_indices)].sum() for n in dc.nodes])
+    if np.any(lin.inlet_gain @ node_power > lin.redline_rhs + 1e-9):
+        return False
+    return node_power.sum() + lin.crac_power(node_power) <= pc + 1e-9
+
+
+class TestLPDominatesSampledAllocations:
+    def test_random_feasible_points_never_beat_lp(self, tiny):
+        dc, wl, pc, lin, arrs = tiny
+        sol = solve_stage1_fixed_temps(dc, arrs, lin, pc)
+        assert sol is not None
+        rng = np.random.default_rng(0)
+        p0 = np.asarray([dc.node_types[t].p0_power_kw
+                         for t in dc.core_type])
+        beaten = 0
+        for _ in range(300):
+            candidate = rng.uniform(0.0, 1.0, dc.n_cores) * p0
+            if not feasible(dc, lin, pc, candidate):
+                continue
+            value = objective_of(dc, arrs, candidate)
+            assert value <= sol.objective + 1e-6
+            beaten += 1
+        assert beaten > 30     # the sampler found plenty of feasible points
+
+    def test_scaled_down_lp_solution_stays_feasible(self, tiny):
+        """Scaling the LP's own powers down keeps feasibility (the
+        constraint set is monotone in power)."""
+        dc, wl, pc, lin, arrs = tiny
+        sol = solve_stage1_fixed_temps(dc, arrs, lin, pc)
+        for frac in (0.0, 0.3, 0.7, 1.0):
+            assert feasible(dc, lin, pc, frac * sol.core_power_kw)
+
+
+class TestLPMatchesGridSearch:
+    def test_single_scalar_parametrization(self, tiny):
+        """Restrict to uniform per-core power p: the LP optimum must be
+        at least the best uniform point (a subset of its feasible set)."""
+        dc, wl, pc, lin, arrs = tiny
+        sol = solve_stage1_fixed_temps(dc, arrs, lin, pc)
+        p0_min = min(t.p0_power_kw for t in dc.node_types)
+        best_uniform = -np.inf
+        for p in np.linspace(0.0, p0_min, 60):
+            candidate = np.full(dc.n_cores, p)
+            if feasible(dc, lin, pc, candidate):
+                best_uniform = max(best_uniform,
+                                   objective_of(dc, arrs, candidate))
+        assert sol.objective >= best_uniform - 1e-6
+
+    def test_distribution_reproduces_lp_objective(self, tiny):
+        """distribute_node_power must realize exactly the LP value."""
+        dc, wl, pc, lin, arrs = tiny
+        sol = solve_stage1_fixed_temps(dc, arrs, lin, pc)
+        realized = objective_of(dc, arrs, sol.core_power_kw)
+        assert realized == pytest.approx(sol.objective, rel=1e-6)
+
+
+class TestKnapsackStructure:
+    def test_lp_equals_greedy_when_only_power_binds(self, tiny):
+        """With redlines relaxed, Stage 1 is a continuous knapsack: fill
+        segments globally by reward-per-(1+crac_coeff)-watt.  The LP must
+        match the greedy optimum."""
+        dc, wl, pc, lin, arrs = tiny
+        relaxed = ThermalLinearization(
+            t_crac_out=lin.t_crac_out,
+            inlet_const=lin.inlet_const,
+            inlet_gain=lin.inlet_gain,
+            redline_rhs=np.full_like(lin.redline_rhs, 1e9),
+            crac_const=lin.crac_const,
+            crac_coeff=lin.crac_coeff,
+        )
+        sol = solve_stage1_fixed_temps(dc, arrs, relaxed, pc)
+        assert sol is not None
+        # greedy continuous knapsack over (node, segment) items
+        base = dc.node_base_power
+        budget = pc - base.sum() - relaxed.crac_const \
+            - float(relaxed.crac_coeff @ base)
+        items = []
+        for node in dc.nodes:
+            lengths, slopes = arrs[node.type_index] \
+                .segments_decreasing_slope()
+            cost_rate = 1.0 + relaxed.crac_coeff[node.index]
+            for length, slope in zip(lengths, slopes):
+                cap = length * node.n_cores
+                items.append((slope / cost_rate, cap, slope, cost_rate))
+        items.sort(key=lambda it: -it[0])
+        reward = 0.0
+        for _, cap, slope, cost_rate in items:
+            if budget <= 1e-12:
+                break
+            take = min(cap, budget / cost_rate)
+            reward += take * slope
+            budget -= take * cost_rate
+        assert sol.objective == pytest.approx(reward, rel=1e-6)

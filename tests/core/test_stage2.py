@@ -1,0 +1,98 @@
+"""Tests for repro.core.stage2 — the power -> P-state conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.stage1 import solve_stage1
+from repro.core.stage2 import (_round_up_pstate, convert_power_to_pstates,
+                               solve_stage2)
+
+TABLE = np.asarray([0.15, 0.10, 0.05, 0.0])  # paper example powers
+
+
+class TestRoundUp:
+    def test_exact_pstate_power_maps_to_itself(self):
+        assert _round_up_pstate(TABLE, 0.10) == 1
+        assert _round_up_pstate(TABLE, 0.15) == 0
+
+    def test_between_pstates_rounds_up_in_power(self):
+        """0.06 W -> P-state 1 (0.10 W), the highest state with >= power."""
+        assert _round_up_pstate(TABLE, 0.06) == 1
+
+    def test_zero_power_is_off(self):
+        assert _round_up_pstate(TABLE, 0.0) == 3
+
+    def test_tiny_power_rounds_to_lowest_active(self):
+        assert _round_up_pstate(TABLE, 0.001) == 2
+
+    def test_above_p0_clamps(self):
+        assert _round_up_pstate(TABLE, 0.99) == 0
+
+
+class TestProcedure:
+    def test_stage2_never_exceeds_stage1_node_power(self, scenario):
+        sol, _ = solve_stage1(scenario.datacenter, scenario.workload, 50.0,
+                              scenario.p_const)
+        s2 = solve_stage2(scenario.datacenter, sol)
+        assert np.all(s2.node_power_kw <= sol.node_power_kw + 1e-9)
+
+    def test_stage2_stays_close_to_stage1(self, scenario):
+        """Breakpoint quantization means the integer assignment loses
+        only a sliver of power per node (at most one partial core)."""
+        sol, _ = solve_stage1(scenario.datacenter, scenario.workload, 50.0,
+                              scenario.p_const)
+        s2 = solve_stage2(scenario.datacenter, sol)
+        gap = sol.node_power_kw - s2.node_power_kw
+        max_core_power = max(t.p0_power_kw
+                             for t in scenario.datacenter.node_types)
+        assert np.all(gap <= max_core_power + 1e-9)
+
+    def test_valid_pstate_range(self, scenario, assignment):
+        dc = scenario.datacenter
+        eta = dc.node_types[0].n_pstates
+        assert np.all(assignment.pstates >= 0)
+        assert np.all(assignment.pstates < eta)
+
+    def test_exact_budget_preserved(self, small_dc):
+        """Cores already on P-state powers convert losslessly."""
+        dc = small_dc
+        pstates = np.ones(dc.n_cores, dtype=int)  # all P1
+        node_budget = dc.node_power_kw(pstates)
+        core_power = np.empty(dc.n_cores)
+        for node in dc.nodes:
+            core_power[list(node.core_indices)] = \
+                node.spec.pstate_power_kw[1]
+        result = convert_power_to_pstates(dc, core_power, node_budget)
+        np.testing.assert_array_equal(result.pstates, pstates)
+
+    def test_trimming_when_budget_tight(self, small_dc):
+        """Requesting P0 power everywhere under a P1-level budget forces
+        the trim loop to weaken cores."""
+        dc = small_dc
+        core_power = np.empty(dc.n_cores)
+        for node in dc.nodes:
+            core_power[list(node.core_indices)] = node.spec.p0_power_kw
+        budget_ps = np.ones(dc.n_cores, dtype=int)
+        node_budget = dc.node_power_kw(budget_ps)
+        result = convert_power_to_pstates(dc, core_power, node_budget)
+        assert np.all(result.node_power_kw <= node_budget + 1e-9)
+        # something must have been weakened below P0
+        assert result.pstates.max() > 0
+
+    def test_zero_budget_turns_everything_off(self, small_dc):
+        dc = small_dc
+        core_power = np.full(dc.n_cores, 0.001)
+        budget = dc.node_base_power.copy()  # no core power allowed
+        result = convert_power_to_pstates(dc, core_power, budget)
+        off = np.asarray([dc.node_types[t].off_pstate
+                          for t in dc.core_type])
+        np.testing.assert_array_equal(result.pstates, off)
+
+    def test_shape_validation(self, small_dc):
+        with pytest.raises(ValueError, match="core powers"):
+            convert_power_to_pstates(small_dc, np.zeros(3),
+                                     small_dc.node_base_power)
+        with pytest.raises(ValueError, match="node budgets"):
+            convert_power_to_pstates(small_dc,
+                                     np.zeros(small_dc.n_cores),
+                                     np.zeros(3))

@@ -1,0 +1,104 @@
+"""Tests for repro.core.stage3 — the desired execution-rate LP."""
+
+import numpy as np
+import pytest
+
+from repro.core.stage3 import solve_stage3
+
+
+@pytest.fixture(scope="module")
+def stage3(scenario, assignment):
+    return solve_stage3(scenario.datacenter, scenario.workload,
+                        assignment.pstates)
+
+
+class TestConstraints:
+    def test_constraint1_core_utilization(self, scenario, assignment,
+                                          stage3):
+        """sum_i TC(i,k)/ECS(i,CT_k,PS_k) <= 1 for every core."""
+        dc, wl = scenario.datacenter, scenario.workload
+        ecs = wl.ecs[:, dc.core_type, assignment.pstates]  # (T, NCORES)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(stage3.tc > 0, stage3.tc / ecs, 0.0).sum(axis=0)
+        assert np.all(util <= 1.0 + 1e-6)
+
+    def test_constraint2_deadlines(self, scenario, assignment, stage3):
+        """TC(i,k) = 0 when the core's P-state cannot meet m_i."""
+        dc, wl = scenario.datacenter, scenario.workload
+        for i in range(wl.n_task_types):
+            for k in range(dc.n_cores):
+                if stage3.tc[i, k] > 0:
+                    assert wl.can_meet_deadline(
+                        i, int(dc.core_type[k]), int(assignment.pstates[k]))
+
+    def test_constraint3_arrival_rates(self, scenario, stage3):
+        wl = scenario.workload
+        served = stage3.tc.sum(axis=1)
+        assert np.all(served <= wl.arrival_rates + 1e-6)
+
+    def test_off_cores_get_nothing(self, scenario, assignment, stage3):
+        dc = scenario.datacenter
+        off = np.asarray([dc.node_types[t].off_pstate
+                          for t in dc.core_type])
+        off_mask = assignment.pstates == off
+        assert np.all(stage3.tc[:, off_mask] == 0.0)
+
+    def test_objective_matches_tc(self, scenario, stage3):
+        wl = scenario.workload
+        reward = float(wl.rewards @ stage3.tc.sum(axis=1))
+        assert reward == pytest.approx(stage3.reward_rate, rel=1e-9)
+
+    def test_nonnegative(self, stage3):
+        assert stage3.tc.min() >= 0.0
+
+
+class TestClassSymmetry:
+    def test_equal_rates_within_class(self, scenario, assignment, stage3):
+        """Cores with the same (node type, P-state) get equal rates."""
+        dc = scenario.datacenter
+        eta = scenario.workload.n_pstates
+        class_id = dc.core_type * eta + assignment.pstates
+        for c in np.unique(class_id):
+            members = np.nonzero(class_id == c)[0]
+            col = stage3.tc[:, members]
+            np.testing.assert_allclose(col, col[:, :1] * np.ones_like(col))
+
+    def test_class_rates_aggregate(self, scenario, stage3):
+        np.testing.assert_allclose(stage3.class_rates.sum(),
+                                   stage3.tc.sum(), rtol=1e-9)
+
+
+class TestEdgeCases:
+    def test_all_off_earns_zero(self, scenario):
+        dc = scenario.datacenter
+        off = np.asarray([dc.node_types[t].off_pstate
+                          for t in dc.core_type])
+        sol = solve_stage3(dc, scenario.workload, off)
+        assert sol.reward_rate == 0.0
+        np.testing.assert_allclose(sol.tc, 0.0)
+
+    def test_all_p0_earns_positive(self, scenario):
+        dc = scenario.datacenter
+        sol = solve_stage3(dc, scenario.workload,
+                           np.zeros(dc.n_cores, dtype=int))
+        assert sol.reward_rate > 0
+
+    def test_more_cores_more_reward(self, scenario, assignment):
+        """All-P0 dominates the assignment's P-state mix in pure reward
+        terms (ignoring power, which Stage 3 does not constrain)."""
+        dc = scenario.datacenter
+        full = solve_stage3(dc, scenario.workload,
+                            np.zeros(dc.n_cores, dtype=int))
+        assert full.reward_rate >= assignment.reward_rate - 1e-9
+
+    def test_bad_shape_rejected(self, scenario):
+        with pytest.raises(ValueError, match="expected"):
+            solve_stage3(scenario.datacenter, scenario.workload,
+                         np.zeros(3, dtype=int))
+
+    def test_bad_pstate_rejected(self, scenario):
+        dc = scenario.datacenter
+        ps = np.zeros(dc.n_cores, dtype=int)
+        ps[0] = 99
+        with pytest.raises(ValueError, match="out of ECS range"):
+            solve_stage3(dc, scenario.workload, ps)

@@ -1,0 +1,118 @@
+"""Tests for repro.datacenter.builder and .nodes — room assembly, Eq. 1."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.builder import DataCenter, build_datacenter
+from repro.datacenter.coretypes import paper_node_types
+
+
+@pytest.fixture(scope="module")
+def room():
+    return build_datacenter(n_nodes=10, n_crac=2,
+                            rng=np.random.default_rng(0))
+
+
+class TestBuild:
+    def test_counts(self, room):
+        assert room.n_nodes == 10
+        assert room.n_crac == 2
+        assert room.n_cores == sum(n.n_cores for n in room.nodes)
+        assert room.n_units == 12
+
+    def test_crac_flow_matches_node_flow(self, room):
+        """Section VI.G: total CRAC flow equals total node flow."""
+        assert room.crac_flows.sum() == pytest.approx(room.node_flows.sum())
+
+    def test_homogeneous_cracs(self, room):
+        assert np.unique(room.crac_flows).size == 1
+
+    def test_type_assignment_uses_rng(self):
+        a = build_datacenter(50, 2, rng=np.random.default_rng(1))
+        b = build_datacenter(50, 2, rng=np.random.default_rng(1))
+        c = build_datacenter(50, 2, rng=np.random.default_rng(2))
+        assert np.array_equal(a.node_type_index, b.node_type_index)
+        assert not np.array_equal(a.node_type_index, c.node_type_index)
+
+    def test_both_types_appear(self):
+        dc = build_datacenter(60, 2, rng=np.random.default_rng(3))
+        assert set(np.unique(dc.node_type_index)) == {0, 1}
+
+    def test_global_core_index_contiguous(self, room):
+        expect = 0
+        for node in room.nodes:
+            assert node.first_core == expect
+            expect += node.n_cores
+        assert expect == room.n_cores
+
+    def test_core_maps_consistent(self, room):
+        for node in room.nodes:
+            for k in node.core_indices:
+                assert room.core_node[k] == node.index
+                assert room.core_type[k] == node.type_index
+
+    def test_redline_vector(self, room):
+        red = room.redline_c
+        assert red.shape == (room.n_units,)
+        np.testing.assert_allclose(red[:2], 40.0)   # CRACs
+        np.testing.assert_allclose(red[2:], 25.0)   # nodes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DataCenter(node_types=paper_node_types(), nodes=[], cracs=[],
+                       layout=None)
+
+    def test_no_node_types_rejected(self):
+        with pytest.raises(ValueError, match="node type"):
+            build_datacenter(5, 1, node_types=[])
+
+
+class TestNodePower:
+    def test_all_off_is_base_power(self, room):
+        p = room.node_power_kw(room.all_off_pstates())
+        np.testing.assert_allclose(p, room.node_base_power)
+
+    def test_all_p0_is_max(self, room):
+        p = room.node_power_kw(room.all_p0_pstates())
+        expect = np.asarray([n.spec.max_node_power_kw for n in room.nodes])
+        np.testing.assert_allclose(p, expect)
+
+    def test_eq1_additive(self, room):
+        """Turning one core from off to P0 adds exactly pi_{j,0}."""
+        ps = room.all_off_pstates()
+        before = room.node_power_kw(ps)
+        node = room.nodes[0]
+        ps[node.first_core] = 0
+        after = room.node_power_kw(ps)
+        assert after[0] - before[0] == pytest.approx(node.spec.p0_power_kw)
+        np.testing.assert_allclose(after[1:], before[1:])
+
+    def test_shape_check(self, room):
+        with pytest.raises(ValueError, match="expected"):
+            room.node_power_kw(np.zeros(3, dtype=int))
+
+    def test_range_check(self, room):
+        ps = room.all_off_pstates()
+        ps[0] = 99
+        with pytest.raises(IndexError):
+            room.node_power_kw(ps)
+
+    def test_node_level_matches_room_level(self, room):
+        rng = np.random.default_rng(5)
+        ps = rng.integers(0, 5, size=room.n_cores)
+        room_level = room.node_power_kw(ps)
+        for node in room.nodes:
+            local = ps[node.first_core:node.first_core + node.n_cores]
+            assert node.node_power_kw(local) == pytest.approx(
+                room_level[node.index])
+
+    def test_node_power_shape_check(self, room):
+        with pytest.raises(ValueError, match="expects"):
+            room.nodes[0].node_power_kw([0, 1])
+
+
+class TestThermalAttachment:
+    def test_require_thermal_raises_before_attach(self):
+        dc = build_datacenter(5, 1, rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="thermal"):
+            dc.require_thermal()

@@ -1,0 +1,107 @@
+"""Tests for repro.datacenter.coretypes — Table I node types."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.coretypes import (NodeTypeSpec, hp_proliant_dl785_g5,
+                                        nec_express5800_a1080a,
+                                        paper_node_types)
+
+
+class TestTableI:
+    """Every row of Table I, checked against the paper."""
+
+    def test_type1_parameters(self):
+        t1 = hp_proliant_dl785_g5()
+        assert t1.base_power_kw == pytest.approx(0.353)
+        assert t1.cores_per_node == 32
+        assert t1.n_active_pstates == 4
+        assert t1.p0_power_kw == pytest.approx(0.01375)
+        assert t1.frequencies_mhz == (2500.0, 2100.0, 1700.0, 800.0)
+        assert t1.flow_m3s == pytest.approx(0.07)
+
+    def test_type2_parameters(self):
+        t2 = nec_express5800_a1080a()
+        assert t2.base_power_kw == pytest.approx(0.418)
+        assert t2.cores_per_node == 32
+        assert t2.n_active_pstates == 4
+        assert t2.p0_power_kw == pytest.approx(0.01625)
+        assert t2.frequencies_mhz == (2666.0, 2200.0, 1700.0, 1000.0)
+        assert t2.flow_m3s == pytest.approx(0.0828)
+
+    def test_performance_ratio(self):
+        """Section VI.C: node type 1 : type 2 performance is 0.6 : 1."""
+        t1, t2 = paper_node_types()
+        assert t1.performance_scale / t2.performance_scale \
+            == pytest.approx(0.6)
+
+    def test_type1_full_load_power(self):
+        """Appendix A: server power at 100% utilization was 0.793 kW."""
+        t1 = hp_proliant_dl785_g5()
+        assert t1.max_node_power_kw == pytest.approx(0.793)
+
+    def test_type1_max_temperature_rise(self):
+        """Appendix A: air flow guarantees at most a 9.4 C rise."""
+        assert hp_proliant_dl785_g5().max_delta_t() == pytest.approx(
+            9.4, abs=0.05)
+
+    def test_static_fraction_parameterizes_ladder(self):
+        p30 = hp_proliant_dl785_g5(0.3).pstate_power_kw
+        p20 = hp_proliant_dl785_g5(0.2).pstate_power_kw
+        assert p30[0] == p20[0]
+        assert p30[1] > p20[1]
+
+
+class TestSpecInvariants:
+    def test_off_pstate_index(self):
+        t1 = hp_proliant_dl785_g5()
+        assert t1.off_pstate == 4
+        assert t1.n_pstates == 5
+        assert t1.core_power(t1.off_pstate) == 0.0
+
+    def test_core_power_bounds_check(self):
+        t1 = hp_proliant_dl785_g5()
+        with pytest.raises(IndexError):
+            t1.core_power(5)
+        with pytest.raises(IndexError):
+            t1.core_power(-1)
+
+    def test_powers_strictly_decreasing(self):
+        for spec in paper_node_types():
+            assert all(np.diff(spec.pstate_power_kw) < 0)
+
+    def _valid_kwargs(self):
+        return dict(name="x", base_power_kw=0.1, cores_per_node=2,
+                    frequencies_mhz=(2000.0, 1000.0), voltages_v=(1.2, 1.0),
+                    pstate_power_kw=(0.01, 0.005, 0.0), flow_m3s=0.05,
+                    performance_scale=1.0, static_fraction_p0=0.3)
+
+    def test_validation_rejects_bad_off_state(self):
+        kwargs = self._valid_kwargs()
+        kwargs["pstate_power_kw"] = (0.01, 0.005, 0.001)
+        with pytest.raises(ValueError, match="off P-state"):
+            NodeTypeSpec(**kwargs)
+
+    def test_validation_rejects_nondecreasing_powers(self):
+        kwargs = self._valid_kwargs()
+        kwargs["pstate_power_kw"] = (0.005, 0.01, 0.0)
+        with pytest.raises(ValueError, match="decreasing"):
+            NodeTypeSpec(**kwargs)
+
+    def test_validation_rejects_length_mismatch(self):
+        kwargs = self._valid_kwargs()
+        kwargs["pstate_power_kw"] = (0.01, 0.0)
+        with pytest.raises(ValueError, match="off state"):
+            NodeTypeSpec(**kwargs)
+
+    def test_validation_rejects_zero_cores(self):
+        kwargs = self._valid_kwargs()
+        kwargs["cores_per_node"] = 0
+        with pytest.raises(ValueError, match="cores_per_node"):
+            NodeTypeSpec(**kwargs)
+
+    def test_validation_rejects_bad_flow(self):
+        kwargs = self._valid_kwargs()
+        kwargs["flow_m3s"] = 0.0
+        with pytest.raises(ValueError, match="flow"):
+            NodeTypeSpec(**kwargs)

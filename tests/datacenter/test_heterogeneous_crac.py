@@ -1,0 +1,55 @@
+"""Tests for heterogeneous CRAC fleets (unequal flow weights)."""
+
+import numpy as np
+import pytest
+
+from repro.core import three_stage_assignment
+from repro.datacenter import build_datacenter, power_bounds
+from repro.thermal import attach_thermal_model
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def uneven_room():
+    rng = np.random.default_rng(77)
+    dc = build_datacenter(n_nodes=15, n_crac=3, rng=rng,
+                          crac_flow_weights=(3.0, 2.0, 1.0))
+    attach_thermal_model(dc, rng=rng)
+    return dc
+
+
+class TestHeterogeneousCracs:
+    def test_flow_split_respects_weights(self, uneven_room):
+        flows = uneven_room.crac_flows
+        assert flows[0] / flows[2] == pytest.approx(3.0)
+        assert flows[1] / flows[2] == pytest.approx(2.0)
+        assert flows.sum() == pytest.approx(uneven_room.node_flows.sum())
+
+    def test_energy_conservation_holds(self, uneven_room):
+        model = uneven_room.thermal
+        p = uneven_room.node_power_kw(uneven_room.all_p0_pstates())
+        state = model.steady_state(np.full(3, 15.0), p)
+        assert state.crac_heat_kw.sum() == pytest.approx(p.sum(), rel=1e-6)
+
+    def test_pipeline_runs_end_to_end(self, uneven_room):
+        rng = np.random.default_rng(78)
+        wl = generate_workload(uneven_room, rng)
+        pc = power_bounds(uneven_room).p_const
+        res = three_stage_assignment(uneven_room, wl, pc, psi=50.0)
+        res.verify(uneven_room, pc)
+        assert res.reward_rate > 0
+
+    def test_small_crac_removes_less_heat(self, uneven_room):
+        """At a uniform outlet setting, heat removal splits roughly with
+        the flow weights (bigger units ingest more hot air)."""
+        model = uneven_room.thermal
+        p = uneven_room.node_power_kw(uneven_room.all_p0_pstates())
+        state = model.steady_state(np.full(3, 15.0), p)
+        assert state.crac_heat_kw[0] > state.crac_heat_kw[2]
+
+    def test_weight_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="weights"):
+            build_datacenter(10, 3, rng=rng, crac_flow_weights=(1.0, 2.0))
+        with pytest.raises(ValueError, match="positive"):
+            build_datacenter(10, 2, rng=rng, crac_flow_weights=(1.0, 0.0))

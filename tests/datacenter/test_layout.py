@@ -1,0 +1,100 @@
+"""Tests for repro.datacenter.layout — racks, labels, hot aisles."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.layout import (RACK_LABELS, TABLE_II_RANGES, LabelRanges,
+                                     build_layout, hot_aisle_split_matrix)
+
+
+class TestTableII:
+    def test_all_labels_present(self):
+        assert set(TABLE_II_RANGES) == set(RACK_LABELS)
+
+    @pytest.mark.parametrize("label,ec,rc", [
+        ("A", (0.30, 0.40), (0.00, 0.10)),
+        ("B", (0.30, 0.40), (0.00, 0.20)),
+        ("C", (0.40, 0.50), (0.10, 0.30)),
+        ("D", (0.70, 0.80), (0.30, 0.70)),
+        ("E", (0.80, 0.90), (0.40, 0.80)),
+    ])
+    def test_paper_ranges(self, label, ec, rc):
+        r = TABLE_II_RANGES[label]
+        assert (r.ec_min, r.ec_max) == ec
+        assert (r.rc_min, r.rc_max) == rc
+
+    def test_top_of_rack_recirculates_more(self):
+        """EC and RC both increase with height (paper's discussion)."""
+        ecs = [TABLE_II_RANGES[l].ec_max for l in RACK_LABELS]
+        rcs = [TABLE_II_RANGES[l].rc_max for l in RACK_LABELS]
+        assert ecs == sorted(ecs)
+        assert rcs == sorted(rcs)
+
+    def test_label_ranges_validation(self):
+        with pytest.raises(ValueError, match="min exceeds max"):
+            LabelRanges(0.5, 0.4, 0.0, 0.1)
+        with pytest.raises(ValueError, match=r"\[0,1\]"):
+            LabelRanges(0.5, 1.4, 0.0, 0.1)
+
+
+class TestBuildLayout:
+    def test_paper_room(self):
+        layout = build_layout(150, 3, nodes_per_rack=5)
+        assert layout.n_nodes == 150
+        assert layout.n_racks == 30
+        # balanced labels: 30 of each
+        for label in RACK_LABELS:
+            assert layout.nodes_with_label(label).size == 30
+
+    def test_bottom_slot_is_label_a(self):
+        layout = build_layout(10, 2)
+        assert layout.label_of_node[0] == "A"
+        assert layout.label_of_node[4] == "E"
+
+    def test_hot_aisles_round_robin(self):
+        layout = build_layout(30, 3, nodes_per_rack=5)
+        counts = np.bincount(layout.hot_aisle_of_node, minlength=3)
+        assert counts.tolist() == [10, 10, 10]
+
+    def test_partial_rack(self):
+        layout = build_layout(7, 1, nodes_per_rack=5)
+        assert layout.n_racks == 2
+        assert layout.label_of_node[6] == "B"
+
+    def test_unknown_label_rejected(self):
+        layout = build_layout(5, 1)
+        with pytest.raises(ValueError, match="unknown"):
+            layout.nodes_with_label("Z")
+
+    @pytest.mark.parametrize("n_nodes,n_crac,npr", [
+        (0, 1, 5), (5, 0, 5), (5, 1, 0), (5, 1, 9),
+    ])
+    def test_bad_arguments(self, n_nodes, n_crac, npr):
+        with pytest.raises(ValueError):
+            build_layout(n_nodes, n_crac, npr)
+
+
+class TestHotAisleSplit:
+    def test_rows_sum_to_one(self):
+        m = hot_aisle_split_matrix(3)
+        np.testing.assert_allclose(m.sum(axis=1), 1.0)
+
+    def test_facing_crac_dominates(self):
+        m = hot_aisle_split_matrix(3, facing_share=0.7)
+        for i in range(3):
+            assert m[i, i] == pytest.approx(0.7)
+            assert np.all(m[i, i] >= m[i])
+
+    def test_single_crac_identity(self):
+        np.testing.assert_allclose(hot_aisle_split_matrix(1), [[1.0]])
+
+    def test_nearer_crac_gets_more(self):
+        m = hot_aisle_split_matrix(4, facing_share=0.6)
+        # aisle 0: CRAC 1 closer than CRAC 3
+        assert m[0, 1] > m[0, 3]
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError, match="positive"):
+            hot_aisle_split_matrix(0)
+        with pytest.raises(ValueError, match="facing_share"):
+            hot_aisle_split_matrix(3, facing_share=0.0)

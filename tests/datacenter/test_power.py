@@ -1,0 +1,63 @@
+"""Tests for repro.datacenter.power — total power and Eq. 17/18 bounds."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.power import power_bounds, total_power
+
+
+class TestTotalPower:
+    def test_breakdown_sums(self, small_dc):
+        p = small_dc.node_power_kw(small_dc.all_p0_pstates())
+        b = total_power(small_dc, np.full(small_dc.n_crac, 15.0), p)
+        assert b.total == pytest.approx(b.compute_total + b.cooling_total)
+        assert b.compute_total == pytest.approx(p.sum())
+
+    def test_cooling_positive_under_load(self, small_dc):
+        p = small_dc.node_power_kw(small_dc.all_p0_pstates())
+        b = total_power(small_dc, np.full(small_dc.n_crac, 15.0), p)
+        assert b.cooling_total > 0
+
+    def test_warmer_outlets_cheaper_cooling(self, small_dc):
+        p = small_dc.node_power_kw(small_dc.all_p0_pstates())
+        cold = total_power(small_dc, np.full(small_dc.n_crac, 12.0), p)
+        warm = total_power(small_dc, np.full(small_dc.n_crac, 18.0), p)
+        assert warm.cooling_total < cold.cooling_total
+
+    def test_cooling_tracks_compute_load(self, small_dc):
+        """In steady state CRACs remove exactly the node heat, so cooling
+        power scales with compute power at fixed outlets."""
+        t = np.full(small_dc.n_crac, 15.0)
+        lo = total_power(small_dc, t, small_dc.node_power_kw(
+            small_dc.all_off_pstates()))
+        hi = total_power(small_dc, t, small_dc.node_power_kw(
+            small_dc.all_p0_pstates()))
+        assert hi.cooling_total > lo.cooling_total
+
+
+class TestPowerBounds:
+    def test_ordering(self, small_dc):
+        b = power_bounds(small_dc)
+        assert 0 < b.p_min < b.p_const < b.p_max
+
+    def test_eq18_midpoint(self, small_dc):
+        b = power_bounds(small_dc)
+        assert b.p_const == pytest.approx((b.p_min + b.p_max) / 2)
+
+    def test_pmin_at_least_base_power(self, small_dc):
+        b = power_bounds(small_dc)
+        assert b.p_min >= small_dc.node_base_power.sum()
+
+    def test_pmax_at_least_flat_out_compute(self, small_dc):
+        b = power_bounds(small_dc)
+        flat_out = small_dc.node_power_kw(small_dc.all_p0_pstates()).sum()
+        assert b.p_max >= flat_out
+
+    def test_min_prefers_warm_outlets(self, small_dc):
+        """Minimizing power pushes outlet temps toward the feasible top."""
+        b = power_bounds(small_dc)
+        lo, hi = small_dc.cracs[0].outlet_range_c
+        assert np.all(b.t_out_min >= lo)
+        assert np.all(b.t_out_min <= hi)
+        # idle room: very little heat, so warm outlets are optimal
+        assert b.t_out_min.mean() > (lo + hi) / 2

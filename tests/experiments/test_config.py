@@ -1,0 +1,50 @@
+"""Tests for repro.experiments.config — the simulation-set recipes."""
+
+import pytest
+
+from repro.experiments.config import (PAPER_SET_1, PAPER_SET_2, PAPER_SET_3,
+                                      ScenarioConfig, paper_sets, scaled_down)
+
+
+class TestPaperSets:
+    def test_three_sets(self):
+        assert [c.name for c in paper_sets()] == ["set1", "set2", "set3"]
+
+    def test_set1_knobs(self):
+        assert PAPER_SET_1.static_fraction == 0.3
+        assert PAPER_SET_1.v_prop == 0.1
+
+    def test_set2_knobs(self):
+        assert PAPER_SET_2.static_fraction == 0.3
+        assert PAPER_SET_2.v_prop == 0.3
+
+    def test_set3_knobs(self):
+        assert PAPER_SET_3.static_fraction == 0.2
+        assert PAPER_SET_3.v_prop == 0.3
+
+    def test_shared_paper_defaults(self):
+        for cfg in paper_sets():
+            assert cfg.n_nodes == 150
+            assert cfg.n_crac == 3
+            assert cfg.n_task_types == 8
+            assert cfg.v_ecs == 0.1
+            assert cfg.v_arrival == 0.3
+            assert cfg.psis == (25.0, 50.0)
+
+
+class TestScaling:
+    def test_scaled_down_changes_only_size(self):
+        small = scaled_down(PAPER_SET_2, 30)
+        assert small.n_nodes == 30
+        assert small.v_prop == PAPER_SET_2.v_prop
+        assert small.static_fraction == PAPER_SET_2.static_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            ScenarioConfig(n_nodes=0)
+        with pytest.raises(ValueError, match="psi"):
+            ScenarioConfig(psis=())
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_SET_1.n_nodes = 5

@@ -1,0 +1,89 @@
+"""Tests for repro.experiments.figures / .tables — paper artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (fig3_rr_function,
+                                       fig4_rr_function_with_deadline,
+                                       fig5_arr_functions, fig6_data,
+                                       format_fig6)
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.tables import (format_table1, format_table2,
+                                      pstate_static_percentages, table1_rows,
+                                      table2_rows)
+
+
+class TestFigureExamples:
+    def test_fig3_exact(self):
+        f = fig3_rr_function()
+        np.testing.assert_allclose(f.x, [0.0, 0.05, 0.10, 0.15])
+        np.testing.assert_allclose(f.y, [0.0, 0.5, 0.9, 1.2])
+
+    def test_fig4_exact(self):
+        f = fig4_rr_function_with_deadline()
+        np.testing.assert_allclose(f.y, [0.0, 0.0, 0.9, 1.2])
+
+    def test_fig5_hull(self):
+        arr = fig5_arr_functions()
+        np.testing.assert_allclose(arr.concave.x, [0.0, 0.10, 0.15])
+        np.testing.assert_allclose(arr.concave.y, [0.0, 0.9, 1.2])
+
+    def test_fig5_bad_pstate_ratio_story(self):
+        """P-state 2 is 'bad': its reward/power ratio (0) is below
+        P-state 1's (9) — the paper's definition."""
+        arr = fig5_arr_functions()
+        raw = arr.raw
+        assert raw(0.05) / 0.05 == pytest.approx(0.0)
+        assert raw(0.10) / 0.10 == pytest.approx(9.0)
+
+
+class TestFig6Harness:
+    def test_small_fig6_run(self):
+        cfgs = [ScenarioConfig(name="mini1", n_nodes=15),
+                ScenarioConfig(name="mini3", n_nodes=15,
+                               static_fraction=0.2, v_prop=0.3)]
+        data = fig6_data(n_runs=2, base_seed=30, configs=cfgs)
+        assert set(data) == {"mini1", "mini3"}
+        text = format_fig6(data)
+        assert "psi=25" in text and "best" in text
+        assert "mini1" in text
+
+
+class TestTables:
+    def test_table1_row_values(self):
+        rows = table1_rows()
+        assert rows[0]["base_power_kw"] == pytest.approx(0.353)
+        assert rows[1]["base_power_kw"] == pytest.approx(0.418)
+        assert rows[0]["p0_power_kw"] == pytest.approx(0.01375)
+        assert rows[1]["p0_power_kw"] == pytest.approx(0.01625)
+        assert rows[0]["flow_m3s"] == pytest.approx(0.07)
+        assert rows[1]["flow_m3s"] == pytest.approx(0.0828)
+
+    def test_table1_formats(self):
+        text = format_table1()
+        assert "Table I" in text
+        assert "0.353" in text and "0.418" in text
+        assert "2500" in text and "2666" in text
+
+    def test_table2_rows(self):
+        rows = table2_rows()
+        assert [r["label"] for r in rows] == list("ABCDE")
+        assert rows[4]["ec_min"] == pytest.approx(0.80)
+
+    def test_table2_formats(self):
+        text = format_table2()
+        assert "Table II" in text and "80-90%" in text
+
+    def test_static_percentages_fig6_annotation(self):
+        pct = pstate_static_percentages(0.3)
+        for name, fracs in pct.items():
+            assert fracs[0] == pytest.approx(0.3)
+            # slower P-states are more static-dominated
+            assert np.all(np.diff(fracs) > 0)
+            assert np.all(fracs < 1.0)
+
+    def test_static_percentages_scale_with_input(self):
+        p20 = pstate_static_percentages(0.2)
+        p30 = pstate_static_percentages(0.3)
+        for name in p20:
+            assert np.all(p20[name] < p30[name])

@@ -1,0 +1,48 @@
+"""Tests for repro.experiments.generator — scenario assembly."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.generator import generate_scenario
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return generate_scenario(ScenarioConfig(name="t", n_nodes=15), 3)
+
+
+class TestGeneration:
+    def test_reproducible(self, small_scenario):
+        again = generate_scenario(small_scenario.config, 3)
+        np.testing.assert_allclose(
+            again.workload.ecs, small_scenario.workload.ecs)
+        np.testing.assert_allclose(
+            again.datacenter.thermal.mix,
+            small_scenario.datacenter.thermal.mix)
+        assert again.p_const == pytest.approx(small_scenario.p_const)
+
+    def test_seed_matters(self, small_scenario):
+        other = generate_scenario(small_scenario.config, 4)
+        assert not np.allclose(other.workload.ecs,
+                               small_scenario.workload.ecs)
+
+    def test_static_fraction_flows_to_node_types(self):
+        s20 = generate_scenario(
+            ScenarioConfig(name="s", n_nodes=15, static_fraction=0.2), 1)
+        for spec in s20.datacenter.node_types:
+            assert spec.static_fraction_p0 == 0.2
+
+    def test_thermal_attached(self, small_scenario):
+        assert small_scenario.datacenter.thermal is not None
+
+    def test_oversubscribed_by_construction(self, small_scenario):
+        """Pconst sits strictly between idle and flat-out power."""
+        b = small_scenario.bounds
+        assert b.p_min < small_scenario.p_const < b.p_max
+
+    def test_workload_dimensions(self, small_scenario):
+        wl = small_scenario.workload
+        cfg = small_scenario.config
+        assert wl.n_task_types == cfg.n_task_types
+        assert wl.n_node_types == 2

@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.report — ASCII/markdown rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.report import (ascii_bar_chart, comparison_markdown,
+                                      fig6_bar_chart, fig6_markdown)
+from repro.experiments.runner import RunResult, SetResult
+
+
+def tiny_set_result() -> SetResult:
+    cfg = ScenarioConfig(name="s", n_nodes=10)
+    runs = [
+        RunResult(seed=0, reward_by_psi={25.0: 105.0, 50.0: 110.0},
+                  baseline_reward=100.0, p_const=10.0),
+        RunResult(seed=1, reward_by_psi={25.0: 108.0, 50.0: 104.0},
+                  baseline_reward=100.0, p_const=10.0),
+    ]
+    return SetResult(config=cfg, runs=runs)
+
+
+class TestAsciiBars:
+    def test_basic_render(self):
+        out = ascii_bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a  |")
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_longest_bar_fills_width(self):
+        out = ascii_bar_chart(["x"], [5.0], width=20)
+        assert out.count("#") == 20
+
+    def test_negative_bar_renders_differently(self):
+        out = ascii_bar_chart(["neg"], [-3.0], width=20)
+        assert "<" in out and "#" not in out
+
+    def test_errors_shown(self):
+        out = ascii_bar_chart(["x"], [5.0], errors=[1.5])
+        assert "+/- 1.50" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError, match="errors"):
+            ascii_bar_chart(["a"], [1.0], errors=[1.0, 2.0])
+        with pytest.raises(ValueError, match="width"):
+            ascii_bar_chart(["a"], [1.0], width=3)
+
+    def test_all_zero_values(self):
+        out = ascii_bar_chart(["a"], [0.0])
+        assert "+0.00%" in out
+
+
+class TestFig6Renderers:
+    def test_bar_chart_includes_all_groups(self):
+        res = {"s": tiny_set_result()}
+        out = fig6_bar_chart(res)
+        assert "s/best" in out
+        assert "s/psi=25" in out and "s/psi=50" in out
+
+    def test_markdown_table(self):
+        res = {"s": tiny_set_result()}
+        md = fig6_markdown(res)
+        assert md.startswith("| set |")
+        assert "| s | 30% | 0.1 |" in md
+        # best-of means: max(105,110)=10%, max(108,104)=8% -> +9.00%
+        assert "+9.00%" in md
+
+
+class TestComparisonMarkdown:
+    def test_table_shape(self):
+        md = comparison_markdown(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_row_width_check(self):
+        with pytest.raises(ValueError, match="row"):
+            comparison_markdown(["a"], [["1", "2"]])

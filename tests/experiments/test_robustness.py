@@ -1,0 +1,69 @@
+"""Tests for repro.experiments.robustness — ECS error sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import (evaluate_robustness, perturb_ecs)
+
+
+class TestPerturbEcs:
+    def test_zero_delta_identity(self, small_workload):
+        out = perturb_ecs(small_workload, 0.0, np.random.default_rng(0))
+        np.testing.assert_allclose(out.ecs, small_workload.ecs)
+
+    def test_bounded_perturbation(self, small_workload):
+        out = perturb_ecs(small_workload, 0.2, np.random.default_rng(1))
+        active = small_workload.ecs[:, :, :-1]
+        # after re-sorting, every value still lies within the perturbed
+        # envelope of the original ladder
+        assert np.all(out.ecs[:, :, :-1] <= active.max(axis=2,
+                                                       keepdims=True) * 1.2)
+        assert np.all(out.ecs[:, :, :-1] >= active.min(axis=2,
+                                                       keepdims=True) * 0.8)
+
+    def test_monotonicity_restored(self, small_workload):
+        out = perturb_ecs(small_workload, 0.3, np.random.default_rng(2))
+        active = out.ecs[:, :, :-1]
+        assert np.all(np.diff(active, axis=2) <= 1e-12)
+
+    def test_off_state_untouched(self, small_workload):
+        out = perturb_ecs(small_workload, 0.3, np.random.default_rng(3))
+        np.testing.assert_allclose(out.ecs[:, :, -1], 0.0)
+
+    def test_other_fields_unchanged(self, small_workload):
+        out = perturb_ecs(small_workload, 0.3, np.random.default_rng(4))
+        np.testing.assert_array_equal(out.rewards, small_workload.rewards)
+        np.testing.assert_array_equal(out.arrival_rates,
+                                      small_workload.arrival_rates)
+
+    def test_bad_delta(self, small_workload):
+        with pytest.raises(ValueError, match="delta"):
+            perturb_ecs(small_workload, 1.0, np.random.default_rng(0))
+
+
+class TestEvaluate:
+    def test_zero_delta_is_unity(self, scenario):
+        pts = evaluate_robustness(scenario.datacenter, scenario.workload,
+                                  scenario.p_const, [0.0], n_trials=2)
+        assert pts[0].achieved_fraction == pytest.approx(1.0, abs=1e-9)
+        assert pts[0].worst_fraction == pytest.approx(1.0, abs=1e-9)
+
+    def test_plans_reasonably_robust(self, scenario):
+        """Frozen P-states lose little even under 20% ECS error —
+        the rates adapt via Stage 3 and P-state mixes are broadly
+        useful."""
+        pts = evaluate_robustness(scenario.datacenter, scenario.workload,
+                                  scenario.p_const, [0.2], n_trials=3)
+        assert pts[0].achieved_fraction > 0.85
+
+    def test_worst_never_exceeds_mean(self, scenario):
+        pts = evaluate_robustness(scenario.datacenter, scenario.workload,
+                                  scenario.p_const, [0.1, 0.3],
+                                  n_trials=3)
+        for p in pts:
+            assert p.worst_fraction <= p.achieved_fraction + 1e-12
+
+    def test_trial_validation(self, scenario):
+        with pytest.raises(ValueError, match="trial"):
+            evaluate_robustness(scenario.datacenter, scenario.workload,
+                                scenario.p_const, [0.1], n_trials=0)

@@ -1,0 +1,126 @@
+"""Tests for repro.optimize.linprog — the LP wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.optimize.linprog import InfeasibleError, LinearProgram
+
+
+class TestVariables:
+    def test_add_returns_range(self):
+        lp = LinearProgram()
+        r = lp.add_variables(3)
+        assert list(r) == [0, 1, 2]
+        assert lp.num_variables == 3
+
+    def test_second_block_continues_indices(self):
+        lp = LinearProgram()
+        lp.add_variables(2)
+        r = lp.add_variables(2)
+        assert list(r) == [2, 3]
+
+    def test_vector_bounds(self):
+        lp = LinearProgram(maximize=True)
+        lp.add_variables(2, lb=0.0, ub=[1.0, 2.0], objective=1.0)
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            LinearProgram().add_variables(0)
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ValueError, match="bound"):
+            LinearProgram().add_variables(1, lb=2.0, ub=1.0)
+
+    def test_set_bounds(self):
+        lp = LinearProgram(maximize=True)
+        x = lp.add_variables(1, ub=10.0, objective=1.0)
+        lp.set_bounds(x[0], 0.0, 4.0)
+        assert lp.solve().objective == pytest.approx(4.0)
+
+    def test_set_bounds_bad_index(self):
+        lp = LinearProgram()
+        lp.add_variables(1)
+        with pytest.raises(IndexError):
+            lp.set_bounds(5, 0.0, 1.0)
+
+
+class TestConstraints:
+    def test_docstring_example(self):
+        lp = LinearProgram(name="toy", maximize=True)
+        x = lp.add_variables(2, lb=0.0, ub=4.0, objective=[1.0, 2.0])
+        lp.add_le_constraint({x[0]: 1.0, x[1]: 1.0}, 5.0)
+        assert lp.solve().objective == pytest.approx(9.0)
+
+    def test_ge_constraint(self):
+        lp = LinearProgram(maximize=False)
+        x = lp.add_variables(1, objective=1.0)
+        lp.add_ge_constraint({x[0]: 1.0}, 3.0)
+        sol = lp.solve()
+        assert sol.x[0] == pytest.approx(3.0)
+
+    def test_eq_constraint(self):
+        lp = LinearProgram(maximize=True)
+        x = lp.add_variables(2, ub=10.0, objective=[1.0, 1.0])
+        lp.add_eq_constraint({x[0]: 1.0, x[1]: 2.0}, 6.0)
+        sol = lp.solve()
+        assert sol.x[0] + 2 * sol.x[1] == pytest.approx(6.0)
+
+    def test_unknown_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variables(1)
+        with pytest.raises(IndexError, match="out of range"):
+            lp.add_le_constraint({3: 1.0}, 1.0)
+
+    def test_dense_rows(self):
+        lp = LinearProgram(maximize=True)
+        lp.add_variables(3, ub=5.0, objective=1.0)
+        lp.add_dense_le_rows(np.eye(3) * 2.0, np.asarray([2.0, 4.0, 6.0]))
+        sol = lp.solve()
+        np.testing.assert_allclose(sol.x, [1.0, 2.0, 3.0])
+
+    def test_dense_rows_shape_check(self):
+        lp = LinearProgram()
+        lp.add_variables(2)
+        with pytest.raises(ValueError, match="width"):
+            lp.add_dense_le_rows(np.ones((1, 3)), np.ones(1))
+        with pytest.raises(ValueError, match="mismatch"):
+            lp.add_dense_le_rows(np.ones((2, 2)), np.ones(1))
+
+
+class TestSolve:
+    def test_infeasible_raises_with_name(self):
+        lp = LinearProgram(name="broken")
+        x = lp.add_variables(1, lb=0.0, ub=1.0)
+        lp.add_ge_constraint({x[0]: 1.0}, 5.0)
+        with pytest.raises(InfeasibleError, match="broken"):
+            lp.solve()
+
+    def test_infeasible_soft(self):
+        lp = LinearProgram()
+        x = lp.add_variables(1, lb=0.0, ub=1.0)
+        lp.add_ge_constraint({x[0]: 1.0}, 5.0)
+        sol = lp.solve(require_feasible=False)
+        assert np.isnan(sol.objective)
+        assert sol.status != 0
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(ValueError, match="no variables"):
+            LinearProgram().solve()
+
+    def test_minimize_sense(self):
+        lp = LinearProgram(maximize=False)
+        lp.add_variables(1, lb=2.0, ub=8.0, objective=1.0)
+        assert lp.solve().objective == pytest.approx(2.0)
+
+    def test_transportation_problem(self):
+        """2x2 transportation LP with a known optimum."""
+        lp = LinearProgram(maximize=False)
+        # costs: [[1, 3], [2, 1]]; supply [5, 5]; demand [5, 5]
+        x = lp.add_variables(4, objective=[1.0, 3.0, 2.0, 1.0])
+        lp.add_eq_constraint({x[0]: 1, x[1]: 1}, 5.0)
+        lp.add_eq_constraint({x[2]: 1, x[3]: 1}, 5.0)
+        lp.add_eq_constraint({x[0]: 1, x[2]: 1}, 5.0)
+        lp.add_eq_constraint({x[1]: 1, x[3]: 1}, 5.0)
+        assert lp.solve().objective == pytest.approx(10.0)

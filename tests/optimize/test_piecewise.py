@@ -1,0 +1,151 @@
+"""Tests for repro.optimize.piecewise — PWL functions and concave hulls."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimize.piecewise import (PiecewiseLinear, Segment,
+                                      concave_majorant_points)
+
+
+def paper_rr() -> PiecewiseLinear:
+    """The Figure 3 example function."""
+    return PiecewiseLinear([0.0, 0.05, 0.10, 0.15], [0.0, 0.5, 0.9, 1.2])
+
+
+class TestConstruction:
+    def test_requires_equal_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            PiecewiseLinear([0, 1], [0, 1, 2])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            PiecewiseLinear([0], [1])
+
+    def test_requires_increasing_x(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PiecewiseLinear([0, 0.1, 0.1], [0, 1, 2])
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            PiecewiseLinear([[0, 1]], [[0, 1]])
+
+    def test_through_points_sorts(self):
+        f = PiecewiseLinear.through_points([(0.1, 1.0), (0.0, 0.0)])
+        assert f.x[0] == 0.0 and f.y[0] == 0.0
+
+    def test_through_points_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PiecewiseLinear.through_points([(0.1, 1.0), (0.1, 2.0)])
+
+
+class TestEvaluation:
+    def test_at_breakpoints(self):
+        f = paper_rr()
+        assert f(0.05) == pytest.approx(0.5)
+        assert f(0.15) == pytest.approx(1.2)
+
+    def test_interpolates_between(self):
+        f = paper_rr()
+        assert f(0.075) == pytest.approx(0.7)
+
+    def test_clamps_outside_domain(self):
+        f = paper_rr()
+        assert f(-1.0) == pytest.approx(0.0)
+        assert f(1.0) == pytest.approx(1.2)
+
+    def test_vectorized(self):
+        f = paper_rr()
+        out = f(np.array([0.0, 0.05, 0.10]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 0.9])
+
+    def test_domain(self):
+        assert paper_rr().domain == (0.0, 0.15)
+
+
+class TestSegments:
+    def test_slopes(self):
+        np.testing.assert_allclose(paper_rr().slopes(), [10.0, 8.0, 6.0])
+
+    def test_segments_decompose(self):
+        segs = paper_rr().segments()
+        assert segs[0] == Segment(length=pytest.approx(0.05),
+                                  slope=pytest.approx(10.0))
+        assert len(segs) == 3
+
+    def test_is_concave_true(self):
+        assert paper_rr().is_concave()
+
+    def test_is_concave_false(self):
+        dent = PiecewiseLinear([0.0, 0.05, 0.1], [0.0, 0.0, 0.9])
+        assert not dent.is_concave()
+
+
+class TestAlgebra:
+    def test_scale(self):
+        f = paper_rr().scale(2.0)
+        assert f(0.05) == pytest.approx(1.0)
+
+    def test_average_of_identical_is_identity(self):
+        f = paper_rr()
+        avg = PiecewiseLinear.average([f, f, f])
+        np.testing.assert_allclose(avg(f.x), f.y)
+
+    def test_average_merges_breakpoints(self):
+        f = PiecewiseLinear([0.0, 1.0], [0.0, 1.0])
+        g = PiecewiseLinear([0.0, 0.5, 1.0], [0.0, 1.0, 1.0])
+        avg = PiecewiseLinear.average([f, g])
+        assert 0.5 in avg.x
+        assert avg(0.5) == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero functions"):
+            PiecewiseLinear.average([])
+
+    def test_equality(self):
+        assert paper_rr() == paper_rr()
+        assert paper_rr() != paper_rr().scale(2.0)
+
+
+class TestConcaveMajorant:
+    def test_paper_figure5(self):
+        """Figure 4 -> Figure 5: the (0.05, 0) dent is removed."""
+        f = PiecewiseLinear([0.0, 0.05, 0.10, 0.15], [0.0, 0.0, 0.9, 1.2])
+        hull = f.concave_majorant()
+        np.testing.assert_allclose(hull.x, [0.0, 0.10, 0.15])
+        np.testing.assert_allclose(hull.y, [0.0, 0.9, 1.2])
+
+    def test_concave_input_unchanged(self):
+        f = paper_rr()
+        hull = f.concave_majorant()
+        np.testing.assert_allclose(hull.x, f.x)
+        np.testing.assert_allclose(hull.y, f.y)
+
+    def test_collinear_points_kept_or_merged_consistently(self):
+        f = PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+        hull = f.concave_majorant()
+        # value is what matters, not breakpoint count
+        assert hull(1.5) == pytest.approx(1.5)
+
+    @given(
+        ys=st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=2, max_size=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_hull_properties(self, ys):
+        xs = np.arange(len(ys), dtype=float)
+        hx, hy = concave_majorant_points(xs, np.asarray(ys))
+        hull = PiecewiseLinear(hx, hy)
+        # 1. dominates the input at every breakpoint
+        assert np.all(hull(xs) >= np.asarray(ys) - 1e-9)
+        # 2. concave
+        assert hull.is_concave(tol=1e-7)
+        # 3. touches the input at its own breakpoints (minimality)
+        orig = dict(zip(xs, ys))
+        for x, y in zip(hx, hy):
+            assert y == pytest.approx(orig[x])
+        # 4. idempotent
+        hx2, hy2 = concave_majorant_points(hx, hy)
+        np.testing.assert_allclose(hx2, hx)
+        np.testing.assert_allclose(hy2, hy)

@@ -1,0 +1,126 @@
+"""Tests for repro.optimize.search — discretized temperature searches."""
+
+import numpy as np
+import pytest
+
+from repro.optimize.search import (coarse_to_fine_search, golden_refine,
+                                   temperature_grid,
+                                   uniform_then_coordinate_search)
+
+
+class TestTemperatureGrid:
+    def test_inclusive_endpoints(self):
+        np.testing.assert_allclose(temperature_grid(10, 25, 5),
+                                   [10, 15, 20, 25])
+
+    def test_non_divisible_range(self):
+        np.testing.assert_allclose(temperature_grid(10, 24, 5),
+                                   [10, 15, 20])
+
+    def test_single_point(self):
+        np.testing.assert_allclose(temperature_grid(10, 10, 1), [10])
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError, match="positive"):
+            temperature_grid(0, 1, 0)
+
+    def test_empty_range(self):
+        with pytest.raises(ValueError, match="empty"):
+            temperature_grid(5, 4, 1)
+
+
+def quad_peak(center: np.ndarray):
+    """Concave objective peaking at ``center``."""
+    def f(t: np.ndarray) -> float:
+        return -float(((t - center) ** 2).sum())
+    return f
+
+
+class TestCoarseToFine:
+    def test_finds_peak_1d(self):
+        res = coarse_to_fine_search(quad_peak(np.asarray([17.0])), 1, 10, 25,
+                                    final_step=1.0)
+        assert res.temperatures[0] == pytest.approx(17.0)
+
+    def test_finds_peak_2d(self):
+        res = coarse_to_fine_search(quad_peak(np.asarray([13.0, 21.0])), 2,
+                                    10, 25, final_step=1.0,
+                                    uniform_first=False)
+        np.testing.assert_allclose(res.temperatures, [13.0, 21.0])
+
+    def test_uniform_first_falls_back_to_grid(self):
+        """A peak invisible on the diagonal is still found."""
+        def off_diagonal(t):
+            # feasible only away from the diagonal
+            if abs(t[0] - t[1]) < 4.0:
+                return None
+            return -abs(t[0] - 10.0) - abs(t[1] - 25.0)
+        res = coarse_to_fine_search(off_diagonal, 2, 10, 25,
+                                    uniform_first=True, final_step=1.0)
+        assert res.score == pytest.approx(0.0)
+
+    def test_all_infeasible_raises(self):
+        with pytest.raises(RuntimeError, match="no feasible"):
+            coarse_to_fine_search(lambda t: None, 1, 10, 25)
+
+    def test_minimize_sense(self):
+        res = coarse_to_fine_search(
+            lambda t: float(((t - 20.0) ** 2).sum()), 1, 10, 25,
+            final_step=1.0, maximize=False)
+        assert res.temperatures[0] == pytest.approx(20.0)
+
+    def test_counts_evaluations(self):
+        res = coarse_to_fine_search(quad_peak(np.asarray([15.0])), 1, 10, 25)
+        assert res.evaluations > 0
+
+    def test_bad_n_crac(self):
+        with pytest.raises(ValueError, match="positive"):
+            coarse_to_fine_search(lambda t: 0.0, 0, 10, 25)
+
+
+class TestUniformCoordinate:
+    def test_finds_uniform_peak(self):
+        res = uniform_then_coordinate_search(
+            quad_peak(np.asarray([18.0, 18.0, 18.0])), 3, 10, 25)
+        np.testing.assert_allclose(res.temperatures, 18.0)
+
+    def test_coordinate_descent_moves_off_diagonal(self):
+        res = uniform_then_coordinate_search(
+            quad_peak(np.asarray([16.0, 19.0])), 2, 10, 25, step=1.0)
+        np.testing.assert_allclose(res.temperatures, [16.0, 19.0])
+
+    def test_respects_bounds(self):
+        res = uniform_then_coordinate_search(
+            quad_peak(np.asarray([30.0])), 1, 10, 25, step=1.0)
+        assert res.temperatures[0] == pytest.approx(25.0)
+
+    def test_all_infeasible_raises(self):
+        with pytest.raises(RuntimeError, match="no feasible uniform"):
+            uniform_then_coordinate_search(lambda t: None, 2, 10, 25)
+
+    def test_minimize(self):
+        res = uniform_then_coordinate_search(
+            lambda t: float(np.abs(t - 12.0).sum()), 2, 10, 25,
+            maximize=False)
+        np.testing.assert_allclose(res.temperatures, 12.0)
+
+    def test_partial_feasibility(self):
+        """Only warm settings feasible — search stays inside them."""
+        def obj(t):
+            if np.any(t < 20.0):
+                return None
+            return -float(t.sum())
+        res = uniform_then_coordinate_search(obj, 2, 10, 25, step=1.0)
+        np.testing.assert_allclose(res.temperatures, 20.0)
+
+
+class TestGoldenRefine:
+    def test_refines_quadratic(self):
+        t, val = golden_refine(lambda x: -(x - 17.3) ** 2, 10, 25, tol=1e-4)
+        assert t == pytest.approx(17.3, abs=1e-3)
+        assert val == pytest.approx(0.0, abs=1e-6)
+
+    def test_minimize(self):
+        t, _ = golden_refine(lambda x: (x - 12.0) ** 2, 10, 25,
+                             maximize=False, tol=1e-4)
+        assert t == pytest.approx(12.0, abs=1e-3)

@@ -1,0 +1,101 @@
+"""Tests for repro.power.cmos — the Appendix A power model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.cmos import (CmosConstants, derive_constants, pstate_powers,
+                              static_fraction)
+
+# AMD Opteron 8381 HE ladder (Appendix A / Table I, node type 1)
+AMD_FREQS = np.asarray([2500.0, 2100.0, 1700.0, 800.0])
+AMD_VOLTS = np.asarray([1.325, 1.25, 1.175, 1.025])
+AMD_P0_KW = 0.01375
+
+
+class TestDeriveConstants:
+    def test_reconstructs_p0(self):
+        c = derive_constants(AMD_P0_KW, 0.3, AMD_FREQS[0], AMD_VOLTS[0])
+        assert c.power(AMD_FREQS[0], AMD_VOLTS[0]) == pytest.approx(AMD_P0_KW)
+
+    def test_static_share_at_p0(self):
+        c = derive_constants(AMD_P0_KW, 0.3, AMD_FREQS[0], AMD_VOLTS[0])
+        static = c.static_coefficient * AMD_VOLTS[0]
+        assert static / AMD_P0_KW == pytest.approx(0.3)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_bad_static_fraction(self, bad):
+        with pytest.raises(ValueError, match="static fraction"):
+            derive_constants(AMD_P0_KW, bad, 2500.0, 1.3)
+
+    def test_bad_operating_point(self):
+        with pytest.raises(ValueError, match="positive"):
+            derive_constants(0.0, 0.3, 2500.0, 1.3)
+
+
+class TestPstatePowers:
+    def test_p0_exact(self):
+        powers = pstate_powers(AMD_P0_KW, 0.3, AMD_FREQS, AMD_VOLTS)
+        assert powers[0] == AMD_P0_KW
+
+    def test_strictly_decreasing(self):
+        powers = pstate_powers(AMD_P0_KW, 0.3, AMD_FREQS, AMD_VOLTS)
+        assert np.all(np.diff(powers) < 0)
+
+    def test_off_state_appended(self):
+        powers = pstate_powers(AMD_P0_KW, 0.3, AMD_FREQS, AMD_VOLTS)
+        assert powers.size == AMD_FREQS.size + 1
+        assert powers[-1] == 0.0
+
+    def test_without_off_state(self):
+        powers = pstate_powers(AMD_P0_KW, 0.3, AMD_FREQS, AMD_VOLTS,
+                               include_off=False)
+        assert powers.size == AMD_FREQS.size
+
+    def test_lower_static_fraction_lowers_slow_pstates(self):
+        """Dynamic power scales with f*V^2, static only with V — so a
+        smaller static share makes slow P-states relatively cheaper."""
+        p30 = pstate_powers(AMD_P0_KW, 0.3, AMD_FREQS, AMD_VOLTS)
+        p20 = pstate_powers(AMD_P0_KW, 0.2, AMD_FREQS, AMD_VOLTS)
+        assert p20[0] == p30[0]
+        assert np.all(p20[1:-1] < p30[1:-1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            pstate_powers(AMD_P0_KW, 0.3, AMD_FREQS, AMD_VOLTS[:-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            pstate_powers(AMD_P0_KW, 0.3, [], [])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            pstate_powers(AMD_P0_KW, 0.3, [2500.0, -1.0], [1.3, 1.2])
+
+    @given(frac=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_decomposition_sums_to_total(self, frac):
+        """static + dynamic = total for every P-state."""
+        c = derive_constants(AMD_P0_KW, frac, AMD_FREQS[0], AMD_VOLTS[0])
+        powers = pstate_powers(AMD_P0_KW, frac, AMD_FREQS, AMD_VOLTS,
+                               include_off=False)
+        for f, v, p in zip(AMD_FREQS, AMD_VOLTS, powers):
+            static = c.static_coefficient * v
+            dynamic = c.switching_capacitance * f * v ** 2
+            assert static + dynamic == pytest.approx(p, rel=1e-9)
+
+
+class TestStaticFraction:
+    def test_p0_matches_input(self):
+        fracs = static_fraction(AMD_P0_KW, 0.3, AMD_FREQS, AMD_VOLTS)
+        assert fracs[0] == pytest.approx(0.3)
+
+    def test_increases_for_slower_pstates(self):
+        """Figure 6 annotation: slow P-states are more static-dominated."""
+        fracs = static_fraction(AMD_P0_KW, 0.3, AMD_FREQS, AMD_VOLTS)
+        assert np.all(np.diff(fracs) > 0)
+
+    def test_bounded(self):
+        fracs = static_fraction(AMD_P0_KW, 0.2, AMD_FREQS, AMD_VOLTS)
+        assert np.all((fracs > 0) & (fracs < 1))

@@ -1,0 +1,44 @@
+"""Tests for repro.power.cop — the Eq. 8 CoP curve."""
+
+import numpy as np
+import pytest
+
+from repro.power.cop import HP_UTILITY_COP, CoPModel
+
+
+class TestEq8:
+    def test_paper_coefficients(self):
+        assert HP_UTILITY_COP.a2 == 0.0068
+        assert HP_UTILITY_COP.a1 == 0.0008
+        assert HP_UTILITY_COP.a0 == 0.458
+
+    @pytest.mark.parametrize("tau,expected", [
+        (0.0, 0.458),
+        (15.0, 0.0068 * 225 + 0.0008 * 15 + 0.458),
+        (25.0, 0.0068 * 625 + 0.0008 * 25 + 0.458),
+    ])
+    def test_values(self, tau, expected):
+        assert HP_UTILITY_COP(tau) == pytest.approx(expected)
+
+    def test_monotone_increasing_on_operating_range(self):
+        taus = np.linspace(5.0, 35.0, 50)
+        cops = HP_UTILITY_COP(taus)
+        assert np.all(np.diff(cops) > 0)
+
+    def test_vectorized(self):
+        out = HP_UTILITY_COP(np.asarray([10.0, 20.0]))
+        assert out.shape == (2,)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(HP_UTILITY_COP(15.0), float)
+
+
+class TestCustomModel:
+    def test_callable(self):
+        model = CoPModel(a2=0.0, a1=0.0, a0=2.0)
+        assert model(100.0) == pytest.approx(2.0)
+
+    def test_nonpositive_cop_rejected(self):
+        model = CoPModel(a2=0.0, a1=0.0, a0=-1.0)
+        with pytest.raises(ValueError, match="non-positive"):
+            model(10.0)

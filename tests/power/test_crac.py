@@ -1,0 +1,55 @@
+"""Tests for repro.power.crac — Eqs. 2-3 heat removal and CRAC power."""
+
+import numpy as np
+import pytest
+
+from repro.power.cop import HP_UTILITY_COP, CoPModel
+from repro.power.crac import crac_power_kw, heat_removed_kw
+from repro.units import AIR_DENSITY
+
+
+class TestHeatRemoved:
+    def test_eq2(self):
+        # q = rho * Cp * F * (Tin - Tout)
+        q = heat_removed_kw(2.0, 30.0, 15.0)
+        assert q == pytest.approx(AIR_DENSITY * 1.0 * 2.0 * 15.0)
+
+    def test_clamped_at_zero(self):
+        """No heat to remove when inlet is at or below outlet."""
+        assert heat_removed_kw(2.0, 10.0, 15.0) == 0.0
+        assert heat_removed_kw(2.0, 15.0, 15.0) == 0.0
+
+    def test_vectorized(self):
+        q = heat_removed_kw(np.asarray([1.0, 2.0]), 30.0, 15.0)
+        assert q.shape == (2,)
+        assert q[1] == pytest.approx(2 * q[0])
+
+    def test_bad_flow(self):
+        with pytest.raises(ValueError, match="positive"):
+            heat_removed_kw(0.0, 30.0, 15.0)
+
+
+class TestCracPower:
+    def test_eq3(self):
+        q = heat_removed_kw(2.0, 30.0, 15.0)
+        p = crac_power_kw(2.0, 30.0, 15.0)
+        assert p == pytest.approx(q / HP_UTILITY_COP(15.0))
+
+    def test_zero_when_no_heat(self):
+        assert crac_power_kw(2.0, 10.0, 15.0) == 0.0
+
+    def test_warmer_outlet_cheaper_for_same_lift(self):
+        """Same 10-degree lift costs less at a warmer outlet (higher CoP)."""
+        cold = crac_power_kw(2.0, 20.0, 10.0)
+        warm = crac_power_kw(2.0, 35.0, 25.0)
+        assert warm < cold
+
+    def test_custom_cop_model(self):
+        unity = CoPModel(a2=0.0, a1=0.0, a0=1.0)
+        p = crac_power_kw(2.0, 30.0, 15.0, cop_model=unity)
+        assert p == pytest.approx(heat_removed_kw(2.0, 30.0, 15.0))
+
+    def test_vector_of_units(self):
+        p = crac_power_kw(np.asarray([1.0, 1.0]), np.asarray([30.0, 25.0]),
+                          np.asarray([15.0, 15.0]))
+        assert p[0] > p[1] > 0

@@ -1,0 +1,100 @@
+"""Tests for repro.power.taskpower — task-dependent power (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.power.taskpower import (TaskPowerModel, expected_node_power,
+                                   sample_task_power_model)
+
+
+class TestModel:
+    def test_active_and_idle(self):
+        m = TaskPowerModel(factors=np.asarray([0.8, 1.2]),
+                           idle_fraction=0.5)
+        assert m.active_power(0.01, 0) == pytest.approx(0.008)
+        assert m.active_power(0.01, 1) == pytest.approx(0.012)
+        assert m.idle_power(0.01) == pytest.approx(0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            TaskPowerModel(factors=np.asarray([0.0, 1.0]))
+        with pytest.raises(ValueError, match="idle_fraction"):
+            TaskPowerModel(factors=np.asarray([0.8]), idle_fraction=0.9)
+        with pytest.raises(ValueError, match="1-D"):
+            TaskPowerModel(factors=np.ones((2, 2)))
+
+    def test_sampling_bounds(self, small_workload):
+        rng = np.random.default_rng(0)
+        m = sample_task_power_model(small_workload, rng, spread=0.2)
+        assert m.n_task_types == small_workload.n_task_types
+        assert np.all(m.factors >= 0.8 - 1e-12)
+        assert np.all(m.factors <= 1.2 + 1e-12)
+        assert m.idle_fraction <= m.factors.min()
+
+    def test_sampling_validation(self, small_workload):
+        with pytest.raises(ValueError, match="spread"):
+            sample_task_power_model(small_workload,
+                                    np.random.default_rng(0), spread=1.0)
+
+
+class TestExpectedNodePower:
+    def test_idle_room(self, scenario, assignment):
+        """Zero rates -> base power + idle draw of the P-states."""
+        dc, wl = scenario.datacenter, scenario.workload
+        m = TaskPowerModel(factors=np.ones(wl.n_task_types),
+                           idle_fraction=0.5)
+        zero_tc = np.zeros_like(assignment.tc)
+        p = expected_node_power(dc, wl, assignment.pstates, zero_tc, m)
+        nominal = dc.node_power_kw(assignment.pstates)
+        expect = dc.node_base_power \
+            + 0.5 * (nominal - dc.node_base_power)
+        np.testing.assert_allclose(p, expect)
+
+    def test_unit_factors_bounded_by_nominal(self, scenario, assignment):
+        """With factors == 1, expected power never exceeds the nominal
+        always-busy Eq. 1 power."""
+        dc, wl = scenario.datacenter, scenario.workload
+        m = TaskPowerModel(factors=np.ones(wl.n_task_types),
+                           idle_fraction=0.6)
+        p = expected_node_power(dc, wl, assignment.pstates, assignment.tc,
+                                m)
+        nominal = dc.node_power_kw(assignment.pstates)
+        assert np.all(p <= nominal + 1e-9)
+
+    def test_monotone_in_factors(self, scenario, assignment):
+        dc, wl = scenario.datacenter, scenario.workload
+        lo = TaskPowerModel(factors=np.full(wl.n_task_types, 0.9),
+                            idle_fraction=0.5)
+        hi = TaskPowerModel(factors=np.full(wl.n_task_types, 1.1),
+                            idle_fraction=0.5)
+        p_lo = expected_node_power(dc, wl, assignment.pstates,
+                                   assignment.tc, lo)
+        p_hi = expected_node_power(dc, wl, assignment.pstates,
+                                   assignment.tc, hi)
+        assert np.all(p_hi >= p_lo - 1e-12)
+
+    def test_rejects_oversubscribed_tc(self, scenario, assignment):
+        dc, wl = scenario.datacenter, scenario.workload
+        m = TaskPowerModel(factors=np.ones(wl.n_task_types))
+        bad_tc = assignment.tc * 100.0
+        with pytest.raises(ValueError, match="over-subscribes"):
+            expected_node_power(dc, wl, assignment.pstates, bad_tc, m)
+
+    def test_rejects_rate_on_incapable_core(self, scenario, assignment):
+        dc, wl = scenario.datacenter, scenario.workload
+        m = TaskPowerModel(factors=np.ones(wl.n_task_types))
+        off = np.asarray([dc.node_types[t].off_pstate
+                          for t in dc.core_type])
+        bad_tc = np.zeros_like(assignment.tc)
+        off_cores = np.nonzero(assignment.pstates == off)[0]
+        if off_cores.size:
+            bad_tc[0, off_cores[0]] = 1.0
+            with pytest.raises(ValueError, match="cannot run"):
+                expected_node_power(dc, wl, assignment.pstates, bad_tc, m)
+
+    def test_shape_checks(self, scenario, assignment):
+        dc, wl = scenario.datacenter, scenario.workload
+        m = TaskPowerModel(factors=np.ones(3))
+        with pytest.raises(ValueError, match="dimension"):
+            expected_node_power(dc, wl, assignment.pstates, assignment.tc,
+                                m)

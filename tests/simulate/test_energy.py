@@ -1,0 +1,92 @@
+"""Tests for repro.simulate.energy — measured energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.power.taskpower import TaskPowerModel
+from repro.simulate.energy import energy_report
+from repro.simulate.engine import simulate_trace
+from repro.workload.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def run(scenario, assignment):
+    rng = np.random.default_rng(12)
+    trace = generate_trace(scenario.workload, 10.0, rng)
+    metrics = simulate_trace(scenario.datacenter, scenario.workload,
+                             assignment.tc, assignment.pstates, trace,
+                             duration=10.0)
+    return metrics
+
+
+class TestEnergyReport:
+    def test_base_model_within_budget(self, scenario, assignment, run):
+        """Base model (always-on cores): measured compute power equals
+        the planner's budget exactly — idle cores still draw their
+        P-state power."""
+        rep = energy_report(scenario.datacenter, scenario.workload, run,
+                            assignment.pstates, assignment.t_crac_out)
+        # budgeted_kw includes base power via node_power_kw
+        assert rep.compute_kw == pytest.approx(rep.budgeted_kw, rel=1e-9)
+
+    def test_idle_saving_reduces_power(self, scenario, assignment, run):
+        wl = scenario.workload
+        saving = TaskPowerModel(factors=np.ones(wl.n_task_types),
+                                idle_fraction=0.4)
+        rep = energy_report(scenario.datacenter, wl, run,
+                            assignment.pstates, assignment.t_crac_out,
+                            task_power=saving)
+        base = energy_report(scenario.datacenter, wl, run,
+                             assignment.pstates, assignment.t_crac_out)
+        assert rep.compute_kw < base.compute_kw
+        assert rep.cooling_kw < base.cooling_kw
+
+    def test_energy_arithmetic(self, scenario, assignment, run):
+        rep = energy_report(scenario.datacenter, scenario.workload, run,
+                            assignment.pstates, assignment.t_crac_out)
+        hours = run.duration / 3600.0
+        assert rep.energy_kwh == pytest.approx(rep.total_kw * hours)
+        assert rep.reward_per_kwh == pytest.approx(
+            run.total_reward / rep.energy_kwh)
+
+    def test_requires_busy_by_type(self, scenario, assignment, run):
+        from dataclasses import replace
+
+        bad = replace(run, busy_by_type=None)
+        with pytest.raises(ValueError, match="busy_by_type"):
+            energy_report(scenario.datacenter, scenario.workload, bad,
+                          assignment.pstates, assignment.t_crac_out)
+
+
+class TestLatencyMetrics:
+    def test_percentiles_ordered(self, scenario, run):
+        for i in range(scenario.workload.n_task_types):
+            p = run.response_time_percentiles(i)
+            if not np.isnan(p).any():
+                assert p[0] <= p[1] <= p[2]
+
+    def test_response_below_deadline_slack(self, scenario, run):
+        """Assigned tasks finish by their deadlines, so every response
+        time is at most the type's slack."""
+        wl = scenario.workload
+        for i in range(wl.n_task_types):
+            samples = run.response_times[i]
+            if samples.size:
+                assert samples.max() <= wl.deadline_slack[i] + 1e-9
+
+    def test_slack_utilization_in_unit_range(self, scenario, run):
+        wl = scenario.workload
+        for i in range(wl.n_task_types):
+            s = run.slack_utilization(i, float(wl.deadline_slack[i]))
+            if not np.isnan(s):
+                assert 0.0 < s <= 1.0 + 1e-9
+
+    def test_latency_collection_optional(self, scenario, assignment):
+        trace = generate_trace(scenario.workload, 2.0,
+                               np.random.default_rng(0))
+        m = simulate_trace(scenario.datacenter, scenario.workload,
+                           assignment.tc, assignment.pstates, trace,
+                           duration=2.0, collect_latency=False)
+        assert m.response_times is None
+        with pytest.raises(RuntimeError, match="not collected"):
+            m.response_time_percentiles(0)

@@ -1,0 +1,108 @@
+"""Tests for repro.simulate.engine — DES replay of the second step."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.engine import simulate_trace
+from repro.workload.tasktypes import Workload
+from repro.workload.trace import Task, generate_trace
+
+
+@pytest.fixture(scope="module")
+def des_run(scenario, assignment):
+    rng = np.random.default_rng(99)
+    trace = generate_trace(scenario.workload, 20.0, rng)
+    metrics = simulate_trace(scenario.datacenter, scenario.workload,
+                             assignment.tc, assignment.pstates, trace,
+                             duration=20.0)
+    return trace, metrics
+
+
+class TestAccounting:
+    def test_every_task_completed_or_dropped(self, des_run):
+        trace, metrics = des_run
+        assert metrics.completed.sum() + metrics.dropped.sum() == len(trace)
+
+    def test_reward_matches_completions(self, scenario, des_run):
+        _, metrics = des_run
+        expect = float(scenario.workload.rewards @ metrics.completed)
+        assert metrics.total_reward == pytest.approx(expect)
+
+    def test_atc_matches_counts(self, des_run):
+        trace, metrics = des_run
+        assert metrics.atc.sum() * metrics.duration == pytest.approx(
+            metrics.completed.sum())
+
+    def test_utilization_bounded(self, des_run):
+        _, metrics = des_run
+        u = metrics.utilization
+        assert np.all(u >= 0.0)
+        assert np.all(u <= 1.0 + 1e-9)
+
+    def test_achieved_close_to_plan(self, scenario, assignment, des_run):
+        """The DES should realize a large share of the fluid plan."""
+        _, metrics = des_run
+        assert metrics.reward_rate >= 0.7 * assignment.reward_rate
+
+    def test_achieved_not_above_plan_much(self, scenario, assignment,
+                                          des_run):
+        """ATC/TC <= 1 caps the scheduler near the plan (Poisson noise
+        allows a small overshoot)."""
+        _, metrics = des_run
+        assert metrics.reward_rate <= 1.2 * assignment.reward_rate
+
+    def test_drop_fraction_shape(self, scenario, des_run):
+        _, metrics = des_run
+        df = metrics.drop_fraction
+        assert df.shape == (scenario.workload.n_task_types,)
+        assert np.all((df >= 0) & (df <= 1))
+
+    def test_unplanned_types_fully_dropped(self, scenario, assignment,
+                                           des_run):
+        """Types with zero planned rate must be entirely dropped."""
+        _, metrics = des_run
+        planned = assignment.tc.sum(axis=1)
+        arrived = metrics.completed + metrics.dropped
+        for i in np.nonzero(planned == 0)[0]:
+            if arrived[i] > 0:
+                assert metrics.dropped[i] == arrived[i]
+
+
+class TestDeterminismAndEdges:
+    def test_empty_trace(self, scenario, assignment):
+        m = simulate_trace(scenario.datacenter, scenario.workload,
+                           assignment.tc, assignment.pstates, [],
+                           duration=5.0)
+        assert m.total_reward == 0.0
+        assert m.completed.sum() == 0
+
+    def test_deterministic(self, scenario, assignment):
+        rng = np.random.default_rng(5)
+        trace = generate_trace(scenario.workload, 5.0, rng)
+        m1 = simulate_trace(scenario.datacenter, scenario.workload,
+                            assignment.tc, assignment.pstates, trace)
+        m2 = simulate_trace(scenario.datacenter, scenario.workload,
+                            assignment.tc, assignment.pstates, trace)
+        assert m1.total_reward == m2.total_reward
+        np.testing.assert_array_equal(m1.completed, m2.completed)
+
+    def test_single_task_completes(self, scenario, assignment):
+        wl = scenario.workload
+        # pick a type the plan serves
+        i = int(np.argmax(assignment.tc.sum(axis=1)))
+        task = Task(arrival=0.0, task_type=i, uid=0,
+                    deadline=float(wl.deadline_slack[i]))
+        m = simulate_trace(scenario.datacenter, wl, assignment.tc,
+                           assignment.pstates, [task], duration=1.0)
+        assert m.completed[i] == 1
+        assert m.total_reward == pytest.approx(float(wl.rewards[i]))
+
+    def test_all_off_drops_everything(self, scenario):
+        dc, wl = scenario.datacenter, scenario.workload
+        off = np.asarray([dc.node_types[t].off_pstate
+                          for t in dc.core_type])
+        tc = np.zeros((wl.n_task_types, dc.n_cores))
+        trace = generate_trace(wl, 2.0, np.random.default_rng(1))
+        m = simulate_trace(dc, wl, tc, off, trace, duration=2.0)
+        assert m.completed.sum() == 0
+        assert m.dropped.sum() == len(trace)

@@ -1,0 +1,45 @@
+"""Tests for repro.simulate.metrics — derived metric arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.metrics import SimulationMetrics
+
+
+def make_metrics(**overrides) -> SimulationMetrics:
+    defaults = dict(
+        duration=10.0,
+        total_reward=50.0,
+        completed=np.asarray([8, 0]),
+        dropped=np.asarray([2, 0]),
+        atc=np.asarray([[0.8, 0.0], [0.0, 0.0]]),
+        tc=np.asarray([[1.0, 0.0], [0.0, 0.0]]),
+        busy_time=np.asarray([5.0, 0.0]),
+    )
+    defaults.update(overrides)
+    return SimulationMetrics(**defaults)
+
+
+class TestDerived:
+    def test_reward_rate(self):
+        assert make_metrics().reward_rate == pytest.approx(5.0)
+
+    def test_drop_fraction(self):
+        df = make_metrics().drop_fraction
+        assert df[0] == pytest.approx(0.2)
+        assert df[1] == 0.0  # no arrivals -> zero, not NaN
+
+    def test_utilization(self):
+        np.testing.assert_allclose(make_metrics().utilization, [0.5, 0.0])
+
+    def test_tracking_error(self):
+        # only the TC>0 entry counts: |0.8 - 1.0| = 0.2
+        assert make_metrics().tracking_error() == pytest.approx(0.2)
+
+    def test_tracking_error_no_plan(self):
+        m = make_metrics(tc=np.zeros((2, 2)))
+        assert m.tracking_error() == 0.0
+
+    def test_rate_ratios(self):
+        ratios = make_metrics().rate_ratios()
+        np.testing.assert_allclose(ratios, [0.8])

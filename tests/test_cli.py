@@ -1,0 +1,77 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_unknown_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+        capsys.readouterr()
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.runs == 5 and args.nodes == 30
+
+    def test_compare_set_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--set", "4"])
+        capsys.readouterr()
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "0.353" in out
+
+    def test_tables_custom_static(self, capsys):
+        assert main(["tables", "--static", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "20%" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--nodes", "15", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "three-stage" in out
+        assert "improvement over baseline" in out
+
+    def test_fig6_tiny(self, capsys):
+        assert main(["fig6", "--runs", "2", "--nodes", "15",
+                     "--seed", "77"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "set3" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--nodes", "15", "--seed", "2",
+                     "--horizon", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "planned reward rate" in out
+        assert "achieved (DES)" in out
+
+    def test_sweep_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        assert main(["sweep", "--nodes", "12", "--seed", "5",
+                     "--points", "3", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cap kW" in out
+        assert csv_path.exists()
+        assert "p_const_kw" in csv_path.read_text()
+
+    def test_fig6_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig6.csv"
+        assert main(["fig6", "--runs", "2", "--nodes", "12",
+                     "--seed", "88", "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        text = csv_path.read_text()
+        assert "mean_improvement_pct" in text
+        assert "set3" in text

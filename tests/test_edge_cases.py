@@ -1,0 +1,126 @@
+"""Edge-case and degenerate-input tests across modules.
+
+These guard the corners the main suites don't reach: single-unit rooms,
+all-deadline-infeasible workloads, degenerate ARR curves, boundary
+temperature grids.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.arr import aggregate_reward_rate
+from repro.core.reward import reward_rate_function
+from repro.core.stage3 import solve_stage3
+from repro.datacenter import build_datacenter, power_bounds
+from repro.experiments.figures import example_node_type, example_workload
+from repro.optimize.piecewise import PiecewiseLinear
+from repro.thermal import attach_thermal_model
+from repro.workload.tasktypes import Workload
+
+
+class TestDegenerateWorkloads:
+    def make_hopeless_workload(self) -> Workload:
+        """Every P-state misses the deadline."""
+        return Workload(
+            ecs=np.asarray([[[1.2, 0.9, 0.5, 0.0]]]),
+            rewards=np.asarray([1.0]),
+            deadline_slack=np.asarray([0.1]),   # < 1/1.2
+            arrival_rates=np.asarray([5.0]),
+        )
+
+    def test_rr_flat_zero_when_all_deadlines_missed(self):
+        wl = self.make_hopeless_workload()
+        rr = reward_rate_function(wl, 0, example_node_type(), 0)
+        np.testing.assert_allclose(rr.y, 0.0)
+
+    def test_arr_hull_degenerates_gracefully(self):
+        wl = self.make_hopeless_workload()
+        arr = aggregate_reward_rate(wl, example_node_type(), 0, 100.0)
+        assert arr.concave.is_concave()
+        assert arr.concave(0.1) == 0.0
+        lengths, slopes = arr.segments_decreasing_slope()
+        assert np.allclose(slopes, 0.0)
+
+    def test_stage3_zero_reward_for_hopeless_types(self, scenario):
+        """A workload whose deadlines nothing can meet earns nothing."""
+        wl = scenario.workload
+        hopeless = Workload(
+            ecs=wl.ecs,
+            rewards=wl.rewards,
+            deadline_slack=np.full(wl.n_task_types, 1e-9),
+            arrival_rates=wl.arrival_rates,
+        )
+        dc = scenario.datacenter
+        sol = solve_stage3(dc, hopeless, dc.all_p0_pstates())
+        assert sol.reward_rate == 0.0
+
+
+class TestSingleUnitRooms:
+    def test_one_node_one_crac(self):
+        rng = np.random.default_rng(5)
+        dc = build_datacenter(n_nodes=1, n_crac=1, rng=rng,
+                              nodes_per_rack=1)
+        attach_thermal_model(dc, rng=rng)
+        assert dc.n_units == 2
+        bounds = power_bounds(dc)
+        assert bounds.p_min < bounds.p_max
+
+    def test_zero_arrival_rates_workload(self, small_dc):
+        """A silent data center is valid and earns nothing."""
+        rng = np.random.default_rng(6)
+        from repro.workload import generate_workload
+
+        wl = generate_workload(small_dc, rng)
+        silent = Workload(ecs=wl.ecs, rewards=wl.rewards,
+                          deadline_slack=wl.deadline_slack,
+                          arrival_rates=np.zeros(wl.n_task_types))
+        sol = solve_stage3(small_dc, silent, small_dc.all_p0_pstates())
+        assert sol.reward_rate == 0.0
+
+
+class TestPiecewiseBoundaries:
+    def test_two_point_function(self):
+        f = PiecewiseLinear([0.0, 1.0], [0.0, 3.0])
+        assert f(0.5) == pytest.approx(1.5)
+        assert f.concave_majorant() == f
+
+    def test_flat_function_hull(self):
+        f = PiecewiseLinear([0.0, 1.0, 2.0], [1.0, 1.0, 1.0])
+        hull = f.concave_majorant()
+        assert hull(1.5) == pytest.approx(1.0)
+
+    def test_single_dent_at_start(self):
+        f = PiecewiseLinear([0.0, 1.0, 2.0], [1.0, 0.0, 1.0])
+        hull = f.concave_majorant()
+        assert hull(1.0) == pytest.approx(1.0)
+
+
+class TestSearchLattice:
+    def test_full_search_lands_on_integer_lattice(self):
+        """With final_step=1, results are whole degrees — the paper's
+        'granularity of 1 degree'."""
+        from repro.optimize.search import coarse_to_fine_search
+
+        res = coarse_to_fine_search(
+            lambda t: -float(((t - 17.3) ** 2).sum()), 1, 10, 25,
+            final_step=1.0)
+        assert res.temperatures[0] == pytest.approx(
+            round(res.temperatures[0]))
+
+    def test_uniform_search_single_point_range(self):
+        from repro.optimize.search import uniform_then_coordinate_search
+
+        res = uniform_then_coordinate_search(
+            lambda t: -float(t.sum()), 2, 15, 15, step=1.0)
+        np.testing.assert_allclose(res.temperatures, 15.0)
+
+
+class TestExampleFigures:
+    def test_example_workload_slack_parameter(self):
+        wl = example_workload(3.3)
+        assert wl.deadline_slack[0] == 3.3
+
+    def test_example_node_type_is_valid_spec(self):
+        spec = example_node_type()
+        assert spec.off_pstate == 3
+        assert spec.p0_power_kw == 0.15

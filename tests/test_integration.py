@@ -1,0 +1,150 @@
+"""End-to-end integration tests — the paper's pipeline on small rooms.
+
+These cross-module tests exercise the library the way the Figure 6
+experiment does (generate -> assign both ways -> verify -> compare) and
+assert the *qualitative* claims of the paper hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (generate_trace, simulate_trace, solve_baseline,
+                   three_stage_assignment)
+from repro.core import best_psi_assignment
+from repro.datacenter.power import total_power
+from repro.experiments import (PAPER_SET_1, PAPER_SET_3, generate_scenario,
+                               run_comparison, scaled_down)
+
+
+@pytest.fixture(scope="module")
+def set3_scenarios():
+    """Three small set-3 scenarios (the paper's most favorable setup)."""
+    cfg = scaled_down(PAPER_SET_3, 25)
+    return [generate_scenario(cfg, seed) for seed in (301, 302, 303)]
+
+
+class TestHeadlineClaim:
+    def test_three_stage_beats_baseline_on_average_set3(self,
+                                                        set3_scenarios):
+        """The paper's core claim: with 20% static power and V_prop=0.3,
+        data-center-level P-state assignment earns notably more reward
+        than P0-or-off.  Averaged over scenarios the gain is positive."""
+        imps = []
+        for sc in set3_scenarios:
+            res = run_comparison(sc)
+            imps.append(res.improvement_pct(None))
+        assert np.mean(imps) > 2.0   # paper reports ~10% at full scale
+
+    def test_both_respect_identical_constraints(self, set3_scenarios):
+        sc = set3_scenarios[0]
+        dc = sc.datacenter
+        ours = three_stage_assignment(dc, sc.workload, sc.p_const)
+        base, _ = solve_baseline(dc, sc.workload, sc.p_const)
+        for label, t_out, node_power in (
+                ("ours", ours.t_crac_out, ours.stage2.node_power_kw),
+                ("base", base.t_crac_out, base.node_power_kw)):
+            assert dc.thermal.is_feasible(t_out, node_power,
+                                          dc.redline_c), label
+            total = total_power(dc, t_out, node_power).total
+            assert total <= sc.p_const + 1e-6, label
+
+
+class TestPipelineConsistency:
+    def test_stage_rewards_ordering(self, set3_scenarios):
+        """Stage 3 on stage-2 P-states cannot beat the all-P0 upper
+        bound, and the final reward is positive."""
+        sc = set3_scenarios[0]
+        res = three_stage_assignment(sc.datacenter, sc.workload,
+                                     sc.p_const)
+        from repro.core import solve_stage3
+        upper = solve_stage3(sc.datacenter, sc.workload,
+                             np.zeros(sc.datacenter.n_cores, dtype=int))
+        assert 0 < res.reward_rate <= upper.reward_rate + 1e-9
+
+    def test_des_consistent_with_plan(self, set3_scenarios):
+        """Second step realizes a large fraction of the first-step plan
+        and never grossly exceeds it."""
+        sc = set3_scenarios[1]
+        res = three_stage_assignment(sc.datacenter, sc.workload,
+                                     sc.p_const)
+        trace = generate_trace(sc.workload, 15.0,
+                               np.random.default_rng(0))
+        m = simulate_trace(sc.datacenter, sc.workload, res.tc,
+                           res.pstates, trace, duration=15.0)
+        assert 0.6 * res.reward_rate <= m.reward_rate \
+            <= 1.25 * res.reward_rate
+
+    def test_best_psi_runs_all_levels(self, set3_scenarios):
+        sc = set3_scenarios[2]
+        best, results = best_psi_assignment(sc.datacenter, sc.workload,
+                                            sc.p_const, psis=(25.0, 50.0))
+        for res in results.values():
+            res.verify(sc.datacenter, sc.p_const)
+        assert best.reward_rate == max(r.reward_rate
+                                       for r in results.values())
+
+
+class TestCrossTechniqueDES:
+    def test_baseline_plan_replays_through_des(self, set3_scenarios):
+        """The DES and scheduler are technique-agnostic: the baseline's
+        TC matrix replays cleanly and realizes most of its plan."""
+        sc = set3_scenarios[0]
+        base, _ = solve_baseline(sc.datacenter, sc.workload, sc.p_const)
+        trace = generate_trace(sc.workload, 10.0,
+                               np.random.default_rng(2))
+        m = simulate_trace(sc.datacenter, sc.workload, base.tc,
+                           base.pstates, trace, duration=10.0)
+        assert m.reward_rate >= 0.6 * base.reward_rate
+        assert np.all(m.utilization <= 1.0 + 1e-9)
+
+    def test_server_level_plan_replays_through_des(self, set3_scenarios):
+        from repro.core import solve_server_level
+
+        sc = set3_scenarios[1]
+        srv, _ = solve_server_level(sc.datacenter, sc.workload,
+                                    sc.p_const)
+        trace = generate_trace(sc.workload, 10.0,
+                               np.random.default_rng(3))
+        m = simulate_trace(sc.datacenter, sc.workload, srv.tc,
+                           srv.pstates, trace, duration=10.0)
+        assert m.reward_rate >= 0.6 * srv.reward_rate
+
+    def test_validator_accepts_all_techniques(self, set3_scenarios):
+        from repro.core import solve_server_level
+        from repro.validate import validate_solution
+
+        sc = set3_scenarios[2]
+        ours = three_stage_assignment(sc.datacenter, sc.workload,
+                                      sc.p_const)
+        base, _ = solve_baseline(sc.datacenter, sc.workload, sc.p_const)
+        srv, _ = solve_server_level(sc.datacenter, sc.workload,
+                                    sc.p_const)
+        for label, (t, ps, tc) in {
+            "three-stage": (ours.t_crac_out, ours.pstates, ours.tc),
+            "baseline": (base.t_crac_out, base.pstates, base.tc),
+            "server-level": (srv.t_crac_out, srv.pstates, srv.tc),
+        }.items():
+            rep = validate_solution(sc.datacenter, sc.workload,
+                                    sc.p_const, t, ps, tc)
+            assert rep.ok, f"{label}: {rep.violations}"
+
+
+class TestPowerCapBinds:
+    def test_lower_cap_lower_reward(self):
+        """Tightening the power constraint must not increase reward."""
+        sc = generate_scenario(scaled_down(PAPER_SET_1, 20), 7)
+        full = three_stage_assignment(sc.datacenter, sc.workload,
+                                      sc.p_const)
+        tight = three_stage_assignment(sc.datacenter, sc.workload,
+                                       0.8 * sc.p_const)
+        assert tight.reward_rate <= full.reward_rate + 1e-6
+
+    def test_generous_cap_recovers_flat_out(self):
+        """With a cap above Pmax, (almost) everything runs at P0."""
+        sc = generate_scenario(scaled_down(PAPER_SET_1, 20), 8)
+        loose = three_stage_assignment(sc.datacenter, sc.workload,
+                                       10.0 * sc.bounds.p_max)
+        # thermal constraints may still bind a few nodes, but the bulk
+        # of cores should be active
+        active = (loose.pstates < sc.datacenter.node_types[0].off_pstate)
+        assert active.mean() > 0.5

@@ -1,0 +1,111 @@
+"""Tests for repro.io — JSON persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.io import (assignment_to_dict, datacenter_from_dict,
+                      datacenter_to_dict, load_json, node_type_from_dict,
+                      node_type_to_dict, save_json, workload_from_dict,
+                      workload_to_dict)
+
+
+class TestWorkloadRoundTrip:
+    def test_exact(self, small_workload):
+        doc = workload_to_dict(small_workload)
+        back = workload_from_dict(doc)
+        np.testing.assert_array_equal(back.ecs, small_workload.ecs)
+        np.testing.assert_array_equal(back.rewards, small_workload.rewards)
+        np.testing.assert_array_equal(back.deadline_slack,
+                                      small_workload.deadline_slack)
+        np.testing.assert_array_equal(back.arrival_rates,
+                                      small_workload.arrival_rates)
+
+    def test_kind_check(self, small_workload):
+        doc = workload_to_dict(small_workload)
+        doc["kind"] = "datacenter"
+        with pytest.raises(ValueError, match="workload"):
+            workload_from_dict(doc)
+
+    def test_version_check(self, small_workload):
+        doc = workload_to_dict(small_workload)
+        doc["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            workload_from_dict(doc)
+
+    def test_corrupted_data_fails_validation(self, small_workload):
+        doc = workload_to_dict(small_workload)
+        doc["rewards"] = [-1.0] * small_workload.n_task_types
+        with pytest.raises(ValueError):
+            workload_from_dict(doc)
+
+
+class TestNodeTypeRoundTrip:
+    def test_exact(self, small_dc):
+        for spec in small_dc.node_types:
+            back = node_type_from_dict(node_type_to_dict(spec))
+            assert back == spec
+
+
+class TestDataCenterRoundTrip:
+    def test_geometry(self, small_dc):
+        back = datacenter_from_dict(datacenter_to_dict(small_dc))
+        assert back.n_nodes == small_dc.n_nodes
+        assert back.n_crac == small_dc.n_crac
+        assert back.n_cores == small_dc.n_cores
+        np.testing.assert_array_equal(back.node_type_index,
+                                      small_dc.node_type_index)
+        np.testing.assert_allclose(back.crac_flows, small_dc.crac_flows)
+        assert [n.label for n in back.nodes] \
+            == [n.label for n in small_dc.nodes]
+
+    def test_thermal_model_preserved(self, small_dc):
+        back = datacenter_from_dict(datacenter_to_dict(small_dc))
+        assert back.thermal is not None
+        np.testing.assert_allclose(back.thermal.mix, small_dc.thermal.mix,
+                                   atol=1e-12)
+        # behaviorally identical steady states
+        p = np.linspace(0.4, 0.8, small_dc.n_nodes)
+        t = np.full(small_dc.n_crac, 15.0)
+        np.testing.assert_allclose(
+            back.thermal.steady_state(t, p).t_in,
+            small_dc.thermal.steady_state(t, p).t_in, atol=1e-9)
+
+    def test_without_thermal(self, small_dc):
+        doc = datacenter_to_dict(small_dc)
+        doc["alpha"] = None
+        back = datacenter_from_dict(doc)
+        assert back.thermal is None
+
+    def test_bad_type_index_rejected(self, small_dc):
+        doc = datacenter_to_dict(small_dc)
+        doc["type_index"][0] = 99
+        with pytest.raises(ValueError, match="type_index"):
+            datacenter_from_dict(doc)
+
+    def test_assignment_still_works_on_loaded_room(self, scenario):
+        """A loaded room supports the full pipeline."""
+        from repro.core import three_stage_assignment
+
+        doc = datacenter_to_dict(scenario.datacenter)
+        back = datacenter_from_dict(doc)
+        res = three_stage_assignment(back, scenario.workload,
+                                     scenario.p_const, psi=50.0)
+        res.verify(back, scenario.p_const)
+        assert res.reward_rate > 0
+
+
+class TestAssignmentAndFiles:
+    def test_assignment_document(self, assignment):
+        doc = assignment_to_dict(assignment.t_crac_out, assignment.pstates,
+                                 assignment.tc, assignment.reward_rate,
+                                 extra={"psi": assignment.psi})
+        assert doc["kind"] == "assignment"
+        assert doc["extra"]["psi"] == assignment.psi
+        np.testing.assert_array_equal(np.asarray(doc["pstates"]),
+                                      assignment.pstates)
+
+    def test_file_round_trip(self, tmp_path, small_workload):
+        path = tmp_path / "wl.json"
+        save_json(workload_to_dict(small_workload), path)
+        back = workload_from_dict(load_json(path))
+        np.testing.assert_array_equal(back.ecs, small_workload.ecs)

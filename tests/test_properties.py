@@ -1,0 +1,192 @@
+"""Cross-module property-based tests (hypothesis).
+
+These assert the structural invariants the three-stage decomposition's
+correctness rests on, over randomized inputs rather than fixed examples:
+monotonicity of the thermal map, conservation in the power split,
+feasibility preservation in Stage 2, and scheduler safety.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.stage1 import build_arr_functions, distribute_node_power
+from repro.core.stage2 import convert_power_to_pstates
+from repro.optimize.linprog import LinearProgram
+from repro.optimize.piecewise import PiecewiseLinear
+
+# hypothesis shares the session-scoped fixtures; silence the check that
+# would otherwise flag them (they are read-only by design).
+RELAXED = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+class TestThermalMonotonicity:
+    @given(data=st.data())
+    @RELAXED
+    def test_more_power_never_cools_any_inlet(self, small_dc, data):
+        model = small_dc.thermal
+        n = small_dc.n_nodes
+        p = data.draw(hnp.arrays(float, n,
+                                 elements=st.floats(0.0, 1.5)))
+        bump_idx = data.draw(st.integers(0, n - 1))
+        bump = data.draw(st.floats(0.01, 0.5))
+        t = np.full(small_dc.n_crac, 15.0)
+        before = model.steady_state(t, p).t_in
+        p2 = p.copy()
+        p2[bump_idx] += bump
+        after = model.steady_state(t, p2).t_in
+        assert np.all(after >= before - 1e-9)
+
+    @given(data=st.data())
+    @RELAXED
+    def test_energy_conservation_random_loads(self, small_dc, data):
+        model = small_dc.thermal
+        p = data.draw(hnp.arrays(float, small_dc.n_nodes,
+                                 elements=st.floats(0.0, 2.0)))
+        t = np.full(small_dc.n_crac, float(data.draw(st.floats(10.0, 20.0))))
+        state = model.steady_state(t, p)
+        assert state.crac_heat_kw.sum() == pytest.approx(p.sum(),
+                                                         rel=1e-6, abs=1e-9)
+
+    @given(shift=st.floats(0.5, 5.0))
+    @RELAXED
+    def test_uniform_outlet_shift_shifts_inlets(self, small_dc, shift):
+        """Raising every CRAC outlet by d raises every inlet by exactly d
+        (the map is affine with row sums 1)."""
+        model = small_dc.thermal
+        p = np.full(small_dc.n_nodes, 0.6)
+        base = model.steady_state(np.full(small_dc.n_crac, 14.0), p).t_in
+        moved = model.steady_state(np.full(small_dc.n_crac, 14.0 + shift),
+                                   p).t_in
+        np.testing.assert_allclose(moved - base, shift, atol=1e-9)
+
+
+class TestPowerSplitConservation:
+    @given(data=st.data())
+    @RELAXED
+    def test_distribute_conserves_and_bounds(self, small_dc,
+                                             small_workload, data):
+        arrs = build_arr_functions(small_dc, small_workload, 50.0)
+        caps = np.asarray([n.n_cores * n.spec.p0_power_kw
+                           for n in small_dc.nodes])
+        frac = data.draw(hnp.arrays(float, small_dc.n_nodes,
+                                    elements=st.floats(0.0, 1.0)))
+        budgets = frac * caps
+        core_power = distribute_node_power(small_dc, arrs, budgets)
+        assert np.all(core_power >= -1e-12)
+        for node in small_dc.nodes:
+            sl = list(node.core_indices)
+            assert core_power[sl].sum() == pytest.approx(
+                budgets[node.index], abs=1e-9)
+            assert np.all(core_power[sl] <= node.spec.p0_power_kw + 1e-12)
+
+    @given(data=st.data())
+    @RELAXED
+    def test_split_achieves_hull_value(self, small_dc, small_workload,
+                                       data):
+        """sum ARR(p_c) == n * ARR(C/n): the split is optimal."""
+        arrs = build_arr_functions(small_dc, small_workload, 50.0)
+        node = small_dc.nodes[data.draw(
+            st.integers(0, small_dc.n_nodes - 1))]
+        cap = node.n_cores * node.spec.p0_power_kw
+        budget = data.draw(st.floats(0.0, 1.0)) * cap
+        budgets = np.zeros(small_dc.n_nodes)
+        budgets[node.index] = budget
+        core_power = distribute_node_power(small_dc, arrs, budgets)
+        hull = arrs[node.type_index].concave
+        got = hull(core_power[list(node.core_indices)]).sum()
+        want = node.n_cores * hull(budget / node.n_cores)
+        assert got == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+
+class TestStage2Safety:
+    @given(data=st.data())
+    @RELAXED
+    def test_never_exceeds_budget(self, small_dc, data):
+        """For ANY core-power request and ANY achievable budget, the
+        conversion respects the budget."""
+        n = small_dc.n_cores
+        frac = data.draw(hnp.arrays(float, n,
+                                    elements=st.floats(0.0, 1.0)))
+        p0 = np.asarray([small_dc.node_types[t].p0_power_kw
+                         for t in small_dc.core_type])
+        core_power = frac * p0
+        budget_frac = data.draw(st.floats(0.0, 1.0))
+        max_power = small_dc.node_power_kw(small_dc.all_p0_pstates())
+        budget = small_dc.node_base_power \
+            + budget_frac * (max_power - small_dc.node_base_power)
+        result = convert_power_to_pstates(small_dc, core_power, budget)
+        assert np.all(result.node_power_kw <= budget + 1e-9)
+        eta = small_dc.node_types[0].n_pstates
+        assert np.all((result.pstates >= 0) & (result.pstates < eta))
+
+
+class TestSchedulerSafety:
+    @given(data=st.data())
+    @RELAXED
+    def test_selected_core_always_meets_deadline(self, scenario,
+                                                 assignment, data):
+        from repro.core.scheduler import DynamicScheduler
+
+        dc, wl = scenario.datacenter, scenario.workload
+        sched = DynamicScheduler(dc, wl, assignment.tc, assignment.pstates)
+        i = data.draw(st.integers(0, wl.n_task_types - 1))
+        now = data.draw(st.floats(0.0, 100.0))
+        slack = data.draw(st.floats(0.1, 50.0))
+        free = data.draw(hnp.arrays(float, dc.n_cores,
+                                    elements=st.floats(0.0, 120.0)))
+        deadline = now + slack
+        core = sched.select_core(i, deadline, now, free)
+        if core is not None:
+            start = max(now, free[core])
+            assert start + sched.exec_time[i, core] <= deadline + 1e-9
+            assert assignment.tc[i, core] > 0
+
+
+class TestPWLAlgebra:
+    @given(
+        xs=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=8,
+                    unique=True),
+        factor=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_linearity(self, xs, factor):
+        xs = sorted(xs)
+        ys = list(np.cumsum(np.abs(xs)))
+        f = PiecewiseLinear(xs, ys)
+        g = f.scale(factor)
+        grid = np.linspace(xs[0], xs[-1], 17)
+        np.testing.assert_allclose(g(grid), factor * f(grid), rtol=1e-12)
+
+    @given(
+        ys=st.lists(st.floats(-50, 50), min_size=2, max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_majorant_dominates_everywhere(self, ys):
+        """Not just at breakpoints: the hull dominates on a dense grid."""
+        xs = np.arange(len(ys), dtype=float)
+        f = PiecewiseLinear(xs, ys)
+        hull = f.concave_majorant()
+        grid = np.linspace(0, len(ys) - 1, 101)
+        assert np.all(hull(grid) >= f(grid) - 1e-9)
+
+
+class TestLPWrapperProperties:
+    @given(
+        # coefficients rounded away from the solver's ~1e-7 tolerance
+        c=st.lists(st.floats(-5, 5).map(lambda x: round(x, 2)),
+                   min_size=1, max_size=6),
+        ub=st.lists(st.floats(0.1, 10.0), min_size=6, max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_box_lp_solved_exactly(self, c, ub):
+        """With only box constraints, maximization picks ub where c > 0."""
+        n = len(c)
+        lp = LinearProgram(maximize=True)
+        lp.add_variables(n, lb=0.0, ub=ub[:n], objective=c)
+        sol = lp.solve()
+        expect = sum(ci * ui for ci, ui in zip(c, ub[:n]) if ci > 0)
+        assert sol.objective == pytest.approx(expect, rel=1e-9, abs=1e-9)

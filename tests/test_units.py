@@ -1,0 +1,46 @@
+"""Tests for repro.units — physical constants and unit helpers."""
+
+import pytest
+
+from repro.units import (AIR_DENSITY, AIR_SPECIFIC_HEAT, delta_t_for_power,
+                         heat_capacity_rate)
+
+
+class TestHeatCapacityRate:
+    def test_paper_values(self):
+        # rho * Cp * F for node type 1
+        assert heat_capacity_rate(0.07) == pytest.approx(1.205 * 0.07)
+
+    def test_custom_air_properties(self):
+        assert heat_capacity_rate(2.0, rho=1.0, cp=4.0) == pytest.approx(8.0)
+
+    def test_zero_flow_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            heat_capacity_rate(0.0)
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            heat_capacity_rate(-1.0)
+
+
+class TestDeltaT:
+    def test_paper_sanity_check(self):
+        """Appendix A: DL785 at 0.793 kW / 0.07 m^3/s heats air 9.4 C."""
+        dt = delta_t_for_power(0.793, 0.07)
+        assert dt == pytest.approx(9.4, abs=0.05)
+
+    def test_zero_power_zero_rise(self):
+        assert delta_t_for_power(0.0, 0.07) == 0.0
+
+    def test_linear_in_power(self):
+        assert delta_t_for_power(2.0, 0.1) == pytest.approx(
+            2.0 * delta_t_for_power(1.0, 0.1))
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            delta_t_for_power(-0.1, 0.07)
+
+
+def test_constants_match_paper():
+    assert AIR_DENSITY == 1.205
+    assert AIR_SPECIFIC_HEAT == 1.0

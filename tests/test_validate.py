@@ -1,0 +1,112 @@
+"""Tests for repro.validate — the cross-technique solution auditor."""
+
+import numpy as np
+import pytest
+
+from repro.validate import validate_solution
+
+
+class TestValidSolutions:
+    def test_three_stage_passes(self, scenario, assignment):
+        rep = validate_solution(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            assignment.t_crac_out, assignment.pstates, assignment.tc)
+        assert rep.ok, rep.violations
+        assert rep.reward_rate == pytest.approx(assignment.reward_rate,
+                                                rel=1e-9)
+        assert rep.total_power_kw <= scenario.p_const + 1e-6
+        rep.raise_if_invalid()  # no-op when ok
+
+    def test_baseline_passes(self, scenario, baseline):
+        rep = validate_solution(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            baseline.t_crac_out, baseline.pstates, baseline.tc)
+        assert rep.ok, rep.violations
+
+    def test_all_off_passes_with_zero_reward(self, scenario):
+        dc = scenario.datacenter
+        off = dc.all_off_pstates()
+        tc = np.zeros((scenario.workload.n_task_types, dc.n_cores))
+        rep = validate_solution(dc, scenario.workload, scenario.p_const,
+                                np.full(dc.n_crac, 15.0), off, tc)
+        assert rep.ok
+        assert rep.reward_rate == 0.0
+
+
+class TestViolationDetection:
+    def test_detects_power_cap_violation(self, scenario, assignment):
+        rep = validate_solution(
+            scenario.datacenter, scenario.workload,
+            p_const=1.0,    # impossible cap
+            t_crac_out=assignment.t_crac_out,
+            pstates=assignment.pstates, tc=assignment.tc)
+        assert not rep.ok
+        assert any("power cap" in v for v in rep.violations)
+        with pytest.raises(AssertionError, match="power cap"):
+            rep.raise_if_invalid()
+
+    def test_detects_redline_violation(self, scenario, assignment):
+        dc = scenario.datacenter
+        hot = np.full(dc.n_crac, 25.0)
+        ps = dc.all_p0_pstates()
+        tc = np.zeros_like(assignment.tc)
+        rep = validate_solution(dc, scenario.workload, 1e9, hot, ps, tc)
+        assert any("redline" in v for v in rep.violations)
+
+    def test_detects_overutilization(self, scenario, assignment):
+        rep = validate_solution(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            assignment.t_crac_out, assignment.pstates,
+            assignment.tc * 3.0)
+        assert any("over-utilized" in v for v in rep.violations)
+
+    def test_detects_arrival_rate_violation(self, scenario, assignment):
+        dc, wl = scenario.datacenter, scenario.workload
+        tc = assignment.tc.copy()
+        # pour a huge rate of type 0 onto one core that can run it
+        i = int(np.argmax(assignment.tc.sum(axis=1) > 0))
+        k = int(np.argmax(assignment.tc[i] > 0))
+        tc[i, k] += 10 * wl.arrival_rates[i] * 0  # keep util sane
+        tc[i] *= 5.0  # exceed lambda while spreading utilization
+        rep = validate_solution(dc, wl, 1e9, assignment.t_crac_out,
+                                assignment.pstates, tc)
+        assert any("arrival rate" in v or "over-utilized" in v
+                   for v in rep.violations)
+
+    def test_detects_rate_on_off_core(self, scenario, assignment):
+        dc = scenario.datacenter
+        off_state = np.asarray([dc.node_types[t].off_pstate
+                                for t in dc.core_type])
+        off_cores = np.nonzero(assignment.pstates == off_state)[0]
+        if off_cores.size == 0:
+            pytest.skip("no off cores in this assignment")
+        tc = assignment.tc.copy()
+        tc[0, off_cores[0]] = 0.5
+        rep = validate_solution(dc, scenario.workload, scenario.p_const,
+                                assignment.t_crac_out, assignment.pstates,
+                                tc)
+        assert any("cannot run" in v for v in rep.violations)
+
+    def test_detects_negative_rates(self, scenario, assignment):
+        tc = assignment.tc.copy()
+        tc[0, 0] = -1.0
+        rep = validate_solution(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            assignment.t_crac_out, assignment.pstates, tc)
+        assert any("negative" in v for v in rep.violations)
+
+    def test_detects_bad_pstate_index(self, scenario, assignment):
+        ps = assignment.pstates.copy()
+        ps[0] = 99
+        rep = validate_solution(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            assignment.t_crac_out, ps, assignment.tc)
+        assert rep.violations == ["P-state index out of range"]
+        assert np.isnan(rep.total_power_kw)
+
+    def test_shape_errors_raise(self, scenario, assignment):
+        with pytest.raises(ValueError, match="pstates"):
+            validate_solution(
+                scenario.datacenter, scenario.workload, scenario.p_const,
+                assignment.t_crac_out, assignment.pstates[:5],
+                assignment.tc)

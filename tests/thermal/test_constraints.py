@@ -1,0 +1,69 @@
+"""Tests for repro.thermal.constraints — the linearized LP view."""
+
+import numpy as np
+import pytest
+
+from repro.power.crac import crac_power_kw
+from repro.thermal.constraints import ThermalLinearization
+
+
+@pytest.fixture(scope="module")
+def lin(small_dc):
+    t = np.full(small_dc.n_crac, 15.0)
+    return ThermalLinearization.build(small_dc.thermal, t,
+                                      small_dc.redline_c)
+
+
+class TestAffineAccuracy:
+    def test_inlets_match_model(self, small_dc, lin):
+        p = np.linspace(0.4, 0.8, small_dc.n_nodes)
+        state = small_dc.thermal.steady_state(lin.t_crac_out, p)
+        np.testing.assert_allclose(lin.inlet_temperatures(p), state.t_in)
+
+    def test_crac_power_matches_eq3(self, small_dc, lin):
+        """While no CRAC clamps, the linearized power is exact."""
+        p = small_dc.node_power_kw(small_dc.all_p0_pstates())
+        state = small_dc.thermal.steady_state(lin.t_crac_out, p)
+        exact = sum(
+            crac_power_kw(c.flow_m3s, state.t_in[i], lin.t_crac_out[i],
+                          cop_model=c.cop_model)
+            for i, c in enumerate(small_dc.cracs))
+        assert lin.crac_power(p) == pytest.approx(exact, rel=1e-9)
+
+    def test_crac_power_linear_in_p(self, small_dc, lin):
+        p1 = np.full(small_dc.n_nodes, 0.5)
+        p2 = np.full(small_dc.n_nodes, 0.7)
+        mid = lin.crac_power((p1 + p2) / 2)
+        assert mid == pytest.approx(
+            (lin.crac_power(p1) + lin.crac_power(p2)) / 2)
+
+    def test_redline_rhs_consistent(self, small_dc, lin):
+        """gain @ P <= redline_rhs  <=>  T_in <= redline."""
+        p = np.full(small_dc.n_nodes, 0.6)
+        lhs = lin.inlet_gain @ p
+        t_in = lin.inlet_temperatures(p)
+        viol_direct = t_in > small_dc.redline_c + 1e-9
+        viol_rows = lhs > lin.redline_rhs + 1e-9
+        np.testing.assert_array_equal(viol_direct, viol_rows)
+
+
+class TestCheck:
+    def test_feasible_point_passes(self, small_dc, lin):
+        p = small_dc.node_power_kw(small_dc.all_off_pstates())
+        assert lin.check(p)
+
+    def test_overheated_point_fails(self, small_dc):
+        t = np.full(small_dc.n_crac, 25.0)  # warmest allowed outlets
+        lin_hot = ThermalLinearization.build(small_dc.thermal, t,
+                                             small_dc.redline_c)
+        p = small_dc.node_power_kw(small_dc.all_p0_pstates())
+        assert not lin_hot.check(p)
+
+    def test_shape_validation(self, small_dc):
+        with pytest.raises(ValueError, match="redline"):
+            ThermalLinearization.build(small_dc.thermal,
+                                       np.full(small_dc.n_crac, 15.0),
+                                       np.asarray([25.0]))
+
+    def test_n_nodes(self, small_dc, lin):
+        assert lin.n_nodes == small_dc.n_nodes

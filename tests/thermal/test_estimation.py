@@ -1,0 +1,91 @@
+"""Tests for repro.thermal.estimation — sensor-based A recovery."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.estimation import (Measurement, collect_measurements,
+                                      estimate_mix_matrix, estimation_error,
+                                      _project_to_simplex)
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex(self):
+        v = np.asarray([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(_project_to_simplex(v), v)
+
+    def test_projects_to_valid_point(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            v = rng.normal(0, 2, size=6)
+            p = _project_to_simplex(v)
+            assert p.min() >= 0
+            assert p.sum() == pytest.approx(1.0)
+
+    def test_single_component(self):
+        p = _project_to_simplex(np.asarray([5.0]))
+        np.testing.assert_allclose(p, [1.0])
+
+
+class TestRecovery:
+    def test_noise_free_recovery_is_exact(self, small_dc):
+        model = small_dc.thermal
+        rng = np.random.default_rng(1)
+        meas = collect_measurements(model, rng,
+                                    n_samples=model.n_units + 10)
+        a_hat = estimate_mix_matrix(meas)
+        matrix_err, pred_err = estimation_error(model, a_hat,
+                                                np.random.default_rng(2))
+        assert matrix_err < 1e-5
+        assert pred_err < 1e-5
+
+    def test_noisy_recovery_still_predicts(self, small_dc):
+        """0.1 C sensor noise: the matrix may differ but inlet
+        predictions stay within a fraction of a degree."""
+        model = small_dc.thermal
+        rng = np.random.default_rng(3)
+        meas = collect_measurements(model, rng,
+                                    n_samples=4 * model.n_units,
+                                    noise_std_c=0.1)
+        a_hat = estimate_mix_matrix(meas)
+        _, pred_err = estimation_error(model, a_hat,
+                                       np.random.default_rng(4))
+        assert pred_err < 0.5
+
+    def test_estimate_is_row_stochastic(self, small_dc):
+        model = small_dc.thermal
+        rng = np.random.default_rng(5)
+        meas = collect_measurements(model, rng,
+                                    n_samples=model.n_units + 5,
+                                    noise_std_c=0.05)
+        a_hat = estimate_mix_matrix(meas)
+        np.testing.assert_allclose(a_hat.sum(axis=1), 1.0, atol=1e-9)
+        assert a_hat.min() >= 0.0
+
+    def test_underdetermined_rejected(self, small_dc):
+        model = small_dc.thermal
+        rng = np.random.default_rng(6)
+        meas = collect_measurements(model, rng, n_samples=3)
+        with pytest.raises(ValueError, match="samples"):
+            estimate_mix_matrix(meas)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="measurements"):
+            estimate_mix_matrix([])
+
+
+class TestCollection:
+    def test_shapes_and_count(self, small_dc):
+        model = small_dc.thermal
+        meas = collect_measurements(model, np.random.default_rng(7), 5)
+        assert len(meas) == 5
+        for m in meas:
+            assert m.t_out.shape == (model.n_units,)
+            assert m.t_in.shape == (model.n_units,)
+
+    def test_validation(self, small_dc):
+        model = small_dc.thermal
+        with pytest.raises(ValueError, match="sample"):
+            collect_measurements(model, np.random.default_rng(0), 0)
+        with pytest.raises(ValueError, match="noise"):
+            collect_measurements(model, np.random.default_rng(0), 1,
+                                 noise_std_c=-1.0)

@@ -1,0 +1,154 @@
+"""Tests for repro.thermal.heatflow — the Eq. 4-6 steady-state model."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.heatflow import HeatFlowModel
+from repro.units import AIR_DENSITY
+
+
+def two_unit_model() -> HeatFlowModel:
+    """One CRAC and one node exchanging all their air.
+
+    alpha = [[0, 1], [1, 0]]: CRAC output feeds the node, node exhaust
+    returns to the CRAC — a closed loop with hand-checkable temperatures.
+    """
+    alpha = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+    flows = np.asarray([0.5, 0.5])
+    return HeatFlowModel(alpha, flows, n_crac=1)
+
+
+class TestClosedLoop:
+    def test_steady_state_by_hand(self):
+        model = two_unit_model()
+        p = np.asarray([2.0])      # kW at the node
+        t = np.asarray([15.0])     # CRAC outlet
+        state = model.steady_state(t, p)
+        # node inlet = CRAC outlet; node outlet = inlet + P/(rho Cp F)
+        rise = 2.0 / (AIR_DENSITY * 1.0 * 0.5)
+        assert state.t_in[1] == pytest.approx(15.0)
+        assert state.t_out[1] == pytest.approx(15.0 + rise)
+        # CRAC inlet = node outlet
+        assert state.t_in[0] == pytest.approx(15.0 + rise)
+
+    def test_energy_conservation(self):
+        model = two_unit_model()
+        state = model.steady_state(np.asarray([15.0]), np.asarray([3.7]))
+        assert state.crac_heat_kw.sum() == pytest.approx(3.7)
+
+    def test_zero_power_isothermal(self):
+        model = two_unit_model()
+        state = model.steady_state(np.asarray([18.0]), np.asarray([0.0]))
+        np.testing.assert_allclose(state.t_in, 18.0)
+        np.testing.assert_allclose(state.t_out, 18.0)
+        assert state.crac_heat_kw.sum() == pytest.approx(0.0)
+
+
+class TestRecirculationLoop:
+    def test_self_recirculation_amplifies(self):
+        """A node re-ingesting its own exhaust runs hotter than one fed
+        purely by the CRAC."""
+        # 30% of node exhaust loops straight back into the node
+        alpha = np.asarray([[0.0, 1.0], [0.7, 0.3]])
+        # flow conservation: inflows must match flows
+        flows = np.asarray([0.7, 1.0])
+        model = HeatFlowModel(alpha, flows, n_crac=1)
+        clean = two_unit_model()
+        p = np.asarray([2.0])
+        t = np.asarray([15.0])
+        hot = model.steady_state(t, p)
+        cold = clean.steady_state(t, p)
+        assert hot.t_in[1] > cold.t_in[1]
+
+    def test_energy_conserved_with_recirculation(self):
+        alpha = np.asarray([[0.0, 1.0], [0.7, 0.3]])
+        flows = np.asarray([0.7, 1.0])
+        model = HeatFlowModel(alpha, flows, n_crac=1)
+        state = model.steady_state(np.asarray([15.0]), np.asarray([2.0]))
+        assert state.crac_heat_kw.sum() == pytest.approx(2.0)
+
+
+class TestGeneratedRooms:
+    def test_energy_conservation(self, small_dc):
+        """sum of CRAC heat removed == sum of node power, any load."""
+        model = small_dc.thermal
+        rng = np.random.default_rng(9)
+        for _ in range(5):
+            p = rng.uniform(0.3, 1.0, size=small_dc.n_nodes)
+            state = model.steady_state(
+                np.full(small_dc.n_crac, 15.0), p)
+            assert state.crac_heat_kw.sum() == pytest.approx(
+                p.sum(), rel=1e-6)
+
+    def test_mix_rows_sum_to_one(self, small_dc):
+        np.testing.assert_allclose(small_dc.thermal.mix.sum(axis=1), 1.0,
+                                   atol=1e-6)
+
+    def test_inlet_monotone_in_power(self, small_dc):
+        """More node power never cools any inlet (gain matrix >= 0)."""
+        assert np.all(small_dc.thermal.inlet_gain >= -1e-12)
+
+    def test_affine_map_matches_steady_state(self, small_dc):
+        model = small_dc.thermal
+        t = np.full(small_dc.n_crac, 14.0)
+        p = np.linspace(0.3, 0.9, small_dc.n_nodes)
+        const, gain = model.inlet_affine(t)
+        np.testing.assert_allclose(const + gain @ p,
+                                   model.steady_state(t, p).t_in)
+
+    def test_inlets_above_coldest_outlet(self, small_dc):
+        """No inlet can be colder than the coldest air in the room."""
+        model = small_dc.thermal
+        state = model.steady_state(np.asarray([12.0, 14.0, 16.0]),
+                                   np.full(small_dc.n_nodes, 0.5))
+        assert state.t_in.min() >= 12.0 - 1e-9
+
+    def test_redline_margin_and_feasibility(self, small_dc):
+        model = small_dc.thermal
+        t = np.full(small_dc.n_crac, 13.0)
+        p_lo = small_dc.node_power_kw(small_dc.all_off_pstates())
+        margin = model.redline_margin(t, p_lo, small_dc.redline_c)
+        assert margin.shape == (small_dc.n_units,)
+        assert model.is_feasible(t, p_lo, small_dc.redline_c) \
+            == bool((margin >= -1e-6).all())
+
+
+class TestValidation:
+    def test_rejects_bad_row_sums(self):
+        alpha = np.asarray([[0.5, 0.2], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="sum to 1"):
+            HeatFlowModel(alpha, np.asarray([1.0, 1.0]), 1)
+
+    def test_rejects_flow_nonconservation(self):
+        alpha = np.asarray([[0.5, 0.5], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="not conserved"):
+            HeatFlowModel(alpha, np.asarray([1.0, 2.0]), 1)
+
+    def test_rejects_negative_alpha(self):
+        alpha = np.asarray([[1.5, -0.5], [1.0, 0.0]])
+        with pytest.raises(ValueError, match=">= 0"):
+            HeatFlowModel(alpha, np.asarray([1.0, 1.0]), 1)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="shape"):
+            HeatFlowModel(np.eye(3), np.asarray([1.0, 1.0]), 1)
+
+    def test_rejects_bad_ncrac(self):
+        alpha = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="n_crac"):
+            HeatFlowModel(alpha, np.asarray([1.0, 1.0]), 2)
+
+    def test_rejects_negative_power(self):
+        model = two_unit_model()
+        with pytest.raises(ValueError, match="non-negative"):
+            model.steady_state(np.asarray([15.0]), np.asarray([-1.0]))
+
+    def test_rejects_wrong_power_shape(self):
+        model = two_unit_model()
+        with pytest.raises(ValueError, match="node powers"):
+            model.steady_state(np.asarray([15.0]), np.asarray([1.0, 2.0]))
+
+    def test_rejects_wrong_outlet_shape(self):
+        model = two_unit_model()
+        with pytest.raises(ValueError, match="outlet temps"):
+            model.inlet_affine(np.asarray([15.0, 16.0]))

@@ -1,0 +1,129 @@
+"""Analytic verification of the heat-flow model on hand-solvable rooms.
+
+Beyond the generated-room invariants in test_heatflow.py, these cases
+have closed-form steady states derived by hand, checking the matrix
+algebra (the ``(I - A_MM)^{-1}`` construction) against independent
+arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.thermal.heatflow import HeatFlowModel
+from repro.units import AIR_DENSITY
+
+
+def chain_model() -> HeatFlowModel:
+    """CRAC -> node1 -> node2 -> CRAC, all at flow 1.0.
+
+    alpha rows (source -> destinations): CRAC feeds node1; node1 feeds
+    node2; node2 returns to the CRAC.
+    """
+    alpha = np.asarray([
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [1.0, 0.0, 0.0],
+    ])
+    flows = np.ones(3)
+    return HeatFlowModel(alpha, flows, n_crac=1)
+
+
+class TestChainRoom:
+    def test_temperatures_accumulate_along_the_chain(self):
+        model = chain_model()
+        p = np.asarray([2.0, 3.0])
+        t = np.asarray([10.0])
+        state = model.steady_state(t, p)
+        k = 1.0 / (AIR_DENSITY * 1.0 * 1.0)    # K per kW at flow 1
+        # node1 inlet = CRAC outlet; node2 inlet = node1 outlet
+        assert state.t_in[1] == pytest.approx(10.0)
+        assert state.t_out[1] == pytest.approx(10.0 + 2.0 * k)
+        assert state.t_in[2] == pytest.approx(10.0 + 2.0 * k)
+        assert state.t_out[2] == pytest.approx(10.0 + 5.0 * k)
+        # CRAC ingests the fully heated stream
+        assert state.t_in[0] == pytest.approx(10.0 + 5.0 * k)
+
+    def test_heat_removed_is_total_power(self):
+        model = chain_model()
+        state = model.steady_state(np.asarray([10.0]),
+                                   np.asarray([2.0, 3.0]))
+        assert state.crac_heat_kw[0] == pytest.approx(5.0)
+
+    def test_downstream_node_runs_hotter(self):
+        """Order matters: the node at the end of the chain sees all
+        upstream heat (the paper's recirculation penalty in miniature)."""
+        model = chain_model()
+        state = model.steady_state(np.asarray([10.0]),
+                                   np.asarray([2.0, 2.0]))
+        assert state.t_in[2] > state.t_in[1]
+
+
+def split_model(share: float) -> HeatFlowModel:
+    """One CRAC, one node; a ``share`` of node exhaust recirculates into
+    the node itself, the rest reaches the CRAC.
+
+    Flow conservation fixes the flows: the node's inlet takes
+    ``share * F_n`` from itself and the rest from the CRAC.
+    """
+    f_node = 1.0
+    f_crac = (1.0 - share) * f_node
+    alpha = np.asarray([
+        [0.0, 1.0],
+        [1.0 - share, share],
+    ])
+    return HeatFlowModel(alpha, np.asarray([f_crac, f_node]), n_crac=1)
+
+
+class TestSelfRecirculation:
+    @pytest.mark.parametrize("share", [0.0, 0.2, 0.5])
+    def test_closed_form_inlet(self, share):
+        """Hand-derived fixed point.
+
+        With x = node outlet, t = CRAC outlet, k = 1/(rho Cp F_n):
+            T_in = (1 - share) t + share x,  x = T_in + P k
+        =>  x = t + P k / (1 - share)  and  T_in = t + share P k/(1-share)
+        """
+        model = split_model(share)
+        p, t = 2.0, 12.0
+        k = 1.0 / (AIR_DENSITY * 1.0 * 1.0)
+        state = model.steady_state(np.asarray([t]), np.asarray([p]))
+        expect_in = t + share * p * k / (1.0 - share)
+        expect_out = t + p * k / (1.0 - share)
+        assert state.t_in[1] == pytest.approx(expect_in)
+        assert state.t_out[1] == pytest.approx(expect_out)
+
+    @pytest.mark.parametrize("share", [0.0, 0.2, 0.5])
+    def test_energy_balance_with_smaller_crac_flow(self, share):
+        """The CRAC only sees (1-share) of the node flow but a hotter
+        stream — removed heat still equals dissipated power."""
+        model = split_model(share)
+        state = model.steady_state(np.asarray([12.0]), np.asarray([2.0]))
+        assert state.crac_heat_kw[0] == pytest.approx(2.0)
+
+    def test_recirculation_amplification_is_nonlinear(self):
+        """Inlet rise grows as share/(1-share): super-linear in share."""
+        rises = []
+        for share in (0.2, 0.4):
+            model = split_model(share)
+            state = model.steady_state(np.asarray([12.0]),
+                                       np.asarray([2.0]))
+            rises.append(state.t_in[1] - 12.0)
+        assert rises[1] > 2 * rises[0]
+
+
+class TestSuperposition:
+    def test_inlets_affine_in_everything(self, small_dc):
+        """T_in(t1 + t2, P1 + P2) - T_in(0 baseline) decomposes into the
+        sum of individual contributions (the map is affine)."""
+        model = small_dc.thermal
+        nc, nn = small_dc.n_crac, small_dc.n_nodes
+        t1 = np.full(nc, 3.0)
+        t2 = np.full(nc, 7.0)
+        rng = np.random.default_rng(1)
+        p1 = rng.uniform(0, 1, nn)
+        p2 = rng.uniform(0, 1, nn)
+        f = lambda t, p: model.steady_state(t, p).t_in
+        zero = f(np.zeros(nc), np.zeros(nn))
+        combined = f(t1 + t2, p1 + p2)
+        parts = f(t1, p1) + f(t2, p2) - zero
+        np.testing.assert_allclose(combined, parts, atol=1e-9)

@@ -1,0 +1,101 @@
+"""Tests for repro.thermal.interference — the Appendix B generator."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.builder import build_datacenter
+from repro.thermal.heatflow import HeatFlowModel
+from repro.thermal.interference import (attach_thermal_model,
+                                        exit_coefficients, generate_alpha,
+                                        recirculation_coefficients)
+
+
+@pytest.fixture(scope="module")
+def room():
+    # 30 nodes = 6 full racks -> balanced labels, exactly feasible
+    return build_datacenter(n_nodes=30, n_crac=3,
+                            rng=np.random.default_rng(42))
+
+
+@pytest.fixture(scope="module")
+def alpha(room):
+    return generate_alpha(room, rng=np.random.default_rng(0))
+
+
+class TestConstraints:
+    def test_rows_sum_to_one(self, room, alpha):
+        """Appendix B constraint 1."""
+        np.testing.assert_allclose(alpha.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_flow_conservation(self, room, alpha):
+        """Appendix B constraint 2: inflow == own flow for every unit."""
+        flows = room.unit_flows
+        np.testing.assert_allclose(alpha.T @ flows, flows, rtol=1e-5)
+
+    def test_exit_coefficients_in_table2_range(self, room, alpha):
+        """Appendix B constraints 3-4."""
+        ec = exit_coefficients(alpha, room.n_crac)
+        for node in room.nodes:
+            from repro.datacenter.layout import TABLE_II_RANGES
+            r = TABLE_II_RANGES[node.label]
+            assert r.ec_min - 1e-6 <= ec[node.index] <= r.ec_max + 1e-6
+
+    def test_recirculation_in_table2_range(self, room, alpha):
+        """Appendix B constraint 5 (flow-weighted)."""
+        rc = recirculation_coefficients(alpha, room.unit_flows, room.n_crac)
+        for node in room.nodes:
+            from repro.datacenter.layout import TABLE_II_RANGES
+            r = TABLE_II_RANGES[node.label]
+            assert r.rc_min - 1e-6 <= rc[node.index] <= r.rc_max + 1e-6
+
+    def test_facing_crac_receives_dominant_share(self, room, alpha):
+        """Constraint 3/4's M matrix: exhaust favors the facing CRAC."""
+        for node in room.nodes:
+            row = alpha[room.n_crac + node.index, :room.n_crac]
+            assert row.argmax() == node.hot_aisle
+
+    def test_nonnegative(self, alpha):
+        assert alpha.min() >= 0.0
+
+
+class TestSampling:
+    def test_different_seeds_different_matrices(self, room):
+        a1 = generate_alpha(room, rng=np.random.default_rng(1))
+        a2 = generate_alpha(room, rng=np.random.default_rng(2))
+        assert not np.allclose(a1, a2)
+
+    def test_same_seed_reproducible(self, room):
+        a1 = generate_alpha(room, rng=np.random.default_rng(3))
+        a2 = generate_alpha(room, rng=np.random.default_rng(3))
+        np.testing.assert_allclose(a1, a2)
+
+    def test_unbalanced_room_uses_relaxation(self):
+        """A partial-rack room is only feasible with widened ranges."""
+        dc = build_datacenter(n_nodes=24, n_crac=3,
+                              rng=np.random.default_rng(5))
+        alpha = generate_alpha(dc, rng=np.random.default_rng(5))
+        # the result must still be a valid flow matrix
+        np.testing.assert_allclose(alpha.sum(axis=1), 1.0, atol=1e-6)
+        flows = dc.unit_flows
+        np.testing.assert_allclose(alpha.T @ flows, flows, rtol=1e-4)
+
+    def test_impossible_ranges_raise(self, room):
+        from repro.datacenter.layout import LabelRanges
+        from repro.optimize.linprog import InfeasibleError
+        # demand all exhaust goes to CRACs *and* heavy recirculation
+        impossible = {l: LabelRanges(0.99, 1.0, 0.9, 1.0)
+                      for l in "ABCDE"}
+        with pytest.raises(InfeasibleError, match="nowhere to go"):
+            generate_alpha(room, rng=np.random.default_rng(0),
+                           label_ranges=impossible, max_relaxation=0.0)
+
+
+class TestAttach:
+    def test_attaches_working_model(self, room):
+        model = attach_thermal_model(room, rng=np.random.default_rng(7))
+        assert isinstance(model, HeatFlowModel)
+        assert room.thermal is model
+        # the attached model conserves energy end to end
+        p = room.node_power_kw(room.all_p0_pstates())
+        state = model.steady_state(np.full(room.n_crac, 15.0), p)
+        assert state.crac_heat_kw.sum() == pytest.approx(p.sum(), rel=1e-6)

@@ -1,0 +1,92 @@
+"""Tests for repro.thermal.transient — first-order room dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.transient import simulate_transient, time_to_steady_state
+
+
+@pytest.fixture(scope="module")
+def setup(small_dc):
+    model = small_dc.thermal
+    t_out = np.full(small_dc.n_crac, 15.0)
+    p_hot = small_dc.node_power_kw(small_dc.all_p0_pstates())
+    p_cold = small_dc.node_power_kw(small_dc.all_off_pstates())
+    return model, t_out, p_hot, p_cold
+
+
+class TestConvergence:
+    def test_converges_to_steady_state(self, setup):
+        model, t_out, p_hot, p_cold = setup
+        start = model.steady_state(t_out, p_cold).t_out
+        target = model.steady_state(t_out, p_hot)
+        res = simulate_transient(model, t_out, p_hot, start,
+                                 duration_s=1800.0, tau_s=120.0)
+        assert np.abs(res.t_out[-1] - target.t_out).max() < 0.05
+        assert np.abs(res.t_in[-1] - target.t_in).max() < 0.05
+
+    def test_steady_start_stays_steady(self, setup):
+        """The steady state is a fixed point of the dynamics."""
+        model, t_out, p_hot, _ = setup
+        ss = model.steady_state(t_out, p_hot)
+        res = simulate_transient(model, t_out, p_hot, ss.t_out,
+                                 duration_s=300.0)
+        assert np.abs(res.t_out - ss.t_out[None, :]).max() < 1e-6
+
+    def test_monotone_approach_from_below(self, setup):
+        """Heating up: outlet temperatures rise monotonically."""
+        model, t_out, p_hot, p_cold = setup
+        start = model.steady_state(t_out, p_cold).t_out
+        res = simulate_transient(model, t_out, p_hot, start,
+                                 duration_s=600.0)
+        nodes = res.t_out[:, model.n_crac:]
+        assert np.all(np.diff(nodes, axis=0) >= -1e-9)
+
+    def test_timescale_orders_of_minutes(self, setup):
+        """The Section V.A claim: settling takes minutes, not seconds."""
+        model, t_out, p_hot, p_cold = setup
+        start = model.steady_state(t_out, p_cold).t_out
+        tts = time_to_steady_state(model, t_out, p_hot, start,
+                                   tolerance_c=0.1, tau_s=120.0)
+        assert 60.0 < tts < 3600.0
+
+    def test_faster_tau_settles_sooner(self, setup):
+        model, t_out, p_hot, p_cold = setup
+        start = model.steady_state(t_out, p_cold).t_out
+        fast = time_to_steady_state(model, t_out, p_hot, start, tau_s=30.0)
+        slow = time_to_steady_state(model, t_out, p_hot, start, tau_s=240.0)
+        assert fast < slow
+
+
+class TestOvershootDiagnostics:
+    def test_no_overshoot_when_heating_to_feasible(self, setup, small_dc):
+        """Monotone heating toward a feasible point never breaks
+        redlines mid-transient."""
+        model, t_out, _, p_cold = setup
+        p_mid = 0.5 * (p_cold + small_dc.node_power_kw(
+            small_dc.all_p0_pstates()))
+        start = model.steady_state(t_out, p_cold).t_out
+        if model.is_feasible(t_out, p_mid, small_dc.redline_c):
+            res = simulate_transient(model, t_out, p_mid, start, 1200.0)
+            assert res.max_inlet_overshoot(small_dc.redline_c) <= 1e-6
+
+
+class TestValidation:
+    def test_bad_step(self, setup):
+        model, t_out, p_hot, _ = setup
+        with pytest.raises(ValueError, match="too coarse"):
+            simulate_transient(model, t_out, p_hot,
+                               np.full(model.n_units, 15.0),
+                               duration_s=10.0, tau_s=10.0, dt_s=5.0)
+
+    def test_bad_duration(self, setup):
+        model, t_out, p_hot, _ = setup
+        with pytest.raises(ValueError, match="positive"):
+            simulate_transient(model, t_out, p_hot,
+                               np.full(model.n_units, 15.0),
+                               duration_s=0.0)
+
+    def test_bad_initial_shape(self, setup):
+        model, t_out, p_hot, _ = setup
+        with pytest.raises(ValueError, match="initial state"):
+            simulate_transient(model, t_out, p_hot, np.zeros(3), 10.0)

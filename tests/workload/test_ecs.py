@@ -1,0 +1,127 @@
+"""Tests for repro.workload.ecs — Section VI.C matrix generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter.coretypes import paper_node_types
+from repro.workload.ecs import (extend_ecs, generate_ecs, generate_p0_ecs,
+                                task_type_means)
+
+TYPES = paper_node_types()
+
+
+class TestTaskTypeMeans:
+    def test_doubling(self):
+        m = task_type_means(8)
+        np.testing.assert_allclose(m[1:] / m[:-1], 2.0)
+
+    def test_normalized_mean(self):
+        assert task_type_means(8).mean() == pytest.approx(1.0)
+
+    def test_single_type(self):
+        np.testing.assert_allclose(task_type_means(1), [1.0])
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            task_type_means(0)
+
+
+class TestP0Matrix:
+    def test_shape(self):
+        m = generate_p0_ecs(8, TYPES, np.random.default_rng(0))
+        assert m.shape == (8, 2)
+
+    def test_node_type_ratio(self):
+        """Type 1 : type 2 averages out to 0.6 : 1 (V_ecs-noisy)."""
+        m = generate_p0_ecs(200, TYPES, np.random.default_rng(0), v_ecs=0.1)
+        # remove the task-mean factor by looking at column ratio per row
+        ratios = m[:, 0] / m[:, 1]
+        assert ratios.mean() == pytest.approx(0.6, rel=0.05)
+
+    def test_variation_bounded(self):
+        m = generate_p0_ecs(8, TYPES, np.random.default_rng(0), v_ecs=0.1)
+        means = task_type_means(8)
+        scales = np.asarray([t.performance_scale for t in TYPES])
+        factor = m / (means[:, None] * scales[None, :])
+        assert np.all((factor >= 0.9) & (factor <= 1.1))
+
+    def test_zero_variation(self):
+        m = generate_p0_ecs(4, TYPES, np.random.default_rng(0), v_ecs=0.0)
+        means = task_type_means(4)
+        scales = np.asarray([t.performance_scale for t in TYPES])
+        np.testing.assert_allclose(m, means[:, None] * scales[None, :])
+
+    def test_bad_v_ecs(self):
+        with pytest.raises(ValueError, match="v_ecs"):
+            generate_p0_ecs(4, TYPES, np.random.default_rng(0), v_ecs=1.0)
+
+    def test_empty_types(self):
+        with pytest.raises(ValueError, match="node type"):
+            generate_p0_ecs(4, [], np.random.default_rng(0))
+
+
+class TestExtend:
+    def test_shape_includes_off_state(self):
+        ecs = generate_ecs(8, TYPES, np.random.default_rng(0))
+        assert ecs.shape == (8, 2, 5)
+
+    def test_off_state_zero(self):
+        ecs = generate_ecs(8, TYPES, np.random.default_rng(0))
+        np.testing.assert_allclose(ecs[:, :, -1], 0.0)
+
+    def test_monotone_decreasing_in_pstate(self):
+        """The Section VI.C repair: higher P-state never faster."""
+        for v_prop in (0.1, 0.3):
+            ecs = generate_ecs(8, TYPES, np.random.default_rng(1),
+                               v_prop=v_prop)
+            active = ecs[:, :, :-1]
+            assert np.all(np.diff(active, axis=2) < 0)
+
+    def test_p0_slice_preserved(self):
+        rng = np.random.default_rng(2)
+        p0 = generate_p0_ecs(8, TYPES, rng)
+        ecs = extend_ecs(p0, TYPES, rng)
+        np.testing.assert_allclose(ecs[:, :, 0], p0)
+
+    def test_eq10_frequency_scaling(self):
+        """With zero variation, ECS scales exactly with clock ratio."""
+        rng = np.random.default_rng(3)
+        p0 = generate_p0_ecs(4, TYPES, rng)
+        ecs = extend_ecs(p0, TYPES, rng, v_prop=0.0)
+        for j, spec in enumerate(TYPES):
+            freqs = np.asarray(spec.frequencies_mhz)
+            for k in range(1, 4):
+                np.testing.assert_allclose(
+                    ecs[:, j, k], p0[:, j] * freqs[k] / freqs[0])
+
+    def test_variation_bounded_around_frequency_ratio(self):
+        rng = np.random.default_rng(4)
+        p0 = generate_p0_ecs(8, TYPES, rng)
+        ecs = extend_ecs(p0, TYPES, rng, v_prop=0.3)
+        for j, spec in enumerate(TYPES):
+            freqs = np.asarray(spec.frequencies_mhz)
+            for k in range(1, 4):
+                factor = ecs[:, j, k] / (p0[:, j] * freqs[k] / freqs[0])
+                assert np.all((factor >= 0.7 - 1e-9)
+                              & (factor <= 1.3 + 1e-9))
+
+    def test_mismatched_catalog_rejected(self):
+        p0 = np.ones((4, 3))
+        with pytest.raises(ValueError, match="node types"):
+            extend_ecs(p0, TYPES, np.random.default_rng(0))
+
+    def test_bad_v_prop(self):
+        p0 = generate_p0_ecs(4, TYPES, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="v_prop"):
+            extend_ecs(p0, TYPES, np.random.default_rng(0), v_prop=-0.1)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_always_positive_and_monotone(self, seed):
+        ecs = generate_ecs(4, TYPES, np.random.default_rng(seed),
+                           v_prop=0.3)
+        active = ecs[:, :, :-1]
+        assert np.all(active > 0)
+        assert np.all(np.diff(active, axis=2) < 0)

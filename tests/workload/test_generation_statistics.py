@@ -1,0 +1,91 @@
+"""Statistical validation of the Section VI generators over many seeds.
+
+Single-seed tests verify bounds; these verify the *distributions* the
+paper's recipe implies: performance ratios, doubling structure, arrival
+scaling and deadline coverage all concentrate where they should.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.coretypes import paper_node_types
+from repro.workload.ecs import generate_ecs, generate_p0_ecs
+from repro.workload.tasktypes import deadline_slacks, rewards_from_ecs
+
+TYPES = paper_node_types()
+N_SEEDS = 40
+
+
+class TestEcsDistributions:
+    def test_node_type_ratio_concentrates_at_0_6(self):
+        ratios = []
+        for seed in range(N_SEEDS):
+            m = generate_p0_ecs(8, TYPES, np.random.default_rng(seed))
+            ratios.append((m[:, 0] / m[:, 1]).mean())
+        assert np.mean(ratios) == pytest.approx(0.6, rel=0.03)
+
+    def test_task_doubling_structure_survives_noise(self):
+        """Adjacent task-type means stay near ratio 2 despite V_ecs."""
+        log_ratios = []
+        for seed in range(N_SEEDS):
+            m = generate_p0_ecs(8, TYPES, np.random.default_rng(seed))
+            means = m.mean(axis=1)
+            log_ratios.extend(np.log2(means[1:] / means[:-1]))
+        assert np.mean(log_ratios) == pytest.approx(1.0, abs=0.05)
+
+    def test_pstate_scaling_tracks_clock_ratio(self):
+        """Mean ECS(P1)/ECS(P0) over seeds ~ f1/f0 (slightly below, due
+        to the monotonicity repair's rejection of high draws)."""
+        ratios = {0: [], 1: []}
+        for seed in range(N_SEEDS):
+            ecs = generate_ecs(8, TYPES, np.random.default_rng(seed),
+                               v_prop=0.1)
+            for j, spec in enumerate(TYPES):
+                f = spec.frequencies_mhz
+                ratios[j].append(
+                    (ecs[:, j, 1] / ecs[:, j, 0]).mean() / (f[1] / f[0]))
+        for j in ratios:
+            assert np.mean(ratios[j]) == pytest.approx(1.0, abs=0.05)
+
+    def test_rewards_inverse_to_easiness(self):
+        """r_i * mean ECS_i == 1 identically (Eq. 11)."""
+        for seed in range(5):
+            m = generate_p0_ecs(8, TYPES, np.random.default_rng(seed))
+            r = rewards_from_ecs(m)
+            np.testing.assert_allclose(r * m.mean(axis=1), 1.0)
+
+
+class TestDeadlineCoverage:
+    def test_deadlines_span_their_interval(self):
+        """Across seeds, m_i draws cover the [1.5/Max, 1.5/Min] interval
+        rather than clustering at one end."""
+        positions = []
+        for seed in range(N_SEEDS):
+            rng = np.random.default_rng(seed)
+            ecs = generate_ecs(8, TYPES, rng)
+            m = deadline_slacks(ecs, rng)
+            lo = 1.5 / ecs[:, :, 0].max(axis=1)
+            hi = 1.5 / ecs[:, :, -2].min(axis=1)
+            positions.extend((m - lo) / (hi - lo))
+        positions = np.asarray(positions)
+        assert positions.min() >= -1e-9
+        assert positions.max() <= 1.0 + 1e-9
+        # roughly uniform: mean near 1/2, both halves populated
+        assert 0.4 < positions.mean() < 0.6
+        assert (positions < 0.25).mean() > 0.1
+        assert (positions > 0.75).mean() > 0.1
+
+    def test_some_types_meetable_at_lowest_frequency(self):
+        """The paper: "There is also a chance of generating a task type
+        such that some of its tasks' deadlines can be met by all core
+        types running at their lowest frequency" — observed over seeds."""
+        seen = False
+        for seed in range(N_SEEDS):
+            rng = np.random.default_rng(seed)
+            ecs = generate_ecs(8, TYPES, rng)
+            m = deadline_slacks(ecs, rng)
+            worst_exec = 1.0 / ecs[:, :, -2].min(axis=1)
+            if np.any(m >= worst_exec):
+                seen = True
+                break
+        assert seen

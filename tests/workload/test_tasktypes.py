@@ -1,0 +1,118 @@
+"""Tests for repro.workload.tasktypes — rewards, deadlines, arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.workload.ecs import generate_ecs, generate_p0_ecs
+from repro.workload.tasktypes import (Workload, arrival_rates,
+                                      deadline_slacks, generate_workload,
+                                      rewards_from_ecs)
+
+
+class TestRewards:
+    def test_eq11_reciprocal_of_mean(self):
+        ecs0 = np.asarray([[0.5, 1.5], [2.0, 2.0]])
+        r = rewards_from_ecs(ecs0)
+        np.testing.assert_allclose(r, [1.0, 0.5])
+
+    def test_harder_tasks_worth_more(self, small_dc):
+        rng = np.random.default_rng(0)
+        ecs0 = generate_p0_ecs(8, small_dc.node_types, rng)
+        r = rewards_from_ecs(ecs0)
+        # task means double with index, so rewards roughly halve
+        assert np.all(np.diff(r) < 0)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            rewards_from_ecs(np.asarray([[0.0, 0.0]]))
+
+
+class TestDeadlines:
+    def test_eq14_bounds(self, small_dc):
+        rng = np.random.default_rng(1)
+        ecs = generate_ecs(8, small_dc.node_types, rng)
+        m = deadline_slacks(ecs, np.random.default_rng(2))
+        min_ecs = ecs[:, :, -2].min(axis=1)
+        max_ecs = ecs[:, :, 0].max(axis=1)
+        assert np.all(m >= 1.5 / max_ecs - 1e-12)
+        assert np.all(m <= 1.5 / min_ecs + 1e-12)
+
+    def test_some_core_always_meets_deadline(self, small_workload):
+        """Eq. 14 guarantees at least one core type at P0 can make it."""
+        wl = small_workload
+        for i in range(wl.n_task_types):
+            best = wl.ecs[i, :, 0].max()
+            assert 1.0 / best <= wl.deadline_slack[i] + 1e-12
+
+
+class TestArrivals:
+    def test_eq15_scaling(self, small_dc):
+        rng = np.random.default_rng(3)
+        ecs = generate_ecs(8, small_dc.node_types, rng)
+        lam = arrival_rates(ecs, small_dc, np.random.default_rng(4),
+                            v_arrival=0.0)
+        type_counts = np.bincount(small_dc.core_type, minlength=2)
+        expect = (ecs[:, :, 0] * type_counts).sum(axis=1) / 8
+        np.testing.assert_allclose(lam, expect)
+
+    def test_variation_bounds(self, small_dc):
+        rng = np.random.default_rng(5)
+        ecs = generate_ecs(8, small_dc.node_types, rng)
+        lam0 = arrival_rates(ecs, small_dc, np.random.default_rng(6),
+                             v_arrival=0.0)
+        lam = arrival_rates(ecs, small_dc, np.random.default_rng(6),
+                            v_arrival=0.3)
+        factor = lam / lam0
+        assert np.all((factor >= 0.7) & (factor <= 1.3))
+
+    def test_bad_v_arrival(self, small_dc):
+        rng = np.random.default_rng(7)
+        ecs = generate_ecs(8, small_dc.node_types, rng)
+        with pytest.raises(ValueError, match="v_arrival"):
+            arrival_rates(ecs, small_dc, rng, v_arrival=1.0)
+
+
+class TestWorkloadContainer:
+    def test_generate_full(self, small_dc):
+        wl = generate_workload(small_dc, np.random.default_rng(8))
+        assert wl.n_task_types == 8
+        assert wl.n_node_types == 2
+        assert wl.n_pstates == 5
+
+    def test_exec_time_reciprocal(self, small_workload):
+        wl = small_workload
+        assert wl.exec_time(0, 0, 0) == pytest.approx(1.0 / wl.ecs[0, 0, 0])
+
+    def test_exec_time_infinite_when_off(self, small_workload):
+        assert small_workload.exec_time(0, 0, 4) == float("inf")
+
+    def test_can_meet_deadline_consistent(self, small_workload):
+        wl = small_workload
+        for i in range(wl.n_task_types):
+            for j in range(wl.n_node_types):
+                for k in range(wl.n_pstates):
+                    expect = wl.exec_time(i, j, k) <= wl.deadline_slack[i]
+                    assert wl.can_meet_deadline(i, j, k) == expect
+
+    def test_off_state_never_meets_deadline(self, small_workload):
+        for i in range(small_workload.n_task_types):
+            assert not small_workload.can_meet_deadline(i, 0, 4)
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="rewards"):
+            Workload(ecs=np.zeros((2, 1, 3)), rewards=np.ones(3),
+                     deadline_slack=np.ones(2), arrival_rates=np.ones(2))
+
+    def test_validation_rejects_nonzero_off(self):
+        ecs = np.ones((1, 1, 3))
+        with pytest.raises(ValueError, match="turned-off"):
+            Workload(ecs=ecs, rewards=np.ones(1),
+                     deadline_slack=np.ones(1), arrival_rates=np.ones(1))
+
+    def test_validation_rejects_negative_rates(self):
+        ecs = np.concatenate([np.ones((1, 1, 2)), np.zeros((1, 1, 1))],
+                             axis=2)
+        with pytest.raises(ValueError, match="arrival"):
+            Workload(ecs=ecs, rewards=np.ones(1),
+                     deadline_slack=np.ones(1),
+                     arrival_rates=np.asarray([-1.0]))

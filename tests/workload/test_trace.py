@@ -1,0 +1,85 @@
+"""Tests for repro.workload.trace — Poisson task traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.tasktypes import Workload
+from repro.workload.trace import Task, generate_trace
+
+
+def tiny_workload(rates) -> Workload:
+    t = len(rates)
+    ecs = np.ones((t, 1, 2))
+    ecs[:, :, 1] = 0.0
+    return Workload(
+        ecs=ecs,
+        rewards=np.ones(t),
+        deadline_slack=np.full(t, 2.5),
+        arrival_rates=np.asarray(rates, dtype=float),
+    )
+
+
+class TestGenerateTrace:
+    def test_sorted_by_arrival(self):
+        trace = generate_trace(tiny_workload([5.0, 3.0]), 50.0,
+                               np.random.default_rng(0))
+        arrivals = [t.arrival for t in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_arrivals_within_horizon(self):
+        trace = generate_trace(tiny_workload([5.0]), 20.0,
+                               np.random.default_rng(1))
+        assert all(0.0 <= t.arrival < 20.0 for t in trace)
+
+    def test_deadlines_offset_by_slack(self):
+        wl = tiny_workload([5.0])
+        trace = generate_trace(wl, 20.0, np.random.default_rng(2))
+        for t in trace:
+            assert t.deadline == pytest.approx(t.arrival + 2.5)
+
+    def test_uids_dense_and_ordered(self):
+        trace = generate_trace(tiny_workload([4.0, 4.0]), 30.0,
+                               np.random.default_rng(3))
+        assert [t.uid for t in trace] == list(range(len(trace)))
+
+    def test_rate_roughly_respected(self):
+        wl = tiny_workload([10.0])
+        trace = generate_trace(wl, 500.0, np.random.default_rng(4))
+        observed = len(trace) / 500.0
+        assert observed == pytest.approx(10.0, rel=0.1)
+
+    def test_zero_rate_type_produces_nothing(self):
+        wl = tiny_workload([0.0, 5.0])
+        trace = generate_trace(wl, 50.0, np.random.default_rng(5))
+        assert all(t.task_type == 1 for t in trace)
+        assert len(trace) > 0
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_trace(tiny_workload([1.0]), 0.0,
+                           np.random.default_rng(0))
+
+    def test_reproducible(self):
+        wl = tiny_workload([3.0])
+        t1 = generate_trace(wl, 20.0, np.random.default_rng(6))
+        t2 = generate_trace(wl, 20.0, np.random.default_rng(6))
+        assert t1 == t2
+
+    @given(rate=st.floats(min_value=0.2, max_value=50.0),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_hold_for_any_rate(self, rate, seed):
+        wl = tiny_workload([rate])
+        trace = generate_trace(wl, 10.0, np.random.default_rng(seed))
+        arrivals = [t.arrival for t in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 10.0 for a in arrivals)
+
+
+class TestTaskOrdering:
+    def test_tasks_order_by_arrival(self):
+        a = Task(arrival=1.0, task_type=5, uid=10, deadline=2.0)
+        b = Task(arrival=2.0, task_type=0, uid=1, deadline=2.5)
+        assert a < b
