@@ -15,25 +15,32 @@ sampled rooms):
 * "best" >= each individual psi bar.
 
 At REPRO_BENCH_SCALE=paper this is the full 25-run, 150-node experiment
-(~20-30 minutes); the default small scale keeps the shape in ~2 minutes.
+(~20-30 minutes serial); the default small scale keeps the shape in
+~2 minutes.  Set REPRO_BENCH_JOBS=N to fan runs out over the experiment
+engine's process pool — per-run numbers are identical to the serial
+path, only the wall clock changes.
 """
 
 import numpy as np
 
-from repro.experiments import fig6_data, format_fig6, paper_sets, scaled_down
+from repro.experiments import (ProgressReporter, fig6_data, format_fig6,
+                               paper_sets, scaled_down)
 
 
-def bench_fig6(benchmark, capsys, scale):
+def bench_fig6(benchmark, capsys, scale, engine_jobs):
     configs = [scaled_down(cfg, scale.n_nodes) for cfg in paper_sets()]
+    reporter = ProgressReporter()
 
     def run():
         return fig6_data(n_runs=scale.n_runs, base_seed=1000,
-                         configs=configs)
+                         configs=configs, jobs=engine_jobs,
+                         reporter=reporter)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 
     with capsys.disabled():
         print()
+        print(f"engine: jobs={engine_jobs}, {reporter.summary()}")
         print(format_fig6(results))
         best_means = [results[c.name].intervals["best"].mean
                       for c in configs]

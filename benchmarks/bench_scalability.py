@@ -14,10 +14,11 @@ import time
 import numpy as np
 
 from repro.core import three_stage_assignment
-from repro.experiments import ScenarioConfig, generate_scenario
+from repro.experiments import (EngineConfig, ScenarioConfig,
+                               generate_scenario, run_set)
 
 
-def bench_scalability(benchmark, capsys, scale):
+def bench_scalability(benchmark, capsys, scale, engine_jobs):
     sizes = [15, 30, 60] if not scale.is_paper else [30, 75, 150, 300]
     rows = []
     scenarios = {}
@@ -51,3 +52,17 @@ def bench_scalability(benchmark, capsys, scale):
         growth = (large[2] / small[2]) / (large[0] / small[0])
         print(f"time growth per node-count growth: {growth:.2f}x "
               "(1.0 = perfectly linear)")
+
+    # engine fan-out: the same comparison runs through the process pool
+    # (REPRO_BENCH_JOBS) — wall clock should shrink ~linearly in jobs
+    # while the per-run numbers stay bit-identical to the serial path.
+    cfg = ScenarioConfig(name="engine-scale", n_nodes=sizes[0])
+    n_runs = 4 if not scale.is_paper else 8
+    t0 = time.perf_counter()
+    res = run_set(cfg, n_runs=n_runs, base_seed=900,
+                  engine=EngineConfig(jobs=engine_jobs))
+    dt = time.perf_counter() - t0
+    assert len(res.runs) + len(res.degenerate) == n_runs
+    with capsys.disabled():
+        print(f"engine throughput: {n_runs} comparison runs in {dt:.2f}s "
+              f"with jobs={engine_jobs} ({n_runs / dt:.2f} runs/s)")

@@ -55,6 +55,12 @@ def scale() -> BenchScale:
 
 
 @pytest.fixture(scope="session")
+def engine_jobs() -> int:
+    """Worker processes for engine-driven benchmarks (REPRO_BENCH_JOBS)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+@pytest.fixture(scope="session")
 def bench_config(scale) -> ScenarioConfig:
     """A set-1 config at benchmark scale."""
     return scaled_down(PAPER_SET_1, scale.n_nodes)

@@ -39,6 +39,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--set", dest="paper_set", type=int, default=3,
                        choices=(1, 2, 3), help="paper simulation set")
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_engine_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=positive_int, default=1,
+                       help="worker processes (1 = serial; results are "
+                            "identical either way)")
+        p.add_argument("--cache-dir", type=str, default=".repro-cache",
+                       help="directory for per-run result caching "
+                            "(default .repro-cache)")
+        p.add_argument("--resume", action="store_true",
+                       help="replay cached runs instead of recomputing")
+
     p_fig6 = sub.add_parser("fig6", help="run the Figure 6 experiment")
     p_fig6.add_argument("--runs", type=int, default=5,
                         help="simulation runs per set (paper: 25)")
@@ -47,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig6.add_argument("--seed", type=int, default=1000)
     p_fig6.add_argument("--csv", type=str, default=None,
                         help="also write the bar series to this CSV file")
+    add_engine_args(p_fig6)
 
     p_sweep = sub.add_parser(
         "sweep", help="capacity planning: reward vs power cap")
@@ -55,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--points", type=int, default=6)
     p_sweep.add_argument("--csv", type=str, default=None,
                          help="also write the curve to this CSV file")
+    add_engine_args(p_sweep)
 
     p_sim = sub.add_parser("simulate",
                            help="first step + DES second step on one room")
@@ -106,11 +124,17 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     from repro.experiments.config import paper_sets, scaled_down
     from repro.experiments.export import fig6_csv, write_csv
     from repro.experiments.figures import fig6_data, format_fig6
+    from repro.experiments.progress import PrintingReporter
 
     configs = [scaled_down(c, args.nodes) for c in paper_sets()]
+    reporter = PrintingReporter()
     results = fig6_data(n_runs=args.runs, base_seed=args.seed,
-                        configs=configs, progress=True)
+                        configs=configs, jobs=args.jobs,
+                        cache_dir=args.cache_dir, resume=args.resume,
+                        reporter=reporter)
     print()
+    print(f"engine: {reporter.summary()} "
+          f"(jobs={args.jobs}, cache={args.cache_dir})")
     print(format_fig6(results))
     if args.csv:
         write_csv(fig6_csv(results), args.csv)
@@ -127,7 +151,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sc = generate_scenario(scaled_down(PAPER_SET_3, args.nodes), args.seed)
     lo, hi = sc.bounds.p_min, sc.bounds.p_max
     caps = np.linspace(lo * 1.02, hi, args.points)
-    points = sweep_power_cap(sc.datacenter, sc.workload, caps)
+    points = sweep_power_cap(
+        sc.datacenter, sc.workload, caps, jobs=args.jobs,
+        cache_dir=args.cache_dir, resume=args.resume,
+        cache_tag=f"sweep-set3-n{args.nodes}-seed{args.seed}")
     print(f"{'cap kW':>8}{'3-stage/s':>11}{'baseline/s':>12}{'edge %':>8}")
     for p in points:
         print(f"{p.p_const:>8.1f}{p.reward_three_stage:>11.1f}"

@@ -2,6 +2,8 @@
 P-state assignment (three-stage first step + dynamic second step) and
 the P0-or-off baseline it is compared against."""
 
+from repro.core.api import (BestPsiOutcome, SolveOptions, SolveOutcome,
+                            SolveRequest, available_methods, solve)
 from repro.core.arr import (AggregateRewardRate, aggregate_reward_rate,
                             select_best_task_types)
 from repro.core.assignment import (AssignmentResult, best_psi_assignment,
@@ -30,6 +32,12 @@ from repro.core.stage3 import Stage3Solution, solve_stage3
 from repro.core.stage3_power import solve_stage3_power_aware
 
 __all__ = [
+    "BestPsiOutcome",
+    "SolveOptions",
+    "SolveOutcome",
+    "SolveRequest",
+    "available_methods",
+    "solve",
     "AggregateRewardRate",
     "aggregate_reward_rate",
     "select_best_task_types",

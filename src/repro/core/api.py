@@ -1,0 +1,207 @@
+"""Unified solver API — one request shape for every first-step solver.
+
+The four first-step entry points grew up separately and diverged:
+``solve_stage1`` takes ``(datacenter, workload, psi, p_const)``,
+``solve_baseline`` and ``best_psi_assignment`` take
+``(datacenter, workload, p_const)`` with different tuning keywords, and
+``solve_exact`` adds its own enumeration knobs.  Their return shapes
+diverged the same way (result, ``(result, search)`` tuples, …).
+
+This module is the convergence point:
+
+* :class:`SolveRequest` — the problem: a data center, a workload and a
+  power cap.
+* :class:`SolveOptions` — every tuning knob any solver accepts, all
+  keyword-only, with the shared defaults.
+* :func:`solve` — dispatch to a solver by name (``"three_stage"``,
+  ``"best_psi"``, ``"baseline"``, ``"exact"``); every return value
+  satisfies :class:`SolveOutcome` (``.reward_rate``, ``.verify(...)``,
+  ``.to_dict()``).
+
+The legacy entry points keep working (see their deprecation shims) but
+new code — including the experiment engine — should build a
+``SolveRequest`` and call :func:`solve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
+
+from repro.datacenter.builder import DataCenter
+from repro.workload.tasktypes import Workload
+
+__all__ = ["SolveOptions", "SolveRequest", "SolveOutcome", "BestPsiOutcome",
+           "solve", "available_methods"]
+
+
+@runtime_checkable
+class SolveOutcome(Protocol):
+    """What every first-step solver result can do.
+
+    ``AssignmentResult``, ``BaselineSolution``, ``ExactResult`` and
+    :class:`BestPsiOutcome` all satisfy this protocol.
+    """
+
+    @property
+    def reward_rate(self) -> float: ...
+
+    def verify(self, datacenter: DataCenter, p_const: float,
+               tol: float = 1e-6) -> None: ...
+
+    def to_dict(self) -> dict: ...
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Tuning knobs shared across solvers (all keyword-only in use).
+
+    Attributes
+    ----------
+    psi:
+        ARR aggregation level for the single-ψ three-stage pipeline.
+    psis:
+        ψ levels evaluated by the ``best_psi`` method.
+    search:
+        CRAC outlet-temperature search mode (``"fast"`` or ``"full"``).
+    coarse_step / final_step:
+        Grid granularities of the ``"full"`` coarse-to-fine search.
+    temp_step / max_assignments:
+        Exact-enumeration knobs (``"exact"`` method only).
+    """
+
+    psi: float = 50.0
+    psis: tuple[float, ...] = (25.0, 50.0)
+    search: str = "fast"
+    coarse_step: float = 5.0
+    final_step: float = 1.0
+    temp_step: float = 3.0
+    max_assignments: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.search not in ("fast", "full"):
+            raise ValueError(
+                f"unknown search mode {self.search!r} (use 'fast' or 'full')")
+        if not self.psis:
+            raise ValueError("need at least one psi value")
+
+
+@dataclass(frozen=True, eq=False)
+class SolveRequest:
+    """One first-step problem instance: room + workload + power cap."""
+
+    datacenter: DataCenter
+    workload: Workload
+    p_const: float
+    options: SolveOptions = field(default_factory=SolveOptions)
+
+    def with_options(self, **changes) -> "SolveRequest":
+        """A copy of this request with some options replaced."""
+        return replace(self, options=replace(self.options, **changes))
+
+
+@dataclass
+class BestPsiOutcome:
+    """Best-of-ψ result with the per-ψ assignments kept around.
+
+    Satisfies :class:`SolveOutcome`; ``verify`` audits every per-ψ
+    assignment (the paper reports them separately, so all must hold).
+    """
+
+    by_psi: dict
+    search: object | None = None
+
+    @property
+    def best(self):
+        return max(self.by_psi.values(), key=lambda r: r.reward_rate)
+
+    @property
+    def reward_rate(self) -> float:
+        return self.best.reward_rate
+
+    @property
+    def reward_by_psi(self) -> dict:
+        return {psi: r.reward_rate for psi, r in self.by_psi.items()}
+
+    def verify(self, datacenter: DataCenter, p_const: float,
+               tol: float = 1e-6) -> None:
+        for result in self.by_psi.values():
+            result.verify(datacenter, p_const, tol=tol)
+
+    def to_dict(self) -> dict:
+        return {
+            "method": "best_psi",
+            "reward_rate": self.reward_rate,
+            "best_psi": self.best.psi,
+            "by_psi": {str(psi): r.to_dict()
+                       for psi, r in self.by_psi.items()},
+        }
+
+
+def _solve_three_stage(request: SolveRequest):
+    from repro.core.assignment import three_stage_assignment
+
+    opt = request.options
+    return three_stage_assignment(
+        request.datacenter, request.workload, request.p_const,
+        psi=opt.psi, search=opt.search)
+
+
+def _solve_best_psi(request: SolveRequest) -> BestPsiOutcome:
+    from repro.core.assignment import best_psi_assignment
+
+    opt = request.options
+    _, by_psi = best_psi_assignment(
+        request.datacenter, request.workload, request.p_const,
+        psis=opt.psis, search=opt.search)
+    return BestPsiOutcome(by_psi=by_psi)
+
+
+def _solve_baseline(request: SolveRequest):
+    from repro.core.baseline import solve_baseline
+
+    opt = request.options
+    solution, search = solve_baseline(
+        request.datacenter, request.workload, request.p_const,
+        search=opt.search, coarse_step=opt.coarse_step,
+        final_step=opt.final_step)
+    solution.search = search
+    return solution
+
+
+def _solve_exact(request: SolveRequest):
+    from repro.core.exact import solve_exact
+
+    opt = request.options
+    return solve_exact(
+        request.datacenter, request.workload, request.p_const,
+        temp_step=opt.temp_step, max_assignments=opt.max_assignments)
+
+
+_SOLVERS = {
+    "three_stage": _solve_three_stage,
+    "best_psi": _solve_best_psi,
+    "baseline": _solve_baseline,
+    "exact": _solve_exact,
+}
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names accepted by :func:`solve`."""
+    return tuple(_SOLVERS)
+
+
+def solve(request: SolveRequest, *, method: str = "three_stage"
+          ) -> SolveOutcome:
+    """Solve one first-step problem with the named technique.
+
+    Every return value exposes ``.reward_rate``, ``.verify(datacenter,
+    p_const)`` and ``.to_dict()`` regardless of the method.
+    """
+    try:
+        solver = _SOLVERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown solve method {method!r}; "
+            f"choose from {', '.join(_SOLVERS)}") from None
+    return solver(request)

@@ -14,6 +14,7 @@ assignment with the highest Stage 3 reward rate.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -86,16 +87,44 @@ class AssignmentResult:
                 f"power cap violated: {breakdown.total:.3f} kW > "
                 f"{p_const:.3f} kW")
 
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the :class:`SolveOutcome` protocol)."""
+        return {
+            "method": "three_stage",
+            "psi": self.psi,
+            "reward_rate": self.reward_rate,
+            "t_crac_out": self.t_crac_out.tolist(),
+            "pstates": self.pstates.tolist(),
+        }
+
+
+def _legacy_positional(name: str, knob: str, legacy: tuple, current):
+    """Deprecation shim: accept one tuning knob passed positionally."""
+    if not legacy:
+        return current
+    if len(legacy) > 1:
+        raise TypeError(
+            f"{name}() takes at most one positional tuning argument "
+            f"({knob}); pass the rest as keywords")
+    warnings.warn(
+        f"passing {knob} positionally to {name}() is deprecated; "
+        f"use {knob}=... (see repro.core.api.SolveRequest for the "
+        f"unified API)", DeprecationWarning, stacklevel=3)
+    return legacy[0]
+
 
 def three_stage_assignment(datacenter: DataCenter, workload: Workload,
-                           p_const: float, psi: float = 50.0, *,
+                           p_const: float, *legacy, psi: float = 50.0,
                            search: str = "fast") -> AssignmentResult:
     """Run the full three-stage technique (Section V.B).
 
-    See :func:`repro.core.stage1.solve_stage1` for the ``search`` modes.
+    ``psi`` and ``search`` are keyword-only; passing ``psi``
+    positionally still works for one release but warns.  See
+    :func:`repro.core.stage1.solve_stage1` for the ``search`` modes.
     """
-    stage1, trace = solve_stage1(datacenter, workload, psi, p_const,
-                                 search=search)
+    psi = _legacy_positional("three_stage_assignment", "psi", legacy, psi)
+    stage1, trace = solve_stage1(datacenter, workload,
+                                 p_const=p_const, psi=psi, search=search)
     stage2 = solve_stage2(datacenter, stage1)
     stage3 = solve_stage3(datacenter, workload, stage2.pstates)
     return AssignmentResult(
@@ -112,20 +141,23 @@ def three_stage_assignment(datacenter: DataCenter, workload: Workload,
 
 
 def best_psi_assignment(datacenter: DataCenter, workload: Workload,
-                        p_const: float,
-                        psis: Sequence[float] = (25.0, 50.0), *,
+                        p_const: float, *legacy,
+                        psis: Sequence[float] = (25.0, 50.0),
                         search: str = "fast"
                         ) -> tuple[AssignmentResult, dict[float, AssignmentResult]]:
     """Run the pipeline for each ψ and keep the best Stage 3 reward.
 
     Returns ``(best, all_results)`` — the paper reports ψ=25, ψ=50 and
     "best of the two" separately (Figure 6), so callers get both.
+    ``psis`` and ``search`` are keyword-only (positional ``psis`` is
+    deprecated).
     """
+    psis = _legacy_positional("best_psi_assignment", "psis", legacy, psis)
     if not psis:
         raise ValueError("need at least one psi value")
     results = {
         float(psi): three_stage_assignment(datacenter, workload, p_const,
-                                           psi, search=search)
+                                           psi=psi, search=search)
         for psi in psis
     }
     best = max(results.values(), key=lambda r: r.reward_rate)

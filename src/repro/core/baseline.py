@@ -56,6 +56,9 @@ class BaselineSolution:
         Eq. 1 node powers under ``pstates``.
     t_crac_out:
         The outlet temperatures this solution was computed at.
+    search:
+        Outlet-temperature search trace when solved through
+        :func:`solve_baseline` via the unified API (else ``None``).
     """
 
     frac: np.ndarray
@@ -65,6 +68,39 @@ class BaselineSolution:
     tc: np.ndarray
     node_power_kw: np.ndarray
     t_crac_out: np.ndarray
+    search: SearchResult | None = None
+
+    def verify(self, datacenter: DataCenter, p_const: float,
+               tol: float = 1e-6) -> None:
+        """Assert the cap and redlines hold (the shared result protocol).
+
+        Mirrors ``AssignmentResult.verify`` so baseline solutions can be
+        audited through the same code paths.
+        """
+        from repro.datacenter.power import total_power
+
+        model = datacenter.require_thermal()
+        margin = model.redline_margin(self.t_crac_out, self.node_power_kw,
+                                      datacenter.redline_c)
+        if margin.min() < -tol:
+            raise AssertionError(
+                f"redline violated by {-margin.min():.4f} C at unit "
+                f"{int(margin.argmin())}")
+        breakdown = total_power(datacenter, self.t_crac_out,
+                                self.node_power_kw)
+        if breakdown.total > p_const + tol * max(1.0, p_const):
+            raise AssertionError(
+                f"power cap violated: {breakdown.total:.3f} kW > "
+                f"{p_const:.3f} kW")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the :class:`SolveOutcome` protocol)."""
+        return {
+            "method": "baseline",
+            "reward_rate": self.reward_rate,
+            "t_crac_out": self.t_crac_out.tolist(),
+            "cores_on": self.cores_on.tolist(),
+        }
 
 
 def solve_baseline_fixed_temps(datacenter: DataCenter, workload: Workload,

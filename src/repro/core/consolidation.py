@@ -107,8 +107,8 @@ def _with_bases_zeroed(datacenter: DataCenter,
 
 def _assign(datacenter: DataCenter, workload: Workload, p_const: float,
             psi: float, disabled: np.ndarray) -> AssignmentResult:
-    stage1, trace = solve_stage1(datacenter, workload, psi, p_const,
-                                 disabled_nodes=disabled)
+    stage1, trace = solve_stage1(datacenter, workload, p_const=p_const,
+                                 psi=psi, disabled_nodes=disabled)
     stage2 = solve_stage2(datacenter, stage1)
     stage3 = solve_stage3(datacenter, workload, stage2.pstates)
     return AssignmentResult(

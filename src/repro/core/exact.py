@@ -62,6 +62,36 @@ class ExactResult:
     assignments_checked: int
     lp_solves: int
 
+    def verify(self, datacenter: DataCenter, p_const: float,
+               tol: float = 1e-6) -> None:
+        """Assert the cap and redlines hold (the shared result protocol)."""
+        from repro.datacenter.power import total_power
+
+        model = datacenter.require_thermal()
+        node_power = datacenter.node_power_kw(self.pstates)
+        margin = model.redline_margin(self.t_crac_out, node_power,
+                                      datacenter.redline_c)
+        if margin.min() < -tol:
+            raise AssertionError(
+                f"redline violated by {-margin.min():.4f} C at unit "
+                f"{int(margin.argmin())}")
+        breakdown = total_power(datacenter, self.t_crac_out, node_power)
+        if breakdown.total > p_const + tol * max(1.0, p_const):
+            raise AssertionError(
+                f"power cap violated: {breakdown.total:.3f} kW > "
+                f"{p_const:.3f} kW")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the :class:`SolveOutcome` protocol)."""
+        return {
+            "method": "exact",
+            "reward_rate": self.reward_rate,
+            "t_crac_out": self.t_crac_out.tolist(),
+            "pstates": self.pstates.tolist(),
+            "assignments_checked": self.assignments_checked,
+            "lp_solves": self.lp_solves,
+        }
+
 
 def count_assignments(datacenter: DataCenter) -> int:
     """Size of the P-state assignment space (before outlet choices)."""

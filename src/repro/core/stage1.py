@@ -217,13 +217,22 @@ def distribute_node_power(datacenter: DataCenter,
     return core_power
 
 
-def solve_stage1(datacenter: DataCenter, workload: Workload, psi: float,
-                 p_const: float, *, search: str = "fast",
+def solve_stage1(datacenter: DataCenter, workload: Workload,
+                 *legacy, p_const: float | None = None, psi: float = 50.0,
+                 search: str = "fast",
                  coarse_step: float = 5.0,
                  final_step: float = 1.0,
                  disabled_nodes: np.ndarray | None = None
                  ) -> tuple[Stage1Solution, SearchResult]:
     """Full Stage 1: discretized CRAC temperature search around the LP.
+
+    The canonical call is ``solve_stage1(datacenter, workload,
+    p_const=cap, psi=50.0)`` — the same ``(datacenter, workload,
+    p_const)`` order as every other solver (see
+    :mod:`repro.core.api`).  The historical positional form
+    ``solve_stage1(datacenter, workload, psi, p_const)`` still works for
+    one release but emits a ``DeprecationWarning`` (note it put ``psi``
+    *before* the cap — the divergence the unified API removes).
 
     Parameters
     ----------
@@ -238,6 +247,27 @@ def solve_stage1(datacenter: DataCenter, workload: Workload, psi: float,
     ``RuntimeError`` if no outlet-temperature vector admits a feasible
     operating point (e.g. ``p_const`` below the idle power of the room).
     """
+    if legacy:
+        import warnings
+
+        if len(legacy) > 2:
+            raise TypeError(
+                "solve_stage1() takes at most two positional arguments "
+                "after (datacenter, workload): the legacy (psi, p_const)")
+        warnings.warn(
+            "passing (psi, p_const) positionally to solve_stage1() is "
+            "deprecated; call solve_stage1(datacenter, workload, "
+            "p_const=..., psi=...) instead",
+            DeprecationWarning, stacklevel=2)
+        psi = float(legacy[0])
+        if len(legacy) == 2:
+            if p_const is not None:
+                raise TypeError("solve_stage1() got p_const both "
+                                "positionally and as a keyword")
+            p_const = float(legacy[1])
+    if p_const is None:
+        raise TypeError("solve_stage1() missing required argument: "
+                        "'p_const'")
     model = datacenter.require_thermal()
     redline = datacenter.redline_c
     lows = [c.outlet_range_c[0] for c in datacenter.cracs]

@@ -4,6 +4,9 @@ figure of the paper."""
 
 from repro.experiments.config import (PAPER_SET_1, PAPER_SET_2, PAPER_SET_3,
                                       ScenarioConfig, paper_sets, scaled_down)
+from repro.experiments.engine import (EngineConfig, EngineError, cache_key,
+                                      cache_path, parallel_map, run_set,
+                                      run_sets)
 from repro.experiments.figures import (example_node_type, example_workload,
                                        fig3_rr_function,
                                        fig4_rr_function_with_deadline,
@@ -17,7 +20,11 @@ from repro.experiments.sweeps import (CapSweepPoint, RedlineSweepPoint,
 from repro.experiments.export import capacity_csv, fig6_csv, write_csv
 from repro.experiments.robustness import (RobustnessPoint, evaluate_robustness,
                                           perturb_ecs)
-from repro.experiments.runner import (ConfidenceInterval, RunResult, SetResult,
+from repro.experiments.progress import (PrintingReporter, ProgressReporter,
+                                        RunEvent)
+from repro.experiments.runner import (ConfidenceInterval,
+                                      DegenerateBaselineError, RunFailure,
+                                      RunResult, SetResult,
                                       confidence_interval, run_comparison,
                                       run_simulation_set)
 from repro.experiments.tables import (format_table1, format_table2,
@@ -54,7 +61,19 @@ __all__ = [
     "RobustnessPoint",
     "evaluate_robustness",
     "perturb_ecs",
+    "EngineConfig",
+    "EngineError",
+    "cache_key",
+    "cache_path",
+    "parallel_map",
+    "run_set",
+    "run_sets",
+    "PrintingReporter",
+    "ProgressReporter",
+    "RunEvent",
     "ConfidenceInterval",
+    "DegenerateBaselineError",
+    "RunFailure",
     "RunResult",
     "SetResult",
     "confidence_interval",

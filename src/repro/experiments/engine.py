@@ -1,0 +1,370 @@
+"""Parallel, resumable execution engine for the Figure 6 experiment.
+
+The headline experiment is embarrassingly parallel — every run is a pure
+function of ``(ScenarioConfig, seed)`` — but the original runner solved
+its 25 scenarios per set strictly serially and aborted the whole set on
+the first failure.  This engine adds the three things every large sweep
+needs, without changing a single number:
+
+* **Workers** — runs fan out over a ``ProcessPoolExecutor``
+  (:class:`EngineConfig.jobs`).  Each worker recomputes its scenario
+  from ``(config, seed)``, so results are bit-identical to the serial
+  path regardless of scheduling order.
+* **Caching / resume** — each finished run is written to
+  ``cache_dir`` as JSON keyed on ``(ScenarioConfig, seed, ψ-set,
+  code_version)``; with ``resume=True`` a second invocation replays
+  cached runs instead of recomputing them, so interrupted sweeps pick
+  up where they stopped.
+* **Fault tolerance** — a retry-with-backoff wrapper distinguishes
+  deterministic failures (``InfeasibleError``, verification errors)
+  from transient ones, and records failures as
+  :class:`~repro.experiments.runner.RunFailure` entries in the
+  :class:`~repro.experiments.runner.SetResult` instead of crashing the
+  set.  Zero-reward baselines are recorded as *degenerate* runs.
+
+Every run outcome — computed, cached or failed — is reported as a
+structured :class:`~repro.experiments.progress.RunEvent`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.generator import generate_scenario
+from repro.experiments.progress import ProgressReporter, RunEvent
+from repro.experiments.runner import (RunFailure, RunResult, SetResult,
+                                      run_comparison)
+
+__all__ = ["EngineConfig", "EngineError", "run_set", "run_sets",
+           "parallel_map", "cache_key", "cache_path", "code_version",
+           "load_point", "store_point", "CACHE_SCHEMA_VERSION"]
+
+#: Bump when the cached payload layout (or run semantics) changes; old
+#: cache entries are then ignored rather than misread.
+CACHE_SCHEMA_VERSION = 1
+
+#: Exceptions that are deterministic for a given ``(config, seed)`` —
+#: retrying cannot help, so they fail fast (but are still recorded).
+_NON_RETRYABLE = (ValueError, TypeError, ArithmeticError, AssertionError,
+                  RuntimeError)
+
+
+class EngineError(RuntimeError):
+    """Too few valid runs survived to aggregate a simulation set."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How to execute a sweep.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes; ``1`` keeps everything in-process (bit-identical
+        either way, the pool only changes wall-clock time).
+    cache_dir:
+        Directory for per-run JSON results; ``None`` disables caching.
+    resume:
+        Consult the cache before computing.  Writes happen whenever
+        ``cache_dir`` is set, so a first (non-resume) invocation
+        populates the cache a later ``resume=True`` invocation replays.
+    retries:
+        Extra attempts for *transient* failures (deterministic solver
+        errors fail fast).
+    backoff_s:
+        Base of the exponential retry backoff.
+    """
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    resume: bool = False
+    retries: int = 1
+    backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+
+def code_version() -> str:
+    """Version string baked into cache keys (package + schema)."""
+    import repro
+
+    return f"{repro.__version__}+cache{CACHE_SCHEMA_VERSION}"
+
+
+def cache_key(config: ScenarioConfig, seed: int) -> str:
+    """Digest of everything that determines one run's result."""
+    payload = {
+        "code_version": code_version(),
+        "config": asdict(config),
+        "seed": int(seed),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=list)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cache_path(cache_dir: str | Path, config: ScenarioConfig,
+               seed: int) -> Path:
+    """Readable-but-unique cache file for one run."""
+    digest = cache_key(config, seed)
+    return Path(cache_dir) / f"{config.name}-seed{seed}-{digest[:16]}.json"
+
+
+def _load_cached(cache_dir: Path, config: ScenarioConfig,
+                 seed: int) -> dict | None:
+    path = cache_path(cache_dir, config, seed)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("schema") != CACHE_SCHEMA_VERSION \
+            or payload.get("code_version") != code_version():
+        return None
+    if payload.get("status") not in ("ok", "failed"):
+        return None
+    return payload
+
+
+def _store_cached(cache_dir: Path, config: ScenarioConfig, seed: int,
+                  payload: dict) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_path(cache_dir, config, seed)
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def _point_path(cache_dir: str | Path, tag: str, extra: dict) -> Path:
+    blob = json.dumps({"code_version": code_version(), "tag": tag,
+                       "extra": extra}, sort_keys=True)
+    digest = hashlib.sha256(blob.encode()).hexdigest()
+    return Path(cache_dir) / f"{tag}-{digest[:16]}.json"
+
+
+def load_point(cache_dir: str | Path, tag: str, extra: dict) -> dict | None:
+    """Load one generic cached datum (used by the sweep drivers).
+
+    ``tag`` names the problem instance (room/seed), ``extra`` the point
+    within it (cap, ψ, …); both are folded into the key together with
+    :func:`code_version`.
+    """
+    path = _point_path(cache_dir, tag, extra)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        return None
+    return payload
+
+
+def store_point(cache_dir: str | Path, tag: str, extra: dict,
+                data: dict) -> None:
+    """Persist one generic cached datum (counterpart of :func:`load_point`)."""
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = _point_path(directory, tag, extra)
+    payload = dict(data)
+    payload["schema"] = CACHE_SCHEMA_VERSION
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """Picklable result of one executed run (success or failure)."""
+
+    seed: int
+    status: str                 # "ok" | "failed"
+    run: dict | None            # RunResult.to_dict()
+    failure: dict | None        # RunFailure.to_dict()
+    wall_time_s: float
+    worker_pid: int
+
+    def payload(self, config: ScenarioConfig) -> dict:
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code_version": code_version(),
+            "set": config.name,
+            "seed": self.seed,
+            "status": self.status,
+            "run": self.run,
+            "failure": self.failure,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+def _execute_comparison(config: ScenarioConfig, seed: int,
+                        retries: int = 1,
+                        backoff_s: float = 0.05) -> _Outcome:
+    """One run with retry/backoff; never raises (failures are data).
+
+    Top-level so :class:`ProcessPoolExecutor` can pickle it.
+    """
+    t0 = time.perf_counter()
+    attempts = 0
+    p_const: float | None = None
+    while True:
+        attempts += 1
+        try:
+            scenario = generate_scenario(config, seed)
+            p_const = scenario.p_const
+            run = run_comparison(scenario)
+            return _Outcome(seed=seed, status="ok", run=run.to_dict(),
+                            failure=None,
+                            wall_time_s=time.perf_counter() - t0,
+                            worker_pid=os.getpid())
+        except _NON_RETRYABLE as exc:
+            error = exc
+            break
+        except Exception as exc:  # transient: I/O, memory pressure, ...
+            error = exc
+            if attempts > retries:
+                break
+            time.sleep(backoff_s * (2 ** (attempts - 1)))
+    failure = RunFailure(seed=seed, error_type=type(error).__name__,
+                         message=str(error), attempts=attempts,
+                         p_const=p_const)
+    return _Outcome(seed=seed, status="failed", run=None,
+                    failure=failure.to_dict(),
+                    wall_time_s=time.perf_counter() - t0,
+                    worker_pid=os.getpid())
+
+
+def _event_for(config: ScenarioConfig, run_index: int, n_runs: int,
+               payload: dict, *, source: str, worker: str,
+               wall_time_s: float) -> RunEvent:
+    if payload["status"] == "ok":
+        run = RunResult.from_dict(payload["run"])
+        if run.is_degenerate:
+            status, detail = "degenerate", "baseline earned zero reward"
+        else:
+            status = "ok"
+            detail = f"best improvement {run.improvement_pct(None):+.2f}%"
+    else:
+        status = "failed"
+        fail = payload["failure"]
+        detail = f"{fail['error_type']}: {fail['message']}"
+    return RunEvent(set_name=config.name, run_index=run_index,
+                    n_runs=n_runs, seed=int(payload["seed"]),
+                    status=status, source=source, worker=worker,
+                    wall_time_s=wall_time_s, detail=detail)
+
+
+def run_set(config: ScenarioConfig, n_runs: int = 25,
+            base_seed: int = 1000, *, engine: EngineConfig | None = None,
+            reporter: ProgressReporter | None = None) -> SetResult:
+    """Run one simulation set through the engine and aggregate.
+
+    Seeds are ``base_seed + run_index`` — identical to the historical
+    serial runner, so cached, serial and parallel executions all produce
+    the same per-run numbers.
+
+    Raises :class:`EngineError` when fewer than two runs remain valid
+    after removing failures and degenerate runs.
+    """
+    engine = engine or EngineConfig()
+    if n_runs < 2:
+        raise ValueError("a simulation set needs at least two runs for CIs")
+    cache_dir = Path(engine.cache_dir) if engine.cache_dir else None
+    seeds = [base_seed + r for r in range(n_runs)]
+    index_of = {seed: i for i, seed in enumerate(seeds)}
+    payloads: dict[int, dict] = {}
+
+    def finish(outcome: _Outcome) -> None:
+        payload = outcome.payload(config)
+        payloads[outcome.seed] = payload
+        if cache_dir is not None:
+            _store_cached(cache_dir, config, outcome.seed, payload)
+        if reporter is not None:
+            worker = "inline" if outcome.worker_pid == os.getpid() \
+                else f"pid:{outcome.worker_pid}"
+            reporter.emit(_event_for(
+                config, index_of[outcome.seed], n_runs, payload,
+                source="worker", worker=worker,
+                wall_time_s=outcome.wall_time_s))
+
+    pending: list[int] = []
+    for seed in seeds:
+        payload = _load_cached(cache_dir, config, seed) \
+            if (cache_dir is not None and engine.resume) else None
+        if payload is not None:
+            payloads[seed] = payload
+            if reporter is not None:
+                reporter.emit(_event_for(
+                    config, index_of[seed], n_runs, payload,
+                    source="cache", worker="cache", wall_time_s=0.0))
+        else:
+            pending.append(seed)
+
+    if engine.jobs > 1 and len(pending) > 1:
+        workers = min(engine.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_comparison, config, seed,
+                                   engine.retries, engine.backoff_s)
+                       for seed in pending]
+            for future in as_completed(futures):
+                finish(future.result())
+    else:
+        for seed in pending:
+            finish(_execute_comparison(config, seed, engine.retries,
+                                       engine.backoff_s))
+
+    runs: list[RunResult] = []
+    degenerate: list[RunResult] = []
+    failures: list[RunFailure] = []
+    for seed in seeds:
+        payload = payloads[seed]
+        if payload["status"] == "ok":
+            run = RunResult.from_dict(payload["run"])
+            (degenerate if run.is_degenerate else runs).append(run)
+        else:
+            failures.append(RunFailure.from_dict(payload["failure"]))
+    if len(runs) < 2:
+        detail = "; ".join(
+            f"seed {f.seed}: {f.error_type}: {f.message}" for f in failures)
+        raise EngineError(
+            f"set {config.name!r}: only {len(runs)} of {n_runs} runs valid "
+            f"({len(degenerate)} degenerate, {len(failures)} failed"
+            f"{': ' + detail if detail else ''})")
+    return SetResult(config=config, runs=runs, degenerate=degenerate,
+                     failures=failures)
+
+
+def run_sets(configs: Sequence[ScenarioConfig], n_runs: int = 25,
+             base_seed: int = 1000, *,
+             engine: EngineConfig | None = None,
+             reporter: ProgressReporter | None = None
+             ) -> dict[str, SetResult]:
+    """Run several simulation sets (the whole Figure 6 experiment)."""
+    return {
+        config.name: run_set(config, n_runs=n_runs, base_seed=base_seed,
+                             engine=engine, reporter=reporter)
+        for config in configs
+    }
+
+
+def parallel_map(fn: Callable, items: Iterable, *, jobs: int = 1) -> list:
+    """Order-preserving map, optionally across worker processes.
+
+    ``fn`` must be picklable (a module-level function or a
+    ``functools.partial`` of one) when ``jobs > 1``.  Used by the sweep
+    and benchmark drivers to ride the same pool as the engine.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

@@ -15,7 +15,7 @@ from repro.core.arr import AggregateRewardRate, aggregate_reward_rate
 from repro.core.reward import reward_rate_function
 from repro.datacenter.coretypes import NodeTypeSpec
 from repro.experiments.config import ScenarioConfig, paper_sets
-from repro.experiments.runner import SetResult, run_simulation_set
+from repro.experiments.runner import SetResult
 from repro.optimize.piecewise import PiecewiseLinear
 from repro.workload.tasktypes import Workload
 
@@ -92,19 +92,30 @@ def fig5_arr_functions() -> AggregateRewardRate:
 
 def fig6_data(n_runs: int = 25, base_seed: int = 1000,
               configs: list[ScenarioConfig] | None = None,
-              progress: bool = False) -> dict[str, SetResult]:
+              progress: bool = False, *, jobs: int = 1,
+              cache_dir=None, resume: bool = False,
+              reporter=None) -> dict[str, SetResult]:
     """Run the Figure 6 experiment — all simulation sets.
 
     At paper scale (150 nodes, 25 runs) this takes minutes; benchmarks
     pass smaller configs for interactive use (see DESIGN.md §4).
+    ``jobs``/``cache_dir``/``resume`` go straight to the experiment
+    engine (see :mod:`repro.experiments.engine`): runs fan out over a
+    process pool and finished runs are replayed from the cache on a
+    resumed invocation.  Pass a
+    :class:`~repro.experiments.progress.ProgressReporter` to observe
+    per-run events; ``progress=True`` prints them.
     """
+    from repro.experiments.engine import EngineConfig, run_sets
+    from repro.experiments.progress import PrintingReporter
+
     if configs is None:
         configs = paper_sets()
-    return {
-        cfg.name: run_simulation_set(cfg, n_runs=n_runs,
-                                     base_seed=base_seed, progress=progress)
-        for cfg in configs
-    }
+    if reporter is None and progress:
+        reporter = PrintingReporter()
+    engine = EngineConfig(jobs=jobs, cache_dir=cache_dir, resume=resume)
+    return run_sets(configs, n_runs=n_runs, base_seed=base_seed,
+                    engine=engine, reporter=reporter)
 
 
 def format_fig6(results: dict[str, SetResult]) -> str:

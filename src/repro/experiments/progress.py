@@ -1,0 +1,123 @@
+"""Structured per-run progress reporting for the experiment engine.
+
+Every run the engine finishes — computed, replayed from cache, or failed
+— becomes one :class:`RunEvent`.  A :class:`ProgressReporter` collects
+them (tests and callers can inspect counts); :class:`PrintingReporter`
+additionally prints one line per event, which is what the CLI's
+``fig6``/``sweep`` commands show.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import TextIO
+
+__all__ = ["RunEvent", "ProgressReporter", "PrintingReporter"]
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One engine-level run outcome.
+
+    Attributes
+    ----------
+    set_name:
+        Name of the simulation set (``ScenarioConfig.name``).
+    run_index / n_runs:
+        Position of the run within its set (0-based) and the set size.
+    seed:
+        Scenario seed of the run.
+    status:
+        ``"ok"``, ``"degenerate"`` (zero-reward baseline) or
+        ``"failed"``.
+    source:
+        ``"cache"`` when replayed from the on-disk cache, ``"worker"``
+        when computed.
+    worker:
+        Where the run executed: ``"inline"`` for the serial path,
+        ``"pid:<n>"`` for a pool worker, ``"cache"`` for cache hits.
+    wall_time_s:
+        Wall-clock seconds the run took (0 for cache hits).
+    detail:
+        Free-form extra (e.g. best improvement, or the failure message).
+    """
+
+    set_name: str
+    run_index: int
+    n_runs: int
+    seed: int
+    status: str
+    source: str
+    worker: str
+    wall_time_s: float
+    detail: str = ""
+
+    @property
+    def run_id(self) -> str:
+        """Stable identifier, e.g. ``"set1/seed1003"``."""
+        return f"{self.set_name}/seed{self.seed}"
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.source == "cache"
+
+    def format(self) -> str:
+        """One human-readable progress line."""
+        tag = {"ok": "done", "degenerate": "DEGEN", "failed": "FAIL"}.get(
+            self.status, self.status)
+        src = "cache hit" if self.cache_hit else self.worker
+        line = (f"  [{self.set_name}] run {self.run_index + 1}/"
+                f"{self.n_runs} seed={self.seed} {tag:<5} "
+                f"({src}, {self.wall_time_s:.2f}s)")
+        if self.detail:
+            line += f" {self.detail}"
+        return line
+
+
+@dataclass
+class ProgressReporter:
+    """Collects :class:`RunEvent` objects and keeps running counters."""
+
+    events: list[RunEvent] = field(default_factory=list)
+
+    def emit(self, event: RunEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.events if e.cache_hit)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for e in self.events if not e.cache_hit)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for e in self.events if e.status == "failed")
+
+    @property
+    def degenerate(self) -> int:
+        return sum(1 for e in self.events if e.status == "degenerate")
+
+    def summary(self) -> str:
+        """One line: how much came from cache, how much was computed."""
+        parts = [f"{len(self.events)} runs",
+                 f"{self.cache_hits} cache hits",
+                 f"{self.computed} computed"]
+        if self.degenerate:
+            parts.append(f"{self.degenerate} degenerate")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        return ", ".join(parts)
+
+
+@dataclass
+class PrintingReporter(ProgressReporter):
+    """A reporter that also prints one line per run as it lands."""
+
+    stream: TextIO = None  # type: ignore[assignment]
+
+    def emit(self, event: RunEvent) -> None:  # pragma: no cover - console
+        super().emit(event)
+        print(event.format(), file=self.stream or sys.stdout, flush=True)

@@ -9,6 +9,11 @@ the same power cap and thermal model:
 A *simulation set* aggregates the per-run percentage improvements into a
 mean with a 95% confidence interval (Student t), exactly the quantity
 each Figure 6 bar reports.
+
+Execution (parallel workers, on-disk caching, retry/failure recording)
+lives in :mod:`repro.experiments.engine`; this module defines the
+run-level quantities and keeps the historical serial entry point
+:func:`run_simulation_set` as a thin wrapper over the engine.
 """
 
 from __future__ import annotations
@@ -18,13 +23,29 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import stats
 
-from repro.core.assignment import best_psi_assignment
-from repro.core.baseline import solve_baseline
+from repro.core.api import SolveOptions, SolveRequest, solve
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.generator import Scenario, generate_scenario
 
-__all__ = ["RunResult", "ConfidenceInterval", "SetResult",
-           "run_comparison", "run_simulation_set", "confidence_interval"]
+__all__ = ["DegenerateBaselineError", "RunResult", "RunFailure",
+           "ConfidenceInterval", "SetResult", "run_comparison",
+           "run_simulation_set", "confidence_interval"]
+
+
+class DegenerateBaselineError(ValueError):
+    """The baseline earned zero reward, so % improvement is undefined.
+
+    Carries the ``seed`` and ``p_const`` of the offending run so a sweep
+    can report *which* room degenerated.  The experiment engine records
+    such runs as degenerate instead of letting them abort a set.
+    """
+
+    def __init__(self, seed: int, p_const: float):
+        super().__init__(
+            f"baseline earned zero reward (seed {seed}, "
+            f"p_const {p_const:.3f} kW); improvement undefined")
+        self.seed = seed
+        self.p_const = p_const
 
 
 @dataclass(frozen=True)
@@ -53,16 +74,86 @@ class RunResult:
         """Best-of-ψ reward (the paper's third bar per set)."""
         return max(self.reward_by_psi.values())
 
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the baseline earned nothing (improvement undefined)."""
+        return self.baseline_reward <= 0
+
     def improvement_pct(self, psi: float | None = None) -> float:
         """Percentage improvement over the baseline.
 
-        ``psi=None`` uses the best-of-ψ reward.
+        ``psi=None`` uses the best-of-ψ reward.  Raises
+        :class:`DegenerateBaselineError` (a ``ValueError``) when the
+        baseline earned zero reward.
         """
         ours = self.best_reward if psi is None else self.reward_by_psi[psi]
         if self.baseline_reward <= 0:
-            raise ZeroDivisionError(
-                "baseline earned zero reward; improvement undefined")
+            raise DegenerateBaselineError(self.seed, self.p_const)
         return 100.0 * (ours - self.baseline_reward) / self.baseline_reward
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the engine's on-disk cache format)."""
+        return {
+            "seed": self.seed,
+            "p_const": self.p_const,
+            "baseline_reward": self.baseline_reward,
+            "reward_by_psi": [[psi, r] for psi, r
+                              in sorted(self.reward_by_psi.items())],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            seed=int(data["seed"]),
+            reward_by_psi={float(psi): float(r)
+                           for psi, r in data["reward_by_psi"]},
+            baseline_reward=float(data["baseline_reward"]),
+            p_const=float(data["p_const"]),
+        )
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A run that raised after all retries — kept, not fatal.
+
+    Attributes
+    ----------
+    seed:
+        Scenario seed of the failed run.
+    error_type / message:
+        Exception class name and its message.
+    attempts:
+        How many times the run was tried before giving up.
+    p_const:
+        The run's power cap if the scenario was generated before the
+        failure, else ``None``.
+    """
+
+    seed: int
+    error_type: str
+    message: str
+    attempts: int = 1
+    p_const: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "p_const": self.p_const,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunFailure":
+        p_const = data.get("p_const")
+        return cls(
+            seed=int(data["seed"]),
+            error_type=str(data["error_type"]),
+            message=str(data["message"]),
+            attempts=int(data.get("attempts", 1)),
+            p_const=None if p_const is None else float(p_const),
+        )
 
 
 @dataclass(frozen=True)
@@ -102,11 +193,16 @@ class SetResult:
     """Aggregated Figure 6 numbers for one simulation set.
 
     ``improvements`` maps a label (``"psi=25"``, ``"psi=50"``, ``"best"``)
-    to the per-run percentage improvements; ``intervals`` to their CIs.
+    to the per-run percentage improvements of the *valid* runs;
+    ``intervals`` to their CIs.  Degenerate runs (zero-reward baseline)
+    and failed runs are kept separately so a bad room documents itself
+    instead of crashing the whole set.
     """
 
     config: ScenarioConfig
     runs: list[RunResult]
+    degenerate: list[RunResult] = field(default_factory=list)
+    failures: list[RunFailure] = field(default_factory=list)
     improvements: dict[str, np.ndarray] = field(init=False)
     intervals: dict[str, ConfidenceInterval] = field(init=False)
 
@@ -121,21 +217,24 @@ class SetResult:
         self.intervals = {k: confidence_interval(v)
                           for k, v in labels.items()}
 
+    @property
+    def n_attempted(self) -> int:
+        """Total runs attempted, including degenerate and failed ones."""
+        return len(self.runs) + len(self.degenerate) + len(self.failures)
+
 
 def run_comparison(scenario: Scenario) -> RunResult:
     """Run both techniques on one scenario (one Figure 6 sample)."""
     config = scenario.config
-    _, by_psi = best_psi_assignment(
+    request = SolveRequest(
         scenario.datacenter, scenario.workload, scenario.p_const,
-        psis=config.psis, search=config.search)
-    for result in by_psi.values():
-        result.verify(scenario.datacenter, scenario.p_const)
-    baseline, _ = solve_baseline(
-        scenario.datacenter, scenario.workload, scenario.p_const,
-        search=config.search)
+        options=SolveOptions(psis=tuple(config.psis), search=config.search))
+    ours = solve(request, method="best_psi")
+    ours.verify(scenario.datacenter, scenario.p_const)
+    baseline = solve(request, method="baseline")
     return RunResult(
         seed=scenario.seed,
-        reward_by_psi={psi: r.reward_rate for psi, r in by_psi.items()},
+        reward_by_psi=ours.reward_by_psi,
         baseline_reward=baseline.reward_rate,
         p_const=scenario.p_const,
     )
@@ -147,16 +246,14 @@ def run_simulation_set(config: ScenarioConfig, n_runs: int = 25,
     """Run a whole simulation set (paper: 25 runs) and aggregate.
 
     Seeds are ``base_seed + run_index`` so individual runs can be
-    reproduced in isolation.
+    reproduced in isolation.  This is the historical serial entry point;
+    it delegates to :func:`repro.experiments.engine.run_set` — pass an
+    :class:`~repro.experiments.engine.EngineConfig` there for parallel
+    workers, caching and resume.
     """
-    if n_runs < 2:
-        raise ValueError("a simulation set needs at least two runs for CIs")
-    runs: list[RunResult] = []
-    for r in range(n_runs):
-        scenario = generate_scenario(config, base_seed + r)
-        runs.append(run_comparison(scenario))
-        if progress:  # pragma: no cover - console output
-            last = runs[-1]
-            print(f"  [{config.name}] run {r + 1}/{n_runs}: "
-                  f"best improvement {last.improvement_pct(None):+.2f}%")
-    return SetResult(config=config, runs=runs)
+    from repro.experiments.engine import run_set
+    from repro.experiments.progress import PrintingReporter
+
+    reporter = PrintingReporter() if progress else None
+    return run_set(config, n_runs=n_runs, base_seed=base_seed,
+                   reporter=reporter)

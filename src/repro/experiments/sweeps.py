@@ -10,7 +10,9 @@ solvers unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from functools import partial
+from pathlib import Path
 
 import numpy as np
 
@@ -46,36 +48,79 @@ class CapSweepPoint:
             / self.reward_baseline
 
 
+def _cap_point(cap: float, *, datacenter: DataCenter, workload: Workload,
+               psi: float, include_baseline: bool) -> CapSweepPoint | None:
+    """Solve one cap (module-level so worker pools can pickle it)."""
+    try:
+        ours = three_stage_assignment(datacenter, workload, float(cap),
+                                      psi=psi)
+    except RuntimeError:
+        return None         # cap below idle power: nothing to operate
+    base_reward = float("nan")
+    if include_baseline:
+        base, _ = solve_baseline(datacenter, workload, float(cap))
+        base_reward = base.reward_rate
+    return CapSweepPoint(
+        p_const=float(cap),
+        reward_three_stage=ours.reward_rate,
+        reward_baseline=base_reward,
+        power_used_kw=ours.power(datacenter).total,
+    )
+
+
 def sweep_power_cap(datacenter: DataCenter, workload: Workload,
                     caps_kw: np.ndarray, *, psi: float = 50.0,
-                    include_baseline: bool = True
+                    include_baseline: bool = True, jobs: int = 1,
+                    cache_dir: str | Path | None = None,
+                    resume: bool = False, cache_tag: str | None = None
                     ) -> list[CapSweepPoint]:
     """Solve both techniques across a grid of power caps.
 
     Caps below the room's idle power are skipped (no feasible
     operating point).  Points are returned in increasing cap order with
     forward-difference marginal rewards filled in.
+
+    ``jobs > 1`` fans the per-cap solves out over the experiment
+    engine's process pool (each cap is independent; results are
+    identical to the serial path).  With ``cache_dir`` and a
+    ``cache_tag`` naming the room (e.g. ``"sweep-set3-n25-seed4"``),
+    finished points are written to disk and — with ``resume=True`` —
+    replayed instead of re-solved.
     """
+    from repro.experiments.engine import (load_point, parallel_map,
+                                          store_point)
+
     caps = np.sort(np.asarray(caps_kw, dtype=float))
     if caps.size == 0:
         raise ValueError("need at least one cap")
-    rows: list[CapSweepPoint] = []
+    use_cache = cache_dir is not None and cache_tag is not None
+
+    def point_key(cap: float) -> dict:
+        return {"cap": float(cap), "psi": float(psi),
+                "baseline": bool(include_baseline)}
+
+    solved: dict[float, CapSweepPoint | None] = {}
+    pending: list[float] = []
     for cap in caps:
-        try:
-            ours = three_stage_assignment(datacenter, workload, float(cap),
-                                          psi=psi)
-        except RuntimeError:
-            continue        # cap below idle power: nothing to operate
-        base_reward = float("nan")
-        if include_baseline:
-            base, _ = solve_baseline(datacenter, workload, float(cap))
-            base_reward = base.reward_rate
-        rows.append(CapSweepPoint(
-            p_const=float(cap),
-            reward_three_stage=ours.reward_rate,
-            reward_baseline=base_reward,
-            power_used_kw=ours.power(datacenter).total,
-        ))
+        payload = load_point(cache_dir, cache_tag, point_key(cap)) \
+            if (use_cache and resume) else None
+        if payload is not None:
+            point = payload["point"]
+            solved[float(cap)] = None if point is None \
+                else CapSweepPoint(**point)
+        else:
+            pending.append(float(cap))
+
+    solver = partial(_cap_point, datacenter=datacenter, workload=workload,
+                     psi=psi, include_baseline=include_baseline)
+    for cap, point in zip(pending, parallel_map(solver, pending, jobs=jobs)):
+        solved[cap] = point
+        if use_cache:
+            store_point(cache_dir, cache_tag, point_key(cap),
+                        {"point": None if point is None else asdict(point)})
+
+    rows = [solved[float(cap)] for cap in caps
+            if solved[float(cap)] is not None]
     # forward-difference marginal value of provisioned power
     out: list[CapSweepPoint] = []
     for idx, point in enumerate(rows):

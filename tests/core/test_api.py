@@ -1,0 +1,123 @@
+"""Tests for repro.core.api — the unified solver entry point."""
+
+import pytest
+
+from repro.core.api import (BestPsiOutcome, SolveOptions, SolveOutcome,
+                            SolveRequest, available_methods, solve)
+
+
+@pytest.fixture(scope="module")
+def request_for(scenario):
+    return SolveRequest(scenario.datacenter, scenario.workload,
+                        scenario.p_const)
+
+
+class TestOptions:
+    def test_defaults(self):
+        opt = SolveOptions()
+        assert opt.psi == 50.0 and opt.psis == (25.0, 50.0)
+        assert opt.search == "fast"
+
+    def test_bad_search_rejected(self):
+        with pytest.raises(ValueError, match="search mode"):
+            SolveOptions(search="bogus")
+
+    def test_empty_psis_rejected(self):
+        with pytest.raises(ValueError, match="psi"):
+            SolveOptions(psis=())
+
+    def test_with_options(self, request_for):
+        changed = request_for.with_options(psi=25.0, search="full")
+        assert changed.options.psi == 25.0
+        assert changed.options.search == "full"
+        assert request_for.options.psi == 50.0   # original untouched
+        assert changed.datacenter is request_for.datacenter
+
+
+class TestSolveDispatch:
+    def test_methods_listed(self):
+        assert set(available_methods()) \
+            == {"three_stage", "best_psi", "baseline", "exact"}
+
+    def test_unknown_method_rejected(self, request_for):
+        with pytest.raises(ValueError, match="unknown solve method"):
+            solve(request_for, method="simulated-annealing")
+
+    @pytest.mark.parametrize("method", ["three_stage", "best_psi",
+                                        "baseline"])
+    def test_outcome_protocol(self, request_for, scenario, method):
+        outcome = solve(request_for, method=method)
+        assert isinstance(outcome, SolveOutcome)
+        assert outcome.reward_rate > 0
+        outcome.verify(scenario.datacenter, scenario.p_const)
+        data = outcome.to_dict()
+        assert data["reward_rate"] == pytest.approx(outcome.reward_rate)
+
+    def test_three_stage_matches_legacy(self, request_for, scenario,
+                                        assignment):
+        outcome = solve(request_for, method="three_stage")
+        assert outcome.reward_rate == pytest.approx(assignment.reward_rate)
+
+    def test_baseline_matches_legacy(self, request_for, baseline):
+        outcome = solve(request_for, method="baseline")
+        assert outcome.reward_rate == pytest.approx(baseline.reward_rate)
+        assert outcome.search is not None    # trace attached by the API
+
+    def test_best_psi_outcome(self, request_for, scenario):
+        outcome = solve(request_for, method="best_psi")
+        assert isinstance(outcome, BestPsiOutcome)
+        assert set(outcome.by_psi) == {25.0, 50.0}
+        assert outcome.reward_rate \
+            == max(outcome.reward_by_psi.values())
+        assert outcome.to_dict()["method"] == "best_psi"
+
+
+class TestDeprecationShims:
+    def test_three_stage_positional_psi_warns(self, scenario):
+        from repro.core import three_stage_assignment
+
+        with pytest.warns(DeprecationWarning, match="psi"):
+            res = three_stage_assignment(
+                scenario.datacenter, scenario.workload, scenario.p_const,
+                50.0)
+        assert res.psi == 50.0
+
+    def test_best_psi_positional_psis_warns(self, scenario):
+        from repro.core import best_psi_assignment
+
+        with pytest.warns(DeprecationWarning, match="psis"):
+            _, results = best_psi_assignment(
+                scenario.datacenter, scenario.workload, scenario.p_const,
+                (50.0,))
+        assert list(results) == [50.0]
+
+    def test_solve_stage1_legacy_order_warns(self, scenario):
+        from repro.core import solve_stage1
+
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            legacy, _ = solve_stage1(scenario.datacenter, scenario.workload,
+                                     50.0, scenario.p_const)
+        modern, _ = solve_stage1(scenario.datacenter, scenario.workload,
+                                 p_const=scenario.p_const, psi=50.0)
+        assert legacy.objective == pytest.approx(modern.objective)
+
+    def test_solve_stage1_missing_p_const_rejected(self, scenario):
+        from repro.core import solve_stage1
+
+        with pytest.raises(TypeError, match="p_const"):
+            solve_stage1(scenario.datacenter, scenario.workload)
+
+    def test_solve_stage1_duplicate_p_const_rejected(self, scenario):
+        from repro.core import solve_stage1
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="p_const"):
+                solve_stage1(scenario.datacenter, scenario.workload,
+                             50.0, 10.0, p_const=10.0)
+
+    def test_too_many_positionals_rejected(self, scenario):
+        from repro.core import three_stage_assignment
+
+        with pytest.raises(TypeError, match="positional"):
+            three_stage_assignment(scenario.datacenter, scenario.workload,
+                                   scenario.p_const, 50.0, "fast")

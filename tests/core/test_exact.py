@@ -73,7 +73,8 @@ class TestOptimality:
 
         best_heur = -np.inf
         for psi in (25.0, 50.0, 100.0):
-            s1, _ = solve_stage1(dc, wl, psi, pc, final_step=1.0)
+            s1, _ = solve_stage1(dc, wl, p_const=pc, psi=psi,
+                                 final_step=1.0)
             s2 = solve_stage2(dc, s1)
             s3 = solve_stage3(dc, wl, s2.pstates)
             best_heur = max(best_heur, s3.reward_rate)

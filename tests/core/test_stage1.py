@@ -130,25 +130,29 @@ class TestDistribution:
 class TestSearch:
     def test_fast_search_returns_feasible(self, scenario):
         sol, trace = solve_stage1(scenario.datacenter, scenario.workload,
-                                  50.0, scenario.p_const, search="fast")
+                                  p_const=scenario.p_const, psi=50.0,
+                                  search="fast")
         assert sol.objective > 0
         assert trace.evaluations >= 16   # at least the uniform scan
 
     def test_full_search_at_least_as_good_as_uniform_grid(self, scenario):
         fast, _ = solve_stage1(scenario.datacenter, scenario.workload,
-                               50.0, scenario.p_const, search="fast")
+                               p_const=scenario.p_const, psi=50.0,
+                               search="fast")
         full, _ = solve_stage1(scenario.datacenter, scenario.workload,
-                               50.0, scenario.p_const, search="full")
+                               p_const=scenario.p_const, psi=50.0,
+                               search="full")
         # both are heuristics over the same grid; they must land within
         # a few percent of each other and never be wildly different
         assert full.objective == pytest.approx(fast.objective, rel=0.05)
 
     def test_unknown_mode_rejected(self, scenario):
         with pytest.raises(ValueError, match="search mode"):
-            solve_stage1(scenario.datacenter, scenario.workload, 50.0,
-                         scenario.p_const, search="bogus")
+            solve_stage1(scenario.datacenter, scenario.workload,
+                         p_const=scenario.p_const, psi=50.0,
+                         search="bogus")
 
     def test_impossible_cap_raises(self, scenario):
         with pytest.raises(RuntimeError, match="no feasible"):
-            solve_stage1(scenario.datacenter, scenario.workload, 50.0,
-                         p_const=0.1)
+            solve_stage1(scenario.datacenter, scenario.workload,
+                         p_const=0.1, psi=50.0)

@@ -31,16 +31,16 @@ class TestRoundUp:
 
 class TestProcedure:
     def test_stage2_never_exceeds_stage1_node_power(self, scenario):
-        sol, _ = solve_stage1(scenario.datacenter, scenario.workload, 50.0,
-                              scenario.p_const)
+        sol, _ = solve_stage1(scenario.datacenter, scenario.workload,
+                              p_const=scenario.p_const, psi=50.0)
         s2 = solve_stage2(scenario.datacenter, sol)
         assert np.all(s2.node_power_kw <= sol.node_power_kw + 1e-9)
 
     def test_stage2_stays_close_to_stage1(self, scenario):
         """Breakpoint quantization means the integer assignment loses
         only a sliver of power per node (at most one partial core)."""
-        sol, _ = solve_stage1(scenario.datacenter, scenario.workload, 50.0,
-                              scenario.p_const)
+        sol, _ = solve_stage1(scenario.datacenter, scenario.workload,
+                              p_const=scenario.p_const, psi=50.0)
         s2 = solve_stage2(scenario.datacenter, sol)
         gap = sol.node_power_kw - s2.node_power_kw
         max_core_power = max(t.p0_power_kw

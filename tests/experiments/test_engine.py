@@ -1,0 +1,224 @@
+"""Tests for repro.experiments.engine — workers, caching, fault tolerance."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import engine as engine_mod
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.engine import (CACHE_SCHEMA_VERSION, EngineConfig,
+                                      EngineError, cache_key, cache_path,
+                                      parallel_map, run_set, run_sets)
+from repro.experiments.progress import ProgressReporter
+from repro.experiments.runner import RunResult
+from repro.optimize.linprog import InfeasibleError
+
+TINY = ScenarioConfig(name="engine-tiny", n_nodes=10, n_crac=3)
+
+
+def _fake_run(scenario, baseline=100.0):
+    return RunResult(seed=scenario.seed,
+                     reward_by_psi={25.0: 110.0, 50.0: 120.0},
+                     baseline_reward=baseline, p_const=scenario.p_const)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key(TINY, 7) == cache_key(TINY, 7)
+
+    def test_seed_changes_key(self):
+        assert cache_key(TINY, 7) != cache_key(TINY, 8)
+
+    def test_config_changes_key(self):
+        from dataclasses import replace
+
+        other = replace(TINY, psis=(25.0, 50.0, 75.0))
+        assert cache_key(TINY, 7) != cache_key(other, 7)
+
+    def test_path_is_readable(self, tmp_path):
+        path = cache_path(tmp_path, TINY, 42)
+        assert path.name.startswith("engine-tiny-seed42-")
+        assert path.suffix == ".json"
+
+
+class TestEngineConfig:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            EngineConfig(jobs=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            EngineConfig(retries=-1)
+
+
+class TestSerialParallelCache:
+    """The acceptance triangle: serial == parallel == cached replay."""
+
+    def test_equality_and_resume(self, tmp_path, monkeypatch):
+        n_runs, base_seed = 3, 100
+        serial = run_set(TINY, n_runs=n_runs, base_seed=base_seed,
+                         engine=EngineConfig(jobs=1, cache_dir=tmp_path))
+        parallel = run_set(TINY, n_runs=n_runs, base_seed=base_seed,
+                           engine=EngineConfig(jobs=2))
+        assert serial.runs == parallel.runs
+        for label in serial.improvements:
+            np.testing.assert_array_equal(serial.improvements[label],
+                                          parallel.improvements[label])
+
+        # resume must replay the cache without any recomputation
+        def forbid(*args, **kwargs):
+            raise AssertionError("resume recomputed a cached run")
+
+        monkeypatch.setattr(engine_mod, "_execute_comparison", forbid)
+        reporter = ProgressReporter()
+        resumed = run_set(TINY, n_runs=n_runs, base_seed=base_seed,
+                          engine=EngineConfig(jobs=1, cache_dir=tmp_path,
+                                              resume=True),
+                          reporter=reporter)
+        assert resumed.runs == serial.runs
+        assert reporter.cache_hits == n_runs
+        assert reporter.computed == 0
+        assert all(e.cache_hit for e in reporter.events)
+
+    def test_stale_code_version_recomputes(self, tmp_path, monkeypatch):
+        calls = []
+
+        def fake(scenario):
+            calls.append(scenario.seed)
+            return _fake_run(scenario)
+
+        monkeypatch.setattr(engine_mod, "run_comparison", fake)
+        run_set(TINY, n_runs=2, base_seed=300,
+                engine=EngineConfig(cache_dir=tmp_path))
+        # corrupt one entry's version stamp; resume must recompute it
+        path = cache_path(tmp_path, TINY, 300)
+        payload = json.loads(path.read_text())
+        payload["code_version"] = "0.0.0+cache0"
+        path.write_text(json.dumps(payload))
+        calls.clear()
+        reporter = ProgressReporter()
+        run_set(TINY, n_runs=2, base_seed=300,
+                engine=EngineConfig(cache_dir=tmp_path, resume=True),
+                reporter=reporter)
+        assert calls == [300]
+        assert reporter.cache_hits == 1 and reporter.computed == 1
+
+
+class TestFaultTolerance:
+    def test_infeasible_run_recorded_not_fatal(self, monkeypatch):
+        def flaky(scenario):
+            if scenario.seed == 201:
+                raise InfeasibleError("forced infeasible")
+            return _fake_run(scenario)
+
+        monkeypatch.setattr(engine_mod, "run_comparison", flaky)
+        reporter = ProgressReporter()
+        res = run_set(TINY, n_runs=3, base_seed=200,
+                      engine=EngineConfig(jobs=1), reporter=reporter)
+        assert [r.seed for r in res.runs] == [200, 202]
+        assert len(res.failures) == 1
+        failure = res.failures[0]
+        assert failure.seed == 201
+        assert failure.error_type == "InfeasibleError"
+        assert failure.attempts == 1          # deterministic: no retry
+        assert failure.p_const is not None and failure.p_const > 0
+        assert res.n_attempted == 3
+        assert reporter.failed == 1
+
+    def test_degenerate_baseline_recorded(self, monkeypatch):
+        def sometimes_zero(scenario):
+            baseline = 0.0 if scenario.seed == 401 else 100.0
+            return _fake_run(scenario, baseline=baseline)
+
+        monkeypatch.setattr(engine_mod, "run_comparison", sometimes_zero)
+        reporter = ProgressReporter()
+        res = run_set(TINY, n_runs=3, base_seed=400, reporter=reporter)
+        assert len(res.runs) == 2
+        assert [r.seed for r in res.degenerate] == [401]
+        assert reporter.degenerate == 1
+        for label, samples in res.improvements.items():
+            assert samples.shape == (2,)      # degenerate run excluded
+
+    def test_transient_error_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky_once(scenario):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return _fake_run(scenario)
+
+        monkeypatch.setattr(engine_mod, "run_comparison", flaky_once)
+        res = run_set(TINY, n_runs=2, base_seed=500,
+                      engine=EngineConfig(retries=2, backoff_s=0.0))
+        assert len(res.runs) == 2 and not res.failures
+        assert calls["n"] == 3                # first run took two attempts
+
+    def test_transient_error_exhausts_retries(self, monkeypatch):
+        def always_fails(scenario):
+            if scenario.seed == 601:
+                raise OSError("still down")
+            return _fake_run(scenario)
+
+        monkeypatch.setattr(engine_mod, "run_comparison", always_fails)
+        res = run_set(TINY, n_runs=3, base_seed=600,
+                      engine=EngineConfig(retries=1, backoff_s=0.0))
+        assert len(res.failures) == 1
+        assert res.failures[0].attempts == 2
+
+    def test_too_few_valid_runs_raises(self, monkeypatch):
+        def always_infeasible(scenario):
+            raise InfeasibleError("nothing fits")
+
+        monkeypatch.setattr(engine_mod, "run_comparison", always_infeasible)
+        with pytest.raises(EngineError, match="engine-tiny"):
+            run_set(TINY, n_runs=3, base_seed=700)
+
+    def test_failures_cached_and_resumed(self, tmp_path, monkeypatch):
+        def flaky(scenario):
+            if scenario.seed == 801:
+                raise InfeasibleError("forced")
+            return _fake_run(scenario)
+
+        monkeypatch.setattr(engine_mod, "run_comparison", flaky)
+        run_set(TINY, n_runs=3, base_seed=800,
+                engine=EngineConfig(cache_dir=tmp_path))
+
+        def forbid(*args, **kwargs):
+            raise AssertionError("recomputed")
+
+        monkeypatch.setattr(engine_mod, "_execute_comparison", forbid)
+        res = run_set(TINY, n_runs=3, base_seed=800,
+                      engine=EngineConfig(cache_dir=tmp_path, resume=True))
+        assert len(res.failures) == 1 and res.failures[0].seed == 801
+
+
+class TestRunSets:
+    def test_multiple_sets(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "run_comparison", _fake_run)
+        from dataclasses import replace
+
+        configs = [TINY, replace(TINY, name="engine-tiny2")]
+        results = run_sets(configs, n_runs=2, base_seed=900)
+        assert set(results) == {"engine-tiny", "engine-tiny2"}
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValueError, match="two runs"):
+            run_set(TINY, n_runs=1)
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(_double, [1, 2, 3], jobs=1) == [2, 4, 6]
+
+    def test_parallel_preserves_order(self):
+        assert parallel_map(_double, list(range(8)), jobs=2) \
+            == [2 * x for x in range(8)]
+
+    def test_empty(self):
+        assert parallel_map(_double, [], jobs=4) == []

@@ -5,8 +5,9 @@ import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.generator import generate_scenario
-from repro.experiments.runner import (RunResult, confidence_interval,
-                                      run_comparison, run_simulation_set)
+from repro.experiments.runner import (DegenerateBaselineError, RunResult,
+                                      confidence_interval, run_comparison,
+                                      run_simulation_set)
 
 SMALL = ScenarioConfig(name="tiny", n_nodes=15, n_crac=3)
 
@@ -56,8 +57,16 @@ class TestRunResult:
 
     def test_zero_baseline_rejected(self):
         r = self.make({50.0: 90.0}, 0.0)
-        with pytest.raises(ZeroDivisionError):
+        assert r.is_degenerate
+        with pytest.raises(ValueError, match="seed 0") as excinfo:
             r.improvement_pct(None)
+        assert isinstance(excinfo.value, DegenerateBaselineError)
+        assert excinfo.value.seed == 0
+        assert excinfo.value.p_const == pytest.approx(10.0)
+
+    def test_round_trip_dict(self):
+        r = self.make({25.0: 110.0, 50.0: 105.0}, 100.0)
+        assert RunResult.from_dict(r.to_dict()) == r
 
 
 class TestRunComparison:

@@ -19,6 +19,16 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["fig6"])
         assert args.runs == 5 and args.nodes == 30
+        assert args.jobs == 1 and not args.resume
+        assert args.cache_dir == ".repro-cache"
+
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["fig6", "--jobs", "4", "--cache-dir", "/tmp/c", "--resume"])
+        assert args.jobs == 4 and args.cache_dir == "/tmp/c"
+        assert args.resume
+        args = build_parser().parse_args(["sweep", "--jobs", "2"])
+        assert args.jobs == 2
 
     def test_compare_set_choices(self, capsys):
         with pytest.raises(SystemExit):
@@ -44,12 +54,28 @@ class TestCommands:
         assert "three-stage" in out
         assert "improvement over baseline" in out
 
-    def test_fig6_tiny(self, capsys):
+    def test_fig6_tiny(self, capsys, tmp_path):
         assert main(["fig6", "--runs", "2", "--nodes", "15",
-                     "--seed", "77"]) == 0
+                     "--seed", "77", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "Figure 6" in out
         assert "set3" in out
+
+    def test_fig6_resume_reports_cache_hits(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        args = ["fig6", "--runs", "2", "--nodes", "10", "--seed", "11",
+                "--cache-dir", cache]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "6 runs, 0 cache hits, 6 computed" in first
+        assert main(args + ["--resume", "--jobs", "2"]) == 0
+        second = capsys.readouterr().out
+        assert "6 runs, 6 cache hits, 0 computed" in second
+        # cached replay reproduces the identical table
+        table = [ln for ln in first.splitlines() if ln.startswith("set")]
+        assert table == [ln for ln in second.splitlines()
+                         if ln.startswith("set")]
 
     def test_simulate(self, capsys):
         assert main(["simulate", "--nodes", "15", "--seed", "2",
@@ -61,7 +87,8 @@ class TestCommands:
     def test_sweep_with_csv(self, capsys, tmp_path):
         csv_path = tmp_path / "sweep.csv"
         assert main(["sweep", "--nodes", "12", "--seed", "5",
-                     "--points", "3", "--csv", str(csv_path)]) == 0
+                     "--points", "3", "--csv", str(csv_path),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "cap kW" in out
         assert csv_path.exists()
@@ -70,7 +97,8 @@ class TestCommands:
     def test_fig6_with_csv(self, capsys, tmp_path):
         csv_path = tmp_path / "fig6.csv"
         assert main(["fig6", "--runs", "2", "--nodes", "12",
-                     "--seed", "88", "--csv", str(csv_path)]) == 0
+                     "--seed", "88", "--csv", str(csv_path),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
         capsys.readouterr()
         text = csv_path.read_text()
         assert "mean_improvement_pct" in text
