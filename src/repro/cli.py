@@ -7,6 +7,7 @@ Exposes the experiment layer without writing any code:
 * ``fig6``     — the headline experiment at a chosen scale (CSV export).
 * ``simulate`` — first step + second-step DES replay on one room.
 * ``sweep``    — capacity planning: reward vs power cap (CSV export).
+* ``chaos``    — fault-injection sweep: degradation vs fault rate.
 """
 
 from __future__ import annotations
@@ -80,6 +81,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.add_argument("--horizon", type=float, default=30.0,
                        help="simulated seconds of task arrivals")
+    p_sim.add_argument("--json", action="store_true",
+                       help="emit a machine-readable JSON summary instead "
+                            "of the text report")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep on one room")
+    p_chaos.add_argument("--nodes", type=int, default=20)
+    p_chaos.add_argument("--seed", type=int, default=1)
+    p_chaos.add_argument("--horizon", type=float, default=30.0,
+                         help="simulated seconds of task arrivals")
+    p_chaos.add_argument("--factors", type=str, default="0,0.5,1,2",
+                         help="comma-separated fault-rate factors "
+                              "(0 = healthy control, always included)")
+    p_chaos.add_argument("--scenario", type=str, default=None,
+                         help="explicit fault-schedule file (JSON, or YAML "
+                              "when PyYAML is installed) run instead of the "
+                              "factor sweep")
+    p_chaos.add_argument("--stranded", choices=("requeue", "drop"),
+                         default="requeue",
+                         help="what happens to tasks stranded on crashed "
+                              "cores (default requeue)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON summary instead "
+                              "of the text report")
+    add_engine_args(p_chaos)
     return parser
 
 
@@ -166,6 +192,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core import three_stage_assignment
     from repro.experiments.config import PAPER_SET_1, scaled_down
     from repro.experiments.generator import generate_scenario
@@ -179,12 +207,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                            np.random.default_rng(args.seed + 1))
     metrics = simulate_trace(sc.datacenter, sc.workload, plan.tc,
                              plan.pstates, trace, duration=args.horizon)
+    if args.json:
+        doc = metrics.to_dict()
+        doc["planned_reward_rate"] = plan.reward_rate
+        doc["n_tasks"] = len(trace)
+        print(json.dumps(doc, sort_keys=True))
+        return 0
+    # a tiny room/horizon can legally plan zero reward; don't divide by it
+    achieved_pct = (f" ({100 * metrics.reward_rate / plan.reward_rate:.1f}%)"
+                    if plan.reward_rate > 0 else "")
     print(f"planned reward rate : {plan.reward_rate:9.1f}/s")
-    print(f"achieved (DES)      : {metrics.reward_rate:9.1f}/s "
-          f"({100 * metrics.reward_rate / plan.reward_rate:.1f}%)")
+    print(f"achieved (DES)      : {metrics.reward_rate:9.1f}/s"
+          f"{achieved_pct}")
     print(f"tasks               : {metrics.completed.sum()} completed, "
           f"{metrics.dropped.sum()} dropped of {len(trace)}")
     print(f"mean core utilization: {metrics.utilization.mean():.1%}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.chaos import (ChaosConfig, ChaosPoint,
+                                         chaos_table, run_chaos_scenario,
+                                         sweep_chaos)
+    from repro.faults.schedule import load_schedule
+
+    config = ChaosConfig(n_nodes=args.nodes, seed=args.seed,
+                         horizon_s=args.horizon, stranded=args.stranded)
+    if args.scenario is not None:
+        schedule = load_schedule(args.scenario)
+        result = run_chaos_scenario(config, schedule)
+        if args.json:
+            print(json.dumps(result.to_dict(), sort_keys=True))
+            return 0
+        print(f"scenario: {len(schedule)} fault events over "
+              f"{args.horizon:.0f}s ({args.nodes} nodes, seed {args.seed})")
+        print(chaos_table([ChaosPoint.from_result(float("nan"), result)]))
+        return 0
+    try:
+        factors = [float(f) for f in args.factors.split(",") if f.strip()]
+    except ValueError:
+        print(f"invalid --factors value: {args.factors!r}", file=sys.stderr)
+        return 2
+    points = sweep_chaos(config, factors, jobs=args.jobs,
+                         cache_dir=args.cache_dir, resume=args.resume)
+    if args.json:
+        print(json.dumps({"schema": 1,
+                          "config": {"n_nodes": args.nodes,
+                                     "seed": args.seed,
+                                     "horizon_s": args.horizon,
+                                     "stranded": args.stranded},
+                          "points": [p.to_dict() for p in points]},
+                         sort_keys=True))
+        return 0
+    print(f"chaos sweep: {args.nodes} nodes, seed {args.seed}, "
+          f"{args.horizon:.0f}s horizon, stranded={args.stranded}")
+    print(chaos_table(points))
     return 0
 
 
@@ -194,6 +273,7 @@ _COMMANDS = {
     "fig6": _cmd_fig6,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -37,7 +37,75 @@ from repro.workload.profiles import ArrivalProfile, generate_nonstationary_trace
 from repro.workload.tasktypes import Workload
 from repro.workload.trace import Task
 
-__all__ = ["EpochRecord", "ControllerResult", "EpochController"]
+__all__ = ["EpochRecord", "ControllerResult", "EpochController",
+           "plan_with_transient_guard"]
+
+
+def plan_with_transient_guard(datacenter: DataCenter, workload: Workload,
+                              p_const: float, t_out_prev: np.ndarray, *,
+                              psi: float = 50.0, tau_s: float = 120.0,
+                              transient_horizon_s: float | None = None,
+                              derate_step: float = 0.05,
+                              max_derate: int = 10,
+                              on_exhausted: str = "raise"
+                              ) -> tuple[AssignmentResult, int, float]:
+    """Solve a first-step plan whose *transition* is transient-safe.
+
+    The derate loop shared by the epoch controller and the fault-aware
+    chaos controller: solve the three-stage assignment, simulate the
+    thermal transient from ``t_out_prev`` into the new operating point,
+    and shrink the power cap by ``derate_step`` until no inlet
+    overshoots its redline mid-transition.
+
+    Parameters
+    ----------
+    t_out_prev:
+        Outlet temperatures of the *previous* operating point (the
+        state the room transitions from), one per unit of
+        ``datacenter``.
+    transient_horizon_s:
+        How far to integrate the transient; defaults to ``10 * tau_s``
+        (well past settling).
+    on_exhausted:
+        ``"raise"`` — give up loudly after ``max_derate`` steps (the
+        epoch controller's behavior: committing an unsafe transition is
+        a bug).  ``"best"`` — return the least-overshooting plan found;
+        chaos runs use this because after a severe fault *no* admissible
+        plan may transition cleanly, and the experiment wants to measure
+        the residual exposure rather than abort.
+
+    Returns
+    -------
+    (plan, derated, overshoot_c):
+        The committed plan, how many derating steps it took, and the
+        worst remaining redline overshoot (<= 0 when safe).
+    """
+    if on_exhausted not in ("raise", "best"):
+        raise ValueError(f"on_exhausted must be 'raise' or 'best', got "
+                         f"{on_exhausted!r}")
+    model = datacenter.require_thermal()
+    horizon = 10.0 * tau_s if transient_horizon_s is None \
+        else transient_horizon_s
+    cap = p_const
+    best: tuple[AssignmentResult, int, float] | None = None
+    overshoot = np.inf
+    for derated in range(max_derate + 1):
+        plan = three_stage_assignment(datacenter, workload, cap, psi=psi)
+        node_power = datacenter.node_power_kw(plan.pstates)
+        result = simulate_transient(model, plan.t_crac_out, node_power,
+                                    t_out_prev, duration_s=horizon,
+                                    tau_s=tau_s)
+        overshoot = result.max_inlet_overshoot(datacenter.redline_c)
+        if overshoot <= 1e-6:
+            return plan, derated, overshoot
+        if best is None or overshoot < best[2]:
+            best = (plan, derated, overshoot)
+        cap *= 1.0 - derate_step
+    if on_exhausted == "best":
+        return best
+    raise RuntimeError(
+        f"transition still overshoots redlines by {overshoot:.2f} C "
+        f"after {max_derate} derating steps")
 
 
 @dataclass
@@ -159,16 +227,13 @@ class EpochController:
     def plan_epoch(self, rates: np.ndarray, t_out_prev: np.ndarray
                    ) -> tuple[AssignmentResult, int, float]:
         """Solve one epoch's plan with the transient safety loop."""
-        cap = self.p_const
-        for derated in range(self.max_derate + 1):
-            plan = self._plan_for_rates(rates, cap)
-            overshoot = self._transient_overshoot(t_out_prev, plan)
-            if overshoot <= 1e-6:
-                return plan, derated, overshoot
-            cap *= 1.0 - self.derate_step
-        raise RuntimeError(
-            f"transition still overshoots redlines by {overshoot:.2f} C "
-            f"after {self.max_derate} derating steps")
+        workload = replace(self.base_workload, arrival_rates=rates)
+        return plan_with_transient_guard(
+            self.datacenter, workload, self.p_const, t_out_prev,
+            psi=self.psi, tau_s=self.tau_s,
+            transient_horizon_s=min(10.0 * self.tau_s, self.epoch_s),
+            derate_step=self.derate_step, max_derate=self.max_derate,
+            on_exhausted="raise")
 
     # ------------------------------------------------------------------
     def run(self, profile: ArrivalProfile, horizon_s: float,

@@ -63,6 +63,11 @@ class DynamicScheduler:
                                       np.inf)
         self.assigned = np.zeros((t_count, n_cores))
         self._eligible = (tc > 0.0) & np.isfinite(self.exec_time)
+        # fault-injection support: dead cores are excluded from selection
+        # until marked alive again; _any_dead keeps the healthy hot path
+        # free of the extra mask.
+        self._core_dead = np.zeros(n_cores, dtype=bool)
+        self._any_dead = False
         # hot-path acceleration: per-type candidate core lists (usually a
         # small subset of the room) plus contiguous copies of their
         # rates/exec-times, so select_core touches O(candidates) memory
@@ -112,6 +117,8 @@ class DynamicScheduler:
         start = np.maximum(core_free_time[idx], now)
         finish = start + self._cand_exec[task_type]
         ok = (ratio <= 1.0 + 1e-12) & (finish <= deadline + 1e-12)
+        if self._any_dead:
+            ok &= ~self._core_dead[idx]
         if not ok.any():
             return None
         masked = np.where(ok, ratio, np.inf)
@@ -120,12 +127,47 @@ class DynamicScheduler:
     def record_assignment(self, task_type: int, core: int) -> None:
         """Count an assignment toward ``ATC``."""
         self.assigned[task_type, core] += 1.0
-        pos = np.searchsorted(self._cand[task_type], core)
+        pos = self._candidate_pos(task_type, core)
+        self._cand_assigned[task_type][pos] += 1.0
+
+    def forget_assignment(self, task_type: int, core: int) -> None:
+        """Reverse one :meth:`record_assignment` (stranded task).
+
+        When a fault strands a queued task, the task was assigned but
+        never executed; forgetting it keeps ``ATC`` an honest count of
+        work the core actually absorbed (and lets a requeued copy pick
+        any core without double-counting).
+        """
+        if self.assigned[task_type, core] < 1.0:
+            raise ValueError(
+                f"no recorded assignment of type {task_type} on core {core} "
+                "to forget")
+        self.assigned[task_type, core] -= 1.0
+        pos = self._candidate_pos(task_type, core)
+        self._cand_assigned[task_type][pos] -= 1.0
+
+    def _candidate_pos(self, task_type: int, core: int) -> int:
         cand = self._cand[task_type]
+        pos = int(np.searchsorted(cand, core))
         if pos >= cand.size or cand[pos] != core:
             raise ValueError(
                 f"core {core} is not a planned target for type {task_type}")
-        self._cand_assigned[task_type][pos] += 1.0
+        return pos
+
+    # ------------------------------------------------------------------
+    def mark_cores_dead(self, cores: np.ndarray) -> None:
+        """Exclude cores from selection (node crash) until marked alive."""
+        self._core_dead[np.asarray(cores, dtype=int)] = True
+        self._any_dead = bool(self._core_dead.any())
+
+    def mark_cores_alive(self, cores: np.ndarray) -> None:
+        """Readmit previously dead cores (node recovery)."""
+        self._core_dead[np.asarray(cores, dtype=int)] = False
+        self._any_dead = bool(self._core_dead.any())
+
+    def core_dead(self, core: int) -> bool:
+        """True while ``core`` is marked dead."""
+        return bool(self._core_dead[core])
 
     def atc(self, elapsed: float) -> np.ndarray:
         """Actual execution-rate matrix after ``elapsed`` seconds."""

@@ -175,6 +175,68 @@ class DataCenter:
                 "coefficients first (repro.thermal.attach_thermal_model)")
         return self.thermal
 
+    def restrict(self, node_alive: np.ndarray,
+                 cracs: "Sequence[CRACUnit] | None" = None
+                 ) -> tuple["DataCenter", np.ndarray, np.ndarray]:
+        """Degraded-inventory copy with only the surviving nodes.
+
+        Used by the fault-injection layer (:mod:`repro.faults.inject`):
+        crashed nodes disappear from the room — their cores take no
+        tasks, their base power is not drawn — while the physical layout
+        reference is kept (the chassis are still racked, just dark).
+        No thermal model is attached; the caller derives one with
+        :meth:`repro.thermal.heatflow.HeatFlowModel.without_nodes` so
+        the coupling matches the reduced inventory.
+
+        Parameters
+        ----------
+        node_alive:
+            Boolean mask over this room's nodes; at least one node must
+            survive.
+        cracs:
+            Replacement CRAC list (e.g. derated outlet ranges); defaults
+            to this room's CRACs unchanged.  CRACs are never removed —
+            a failed CRAC still moves air (see ``faults.inject``).
+
+        Returns
+        -------
+        (restricted, node_map, core_map):
+            The smaller room plus index maps — ``node_map[j']`` is the
+            original index of restricted node ``j'``, ``core_map[k']``
+            the original index of restricted core ``k'``.
+        """
+        from dataclasses import replace as dc_replace
+
+        alive = np.asarray(node_alive, dtype=bool)
+        if alive.shape != (self.n_nodes,):
+            raise ValueError(
+                f"node_alive must have {self.n_nodes} entries, got "
+                f"{alive.shape}")
+        node_map = np.nonzero(alive)[0]
+        if node_map.size == 0:
+            raise ValueError("cannot restrict away every compute node")
+        if node_map.size == self.n_nodes and cracs is None:
+            return self, node_map, np.arange(self.n_cores)
+        nodes: list[ComputeNode] = []
+        core_map_parts: list[np.ndarray] = []
+        next_core = 0
+        for new_j, old_j in enumerate(node_map):
+            old = self.nodes[old_j]
+            nodes.append(dc_replace(old, index=new_j, first_core=next_core))
+            core_map_parts.append(np.arange(old.first_core,
+                                            old.first_core + old.n_cores))
+            next_core += old.n_cores
+        core_map = np.concatenate(core_map_parts)
+        restricted = DataCenter(
+            node_types=self.node_types,
+            nodes=nodes,
+            cracs=list(self.cracs if cracs is None else cracs),
+            layout=self.layout,
+            node_redline_c=self.node_redline_c,
+            crac_redline_c=self.crac_redline_c,
+        )
+        return restricted, node_map, core_map
+
 
 def build_datacenter(n_nodes: int,
                      n_crac: int = 3,

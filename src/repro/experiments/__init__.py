@@ -2,6 +2,9 @@
 comparison runner (Section VII), and regenerators for every table and
 figure of the paper."""
 
+from repro.experiments.chaos import (ChaosConfig, ChaosPoint, chaos_table,
+                                     run_chaos_point, run_chaos_scenario,
+                                     sweep_chaos)
 from repro.experiments.config import (PAPER_SET_1, PAPER_SET_2, PAPER_SET_3,
                                       ScenarioConfig, paper_sets, scaled_down)
 from repro.experiments.engine import (EngineConfig, EngineError, cache_key,
@@ -32,6 +35,12 @@ from repro.experiments.tables import (format_table1, format_table2,
                                       table2_rows)
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosPoint",
+    "chaos_table",
+    "run_chaos_point",
+    "run_chaos_scenario",
+    "sweep_chaos",
     "PAPER_SET_1",
     "PAPER_SET_2",
     "PAPER_SET_3",

@@ -1,0 +1,43 @@
+"""Deterministic fault injection and degraded operation (chaos testing).
+
+The paper's control scheme assumes a fixed, healthy inventory; this
+package asks what happens when it isn't:
+
+* :mod:`repro.faults.model` — the fault taxonomy (node crashes, CRAC
+  degradation/outage, power-cap drops, ECS drift) and immutable,
+  queryable fault timelines;
+* :mod:`repro.faults.schedule` — reproducible random timelines from
+  ``seed + rates`` and hand-written scenario files;
+* :mod:`repro.faults.inject` — functional degraded-room views every
+  existing solver/simulator consumes unchanged;
+* :mod:`repro.faults.policy` — the reaction loop: re-solve on inventory
+  change, transient-check the transition, account for stranded tasks.
+"""
+
+from repro.faults.inject import DegradedView, degraded_view, derated_cracs
+from repro.faults.model import (FaultEvent, FaultKind, FaultSchedule,
+                                InventoryState)
+from repro.faults.policy import (ChaosRunResult, FaultAwareController,
+                                 IntervalRecord, ReactionPolicy)
+from repro.faults.schedule import (FaultRates, demo_rates,
+                                   generate_fault_schedule, load_schedule,
+                                   schedule_from_dict)
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "InventoryState",
+    "FaultRates",
+    "demo_rates",
+    "generate_fault_schedule",
+    "load_schedule",
+    "schedule_from_dict",
+    "DegradedView",
+    "degraded_view",
+    "derated_cracs",
+    "ReactionPolicy",
+    "IntervalRecord",
+    "ChaosRunResult",
+    "FaultAwareController",
+]

@@ -1,0 +1,198 @@
+"""Applying faults to a room: degraded-inventory views.
+
+A fault changes what the optimizers are allowed to use, not the physics
+code itself, so injection is *functional*: :func:`degraded_view` maps a
+``(DataCenter, Workload, InventoryState)`` triple to a smaller/weaker
+room that every existing solver, thermal model and simulator consumes
+unchanged, plus the index maps needed to relate results back to the
+full room.  Restoring on recovery is recomputing the view for the new
+state — nothing is mutated, so recovery is exact.
+
+Per fault kind:
+
+* **Node crashes** — crashed nodes are dropped from the room
+  (:meth:`~repro.datacenter.builder.DataCenter.restrict`) and from the
+  thermal cross-interference coupling
+  (:meth:`~repro.thermal.heatflow.HeatFlowModel.without_nodes`): a dark
+  chassis adds no heat and acts as a passive air pass-through, which is
+  exactly censoring the flow chain onto the survivors.
+* **CRAC degradation / outage** — the unit keeps moving air (fans are
+  independent of the cooling coil) but can no longer cool it fully:
+  remaining capacity ``c`` raises the coldest reachable outlet
+  temperature linearly across the admissible range,
+  ``lo' = lo + (1 - c)(hi - lo)``; an outage (``c = 0``) pins the
+  outlet at the warm end.  Every Stage-1 search, the baseline solvers
+  and the power bounds read ``outlet_range_c``, so the degraded cooling
+  capacity shifts the steady-state solve everywhere at once.
+* **Power-cap drops** — callers scale the room budget via :meth:`DegradedView.cap`.
+* **ECS drift** — the workload's ECS tensor is scaled by the state's
+  ``ecs_factor`` (room-wide slowdown), which propagates to execution
+  times, ARR functions and deadline feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.datacenter.builder import DataCenter
+from repro.datacenter.crac import CRACUnit
+from repro.faults.model import InventoryState
+from repro.workload.tasktypes import Workload
+
+__all__ = ["DegradedView", "degraded_view", "derated_cracs"]
+
+
+def derated_cracs(datacenter: DataCenter,
+                  capacity: np.ndarray) -> list[CRACUnit]:
+    """CRAC list with outlet ranges narrowed to the remaining capacity.
+
+    ``capacity[i] = 1`` leaves CRAC *i* untouched; ``0`` (outage) leaves
+    only the warm end of its range reachable.
+    """
+    capacity = np.asarray(capacity, dtype=float)
+    if capacity.shape != (datacenter.n_crac,):
+        raise ValueError(
+            f"need {datacenter.n_crac} capacity entries, got {capacity.shape}")
+    if np.any(capacity < 0) or np.any(capacity > 1):
+        raise ValueError("CRAC capacities must lie in [0, 1]")
+    cracs: list[CRACUnit] = []
+    for unit, c in zip(datacenter.cracs, capacity):
+        if c >= 1.0:
+            cracs.append(unit)
+            continue
+        lo, hi = unit.outlet_range_c
+        cracs.append(replace(unit,
+                             outlet_range_c=(lo + (1.0 - float(c)) * (hi - lo),
+                                             hi)))
+    return cracs
+
+
+@dataclass
+class DegradedView:
+    """A room and workload as seen under one inventory state.
+
+    Attributes
+    ----------
+    base:
+        The full (healthy) room the view was derived from.
+    state:
+        The inventory state the view realizes.
+    datacenter:
+        The degraded room — surviving nodes only, derated CRACs, reduced
+        thermal model attached.  When ``state`` is nominal this is
+        ``base`` itself (same object), so healthy-path results are
+        bit-identical to never having gone through the fault layer.
+    workload:
+        The (possibly ECS-drifted) workload matching ``datacenter``.
+    node_map / core_map:
+        ``node_map[j']`` / ``core_map[k']`` give the full-room index of
+        degraded node ``j'`` / core ``k'``.
+    """
+
+    base: DataCenter
+    state: InventoryState
+    datacenter: DataCenter
+    workload: Workload
+    node_map: np.ndarray
+    core_map: np.ndarray
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the view is the untouched base room."""
+        return self.datacenter is self.base
+
+    def cap(self, p_const: float) -> float:
+        """Room power budget under the state's emergency cap factor."""
+        return float(p_const) * self.state.power_cap_factor
+
+    @property
+    def kept_units(self) -> np.ndarray:
+        """Full-room unit indices (CRACs first) present in the view."""
+        return np.concatenate([np.arange(self.base.n_crac),
+                               self.base.n_crac + self.node_map])
+
+    def reduce_t_out(self, t_out_full: np.ndarray) -> np.ndarray:
+        """Project a full-room outlet vector onto the view's units."""
+        t = np.asarray(t_out_full, dtype=float)
+        if t.shape != (self.base.n_units,):
+            raise ValueError(
+                f"expected {self.base.n_units} outlet temps, got {t.shape}")
+        return t[self.kept_units]
+
+    def expand_t_out(self, t_out_reduced: np.ndarray) -> np.ndarray:
+        """Lift a view-space outlet vector back to the full room.
+
+        Dead nodes are passive pass-throughs, so their temperatures are
+        reconstructed exactly from the survivors'
+        (:meth:`~repro.thermal.heatflow.HeatFlowModel.passive_unit_temps`)
+        rather than guessed — the full-room state stays physically
+        consistent across inventory changes.
+        """
+        t = np.asarray(t_out_reduced, dtype=float)
+        if self.is_identity and t.shape == (self.base.n_units,):
+            return t
+        if t.shape != (self.datacenter.n_units,):
+            raise ValueError(
+                f"expected {self.datacenter.n_units} outlet temps, got "
+                f"{t.shape}")
+        out = np.empty(self.base.n_units)
+        keep = self.kept_units
+        out[keep] = t
+        dead = self.state.dead_nodes
+        if dead.size:
+            model = self.base.require_thermal()
+            out[self.base.n_crac + dead] = model.passive_unit_temps(dead, t)
+        return out
+
+
+def degraded_view(datacenter: DataCenter, workload: Workload,
+                  state: InventoryState) -> DegradedView:
+    """Realize one inventory state as a view on the room.
+
+    With a nominal state the view *is* the base room and workload (same
+    objects) — the chaos path then reproduces the healthy path
+    bit-identically.  Otherwise the room is restricted to the survivors,
+    its thermal coupling censored, its CRACs derated and its workload
+    slowed, all derived from ``state`` alone so that recomputing the
+    view at recovery time restores the original exactly.
+    """
+    n_nodes, n_crac = datacenter.n_nodes, datacenter.n_crac
+    if state.node_dead_count.shape != (n_nodes,):
+        raise ValueError(
+            f"state covers {state.node_dead_count.shape[0]} nodes but the "
+            f"room has {n_nodes}")
+    if state.crac_capacity.shape != (n_crac,):
+        raise ValueError(
+            f"state covers {state.crac_capacity.shape[0]} CRACs but the "
+            f"room has {n_crac}")
+    if state.is_nominal:
+        return DegradedView(base=datacenter, state=state,
+                            datacenter=datacenter, workload=workload,
+                            node_map=np.arange(n_nodes),
+                            core_map=np.arange(datacenter.n_cores))
+
+    base_model = datacenter.require_thermal()
+    alive = state.node_alive
+    if not alive.any():
+        raise ValueError("every node is crashed; no degraded room exists")
+    cracs = derated_cracs(datacenter, state.crac_capacity) \
+        if np.any(state.crac_capacity < 1.0) else None
+    restricted, node_map, core_map = datacenter.restrict(alive, cracs=cracs)
+    if restricted is datacenter:
+        # all nodes alive and CRACs untouched (pure cap/ECS faults):
+        # restrict() returned the base room; reuse its thermal model.
+        degraded_dc = datacenter
+    else:
+        degraded_dc = restricted
+        dead = state.dead_nodes
+        degraded_dc.thermal = (base_model.without_nodes(dead) if dead.size
+                               else base_model)
+    degraded_workload = workload
+    if state.ecs_factor < 1.0:
+        degraded_workload = replace(workload,
+                                    ecs=workload.ecs * state.ecs_factor)
+    return DegradedView(base=datacenter, state=state,
+                        datacenter=degraded_dc, workload=degraded_workload,
+                        node_map=node_map, core_map=core_map)

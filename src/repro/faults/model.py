@@ -1,0 +1,303 @@
+"""Fault taxonomy and timelines (chaos-testing extension).
+
+The paper assumes a fixed, healthy inventory: every node, core and CRAC
+unit present at assignment time stays available for the lifetime of the
+plan.  Physics-grounded data center simulators treat equipment
+availability as a first-class simulation input instead; this module
+supplies the vocabulary for that — a small closed taxonomy of faults,
+each a timestamped event with a duration, plus :class:`FaultSchedule`,
+an immutable timeline that can be queried for the *inventory state* at
+any instant.
+
+Five fault kinds cover the dominant real-world scenario classes:
+
+=================  =====================================================
+kind               effect while active
+=================  =====================================================
+``NODE_CRASH``     the node executes nothing, draws no power, and is
+                   dropped from the thermal cross-interference coupling
+                   (its chassis becomes a passive air pass-through);
+                   queued tasks are stranded.
+``CRAC_DEGRADE``   the CRAC loses ``magnitude`` of its cooling
+                   capacity: its admissible outlet-temperature range
+                   shrinks from the cold end, shifting every
+                   steady-state solve.
+``CRAC_OUTAGE``    limit case of a degrade (capacity 0): the unit can
+                   only deliver air at the top of its outlet range.
+``POWER_CAP_DROP`` emergency cap reduction: the room power budget is
+                   multiplied by ``1 - magnitude``.
+``ECS_DRIFT``      room-wide slowdown (thermal throttling, degraded
+                   firmware): every ECS value is multiplied by
+                   ``1 - magnitude``.
+=================  =====================================================
+
+Overlapping faults compose: dead counts accumulate per node, CRAC
+capacities and room-wide factors multiply.  Because the state at time
+``t`` is *derived* from the set of active events (rather than mutated in
+place), recovery is exact by construction — when the last fault on a
+target expires, the target is back to nominal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "InventoryState"]
+
+
+class FaultKind(str, Enum):
+    """Closed taxonomy of injectable faults (values are JSON-stable)."""
+
+    NODE_CRASH = "node_crash"
+    CRAC_DEGRADE = "crac_degrade"
+    CRAC_OUTAGE = "crac_outage"
+    POWER_CAP_DROP = "power_cap_drop"
+    ECS_DRIFT = "ecs_drift"
+
+    @property
+    def is_targeted(self) -> bool:
+        """True when the fault applies to one unit (vs the whole room)."""
+        return self in (FaultKind.NODE_CRASH, FaultKind.CRAC_DEGRADE,
+                        FaultKind.CRAC_OUTAGE)
+
+    @property
+    def uses_magnitude(self) -> bool:
+        """True when ``magnitude`` parameterizes the severity."""
+        return self in (FaultKind.CRAC_DEGRADE, FaultKind.POWER_CAP_DROP,
+                        FaultKind.ECS_DRIFT)
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One fault: a kind, a target, a start time and a duration.
+
+    Ordered by ``(start_s, kind, target)`` so sorted schedules are
+    deterministic regardless of construction order.
+
+    Attributes
+    ----------
+    start_s:
+        Onset, seconds from the run start.
+    kind:
+        What breaks (see :class:`FaultKind`).
+    target:
+        Node index for ``NODE_CRASH``, CRAC index for ``CRAC_*``;
+        ``None`` for the room-wide kinds.
+    duration_s:
+        How long the fault persists; ``inf`` means no recovery within
+        the run.
+    magnitude:
+        Severity in ``(0, 1)`` for the kinds that use it (fraction of
+        capacity / cap / speed lost); ignored — conventionally 1 — for
+        crash and outage.
+    """
+
+    start_s: float
+    kind: FaultKind
+    target: int | None = None
+    duration_s: float = math.inf
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.start_s >= 0.0:
+            raise ValueError(f"fault start must be >= 0, got {self.start_s}")
+        if not self.duration_s > 0.0:
+            raise ValueError(
+                f"fault duration must be positive, got {self.duration_s}")
+        if self.kind.is_targeted:
+            if self.target is None or self.target < 0:
+                raise ValueError(
+                    f"{self.kind.value} needs a non-negative target index")
+        elif self.target is not None:
+            raise ValueError(f"{self.kind.value} is room-wide; target must "
+                             "be None")
+        if self.kind.uses_magnitude and not 0.0 < self.magnitude < 1.0:
+            raise ValueError(
+                f"{self.kind.value} magnitude must be in (0, 1), got "
+                f"{self.magnitude}")
+
+    @property
+    def end_s(self) -> float:
+        """Recovery instant (``inf`` for permanent faults)."""
+        return self.start_s + self.duration_s
+
+    def active_at(self, t: float) -> bool:
+        """Active on the half-open interval ``[start_s, end_s)``."""
+        return self.start_s <= t < self.end_s
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (round-trips via ``from_dict``)."""
+        return {
+            "kind": self.kind.value,
+            "start_s": self.start_s,
+            "duration_s": (None if math.isinf(self.duration_s)
+                           else self.duration_s),
+            "target": self.target,
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultEvent":
+        duration = doc.get("duration_s")
+        return cls(
+            start_s=float(doc["start_s"]),
+            kind=FaultKind(doc["kind"]),
+            target=(None if doc.get("target") is None
+                    else int(doc["target"])),
+            duration_s=math.inf if duration is None else float(duration),
+            magnitude=float(doc.get("magnitude", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class InventoryState:
+    """Snapshot of what is (un)available at one instant.
+
+    Attributes
+    ----------
+    node_dead_count:
+        Overlapping-crash counter per node; a node is alive iff its
+        count is 0.
+    crac_capacity:
+        Remaining cooling-capacity fraction per CRAC in ``[0, 1]``
+        (product of ``1 - magnitude`` over active degrades, 0 under an
+        outage).
+    power_cap_factor / ecs_factor:
+        Room-wide multipliers in ``(0, 1]``.
+    """
+
+    node_dead_count: np.ndarray
+    crac_capacity: np.ndarray
+    power_cap_factor: float = 1.0
+    ecs_factor: float = 1.0
+
+    @property
+    def node_alive(self) -> np.ndarray:
+        """Boolean mask of surviving nodes."""
+        return self.node_dead_count == 0
+
+    @property
+    def dead_nodes(self) -> np.ndarray:
+        """Indices of crashed nodes (ascending)."""
+        return np.nonzero(self.node_dead_count > 0)[0]
+
+    @property
+    def is_nominal(self) -> bool:
+        """True when nothing is degraded — the healthy-inventory case."""
+        return (not np.any(self.node_dead_count > 0)
+                and bool(np.all(self.crac_capacity >= 1.0))
+                and self.power_cap_factor >= 1.0
+                and self.ecs_factor >= 1.0)
+
+    @classmethod
+    def nominal(cls, n_nodes: int, n_crac: int) -> "InventoryState":
+        return cls(node_dead_count=np.zeros(n_nodes, dtype=int),
+                   crac_capacity=np.ones(n_crac))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, sorted timeline of :class:`FaultEvent` objects."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(sorted(self.events)))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        return cls(events=())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    def validate_for(self, n_nodes: int, n_crac: int) -> None:
+        """Raise if any event targets a unit outside the room."""
+        for ev in self.events:
+            if ev.kind is FaultKind.NODE_CRASH and ev.target >= n_nodes:
+                raise ValueError(
+                    f"node crash targets node {ev.target} but the room has "
+                    f"{n_nodes} nodes")
+            if ev.kind in (FaultKind.CRAC_DEGRADE, FaultKind.CRAC_OUTAGE) \
+                    and ev.target >= n_crac:
+                raise ValueError(
+                    f"{ev.kind.value} targets CRAC {ev.target} but the room "
+                    f"has {n_crac} CRACs")
+    def active_at(self, t: float) -> list[FaultEvent]:
+        """Events whose ``[start, end)`` window contains ``t``."""
+        return [ev for ev in self.events if ev.active_at(t)]
+
+    def state_at(self, t: float, n_nodes: int, n_crac: int
+                 ) -> InventoryState:
+        """Derive the inventory state at instant ``t``.
+
+        Overlapping faults compose (counters / products), so the state
+        is order-independent and recovery is exact: once every fault on
+        a target has expired the target reads nominal again.
+        """
+        dead = np.zeros(n_nodes, dtype=int)
+        capacity = np.ones(n_crac)
+        cap_factor = 1.0
+        ecs_factor = 1.0
+        for ev in self.active_at(t):
+            if ev.kind is FaultKind.NODE_CRASH:
+                dead[ev.target] += 1
+            elif ev.kind is FaultKind.CRAC_DEGRADE:
+                capacity[ev.target] *= 1.0 - ev.magnitude
+            elif ev.kind is FaultKind.CRAC_OUTAGE:
+                capacity[ev.target] = 0.0
+            elif ev.kind is FaultKind.POWER_CAP_DROP:
+                cap_factor *= 1.0 - ev.magnitude
+            elif ev.kind is FaultKind.ECS_DRIFT:
+                ecs_factor *= 1.0 - ev.magnitude
+        return InventoryState(node_dead_count=dead, crac_capacity=capacity,
+                             power_cap_factor=cap_factor,
+                             ecs_factor=ecs_factor)
+
+    def boundaries(self, horizon_s: float) -> list[float]:
+        """Instants in ``(0, horizon)`` where the inventory state changes.
+
+        Sorted and deduplicated; both fault onsets and recoveries count.
+        A controller that re-plans at exactly these instants sees a
+        constant inventory within every interval between them.
+        """
+        times: set[float] = set()
+        for ev in self.events:
+            for t in (ev.start_s, ev.end_s):
+                if 0.0 < t < horizon_s and math.isfinite(t):
+                    times.add(float(t))
+        return sorted(times)
+
+    def events_starting_at(self, t: float,
+                           kind: FaultKind | None = None) -> list[FaultEvent]:
+        """Events whose onset is exactly ``t`` (optionally one kind)."""
+        return [ev for ev in self.events
+                if ev.start_s == t and (kind is None or ev.kind is kind)]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"events": [ev.to_dict() for ev in self.events]}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSchedule":
+        events = doc.get("events", [])
+        if not isinstance(events, (list, tuple)):
+            raise ValueError("'events' must be a list of fault dicts")
+        return cls(events=tuple(FaultEvent.from_dict(e) for e in events))
+
+    @classmethod
+    def from_events(cls, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        return cls(events=tuple(events))

@@ -1,0 +1,409 @@
+"""Reaction policies: how the control loop survives a fault timeline.
+
+The paper's deployment story (epoch-based re-assignment,
+:mod:`repro.core.controller`) reacts to *load* changes; this module
+closes the loop for *inventory* changes.  :class:`FaultAwareController`
+drives one run over a :class:`~repro.faults.model.FaultSchedule`:
+
+* the timeline is split into **control intervals** at every fault onset
+  and recovery (plus the run boundaries), so the inventory is constant
+  within each interval;
+* at each inventory change the controller re-solves the three-stage
+  assignment on the degraded view (:mod:`repro.faults.inject`) under the
+  possibly-reduced power cap, re-using the epoch controller's
+  transient-guarded derate loop
+  (:func:`repro.core.controller.plan_with_transient_guard`) — after a
+  severe fault no admissible plan may transition cleanly, so chaos runs
+  keep the least-overshooting plan and *measure* the residual exposure
+  (redline-violation minutes) instead of aborting;
+* within each interval the second-step DES replays the interval's task
+  slice against the degraded room; node crashes landing exactly at the
+  interval's end are injected as
+  :class:`~repro.simulate.events.CoreOutage` events so tasks queued past
+  the boundary on dying cores are stranded and re-queued or dropped with
+  explicit accounting;
+* room temperature state is carried across intervals in full-room
+  coordinates (dead nodes reconstructed as passive pass-throughs), so a
+  recovery transitions from the physically-correct degraded state.
+
+With an empty schedule the run is a single interval on the untouched
+room: one plain (unguarded, cold-start) three-stage solve plus one
+fault-free DES replay — bit-identical to ``repro simulate``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import three_stage_assignment
+from repro.core.controller import plan_with_transient_guard
+from repro.datacenter.builder import DataCenter
+from repro.faults.inject import DegradedView, degraded_view
+from repro.faults.model import FaultKind, FaultSchedule
+from repro.simulate.engine import simulate_trace
+from repro.simulate.events import CoreOutage
+from repro.simulate.metrics import SimulationMetrics
+from repro.thermal.transient import simulate_transient
+from repro.workload.tasktypes import Workload
+from repro.workload.trace import Task
+
+__all__ = ["ReactionPolicy", "IntervalRecord", "ChaosRunResult",
+           "FaultAwareController"]
+
+
+@dataclass(frozen=True)
+class _ShedPlan:
+    """Load-shedding fallback when the degraded room admits no plan.
+
+    Quacks like the slice of :class:`AssignmentResult` the run loop
+    consumes: every core off, zero desired rates, the coldest air each
+    (possibly derated) CRAC can still deliver.  Committed when a fault
+    is so severe that even the fully-derated first step is infeasible —
+    the experiment then measures the outage instead of aborting.
+    """
+
+    t_crac_out: np.ndarray
+    pstates: np.ndarray
+    tc: np.ndarray
+    reward_rate: float = 0.0
+
+
+def _shed_plan(datacenter: DataCenter, n_task_types: int) -> _ShedPlan:
+    return _ShedPlan(
+        t_crac_out=np.asarray([c.outlet_range_c[0] for c in datacenter.cracs],
+                              dtype=float),
+        pstates=datacenter.all_off_pstates(),
+        tc=np.zeros((n_task_types, datacenter.n_cores)))
+
+
+@dataclass(frozen=True)
+class ReactionPolicy:
+    """Tunables for the fault-reaction loop.
+
+    Attributes
+    ----------
+    psi:
+        ARR aggregation level for the re-solves.
+    tau_s:
+        Node thermal time constant for transient checks and state
+        propagation.
+    derate_step / max_derate:
+        The transient-guard derate loop (see
+        :func:`~repro.core.controller.plan_with_transient_guard`).
+    stranded:
+        What the dynamic scheduler does with tasks stranded on crashed
+        cores: ``"requeue"`` or ``"drop"``.
+    on_derate_exhausted:
+        ``"best"`` (default) commits the least-overshooting plan and
+        records the exposure; ``"raise"`` aborts the run like the epoch
+        controller.
+    """
+
+    psi: float = 50.0
+    tau_s: float = 120.0
+    derate_step: float = 0.05
+    max_derate: int = 10
+    stranded: str = "requeue"
+    on_derate_exhausted: str = "best"
+
+    def __post_init__(self) -> None:
+        if self.stranded not in ("requeue", "drop"):
+            raise ValueError(
+                f"stranded must be 'requeue' or 'drop', got {self.stranded!r}")
+        if self.on_derate_exhausted not in ("best", "raise"):
+            raise ValueError("on_derate_exhausted must be 'best' or 'raise'")
+
+
+@dataclass
+class IntervalRecord:
+    """One constant-inventory control interval of a chaos run.
+
+    Attributes
+    ----------
+    start_s / end_s:
+        Interval boundaries (run time).
+    cause:
+        Why this interval began: ``"start"``, or comma-joined
+        ``fault:<kind>`` / ``recovery:<kind>`` markers for the events at
+        its left boundary.
+    n_nodes_alive / crac_capacity / cap_kw:
+        The inventory the interval ran under.
+    plan_reward_rate:
+        Stage 3 prediction of the interval's committed plan.
+    derated:
+        Derate steps the transient guard took (0 = clean transition).
+    transient_overshoot_c:
+        Worst redline overshoot of the transition into this interval
+        after derating (``None`` for the cold start, which has no
+        previous operating point to transition from).
+    violation_minutes:
+        Simulated minutes of the transition trajectory spent above any
+        redline.
+    replan_wall_s:
+        Wall-clock seconds the re-solve took (the MTTR-to-replan
+        sample; includes every derate iteration).
+    metrics:
+        Second-step DES metrics for the interval's task slice.
+    """
+
+    start_s: float
+    end_s: float
+    cause: str
+    n_nodes_alive: int
+    crac_capacity: list[float]
+    cap_kw: float
+    plan_reward_rate: float
+    derated: int
+    transient_overshoot_c: float | None
+    violation_minutes: float
+    replan_wall_s: float
+    metrics: SimulationMetrics
+    #: True when no feasible plan existed and all load was shed.
+    shed: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "cause": self.cause,
+            "n_nodes_alive": self.n_nodes_alive,
+            "crac_capacity": self.crac_capacity,
+            "cap_kw": self.cap_kw,
+            "plan_reward_rate": self.plan_reward_rate,
+            "derated": self.derated,
+            "transient_overshoot_c": self.transient_overshoot_c,
+            "violation_minutes": self.violation_minutes,
+            "replan_wall_s": self.replan_wall_s,
+            "shed": self.shed,
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+@dataclass
+class ChaosRunResult:
+    """Aggregate outcome of one fault-injected run."""
+
+    horizon_s: float
+    schedule: FaultSchedule
+    intervals: list[IntervalRecord]
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(iv.metrics.total_reward for iv in self.intervals))
+
+    @property
+    def reward_rate(self) -> float:
+        return self.total_reward / self.horizon_s
+
+    @property
+    def violation_minutes(self) -> float:
+        """Total transition time with any inlet above its redline."""
+        return float(sum(iv.violation_minutes for iv in self.intervals))
+
+    @property
+    def tasks_lost(self) -> int:
+        """Arrivals that never earned reward: dropped + stranded-dropped."""
+        lost = 0
+        for iv in self.intervals:
+            lost += int(iv.metrics.dropped.sum())
+            if iv.metrics.stranded_dropped is not None:
+                lost += int(iv.metrics.stranded_dropped.sum())
+        return lost
+
+    @property
+    def tasks_requeued(self) -> int:
+        return int(sum(
+            0 if iv.metrics.stranded_requeued is None
+            else iv.metrics.stranded_requeued.sum() for iv in self.intervals))
+
+    @property
+    def n_replans(self) -> int:
+        """Re-solves triggered by inventory changes (cold start excluded)."""
+        return sum(1 for iv in self.intervals if iv.cause != "start")
+
+    @property
+    def replan_wall_times(self) -> list[float]:
+        return [iv.replan_wall_s for iv in self.intervals
+                if iv.cause != "start"]
+
+    @property
+    def mean_replan_s(self) -> float:
+        """Mean time-to-replan over the fault reactions (0 if none)."""
+        times = self.replan_wall_times
+        return float(np.mean(times)) if times else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "horizon_s": self.horizon_s,
+            "n_fault_events": len(self.schedule),
+            "total_reward": self.total_reward,
+            "reward_rate": self.reward_rate,
+            "violation_minutes": self.violation_minutes,
+            "tasks_lost": self.tasks_lost,
+            "tasks_requeued": self.tasks_requeued,
+            "n_replans": self.n_replans,
+            "mean_replan_s": self.mean_replan_s,
+            "intervals": [iv.to_dict() for iv in self.intervals],
+        }
+
+
+def _interval_cause(schedule: FaultSchedule, t: float) -> str:
+    """Human-readable reason the inventory changed at instant ``t``."""
+    if t == 0.0:
+        return "start"
+    markers = [f"fault:{ev.kind.value}" for ev in schedule
+               if ev.start_s == t]
+    markers += [f"recovery:{ev.kind.value}" for ev in schedule
+                if ev.end_s == t]
+    return ",".join(markers) if markers else "epoch"
+
+
+class FaultAwareController:
+    """Drives the thermal-aware control loop through a fault timeline.
+
+    Parameters
+    ----------
+    datacenter:
+        The healthy room (thermal model attached).
+    workload:
+        The stationary workload (the paper's Section VI setup); the
+        chaos dimension is equipment availability, not load drift.
+    p_const:
+        Nominal room power cap, kW (scaled down by active cap-drop
+        faults).
+    policy:
+        Reaction tunables (:class:`ReactionPolicy`).
+    """
+
+    def __init__(self, datacenter: DataCenter, workload: Workload,
+                 p_const: float, policy: ReactionPolicy | None = None):
+        if p_const <= 0:
+            raise ValueError("power cap must be positive")
+        datacenter.require_thermal()
+        self.datacenter = datacenter
+        self.workload = workload
+        self.p_const = p_const
+        self.policy = policy or ReactionPolicy()
+
+    # ------------------------------------------------------------------
+    def _cold_start_t_out(self, view: DegradedView) -> np.ndarray:
+        """Idle-room steady state (the epoch controller's convention)."""
+        dc = view.datacenter
+        model = dc.require_thermal()
+        idle = dc.node_power_kw(dc.all_off_pstates())
+        t_mid = np.full(dc.n_crac, float(np.mean(
+            [c.outlet_range_c for c in dc.cracs])))
+        return model.steady_state(t_mid, idle).t_out
+
+    def run(self, trace: list[Task], horizon_s: float,
+            schedule: FaultSchedule) -> ChaosRunResult:
+        """Replay ``trace`` over ``horizon_s`` seconds under ``schedule``."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        dc = self.datacenter
+        pol = self.policy
+        schedule.validate_for(dc.n_nodes, dc.n_crac)
+        cuts = [0.0] + schedule.boundaries(horizon_s) + [float(horizon_s)]
+        intervals: list[IntervalRecord] = []
+        t_out_full: np.ndarray | None = None
+        cursor = 0
+        for a, b in zip(cuts[:-1], cuts[1:]):
+            state = schedule.state_at(a, dc.n_nodes, dc.n_crac)
+            view = degraded_view(dc, self.workload, state)
+            cap = view.cap(self.p_const)
+            t0 = time.perf_counter()
+            shed = False
+            try:
+                if t_out_full is None:
+                    # cold start: no previous operating point to transition
+                    # from; commit the plain plan (matches `repro simulate`)
+                    plan = three_stage_assignment(view.datacenter,
+                                                  view.workload, cap,
+                                                  psi=pol.psi)
+                    derated, overshoot = 0, None
+                else:
+                    t_prev = view.reduce_t_out(t_out_full)
+                    plan, derated, overshoot = plan_with_transient_guard(
+                        view.datacenter, view.workload, cap, t_prev,
+                        psi=pol.psi, tau_s=pol.tau_s,
+                        derate_step=pol.derate_step,
+                        max_derate=pol.max_derate,
+                        on_exhausted=pol.on_derate_exhausted)
+            except RuntimeError:
+                # even the (derated) first step is infeasible under this
+                # inventory — shed all load rather than abort the run; in
+                # strict mode the caller wants the error instead
+                if pol.on_derate_exhausted == "raise":
+                    raise
+                plan = _shed_plan(view.datacenter,
+                                  view.workload.n_task_types)
+                derated, overshoot, shed = 0, None, True
+            replan_wall = time.perf_counter() - t0
+
+            # thermal state propagation over the interval (and the
+            # violation-minutes exposure of the transition into it)
+            model = view.datacenter.require_thermal()
+            node_power = view.datacenter.node_power_kw(plan.pstates)
+            if t_out_full is None:
+                start_t_out = self._cold_start_t_out(view)
+                # convention: the cold room settles at the plan's
+                # operating point before tasks arrive (no transition)
+                violation_min = 0.0
+                end_t_out = model.steady_state(plan.t_crac_out,
+                                               node_power).t_out
+            else:
+                dt = min(1.0, pol.tau_s / 4.0)
+                start_t_out = view.reduce_t_out(t_out_full)
+                transient = simulate_transient(
+                    model, plan.t_crac_out, node_power, start_t_out,
+                    duration_s=max(b - a, dt), tau_s=pol.tau_s, dt_s=dt)
+                violation_min = transient.violation_minutes(
+                    view.datacenter.redline_c)
+                end_t_out = transient.t_out[-1]
+            t_out_full = view.expand_t_out(end_t_out)
+
+            # the interval's task slice, re-based to interval-local time
+            chunk: list[Task] = []
+            while cursor < len(trace) and trace[cursor].arrival < b:
+                t = trace[cursor]
+                chunk.append(t if a == 0.0 else
+                             Task(arrival=t.arrival - a,
+                                  task_type=t.task_type, uid=t.uid,
+                                  deadline=t.deadline - a))
+                cursor += 1
+
+            # nodes dying exactly at the right boundary strand their queues
+            outages: list[CoreOutage] = []
+            if b < horizon_s:
+                for ev in schedule.events_starting_at(
+                        b, kind=FaultKind.NODE_CRASH):
+                    pos = np.nonzero(view.node_map == ev.target)[0]
+                    if pos.size == 0:
+                        continue  # already dead in this interval
+                    node = view.datacenter.nodes[int(pos[0])]
+                    outages.append(CoreOutage(
+                        start_s=b - a,
+                        cores=tuple(node.core_indices)))
+            metrics = simulate_trace(
+                view.datacenter, view.workload, plan.tc, plan.pstates,
+                chunk, duration=b - a,
+                faults=outages if outages else None,
+                stranded_policy=pol.stranded)
+            intervals.append(IntervalRecord(
+                start_s=a, end_s=b, cause=_interval_cause(schedule, a),
+                n_nodes_alive=view.datacenter.n_nodes,
+                crac_capacity=[float(c) for c in state.crac_capacity],
+                cap_kw=cap,
+                plan_reward_rate=plan.reward_rate,
+                derated=derated,
+                transient_overshoot_c=overshoot,
+                violation_minutes=violation_min,
+                replan_wall_s=replan_wall,
+                metrics=metrics,
+                shed=shed))
+        return ChaosRunResult(horizon_s=float(horizon_s), schedule=schedule,
+                              intervals=intervals)

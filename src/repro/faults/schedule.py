@@ -1,0 +1,230 @@
+"""Reproducible fault-timeline generation.
+
+Chaos experiments need two sources of fault schedules:
+
+* **Drawn** — :func:`generate_fault_schedule` samples a timeline from a
+  seed and per-kind rate parameters (:class:`FaultRates`).  Onsets are
+  Poisson per (kind, target) pair, repair times exponential, severities
+  uniform around a configured mean.  Targets and kinds are iterated in a
+  fixed order from a single generator, so the same seed always yields
+  the same schedule — the property the chaos sweep's cache keys and the
+  ``--jobs`` reproducibility guarantee rest on.
+* **Hand-written** — :func:`schedule_from_dict` /
+  :func:`load_schedule` parse explicit scenario files (JSON always;
+  YAML when PyYAML happens to be installed), for "what if CRAC 1 dies
+  at minute 10" style questions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.model import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = ["FaultRates", "generate_fault_schedule", "schedule_from_dict",
+           "load_schedule", "demo_rates"]
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Arrival-rate and severity parameters for drawn fault timelines.
+
+    Rates are events per hour; targeted kinds are per *unit* (so a room
+    with more nodes sees proportionally more crashes, like real fleets).
+    A rate of 0 disables the kind.
+
+    Attributes
+    ----------
+    node_crash_per_hour / crac_degrade_per_hour / crac_outage_per_hour:
+        Per-node / per-CRAC onset rates.
+    cap_drop_per_hour / ecs_drift_per_hour:
+        Room-wide onset rates.
+    mean_repair_s:
+        Mean of the exponential repair-time distribution.
+    degrade_magnitude / cap_drop_magnitude / ecs_drift_magnitude:
+        Mean severities; samples are uniform on ``[0.5, 1.5] * mean``,
+        clipped into ``(0.05, 0.95)``.
+    """
+
+    node_crash_per_hour: float = 0.0
+    crac_degrade_per_hour: float = 0.0
+    crac_outage_per_hour: float = 0.0
+    cap_drop_per_hour: float = 0.0
+    ecs_drift_per_hour: float = 0.0
+    mean_repair_s: float = 600.0
+    degrade_magnitude: float = 0.5
+    cap_drop_magnitude: float = 0.2
+    ecs_drift_magnitude: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in ("node_crash_per_hour", "crac_degrade_per_hour",
+                     "crac_outage_per_hour", "cap_drop_per_hour",
+                     "ecs_drift_per_hour"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.mean_repair_s <= 0:
+            raise ValueError("mean_repair_s must be positive")
+        for name in ("degrade_magnitude", "cap_drop_magnitude",
+                     "ecs_drift_magnitude"):
+            if not 0.0 < getattr(self, name) < 1.0:
+                raise ValueError(f"{name} must be in (0, 1)")
+
+    def scaled(self, factor: float) -> "FaultRates":
+        """All onset rates multiplied by ``factor`` (severities kept)."""
+        if factor < 0:
+            raise ValueError("rate factor must be >= 0")
+        return replace(
+            self,
+            node_crash_per_hour=self.node_crash_per_hour * factor,
+            crac_degrade_per_hour=self.crac_degrade_per_hour * factor,
+            crac_outage_per_hour=self.crac_outage_per_hour * factor,
+            cap_drop_per_hour=self.cap_drop_per_hour * factor,
+            ecs_drift_per_hour=self.ecs_drift_per_hour * factor,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "node_crash_per_hour": self.node_crash_per_hour,
+            "crac_degrade_per_hour": self.crac_degrade_per_hour,
+            "crac_outage_per_hour": self.crac_outage_per_hour,
+            "cap_drop_per_hour": self.cap_drop_per_hour,
+            "ecs_drift_per_hour": self.ecs_drift_per_hour,
+            "mean_repair_s": self.mean_repair_s,
+            "degrade_magnitude": self.degrade_magnitude,
+            "cap_drop_magnitude": self.cap_drop_magnitude,
+            "ecs_drift_magnitude": self.ecs_drift_magnitude,
+        }
+
+
+def demo_rates(horizon_s: float, n_nodes: int, n_crac: int) -> FaultRates:
+    """Rates sized so a factor-1.0 draw averages a handful of faults.
+
+    Chaos runs compress time (horizons of seconds to minutes rather than
+    weeks), so per-hour fleet rates are rescaled to target, per horizon:
+    ~2 node crashes, ~1 CRAC degrade, ~0.5 CRAC outages, ~0.5 cap drops
+    and ~0.5 ECS drifts, with repair times around a quarter horizon.
+    """
+    if horizon_s <= 0 or n_nodes < 1 or n_crac < 1:
+        raise ValueError("need a positive horizon and a non-empty room")
+    hours = horizon_s / 3600.0
+    return FaultRates(
+        node_crash_per_hour=2.0 / (hours * n_nodes),
+        crac_degrade_per_hour=1.0 / (hours * n_crac),
+        crac_outage_per_hour=0.5 / (hours * n_crac),
+        cap_drop_per_hour=0.5 / hours,
+        ecs_drift_per_hour=0.5 / hours,
+        mean_repair_s=horizon_s / 4.0,
+    )
+
+
+def _draw_onsets(rng: np.random.Generator, rate_per_hour: float,
+                 horizon_s: float) -> list[float]:
+    """Poisson onsets on ``(0, horizon)`` via exponential gaps."""
+    if rate_per_hour <= 0:
+        return []
+    rate_per_s = rate_per_hour / 3600.0
+    onsets: list[float] = []
+    t = float(rng.exponential(1.0 / rate_per_s))
+    while t < horizon_s:
+        onsets.append(t)
+        t += float(rng.exponential(1.0 / rate_per_s))
+    return onsets
+
+
+def _draw_magnitude(rng: np.random.Generator, mean: float) -> float:
+    return float(np.clip(rng.uniform(0.5 * mean, 1.5 * mean), 0.05, 0.95))
+
+
+def generate_fault_schedule(n_nodes: int, n_crac: int, horizon_s: float,
+                            rates: FaultRates,
+                            rng: np.random.Generator | int
+                            ) -> FaultSchedule:
+    """Draw a reproducible fault timeline for one room and horizon.
+
+    Parameters
+    ----------
+    n_nodes / n_crac:
+        Room inventory the targeted kinds index into.
+    horizon_s:
+        Onsets are drawn on ``(0, horizon_s)``; repairs may land beyond
+        it (the run then ends degraded).
+    rates:
+        Onset rates and severity means.
+    rng:
+        A seeded generator, or an integer seed.  Kinds and targets are
+        visited in a fixed order, so ``(room, horizon, rates, seed)``
+        fully determines the schedule.
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    if n_nodes < 1 or n_crac < 1:
+        raise ValueError("room must have at least one node and one CRAC")
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    events: list[FaultEvent] = []
+
+    def repair() -> float:
+        return max(1e-3, float(rng.exponential(rates.mean_repair_s)))
+
+    # Fixed visit order: node crashes (per node), CRAC degrades, CRAC
+    # outages (per CRAC), then the room-wide kinds — all from one rng.
+    for node in range(n_nodes):
+        for t in _draw_onsets(rng, rates.node_crash_per_hour, horizon_s):
+            events.append(FaultEvent(start_s=t, kind=FaultKind.NODE_CRASH,
+                                     target=node, duration_s=repair()))
+    for crac in range(n_crac):
+        for t in _draw_onsets(rng, rates.crac_degrade_per_hour, horizon_s):
+            events.append(FaultEvent(
+                start_s=t, kind=FaultKind.CRAC_DEGRADE, target=crac,
+                duration_s=repair(),
+                magnitude=_draw_magnitude(rng, rates.degrade_magnitude)))
+    for crac in range(n_crac):
+        for t in _draw_onsets(rng, rates.crac_outage_per_hour, horizon_s):
+            events.append(FaultEvent(start_s=t, kind=FaultKind.CRAC_OUTAGE,
+                                     target=crac, duration_s=repair()))
+    for t in _draw_onsets(rng, rates.cap_drop_per_hour, horizon_s):
+        events.append(FaultEvent(
+            start_s=t, kind=FaultKind.POWER_CAP_DROP, duration_s=repair(),
+            magnitude=_draw_magnitude(rng, rates.cap_drop_magnitude)))
+    for t in _draw_onsets(rng, rates.ecs_drift_per_hour, horizon_s):
+        events.append(FaultEvent(
+            start_s=t, kind=FaultKind.ECS_DRIFT, duration_s=repair(),
+            magnitude=_draw_magnitude(rng, rates.ecs_drift_magnitude)))
+
+    schedule = FaultSchedule.from_events(events)
+    schedule.validate_for(n_nodes, n_crac)
+    return schedule
+
+
+def schedule_from_dict(doc: dict) -> FaultSchedule:
+    """Parse a hand-written scenario dict (``{"events": [...]}``).
+
+    Each event dict carries ``kind``, ``start_s`` and optionally
+    ``duration_s`` (omitted/null = permanent), ``target`` and
+    ``magnitude`` — the exact shape :meth:`FaultSchedule.to_dict`
+    produces, so scenarios round-trip.
+    """
+    return FaultSchedule.from_dict(doc)
+
+
+def load_schedule(path: str | Path) -> FaultSchedule:
+    """Load a scenario file: JSON always, YAML when PyYAML is available."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise RuntimeError(
+                f"{path} is YAML but PyYAML is not installed; convert the "
+                "scenario to JSON") from exc
+        doc = yaml.safe_load(text)
+    else:
+        doc = json.loads(text)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: scenario root must be a mapping")
+    return schedule_from_dict(doc)

@@ -2,13 +2,14 @@
 
 from repro.simulate.energy import EnergyReport, energy_report
 from repro.simulate.engine import simulate_trace
-from repro.simulate.events import Event, EventKind, EventQueue
+from repro.simulate.events import CoreOutage, Event, EventKind, EventQueue
 from repro.simulate.metrics import SimulationMetrics
 
 __all__ = [
     "EnergyReport",
     "energy_report",
     "simulate_trace",
+    "CoreOutage",
     "Event",
     "EventKind",
     "EventQueue",

@@ -6,27 +6,45 @@ drops it), cores execute their queues FIFO, and reward is collected for
 every task finished by its deadline.  Because the scheduler only assigns
 tasks it can finish in time, assignment implies reward; completions are
 still simulated as events so busy time and queue depths are exact.
+
+Fault injection (chaos-testing extension): the replay optionally
+consumes :class:`~repro.simulate.events.CoreOutage` windows.  A FAULT
+event kills a set of cores — queued-but-unfinished work on them is
+*stranded*: its reward is never collected, its recorded busy time is
+rolled back to the crash instant, and each stranded task is either
+re-entered into the arrival stream at the crash time (``requeue``) or
+discarded (``drop``), with explicit per-type accounting either way.  A
+RECOVERY event readmits the cores with an empty queue.  With no outages
+the replay is bit-identical to the fault-free engine.
 """
 
 from __future__ import annotations
+
+import math
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.scheduler import DynamicScheduler
 from repro.datacenter.builder import DataCenter
-from repro.simulate.events import EventKind, EventQueue
+from repro.simulate.events import CoreOutage, EventKind, EventQueue
 from repro.simulate.metrics import SimulationMetrics
 from repro.workload.tasktypes import Workload
 from repro.workload.trace import Task
 
 __all__ = ["simulate_trace"]
 
+#: Allowed dispositions for tasks stranded by a core outage.
+STRANDED_POLICIES = ("requeue", "drop")
+
 
 def simulate_trace(datacenter: DataCenter, workload: Workload,
                    tc: np.ndarray, pstates: np.ndarray,
                    trace: list[Task], *,
                    duration: float | None = None,
-                   collect_latency: bool = True) -> SimulationMetrics:
+                   collect_latency: bool = True,
+                   faults: Sequence[CoreOutage] | None = None,
+                   stranded_policy: str = "requeue") -> SimulationMetrics:
     """Replay ``trace`` and return :class:`SimulationMetrics`.
 
     Parameters
@@ -44,7 +62,20 @@ def simulate_trace(datacenter: DataCenter, workload: Workload,
     collect_latency:
         Record per-task response times (memory ~ one float per task);
         disable for very long runs that only need rates.
+    faults:
+        Optional :class:`~repro.simulate.events.CoreOutage` windows to
+        inject.  ``None`` (or empty) reproduces the fault-free replay
+        bit-identically.
+    stranded_policy:
+        ``"requeue"`` re-enters tasks stranded by an outage into the
+        arrival stream at the crash instant (original deadline — they
+        may still be dropped if no surviving core can make it);
+        ``"drop"`` discards them.  Response times of requeued tasks are
+        measured from the requeue instant.
     """
+    if stranded_policy not in STRANDED_POLICIES:
+        raise ValueError(f"stranded_policy must be one of "
+                         f"{STRANDED_POLICIES}, got {stranded_policy!r}")
     if duration is None:
         duration = trace[-1].arrival if trace else 1.0
         duration = max(duration, 1e-9)
@@ -63,6 +94,33 @@ def simulate_trace(datacenter: DataCenter, workload: Workload,
     queue = EventQueue()
     for task in trace:
         queue.push(task.arrival, EventKind.ARRIVAL, task)
+
+    # fault-injection state -------------------------------------------
+    have_faults = bool(faults)
+    dead_count = np.zeros(n_cores, dtype=int)
+    # per-core queued work: rec_id -> (task, start, finish, latency slot)
+    inflight: list[dict[int, tuple[Task, float, float, int | None]]] = \
+        [{} for _ in range(n_cores)]
+    cancelled: set[int] = set()
+    lat_removals: list[set[int]] | None = \
+        [set() for _ in range(t_count)] if collect_latency else None
+    stranded_requeued = np.zeros(t_count, dtype=int)
+    stranded_dropped = np.zeros(t_count, dtype=int)
+    n_fault_events = 0
+    next_rec = 0
+    if have_faults:
+        for outage in faults:
+            cores = np.asarray(outage.cores, dtype=int)
+            if np.any(cores < 0) or np.any(cores >= n_cores):
+                raise ValueError(
+                    f"outage cores must be in 0..{n_cores - 1}")
+            queue.push(outage.start_s, EventKind.FAULT, tuple(cores))
+            if math.isfinite(outage.end_s):
+                queue.push(outage.end_s, EventKind.RECOVERY, tuple(cores))
+
+    def clip(t: float) -> float:
+        return min(t, duration)
+
     prev_time = 0.0
     while queue:
         event = queue.pop()
@@ -70,9 +128,58 @@ def simulate_trace(datacenter: DataCenter, workload: Workload,
             raise AssertionError("event times went backwards")
         prev_time = event.time
         if event.kind is EventKind.COMPLETION:
-            task_type, core = event.payload
+            task_type, core, rec_id = event.payload
+            if rec_id in cancelled:
+                cancelled.discard(rec_id)
+                continue
+            del inflight[core][rec_id]
             completed[task_type] += 1
             total_reward += float(workload.rewards[task_type])
+            continue
+        if event.kind is EventKind.FAULT:
+            n_fault_events += 1
+            newly_dead: list[int] = []
+            for core in event.payload:
+                dead_count[core] += 1
+                if dead_count[core] == 1:
+                    newly_dead.append(core)
+            if newly_dead:
+                scheduler.mark_cores_dead(np.asarray(newly_dead))
+            now = event.time
+            for core in newly_dead:
+                for rec_id, (task, start, finish, slot) \
+                        in inflight[core].items():
+                    cancelled.add(rec_id)
+                    scheduler.forget_assignment(task.task_type, core)
+                    # roll back busy time the task will never execute:
+                    # it ran (at most) from its start until the crash
+                    lost = max(0.0, clip(finish) - clip(max(start, now)))
+                    busy[core] -= lost
+                    busy_by_type[task.task_type, core] -= lost
+                    if lat_removals is not None and slot is not None:
+                        lat_removals[task.task_type].add(slot)
+                    if stranded_policy == "requeue":
+                        stranded_requeued[task.task_type] += 1
+                        queue.push(now, EventKind.ARRIVAL,
+                                   Task(arrival=now,
+                                        task_type=task.task_type,
+                                        uid=task.uid,
+                                        deadline=task.deadline))
+                    else:
+                        stranded_dropped[task.task_type] += 1
+                inflight[core].clear()
+            continue
+        if event.kind is EventKind.RECOVERY:
+            n_fault_events += 1
+            newly_alive: list[int] = []
+            for core in event.payload:
+                dead_count[core] -= 1
+                if dead_count[core] == 0:
+                    newly_alive.append(core)
+            if newly_alive:
+                scheduler.mark_cores_alive(np.asarray(newly_alive))
+                # the queue was cleared at crash time; the core restarts idle
+                core_free[np.asarray(newly_alive)] = event.time
             continue
         task: Task = event.payload
         core = scheduler.select_core(task.task_type, task.deadline,
@@ -91,12 +198,26 @@ def simulate_trace(datacenter: DataCenter, workload: Workload,
         # busy time is clipped to the measurement horizon so utilization
         # stays a fraction even when queues extend past it (long-deadline
         # types may legally finish after the last arrival)
-        clipped = max(0.0, min(finish, duration) - min(start, duration))
+        clipped = max(0.0, clip(finish) - clip(start))
         busy[core] += clipped
         busy_by_type[task.task_type, core] += clipped
+        slot = None
         if latencies is not None:
+            slot = len(latencies[task.task_type])
             latencies[task.task_type].append(finish - task.arrival)
-        queue.push(finish, EventKind.COMPLETION, (task.task_type, core))
+        queue.push(finish, EventKind.COMPLETION,
+                   (task.task_type, core, next_rec))
+        inflight[core][next_rec] = (task, start, finish, slot)
+        next_rec += 1
+
+    response_times = None
+    if latencies is not None:
+        response_times = []
+        for i, samples in enumerate(latencies):
+            if lat_removals is not None and lat_removals[i]:
+                samples = [v for s, v in enumerate(samples)
+                           if s not in lat_removals[i]]
+            response_times.append(np.asarray(samples))
 
     return SimulationMetrics(
         duration=float(duration),
@@ -107,6 +228,8 @@ def simulate_trace(datacenter: DataCenter, workload: Workload,
         tc=np.asarray(tc, dtype=float),
         busy_time=busy,
         busy_by_type=busy_by_type,
-        response_times=(None if latencies is None else
-                        [np.asarray(l) for l in latencies]),
+        response_times=response_times,
+        stranded_requeued=stranded_requeued if have_faults else None,
+        stranded_dropped=stranded_dropped if have_faults else None,
+        n_fault_events=n_fault_events,
     )

@@ -2,30 +2,68 @@
 
 A binary-heap event queue with a tie-breaking sequence number so that
 events at equal timestamps pop in insertion order (deterministic runs).
-The kernel is deliberately tiny — arrivals and completions are the only
-event kinds the paper's second-step evaluation needs — but is kept
-separate from the engine so extensions (P-state changes, thermal
-transients) have a place to plug in.
+The kernel is deliberately tiny — arrivals, completions and the fault
+kinds the chaos-testing layer injects — but is kept separate from the
+engine so further extensions (P-state changes, thermal transients) have
+a place to plug in.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any
 
-__all__ = ["EventKind", "Event", "EventQueue"]
+__all__ = ["EventKind", "Event", "EventQueue", "CoreOutage"]
 
 
 class EventKind(IntEnum):
-    """Kinds of simulation events (ordered: arrivals before completions
-    at equal time would be wrong — a finishing core should free up first,
-    so COMPLETION sorts ahead of ARRIVAL at identical timestamps)."""
+    """Kinds of simulation events.
+
+    The integer values fix the pop order at identical timestamps, and
+    each adjacency is deliberate:
+
+    * ``COMPLETION`` first — a finishing core frees up (and its task
+      counts as done) before anything else happens at that instant;
+    * ``FAULT`` before ``RECOVERY`` — the two compose through per-core
+      counters, so a fault starting exactly when another ends leaves the
+      core dead either way, but the fixed order keeps replays
+      deterministic;
+    * ``ARRIVAL`` last — a task arriving at the instant of a fault sees
+      the core already dead, and one arriving at a recovery instant may
+      already use the recovered core.
+    """
 
     COMPLETION = 0
-    ARRIVAL = 1
+    FAULT = 1
+    RECOVERY = 2
+    ARRIVAL = 3
+
+
+@dataclass(frozen=True)
+class CoreOutage:
+    """A window during which a set of cores cannot execute tasks.
+
+    The DES-level shape of a node crash: the affected cores take no new
+    tasks on ``[start_s, end_s)`` and any queued work is stranded at
+    ``start_s``.  ``end_s = inf`` means no recovery within the run.
+    Windows may overlap (cores are dead while covered by at least one).
+    """
+
+    start_s: float
+    cores: tuple[int, ...]
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.start_s >= 0.0:
+            raise ValueError(f"outage start must be >= 0, got {self.start_s}")
+        if not self.end_s > self.start_s:
+            raise ValueError("outage must end after it starts")
+        if not self.cores:
+            raise ValueError("outage needs at least one core")
 
 
 @dataclass(order=True, frozen=True)

@@ -41,6 +41,13 @@ class SimulationMetrics:
     busy_by_type: np.ndarray | None = None
     #: per-type lists of response times (completion - arrival), seconds.
     response_times: list[np.ndarray] | None = None
+    #: per-type tasks stranded by a core outage and re-entered into the
+    #: arrival stream (fault injection; ``None`` when no faults ran).
+    stranded_requeued: np.ndarray | None = None
+    #: per-type tasks stranded by a core outage and discarded.
+    stranded_dropped: np.ndarray | None = None
+    #: FAULT/RECOVERY events processed during the replay.
+    n_fault_events: int = 0
 
     @property
     def reward_rate(self) -> float:
@@ -91,6 +98,33 @@ class SimulationMetrics:
         if samples.size == 0:
             return np.full(len(qs), np.nan)
         return np.percentile(samples, qs)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (machine-readable, cache-style).
+
+        Scalars plus per-type count vectors; the large per-core matrices
+        (``atc``/``tc``/``busy_by_type``) and raw latency samples are
+        deliberately omitted — consumers needing those hold the object.
+        """
+        doc = {
+            "schema": 1,
+            "duration_s": self.duration,
+            "total_reward": self.total_reward,
+            "reward_rate": self.reward_rate,
+            "completed": self.completed.tolist(),
+            "dropped": self.dropped.tolist(),
+            "drop_fraction": self.drop_fraction.tolist(),
+            "mean_utilization": float(self.utilization.mean()),
+            "tracking_error": self.tracking_error(),
+            "n_fault_events": int(self.n_fault_events),
+            "stranded_requeued": (
+                None if self.stranded_requeued is None
+                else self.stranded_requeued.tolist()),
+            "stranded_dropped": (
+                None if self.stranded_dropped is None
+                else self.stranded_dropped.tolist()),
+        }
+        return doc
 
     def slack_utilization(self, task_type: int,
                           deadline_slack: float) -> float:

@@ -63,6 +63,22 @@ class TransientResult:
         """
         return float((self.t_in - redline_c[None, :]).max())
 
+    def violation_minutes(self, redline_c: np.ndarray,
+                          tol: float = 1e-6) -> float:
+        """Minutes of the trajectory with *any* inlet above its redline.
+
+        The chaos-testing metric: after a fault, even a derated plan can
+        spend a while above a redline before settling; this integrates
+        that exposure.  Samples are weighted by the step between them
+        (the trajectory is uniformly sampled), so the result is in
+        simulated minutes, not sample counts.
+        """
+        violated = np.any(self.t_in > redline_c[None, :] + tol, axis=1)
+        if self.times.size < 2:
+            return 0.0
+        dt = float(self.times[1] - self.times[0])
+        return float(violated.sum()) * dt / 60.0
+
 
 def simulate_transient(model: HeatFlowModel,
                        t_crac_out: np.ndarray,

@@ -1,0 +1,114 @@
+"""Tests for repro.experiments.chaos — the fault-rate sweep driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.chaos import (ChaosConfig, ChaosPoint, chaos_table,
+                                     run_chaos_point, run_chaos_scenario,
+                                     sweep_chaos)
+from repro.faults.model import FaultEvent, FaultKind, FaultSchedule
+
+CONFIG = ChaosConfig(n_nodes=6, seed=0, horizon_s=60.0)
+
+
+def _strip_wall_times(point: ChaosPoint) -> dict:
+    """Point payload minus the measured (non-deterministic) wall clocks."""
+    doc = point.to_dict()
+    doc.pop("mean_replan_s")
+    doc["detail"].pop("mean_replan_s")
+    for iv in doc["detail"]["intervals"]:
+        iv.pop("replan_wall_s")
+    return doc
+
+
+class TestRunChaosPoint:
+    def test_factor_zero_matches_plain_simulate(self):
+        """Acceptance criterion: the factor-0 control reproduces the
+        ``repro simulate`` pipeline bit-identically."""
+        from repro.core import three_stage_assignment
+        from repro.experiments import (PAPER_SET_1, generate_scenario,
+                                       scaled_down)
+        from repro.simulate import simulate_trace
+        from repro.workload import generate_trace
+
+        point = run_chaos_point(CONFIG, 0.0)
+        sc = generate_scenario(scaled_down(PAPER_SET_1, CONFIG.n_nodes),
+                               CONFIG.seed)
+        plan = three_stage_assignment(sc.datacenter, sc.workload,
+                                      sc.p_const, psi=50.0)
+        trace = generate_trace(sc.workload, CONFIG.horizon_s,
+                               np.random.default_rng(CONFIG.seed + 1))
+        metrics = simulate_trace(sc.datacenter, sc.workload, plan.tc,
+                                 plan.pstates, trace,
+                                 duration=CONFIG.horizon_s)
+        assert point.n_fault_events == 0
+        assert point.reward_rate == metrics.reward_rate
+        assert point.detail["intervals"][0]["metrics"] == metrics.to_dict()
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            run_chaos_point(CONFIG, -1.0)
+
+    def test_point_deterministic(self):
+        a = _strip_wall_times(run_chaos_point(CONFIG, 1.0))
+        b = _strip_wall_times(run_chaos_point(CONFIG, 1.0))
+        assert a == b
+
+    def test_point_round_trips_through_dict(self):
+        point = run_chaos_point(CONFIG, 0.5)
+        again = ChaosPoint.from_dict(point.to_dict())
+        assert again.to_dict() == point.to_dict()
+
+
+class TestSweep:
+    def test_always_includes_control(self, tmp_path):
+        points = sweep_chaos(CONFIG, [1.0], cache_dir=str(tmp_path))
+        assert [p.factor for p in points] == [0.0, 1.0]
+        assert points[0].reward_retained == pytest.approx(1.0)
+        assert points[1].reward_retained == pytest.approx(
+            points[1].reward_rate / points[0].reward_rate)
+
+    def test_jobs_reproducible(self):
+        """Acceptance criterion: identical simulated numbers across
+        --jobs (only measured wall clocks may differ)."""
+        serial = sweep_chaos(CONFIG, [0.5, 1.0], jobs=1)
+        parallel = sweep_chaos(CONFIG, [0.5, 1.0], jobs=2)
+        assert [_strip_wall_times(p) for p in serial] == \
+            [_strip_wall_times(p) for p in parallel]
+
+    def test_resume_replays_cache(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = sweep_chaos(CONFIG, [0.5], cache_dir=cache, resume=False)
+        second = sweep_chaos(CONFIG, [0.5], cache_dir=cache, resume=True)
+        # the cached replay returns the *identical* payload, wall clocks
+        # included — nothing was recomputed
+        assert [p.to_dict() for p in first] == [p.to_dict() for p in second]
+
+    def test_cache_key_sensitive_to_config(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        sweep_chaos(CONFIG, [0.5], cache_dir=cache, resume=False)
+        other = ChaosConfig(n_nodes=6, seed=0, horizon_s=60.0,
+                            stranded="drop")
+        refreshed = sweep_chaos(other, [0.5], cache_dir=cache, resume=True)
+        # a different stranded policy must not hit the requeue cache
+        assert refreshed[-1].detail["intervals"][0]["metrics"] is not None
+
+
+class TestScenarioRuns:
+    def test_explicit_schedule(self):
+        schedule = FaultSchedule.from_events([
+            FaultEvent(start_s=20.0, kind=FaultKind.CRAC_OUTAGE, target=0,
+                       duration_s=20.0)])
+        result = run_chaos_scenario(CONFIG, schedule)
+        assert result.n_replans == 2
+        assert len(result.intervals) == 3
+
+
+class TestTable:
+    def test_formats_all_points(self):
+        points = sweep_chaos(CONFIG, [1.0])
+        text = chaos_table(points)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(points)
+        assert "retained" in lines[0]
+        assert "100.0%" in lines[1]

@@ -1,0 +1,175 @@
+"""Tests for repro.faults.inject — degraded-room views.
+
+The load-bearing physics claim: dropping crashed nodes via Markov-chain
+censoring reproduces the full room with those nodes passive, exactly —
+and the degraded model still satisfies every invariant the
+:class:`~repro.thermal.heatflow.HeatFlowModel` constructor enforces
+(row-stochastic mixing, conserved flows), because censoring preserves
+them by construction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import build_datacenter
+from repro.faults.inject import degraded_view, derated_cracs
+from repro.faults.model import InventoryState
+from repro.thermal import attach_thermal_model
+from repro.thermal.transient import simulate_transient
+from repro.workload import generate_workload
+
+N_NODES, N_CRAC = 8, 2
+
+
+@pytest.fixture(scope="module")
+def room():
+    rng = np.random.default_rng(42)
+    dc = build_datacenter(n_nodes=N_NODES, n_crac=N_CRAC, rng=rng)
+    attach_thermal_model(dc, rng=rng)
+    return dc
+
+
+@pytest.fixture(scope="module")
+def room_workload(room):
+    return generate_workload(room, np.random.default_rng(43))
+
+
+def _state(dead=(), capacity=None, cap=1.0, ecs=1.0):
+    counts = np.zeros(N_NODES, dtype=int)
+    for j in dead:
+        counts[j] += 1
+    cap_arr = np.ones(N_CRAC) if capacity is None \
+        else np.asarray(capacity, dtype=float)
+    return InventoryState(node_dead_count=counts, crac_capacity=cap_arr,
+                          power_cap_factor=cap, ecs_factor=ecs)
+
+
+class TestIdentityFastPath:
+    def test_nominal_state_returns_same_objects(self, room, room_workload):
+        view = degraded_view(room, room_workload, _state())
+        assert view.is_identity
+        assert view.datacenter is room
+        assert view.workload is room_workload
+        assert list(view.node_map) == list(range(N_NODES))
+
+    def test_cap_factor(self, room, room_workload):
+        view = degraded_view(room, room_workload, _state(cap=0.7))
+        assert view.cap(100.0) == pytest.approx(70.0)
+        # a pure cap fault leaves the room itself untouched
+        assert view.datacenter is room
+
+
+class TestDeratedCracs:
+    def test_ranges_narrow_from_cold_end(self, room):
+        cracs = derated_cracs(room, np.array([0.5, 1.0]))
+        lo0, hi0 = room.cracs[0].outlet_range_c
+        lo, hi = cracs[0].outlet_range_c
+        assert hi == hi0
+        assert lo == pytest.approx(lo0 + 0.5 * (hi0 - lo0))
+        assert cracs[1] is room.cracs[1]
+
+    def test_outage_pins_warm_end(self, room):
+        cracs = derated_cracs(room, np.array([0.0, 1.0]))
+        lo, hi = cracs[0].outlet_range_c
+        assert lo == pytest.approx(hi)
+
+    def test_shape_and_range_validation(self, room):
+        with pytest.raises(ValueError, match="capacity"):
+            derated_cracs(room, np.array([0.5]))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            derated_cracs(room, np.array([1.5, 0.5]))
+
+
+class TestNodeCensoring:
+    def test_reduced_model_passes_constructor_invariants(self, room,
+                                                         room_workload):
+        # merely building the view runs HeatFlowModel.__init__, which
+        # validates row sums and flow conservation of the censored chain
+        view = degraded_view(room, room_workload, _state(dead=(1, 4)))
+        model = view.datacenter.require_thermal()
+        assert model.n_units == N_CRAC + N_NODES - 2
+
+    def test_censoring_matches_passive_full_room(self, room, room_workload):
+        """Reduced steady state == full room with dead nodes at 0 kW."""
+        dead = (2, 5)
+        view = degraded_view(room, room_workload, _state(dead=dead))
+        full_model = room.require_thermal()
+        red_model = view.datacenter.require_thermal()
+        t_crac = np.full(N_CRAC, 18.0)
+        rng = np.random.default_rng(7)
+        power_full = rng.uniform(0.5, 3.0, N_NODES)
+        power_full[list(dead)] = 0.0
+        alive = [j for j in range(N_NODES) if j not in dead]
+        full = full_model.steady_state(t_crac, power_full)
+        red = red_model.steady_state(t_crac, power_full[alive])
+        np.testing.assert_allclose(red.t_out,
+                                   full.t_out[view.kept_units], atol=1e-9)
+        # and expand_t_out reconstructs the dead units' temperatures
+        expanded = view.expand_t_out(red.t_out)
+        np.testing.assert_allclose(expanded, full.t_out, atol=1e-9)
+
+    def test_reduce_expand_round_trip(self, room, room_workload):
+        view = degraded_view(room, room_workload, _state(dead=(0,)))
+        rng = np.random.default_rng(3)
+        t_red = np.asarray(
+            view.datacenter.require_thermal().steady_state(
+                np.full(N_CRAC, 17.0),
+                rng.uniform(0.5, 2.0, N_NODES - 1)).t_out)
+        assert view.reduce_t_out(view.expand_t_out(t_red)) \
+            == pytest.approx(t_red)
+
+    def test_all_nodes_dead_rejected(self, room, room_workload):
+        with pytest.raises(ValueError, match="crashed"):
+            degraded_view(room, room_workload,
+                          _state(dead=tuple(range(N_NODES))))
+
+    def test_ecs_drift_scales_workload(self, room, room_workload):
+        view = degraded_view(room, room_workload, _state(ecs=0.8))
+        np.testing.assert_allclose(view.workload.ecs,
+                                   room_workload.ecs * 0.8)
+
+
+class TestTransientFixedPointProperty:
+    """Satellite 3: the transient's fixed point is the steady state, on
+    degraded inventories too (CRAC derate and/or node removal)."""
+
+    @staticmethod
+    def _cached_room():
+        if not hasattr(TestTransientFixedPointProperty, "_room"):
+            rng = np.random.default_rng(42)
+            room = build_datacenter(n_nodes=N_NODES, n_crac=N_CRAC, rng=rng)
+            attach_thermal_model(room, rng=rng)
+            workload = generate_workload(room, np.random.default_rng(43))
+            TestTransientFixedPointProperty._room = (room, workload)
+        return TestTransientFixedPointProperty._room
+
+    @settings(max_examples=12, deadline=None)
+    @given(dead=st.sets(st.integers(min_value=0, max_value=N_NODES - 1),
+                        max_size=3),
+           capacity0=st.floats(min_value=0.0, max_value=1.0),
+           power_seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_fixed_point_equals_steady_state(self, dead, capacity0,
+                                             power_seed):
+        room, workload = self._cached_room()
+        state = _state(dead=tuple(dead),
+                       capacity=np.array([capacity0, 1.0]))
+        view = degraded_view(room, workload, state)
+        dc = view.datacenter
+        model = dc.require_thermal()
+        # an admissible operating point of the *degraded* room
+        t_crac = np.array([c.outlet_range_c[1] for c in dc.cracs])
+        power = np.random.default_rng(power_seed).uniform(
+            0.5, 3.0, dc.n_nodes)
+        target = model.steady_state(t_crac, power)
+        # start far from the fixed point and integrate well past settling
+        t0 = np.full(model.n_units, 35.0)
+        t0[:N_CRAC] = t_crac
+        # recirculation slows convergence below the bare 1/tau rate, so
+        # integrate far past settling before comparing
+        result = simulate_transient(model, t_crac, power, t0,
+                                    duration_s=500.0, tau_s=8.0, dt_s=2.0)
+        np.testing.assert_allclose(result.t_out[-1], target.t_out,
+                                   atol=1e-6)
+        np.testing.assert_allclose(result.t_in[-1], target.t_in, atol=1e-6)

@@ -1,0 +1,155 @@
+"""Tests for repro.faults.model — taxonomy, events and timelines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults.model import (FaultEvent, FaultKind, FaultSchedule,
+                                InventoryState)
+
+
+class TestFaultEvent:
+    def test_targeted_kinds_need_target(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultEvent(start_s=0.0, kind=FaultKind.NODE_CRASH)
+        with pytest.raises(ValueError, match="target"):
+            FaultEvent(start_s=0.0, kind=FaultKind.CRAC_OUTAGE)
+
+    def test_room_wide_kinds_reject_target(self):
+        with pytest.raises(ValueError, match="room-wide"):
+            FaultEvent(start_s=0.0, kind=FaultKind.POWER_CAP_DROP,
+                       target=1, magnitude=0.3)
+
+    def test_magnitude_range_enforced(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultEvent(start_s=0.0, kind=FaultKind.ECS_DRIFT, magnitude=1.0)
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultEvent(start_s=0.0, kind=FaultKind.CRAC_DEGRADE, target=0,
+                       magnitude=0.0)
+
+    def test_negative_start_and_duration_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            FaultEvent(start_s=-1.0, kind=FaultKind.NODE_CRASH, target=0)
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(start_s=0.0, kind=FaultKind.NODE_CRASH, target=0,
+                       duration_s=0.0)
+
+    def test_active_window_half_open(self):
+        ev = FaultEvent(start_s=10.0, kind=FaultKind.NODE_CRASH, target=0,
+                        duration_s=5.0)
+        assert not ev.active_at(9.999)
+        assert ev.active_at(10.0)
+        assert ev.active_at(14.999)
+        assert not ev.active_at(15.0)
+
+    def test_permanent_fault_never_ends(self):
+        ev = FaultEvent(start_s=1.0, kind=FaultKind.NODE_CRASH, target=0)
+        assert math.isinf(ev.end_s)
+        assert ev.active_at(1e12)
+
+    def test_dict_round_trip(self):
+        events = [
+            FaultEvent(start_s=3.0, kind=FaultKind.CRAC_DEGRADE, target=1,
+                       duration_s=7.5, magnitude=0.4),
+            FaultEvent(start_s=0.0, kind=FaultKind.NODE_CRASH, target=2),
+            FaultEvent(start_s=5.0, kind=FaultKind.POWER_CAP_DROP,
+                       duration_s=2.0, magnitude=0.2),
+        ]
+        for ev in events:
+            assert FaultEvent.from_dict(ev.to_dict()) == ev
+
+    def test_permanent_duration_serializes_as_null(self):
+        ev = FaultEvent(start_s=0.0, kind=FaultKind.NODE_CRASH, target=0)
+        assert ev.to_dict()["duration_s"] is None
+        assert FaultEvent.from_dict(ev.to_dict()) == ev
+
+
+class TestInventoryState:
+    def test_nominal(self):
+        state = InventoryState.nominal(4, 2)
+        assert state.is_nominal
+        assert state.node_alive.all()
+        assert state.dead_nodes.size == 0
+
+    def test_dead_nodes(self):
+        state = InventoryState(node_dead_count=np.array([0, 2, 0, 1]),
+                               crac_capacity=np.ones(2))
+        assert not state.is_nominal
+        assert list(state.dead_nodes) == [1, 3]
+        assert list(state.node_alive) == [True, False, True, False]
+
+
+class TestFaultSchedule:
+    def _sched(self):
+        return FaultSchedule.from_events([
+            FaultEvent(start_s=10.0, kind=FaultKind.NODE_CRASH, target=1,
+                       duration_s=10.0),
+            FaultEvent(start_s=15.0, kind=FaultKind.CRAC_OUTAGE, target=0,
+                       duration_s=10.0),
+            FaultEvent(start_s=5.0, kind=FaultKind.ECS_DRIFT,
+                       duration_s=30.0, magnitude=0.2),
+        ])
+
+    def test_events_sorted_on_construction(self):
+        sched = self._sched()
+        starts = [ev.start_s for ev in sched]
+        assert starts == sorted(starts)
+
+    def test_state_at_composes(self):
+        sched = self._sched()
+        s0 = sched.state_at(0.0, 4, 2)
+        assert s0.is_nominal
+        s12 = sched.state_at(12.0, 4, 2)
+        assert list(s12.dead_nodes) == [1]
+        assert s12.ecs_factor == pytest.approx(0.8)
+        s16 = sched.state_at(16.0, 4, 2)
+        assert s16.crac_capacity[0] == 0.0
+        s40 = sched.state_at(40.0, 4, 2)
+        assert s40.is_nominal  # recovery is exact
+
+    def test_overlapping_crashes_count(self):
+        sched = FaultSchedule.from_events([
+            FaultEvent(start_s=0.0, kind=FaultKind.NODE_CRASH, target=0,
+                       duration_s=10.0),
+            FaultEvent(start_s=5.0, kind=FaultKind.NODE_CRASH, target=0,
+                       duration_s=10.0),
+        ])
+        assert sched.state_at(7.0, 2, 1).node_dead_count[0] == 2
+        # the node stays dead until the *last* overlapping crash expires
+        s12 = sched.state_at(12.0, 2, 1)
+        assert s12.node_dead_count[0] == 1 and not s12.node_alive[0]
+        assert sched.state_at(15.0, 2, 1).node_alive[0]
+
+    def test_boundaries_sorted_unique_interior(self):
+        sched = self._sched()
+        cuts = sched.boundaries(100.0)
+        assert cuts == [5.0, 10.0, 15.0, 20.0, 25.0, 35.0]
+        # beyond-horizon and t=0 instants are excluded
+        assert sched.boundaries(18.0) == [5.0, 10.0, 15.0]
+
+    def test_validate_for_rejects_out_of_range_targets(self):
+        sched = self._sched()
+        sched.validate_for(4, 2)
+        with pytest.raises(ValueError, match="node"):
+            sched.validate_for(1, 2)
+        with pytest.raises(ValueError, match="CRAC"):
+            sched.validate_for(4, 0)
+        # the same schedule with capacity for every target is fine
+        sched.validate_for(2, 1)
+
+    def test_events_starting_at(self):
+        sched = self._sched()
+        assert len(sched.events_starting_at(10.0)) == 1
+        assert sched.events_starting_at(10.0, FaultKind.NODE_CRASH)[0] \
+            .target == 1
+        assert sched.events_starting_at(10.0, FaultKind.CRAC_OUTAGE) == []
+
+    def test_dict_round_trip(self):
+        sched = self._sched()
+        assert FaultSchedule.from_dict(sched.to_dict()) == sched
+
+    def test_empty(self):
+        assert not FaultSchedule.empty()
+        assert len(FaultSchedule.empty()) == 0
+        assert FaultSchedule.empty().boundaries(100.0) == []

@@ -1,0 +1,119 @@
+"""Tests for repro.faults.schedule — reproducible timeline generation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.model import FaultKind, FaultSchedule
+from repro.faults.schedule import (FaultRates, demo_rates,
+                                   generate_fault_schedule, load_schedule,
+                                   schedule_from_dict)
+
+RATES = FaultRates(node_crash_per_hour=40.0, crac_degrade_per_hour=40.0,
+                   crac_outage_per_hour=20.0, cap_drop_per_hour=30.0,
+                   ecs_drift_per_hour=30.0, mean_repair_s=60.0)
+
+
+class TestFaultRates:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="node_crash_per_hour"):
+            FaultRates(node_crash_per_hour=-1.0)
+
+    def test_magnitude_range(self):
+        with pytest.raises(ValueError, match="degrade_magnitude"):
+            FaultRates(degrade_magnitude=1.5)
+
+    def test_scaled(self):
+        doubled = RATES.scaled(2.0)
+        assert doubled.node_crash_per_hour == 80.0
+        assert doubled.mean_repair_s == RATES.mean_repair_s  # severity kept
+        with pytest.raises(ValueError):
+            RATES.scaled(-1.0)
+
+    def test_demo_rates_target_counts(self):
+        rates = demo_rates(600.0, 10, 3)
+        hours = 600.0 / 3600.0
+        # expected crashes over the horizon across the fleet: ~2
+        assert rates.node_crash_per_hour * hours * 10 == pytest.approx(2.0)
+        assert rates.crac_degrade_per_hour * hours * 3 == pytest.approx(1.0)
+        assert rates.mean_repair_s == pytest.approx(150.0)
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self):
+        a = generate_fault_schedule(5, 2, 600.0, RATES, 7)
+        b = generate_fault_schedule(5, 2, 600.0, RATES, 7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_fault_schedule(5, 2, 600.0, RATES, 7)
+        b = generate_fault_schedule(5, 2, 600.0, RATES, 8)
+        assert a != b
+
+    def test_accepts_generator_or_int(self):
+        a = generate_fault_schedule(5, 2, 600.0, RATES,
+                                    np.random.default_rng(7))
+        b = generate_fault_schedule(5, 2, 600.0, RATES, 7)
+        assert a == b
+
+    def test_zero_rates_empty(self):
+        sched = generate_fault_schedule(5, 2, 600.0, RATES.scaled(0.0), 7)
+        assert len(sched) == 0
+
+    def test_events_valid_for_room(self):
+        sched = generate_fault_schedule(5, 2, 600.0, RATES, 3)
+        assert len(sched) > 0
+        sched.validate_for(5, 2)
+        for ev in sched:
+            assert 0.0 < ev.start_s < 600.0
+            assert ev.duration_s > 0
+
+    def test_rate_scaling_monotone_in_expectation(self):
+        low = sum(len(generate_fault_schedule(5, 2, 600.0,
+                                              RATES.scaled(0.5), s))
+                  for s in range(8))
+        high = sum(len(generate_fault_schedule(5, 2, 600.0,
+                                               RATES.scaled(4.0), s))
+                   for s in range(8))
+        assert high > low
+
+
+class TestScenarioFiles:
+    def _doc(self):
+        return {"events": [
+            {"kind": "crac_outage", "start_s": 10.0, "duration_s": 20.0,
+             "target": 0},
+            {"kind": "node_crash", "start_s": 5.0, "duration_s": None,
+             "target": 2},
+            {"kind": "power_cap_drop", "start_s": 1.0, "duration_s": 4.0,
+             "magnitude": 0.25},
+        ]}
+
+    def test_schedule_from_dict(self):
+        sched = schedule_from_dict(self._doc())
+        assert len(sched) == 3
+        assert sched.events[0].kind is FaultKind.POWER_CAP_DROP
+
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(self._doc()))
+        assert load_schedule(path) == schedule_from_dict(self._doc())
+
+    def test_load_yaml_when_available(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "scenario.yaml"
+        path.write_text(yaml.safe_dump(self._doc()))
+        assert load_schedule(path) == schedule_from_dict(self._doc())
+
+    def test_load_rejects_non_mapping(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="mapping"):
+            load_schedule(path)
+
+    def test_round_trip_via_to_dict(self, tmp_path):
+        sched = generate_fault_schedule(4, 2, 300.0, RATES, 5)
+        path = tmp_path / "drawn.json"
+        path.write_text(json.dumps(sched.to_dict()))
+        assert load_schedule(path) == sched

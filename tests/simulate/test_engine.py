@@ -106,3 +106,85 @@ class TestDeterminismAndEdges:
         m = simulate_trace(dc, wl, tc, off, trace, duration=2.0)
         assert m.completed.sum() == 0
         assert m.dropped.sum() == len(trace)
+
+
+class TestFaultInjection:
+    """Core-outage windows: stranding, accounting and identity."""
+
+    def _run(self, scenario, assignment, faults=None, policy="requeue"):
+        rng = np.random.default_rng(99)
+        trace = generate_trace(scenario.workload, 20.0, rng)
+        metrics = simulate_trace(scenario.datacenter, scenario.workload,
+                                 assignment.tc, assignment.pstates, trace,
+                                 duration=20.0, faults=faults,
+                                 stranded_policy=policy)
+        return trace, metrics
+
+    def test_no_faults_bit_identical(self, scenario, assignment, des_run):
+        """faults=None and faults=[] both reproduce the plain replay."""
+        _, plain = des_run
+        _, empty = self._run(scenario, assignment, faults=[])
+        assert empty.total_reward == plain.total_reward
+        np.testing.assert_array_equal(empty.completed, plain.completed)
+        np.testing.assert_array_equal(empty.busy_time, plain.busy_time)
+        for a, b in zip(empty.response_times, plain.response_times):
+            np.testing.assert_array_equal(a, b)
+        assert empty.n_fault_events == 0
+        assert empty.stranded_requeued is None
+
+    def test_outage_strands_and_accounts(self, scenario, assignment):
+        from repro.simulate.events import CoreOutage
+
+        all_cores = tuple(range(scenario.datacenter.n_cores))
+        outage = CoreOutage(start_s=10.0, cores=all_cores, end_s=15.0)
+        trace, metrics = self._run(scenario, assignment, faults=[outage])
+        assert metrics.n_fault_events == 2  # FAULT + RECOVERY
+        assert metrics.stranded_requeued is not None
+        assert metrics.stranded_requeued.sum() > 0
+        # every arrival is still accounted for exactly once
+        assert metrics.completed.sum() + metrics.dropped.sum() == len(trace)
+
+    def test_drop_policy_loses_stranded(self, scenario, assignment):
+        from repro.simulate.events import CoreOutage
+
+        all_cores = tuple(range(scenario.datacenter.n_cores))
+        outage = CoreOutage(start_s=10.0, cores=all_cores, end_s=15.0)
+        _, requeue = self._run(scenario, assignment, faults=[outage])
+        _, drop = self._run(scenario, assignment, faults=[outage],
+                            policy="drop")
+        assert drop.stranded_dropped.sum() == requeue.stranded_requeued.sum()
+        assert drop.total_reward <= requeue.total_reward
+
+    def test_busy_time_rolled_back(self, scenario, assignment):
+        """Stranded work's busy time is removed, so utilization stays
+        a valid fraction."""
+        from repro.simulate.events import CoreOutage
+
+        all_cores = tuple(range(scenario.datacenter.n_cores))
+        outage = CoreOutage(start_s=5.0, cores=all_cores, end_s=18.0)
+        _, metrics = self._run(scenario, assignment, faults=[outage],
+                               policy="drop")
+        u = metrics.utilization
+        assert np.all(u >= -1e-9)
+        assert np.all(u <= 1.0 + 1e-9)
+
+    def test_dead_cores_take_no_tasks(self, scenario, assignment):
+        """With every core dead from t=0, nothing completes."""
+        from repro.simulate.events import CoreOutage
+
+        all_cores = tuple(range(scenario.datacenter.n_cores))
+        outage = CoreOutage(start_s=0.0, cores=all_cores)
+        _, metrics = self._run(scenario, assignment, faults=[outage],
+                               policy="drop")
+        assert metrics.completed.sum() == 0
+        assert metrics.total_reward == 0.0
+
+    def test_invalid_policy_and_cores_rejected(self, scenario, assignment):
+        from repro.simulate.events import CoreOutage
+
+        with pytest.raises(ValueError, match="stranded_policy"):
+            self._run(scenario, assignment, policy="bogus")
+        bad = CoreOutage(start_s=0.0,
+                         cores=(scenario.datacenter.n_cores,))
+        with pytest.raises(ValueError, match="cores"):
+            self._run(scenario, assignment, faults=[bad])

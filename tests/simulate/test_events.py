@@ -1,8 +1,10 @@
 """Tests for repro.simulate.events — the event-queue kernel."""
 
+import math
+
 import pytest
 
-from repro.simulate.events import Event, EventKind, EventQueue
+from repro.simulate.events import CoreOutage, Event, EventKind, EventQueue
 
 
 class TestOrdering:
@@ -26,6 +28,45 @@ class TestOrdering:
         q.push(1.0, EventKind.ARRIVAL, "second")
         assert q.pop().payload == "first"
         assert q.pop().payload == "second"
+
+    def test_same_instant_kind_order_is_deterministic(self):
+        """At equal timestamps: completions land first (frees cores),
+        then faults, then recoveries, then arrivals — so an arrival
+        coinciding with a crash sees the post-crash inventory."""
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, "arrival")
+        q.push(5.0, EventKind.RECOVERY, "recovery")
+        q.push(5.0, EventKind.FAULT, "fault")
+        q.push(5.0, EventKind.COMPLETION, "completion")
+        popped = [q.pop().payload for _ in range(4)]
+        assert popped == ["completion", "fault", "recovery", "arrival"]
+
+    def test_kind_order_stable_under_insertion_order(self):
+        import itertools
+
+        kinds = [EventKind.COMPLETION, EventKind.FAULT,
+                 EventKind.RECOVERY, EventKind.ARRIVAL]
+        for perm in itertools.permutations(kinds):
+            q = EventQueue()
+            for kind in perm:
+                q.push(1.0, kind, kind.name)
+            assert [q.pop().payload for _ in range(4)] == \
+                [k.name for k in kinds]
+
+
+class TestCoreOutage:
+    def test_fields_and_defaults(self):
+        outage = CoreOutage(start_s=3.0, cores=(0, 2))
+        assert math.isinf(outage.end_s)
+        assert outage.cores == (0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreOutage(start_s=-1.0, cores=(0,))
+        with pytest.raises(ValueError):
+            CoreOutage(start_s=0.0, cores=())
+        with pytest.raises(ValueError):
+            CoreOutage(start_s=5.0, cores=(0,), end_s=5.0)
 
 
 class TestQueueBehavior:

@@ -35,6 +35,21 @@ class TestParser:
             build_parser().parse_args(["compare", "--set", "4"])
         capsys.readouterr()
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.nodes == 20 and args.factors == "0,0.5,1,2"
+        assert args.stranded == "requeue" and not args.json
+        assert args.jobs == 1 and args.scenario is None
+
+    def test_chaos_stranded_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--stranded", "panic"])
+        capsys.readouterr()
+
+    def test_simulate_json_flag(self):
+        args = build_parser().parse_args(["simulate", "--json"])
+        assert args.json
+
 
 class TestCommands:
     def test_tables(self, capsys):
@@ -83,6 +98,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "planned reward rate" in out
         assert "achieved (DES)" in out
+
+    def test_simulate_json(self, capsys):
+        import json
+
+        assert main(["simulate", "--nodes", "15", "--seed", "2",
+                     "--horizon", "5", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        assert doc["planned_reward_rate"] > 0
+        assert doc["duration_s"] == 5.0
+        assert isinstance(doc["completed"], list)
+
+    def test_chaos_sweep_json(self, capsys, tmp_path):
+        import json
+
+        assert main(["chaos", "--nodes", "6", "--seed", "0",
+                     "--horizon", "20", "--factors", "0,1",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        factors = [p["factor"] for p in doc["points"]]
+        assert factors == [0.0, 1.0]
+        assert doc["points"][0]["reward_retained"] == pytest.approx(1.0)
+
+    def test_chaos_text_table(self, capsys, tmp_path):
+        assert main(["chaos", "--nodes", "6", "--seed", "0",
+                     "--horizon", "20", "--factors", "0",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep" in out
+        assert "retained" in out
+
+    def test_chaos_scenario_file(self, capsys, tmp_path):
+        import json
+
+        scenario = {"events": [{"kind": "crac_outage", "start_s": 8.0,
+                                "duration_s": 6.0, "target": 0}]}
+        path = tmp_path / "scn.json"
+        path.write_text(json.dumps(scenario))
+        assert main(["chaos", "--nodes", "6", "--seed", "0",
+                     "--horizon", "20", "--scenario", str(path),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_fault_events"] == 1
+        assert doc["n_replans"] == 2
+
+    def test_chaos_bad_factors(self, capsys):
+        assert main(["chaos", "--factors", "0,nope"]) == 2
+        assert "invalid --factors" in capsys.readouterr().err
 
     def test_sweep_with_csv(self, capsys, tmp_path):
         csv_path = tmp_path / "sweep.csv"
