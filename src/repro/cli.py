@@ -8,6 +8,12 @@ Exposes the experiment layer without writing any code:
 * ``simulate`` — first step + second-step DES replay on one room.
 * ``sweep``    — capacity planning: reward vs power cap (CSV export).
 * ``chaos``    — fault-injection sweep: degradation vs fault rate.
+* ``profile``  — render the profile tree of a ``--trace-out`` log.
+
+``fig6``, ``sweep``, ``simulate`` and ``chaos`` accept
+``--trace-out PATH``: the run records spans/metrics
+(:mod:`repro.obs`) and writes a JSON-lines event log that
+``repro profile`` aggregates into a wall-clock profile tree.
 """
 
 from __future__ import annotations
@@ -56,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--resume", action="store_true",
                        help="replay cached runs instead of recomputing")
 
+    def add_trace_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-out", type=str, default=None,
+                       metavar="PATH",
+                       help="record spans/metrics and write a JSON-lines "
+                            "event log here (inspect with 'repro profile')")
+
     p_fig6 = sub.add_parser("fig6", help="run the Figure 6 experiment")
     p_fig6.add_argument("--runs", type=int, default=5,
                         help="simulation runs per set (paper: 25)")
@@ -65,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig6.add_argument("--csv", type=str, default=None,
                         help="also write the bar series to this CSV file")
     add_engine_args(p_fig6)
+    add_trace_arg(p_fig6)
 
     p_sweep = sub.add_parser(
         "sweep", help="capacity planning: reward vs power cap")
@@ -74,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", type=str, default=None,
                          help="also write the curve to this CSV file")
     add_engine_args(p_sweep)
+    add_trace_arg(p_sweep)
 
     p_sim = sub.add_parser("simulate",
                            help="first step + DES second step on one room")
@@ -84,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON summary instead "
                             "of the text report")
+    add_trace_arg(p_sim)
 
     p_chaos = sub.add_parser(
         "chaos", help="fault-injection sweep on one room")
@@ -106,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit a machine-readable JSON summary instead "
                               "of the text report")
     add_engine_args(p_chaos)
+    add_trace_arg(p_chaos)
+
+    p_prof = sub.add_parser(
+        "profile", help="render the profile of a --trace-out event log")
+    p_prof.add_argument("log", type=str,
+                        help="JSON-lines event log written by --trace-out")
+    p_prof.add_argument("--min-total", type=float, default=0.0,
+                        help="hide spans whose total time is below this "
+                             "many seconds")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the profile tree + metrics as JSON")
     return parser
 
 
@@ -267,6 +293,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (profile_from_snapshot, profile_to_dict,
+                           read_events_jsonl, render_metrics,
+                           render_profile)
+
+    try:
+        snapshot = read_events_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read event log: {exc}", file=sys.stderr)
+        return 2
+    root = profile_from_snapshot(snapshot)
+    if args.json:
+        print(json.dumps({"schema": 1,
+                          "meta": snapshot["meta"],
+                          "profile": profile_to_dict(root),
+                          "metrics": snapshot["metrics"]}, sort_keys=True))
+        return 0
+    print(render_profile(root, min_total_s=args.min_total))
+    print()
+    print(render_metrics(snapshot["metrics"]))
+    return 0
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "compare": _cmd_compare,
@@ -274,13 +325,28 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        return _COMMANDS[args.command](args)
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    try:
+        code = _COMMANDS[args.command](args)
+    finally:
+        obs.disable()
+        n = obs.write_events_jsonl(trace_out,
+                                   meta={"command": args.command})
+        print(f"trace: {n} spans -> {trace_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -25,6 +25,7 @@ from repro.core.stage2 import Stage2Solution, solve_stage2
 from repro.core.stage3 import Stage3Solution, solve_stage3
 from repro.datacenter.builder import DataCenter
 from repro.datacenter.power import PowerBreakdown, total_power
+from repro.obs.trace import span as obs_span
 from repro.optimize.search import SearchResult
 from repro.workload.tasktypes import Workload
 
@@ -123,10 +124,13 @@ def three_stage_assignment(datacenter: DataCenter, workload: Workload,
     :func:`repro.core.stage1.solve_stage1` for the ``search`` modes.
     """
     psi = _legacy_positional("three_stage_assignment", "psi", legacy, psi)
-    stage1, trace = solve_stage1(datacenter, workload,
-                                 p_const=p_const, psi=psi, search=search)
-    stage2 = solve_stage2(datacenter, stage1)
-    stage3 = solve_stage3(datacenter, workload, stage2.pstates)
+    with obs_span("three_stage", psi=psi, n_nodes=datacenter.n_nodes,
+                  p_const=p_const):
+        stage1, trace = solve_stage1(datacenter, workload,
+                                     p_const=p_const, psi=psi, search=search)
+        with obs_span("stage2"):
+            stage2 = solve_stage2(datacenter, stage1)
+        stage3 = solve_stage3(datacenter, workload, stage2.pstates)
     return AssignmentResult(
         psi=psi,
         t_crac_out=stage1.t_crac_out,

@@ -30,6 +30,9 @@ import numpy as np
 
 from repro.core.assignment import AssignmentResult, three_stage_assignment
 from repro.datacenter.builder import DataCenter
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import annotate as obs_annotate
+from repro.obs.trace import span as obs_span
 from repro.simulate.engine import simulate_trace
 from repro.simulate.metrics import SimulationMetrics
 from repro.thermal.transient import simulate_transient
@@ -89,18 +92,25 @@ def plan_with_transient_guard(datacenter: DataCenter, workload: Workload,
     cap = p_const
     best: tuple[AssignmentResult, int, float] | None = None
     overshoot = np.inf
-    for derated in range(max_derate + 1):
-        plan = three_stage_assignment(datacenter, workload, cap, psi=psi)
-        node_power = datacenter.node_power_kw(plan.pstates)
-        result = simulate_transient(model, plan.t_crac_out, node_power,
-                                    t_out_prev, duration_s=horizon,
-                                    tau_s=tau_s)
-        overshoot = result.max_inlet_overshoot(datacenter.redline_c)
-        if overshoot <= 1e-6:
-            return plan, derated, overshoot
-        if best is None or overshoot < best[2]:
-            best = (plan, derated, overshoot)
-        cap *= 1.0 - derate_step
+    with obs_span("transient_guard", p_const=p_const):
+        for derated in range(max_derate + 1):
+            plan = three_stage_assignment(datacenter, workload, cap, psi=psi)
+            node_power = datacenter.node_power_kw(plan.pstates)
+            with obs_span("transient"):
+                result = simulate_transient(model, plan.t_crac_out,
+                                            node_power, t_out_prev,
+                                            duration_s=horizon, tau_s=tau_s)
+            overshoot = result.max_inlet_overshoot(datacenter.redline_c)
+            if overshoot <= 1e-6:
+                obs_annotate(derated=derated)
+                obs_metrics.counter("controller.derates").inc(derated)
+                return plan, derated, overshoot
+            if best is None or overshoot < best[2]:
+                best = (plan, derated, overshoot)
+            cap *= 1.0 - derate_step
+        obs_annotate(derated=best[1], exhausted=True)
+        obs_metrics.counter("controller.derates").inc(max_derate)
+        obs_metrics.counter("controller.derate_exhausted").inc()
     if on_exhausted == "best":
         return best
     raise RuntimeError(
@@ -141,7 +151,16 @@ class EpochRecord:
 
 @dataclass
 class ControllerResult:
-    """Full controller run output."""
+    """Full controller run output.
+
+    Rate properties follow one convention for degenerate runs: with no
+    epochs, or a horizon of zero length (a single instantaneous epoch),
+    ``reward_rate`` and ``planned_reward_rate`` are **0.0** — no time
+    passed, so no reward *rate* was sustained.  They never raise
+    ``IndexError``/``ZeroDivisionError`` (the same latent-degenerate
+    class :class:`~repro.experiments.runner.DegenerateBaselineError`
+    guards in the experiment layer).
+    """
 
     epochs: list[EpochRecord]
 
@@ -150,16 +169,27 @@ class ControllerResult:
         return float(sum(e.metrics.total_reward for e in self.epochs))
 
     @property
+    def horizon_s(self) -> float:
+        """Covered horizon; 0.0 for an empty epoch list."""
+        if not self.epochs:
+            return 0.0
+        return float(self.epochs[-1].end_s - self.epochs[0].start_s)
+
+    @property
     def reward_rate(self) -> float:
-        horizon = self.epochs[-1].end_s - self.epochs[0].start_s
+        horizon = self.horizon_s
+        if horizon <= 0.0:
+            return 0.0
         return self.total_reward / horizon
 
     @property
     def planned_reward_rate(self) -> float:
         """Time-weighted mean of the epochs' first-step predictions."""
+        horizon = self.horizon_s
+        if horizon <= 0.0:
+            return 0.0
         total = sum(e.plan.reward_rate * (e.end_s - e.start_s)
                     for e in self.epochs)
-        horizon = self.epochs[-1].end_s - self.epochs[0].start_s
         return float(total / horizon)
 
 
@@ -259,30 +289,33 @@ class EpochController:
         for e in range(n_epochs):
             start = e * self.epoch_s
             end = min((e + 1) * self.epoch_s, horizon_s)
-            rates = np.asarray(profile.rates(start), dtype=float)
-            if t_out_prev is None:
-                # cold start: previous state is the idle room at a
-                # mid-range outlet setting
-                t_mid = np.full(dc.n_crac, float(np.mean(
-                    [c.outlet_range_c for c in dc.cracs])))
-                t_out_prev = model.steady_state(t_mid, idle_power).t_out
-            plan, derated, overshoot = self.plan_epoch(rates, t_out_prev)
-            # epoch task slice, re-based to epoch-local time
-            chunk: list[Task] = []
-            while cursor < len(trace) and trace[cursor].arrival < end:
-                t = trace[cursor]
-                chunk.append(Task(arrival=t.arrival - start,
-                                  task_type=t.task_type, uid=t.uid,
-                                  deadline=t.deadline - start))
-                cursor += 1
-            workload = replace(self.base_workload, arrival_rates=rates)
-            metrics = simulate_trace(dc, workload, plan.tc, plan.pstates,
-                                     chunk, duration=end - start)
-            epochs.append(EpochRecord(
-                start_s=start, end_s=end, rates=rates, plan=plan,
-                derated=derated, transient_overshoot_c=overshoot,
-                metrics=metrics))
-            node_power = dc.node_power_kw(plan.pstates)
-            t_out_prev = model.steady_state(plan.t_crac_out,
-                                            node_power).t_out
+            with obs_span("epoch", index=e):
+                rates = np.asarray(profile.rates(start), dtype=float)
+                if t_out_prev is None:
+                    # cold start: previous state is the idle room at a
+                    # mid-range outlet setting
+                    t_mid = np.full(dc.n_crac, float(np.mean(
+                        [c.outlet_range_c for c in dc.cracs])))
+                    t_out_prev = model.steady_state(t_mid, idle_power).t_out
+                plan, derated, overshoot = self.plan_epoch(rates, t_out_prev)
+                # epoch task slice, re-based to epoch-local time
+                chunk: list[Task] = []
+                while cursor < len(trace) and trace[cursor].arrival < end:
+                    t = trace[cursor]
+                    chunk.append(Task(arrival=t.arrival - start,
+                                      task_type=t.task_type, uid=t.uid,
+                                      deadline=t.deadline - start))
+                    cursor += 1
+                workload = replace(self.base_workload, arrival_rates=rates)
+                metrics = simulate_trace(dc, workload, plan.tc,
+                                         plan.pstates, chunk,
+                                         duration=end - start)
+                epochs.append(EpochRecord(
+                    start_s=start, end_s=end, rates=rates, plan=plan,
+                    derated=derated, transient_overshoot_c=overshoot,
+                    metrics=metrics))
+                node_power = dc.node_power_kw(plan.pstates)
+                t_out_prev = model.steady_state(plan.t_crac_out,
+                                                node_power).t_out
+            obs_metrics.counter("controller.epochs").inc()
         return ControllerResult(epochs=epochs)

@@ -29,6 +29,9 @@ import numpy as np
 from repro.core.arr import AggregateRewardRate, aggregate_reward_rate
 from repro.datacenter.builder import DataCenter
 from repro.datacenter.power import total_power
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import annotate as obs_annotate
+from repro.obs.trace import span as obs_span
 from repro.optimize.linprog import InfeasibleError, LinearProgram
 from repro.optimize.search import (SearchResult, coarse_to_fine_search,
                                    uniform_then_coordinate_search)
@@ -275,26 +278,35 @@ def solve_stage1(datacenter: DataCenter, workload: Workload,
     arrs = build_arr_functions(datacenter, workload, psi)
     cop_model = datacenter.cracs[0].cop_model
     best: dict[bytes, Stage1Solution] = {}
+    probes = infeasible = 0
 
     def objective(t_vec: np.ndarray) -> float | None:
+        nonlocal probes, infeasible
+        probes += 1
         lin = ThermalLinearization.build(model, t_vec, redline, cop_model)
         sol = solve_stage1_fixed_temps(datacenter, arrs, lin, p_const,
                                        disabled_nodes=disabled_nodes)
         if sol is None:
+            infeasible += 1
             return None
         best[t_vec.tobytes()] = sol
         return sol.objective
 
-    if search == "fast":
-        result = uniform_then_coordinate_search(
-            objective, datacenter.n_crac, min(lows), max(highs),
-            step=final_step, maximize=True)
-    elif search == "full":
-        result = coarse_to_fine_search(
-            objective, datacenter.n_crac, min(lows), max(highs),
-            coarse_step=coarse_step, final_step=final_step,
-            uniform_first=True, maximize=True)
-    else:
-        raise ValueError(f"unknown search mode {search!r} (use 'fast' or 'full')")
+    with obs_span("stage1", mode=search, n_crac=datacenter.n_crac):
+        if search == "fast":
+            result = uniform_then_coordinate_search(
+                objective, datacenter.n_crac, min(lows), max(highs),
+                step=final_step, maximize=True)
+        elif search == "full":
+            result = coarse_to_fine_search(
+                objective, datacenter.n_crac, min(lows), max(highs),
+                coarse_step=coarse_step, final_step=final_step,
+                uniform_first=True, maximize=True)
+        else:
+            raise ValueError(
+                f"unknown search mode {search!r} (use 'fast' or 'full')")
+        obs_annotate(probes=probes, infeasible_probes=infeasible)
+        obs_metrics.counter("stage1.probes").inc(probes)
+        obs_metrics.counter("stage1.infeasible_probes").inc(infeasible)
     solution = best[result.temperatures.tobytes()]
     return solution, result

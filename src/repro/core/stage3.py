@@ -25,6 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datacenter.builder import DataCenter
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.optimize.linprog import LinearProgram
 from repro.workload.tasktypes import Workload
 
@@ -58,6 +60,12 @@ class Stage3Solution:
 def solve_stage3(datacenter: DataCenter, workload: Workload,
                  pstates: np.ndarray) -> Stage3Solution:
     """Solve the Stage 3 LP for a fixed P-state assignment."""
+    with obs_span("stage3", n_cores=datacenter.n_cores):
+        return _solve_stage3(datacenter, workload, pstates)
+
+
+def _solve_stage3(datacenter: DataCenter, workload: Workload,
+                  pstates: np.ndarray) -> Stage3Solution:
     pstates = np.asarray(pstates, dtype=int)
     if pstates.shape != (datacenter.n_cores,):
         raise ValueError(
@@ -72,6 +80,7 @@ def solve_stage3(datacenter: DataCenter, workload: Workload,
     # group cores into (node type, P-state) classes
     class_id = datacenter.core_type * eta + pstates
     present = np.unique(class_id)
+    obs_metrics.histogram("stage3.classes").observe(present.size)
     class_count = np.asarray([(class_id == c).sum() for c in present])
     class_key = [(int(c // eta), int(c % eta)) for c in present]
     n_classes = present.size

@@ -34,18 +34,22 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
+from functools import partial
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.generator import generate_scenario
 from repro.experiments.progress import ProgressReporter, RunEvent
 from repro.experiments.runner import (RunFailure, RunResult, SetResult,
                                       run_comparison)
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["EngineConfig", "EngineError", "run_set", "run_sets",
-           "parallel_map", "cache_key", "cache_path", "code_version",
-           "load_point", "store_point", "CACHE_SCHEMA_VERSION"]
+           "parallel_map", "cache_key", "cache_path", "canonical_json",
+           "code_version", "load_point", "store_point",
+           "CACHE_SCHEMA_VERSION"]
 
 #: Bump when the cached payload layout (or run semantics) changes; old
 #: cache entries are then ignored rather than misread.
@@ -103,6 +107,45 @@ def code_version() -> str:
     return f"{repro.__version__}+cache{CACHE_SCHEMA_VERSION}"
 
 
+def _canonicalize(value):
+    """Recursively rewrite ``value`` into a canonical JSON-able form.
+
+    Unordered collections (``set``/``frozenset``) are sorted by their
+    members' canonical JSON encoding — the old ``default=list`` fallback
+    serialized them in iteration order, which varies with
+    ``PYTHONHASHSEED``, silently splitting the cache across processes.
+    Unknown types raise instead of being coerced, so a new unhashed
+    field in :class:`ScenarioConfig` is a loud error, not a wrong key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise TypeError(
+                    f"cache-key dict keys must be str, got {type(k).__name__}")
+            out[k] = _canonicalize(v)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        members = [_canonicalize(v) for v in value]
+        return sorted(members, key=lambda m: json.dumps(m, sort_keys=True))
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__} for a cache key")
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON encoding for cache keys.
+
+    Stable across processes and ``PYTHONHASHSEED`` values: dict keys are
+    sorted, sets are sorted by member encoding, and types without a
+    canonical form raise ``TypeError``.
+    """
+    return json.dumps(_canonicalize(payload), sort_keys=True)
+
+
 def cache_key(config: ScenarioConfig, seed: int) -> str:
     """Digest of everything that determines one run's result."""
     payload = {
@@ -110,8 +153,7 @@ def cache_key(config: ScenarioConfig, seed: int) -> str:
         "config": asdict(config),
         "seed": int(seed),
     }
-    blob = json.dumps(payload, sort_keys=True, default=list)
-    return hashlib.sha256(blob.encode()).hexdigest()
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 def cache_path(cache_dir: str | Path, config: ScenarioConfig,
@@ -146,8 +188,8 @@ def _store_cached(cache_dir: Path, config: ScenarioConfig, seed: int,
 
 
 def _point_path(cache_dir: str | Path, tag: str, extra: dict) -> Path:
-    blob = json.dumps({"code_version": code_version(), "tag": tag,
-                       "extra": extra}, sort_keys=True)
+    blob = canonical_json({"code_version": code_version(), "tag": tag,
+                           "extra": extra})
     digest = hashlib.sha256(blob.encode()).hexdigest()
     return Path(cache_dir) / f"{tag}-{digest[:16]}.json"
 
@@ -192,6 +234,7 @@ class _Outcome:
     failure: dict | None        # RunFailure.to_dict()
     wall_time_s: float
     worker_pid: int
+    obs: dict | None = None     # spans + metrics snapshot (traced runs)
 
     def payload(self, config: ScenarioConfig) -> dict:
         return {
@@ -203,16 +246,32 @@ class _Outcome:
             "run": self.run,
             "failure": self.failure,
             "wall_time_s": self.wall_time_s,
+            "obs": self.obs,
         }
 
 
 def _execute_comparison(config: ScenarioConfig, seed: int,
-                        retries: int = 1,
-                        backoff_s: float = 0.05) -> _Outcome:
+                        retries: int = 1, backoff_s: float = 0.05,
+                        trace: bool = False) -> _Outcome:
     """One run with retry/backoff; never raises (failures are data).
 
-    Top-level so :class:`ProcessPoolExecutor` can pickle it.
+    Top-level so :class:`ProcessPoolExecutor` can pickle it.  With
+    ``trace=True`` the run executes inside :func:`repro.obs.capture`
+    (fresh isolated span/metric state, inline or in a worker alike) and
+    the outcome carries the picklable snapshot for the parent to merge.
     """
+    if not trace:
+        return _execute_comparison_body(config, seed, retries, backoff_s)
+    with obs.capture() as snapshot:
+        outcome = _execute_comparison_body(config, seed, retries, backoff_s)
+    return _Outcome(seed=outcome.seed, status=outcome.status,
+                    run=outcome.run, failure=outcome.failure,
+                    wall_time_s=outcome.wall_time_s,
+                    worker_pid=outcome.worker_pid, obs=snapshot())
+
+
+def _execute_comparison_body(config: ScenarioConfig, seed: int,
+                             retries: int, backoff_s: float) -> _Outcome:
     t0 = time.perf_counter()
     attempts = 0
     p_const: float | None = None
@@ -278,6 +337,7 @@ def run_set(config: ScenarioConfig, n_runs: int = 25,
     engine = engine or EngineConfig()
     if n_runs < 2:
         raise ValueError("a simulation set needs at least two runs for CIs")
+    trace = obs.enabled()
     cache_dir = Path(engine.cache_dir) if engine.cache_dir else None
     seeds = [base_seed + r for r in range(n_runs)]
     index_of = {seed: i for i, seed in enumerate(seeds)}
@@ -302,31 +362,38 @@ def run_set(config: ScenarioConfig, n_runs: int = 25,
             if (cache_dir is not None and engine.resume) else None
         if payload is not None:
             payloads[seed] = payload
+            obs_metrics.counter("engine.cache_hits").inc()
             if reporter is not None:
                 reporter.emit(_event_for(
                     config, index_of[seed], n_runs, payload,
                     source="cache", worker="cache", wall_time_s=0.0))
         else:
             pending.append(seed)
+    obs_metrics.counter("engine.runs_computed").inc(len(pending))
 
     if engine.jobs > 1 and len(pending) > 1:
         workers = min(engine.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_execute_comparison, config, seed,
-                                   engine.retries, engine.backoff_s)
+                                   engine.retries, engine.backoff_s, trace)
                        for seed in pending]
             for future in as_completed(futures):
                 finish(future.result())
     else:
         for seed in pending:
             finish(_execute_comparison(config, seed, engine.retries,
-                                       engine.backoff_s))
+                                       engine.backoff_s, trace))
 
     runs: list[RunResult] = []
     degenerate: list[RunResult] = []
     failures: list[RunFailure] = []
     for seed in seeds:
         payload = payloads[seed]
+        if trace and payload.get("obs"):
+            # seed order fixes the merge order, so the profile tree's
+            # structure is identical for every --jobs value (and for
+            # cache replays, which stored the original run's snapshot)
+            obs.merge_snapshot(payload["obs"])
         if payload["status"] == "ok":
             run = RunResult.from_dict(payload["run"])
             (degenerate if run.is_degenerate else runs).append(run)
@@ -356,15 +423,39 @@ def run_sets(configs: Sequence[ScenarioConfig], n_runs: int = 25,
     }
 
 
+def _call_captured(fn: Callable, item) -> tuple:
+    """Run ``fn(item)`` under :func:`repro.obs.capture`; picklable."""
+    with obs.capture() as snapshot:
+        result = fn(item)
+    return result, snapshot()
+
+
 def parallel_map(fn: Callable, items: Iterable, *, jobs: int = 1) -> list:
     """Order-preserving map, optionally across worker processes.
 
     ``fn`` must be picklable (a module-level function or a
     ``functools.partial`` of one) when ``jobs > 1``.  Used by the sweep
     and benchmark drivers to ride the same pool as the engine.
+
+    When tracing is enabled, each item runs inside its own capture and
+    the snapshots merge back in *item* order — like the engine's
+    seed-order merge, the resulting profile structure does not depend on
+    ``jobs``.
     """
     items = list(items)
+    if not obs.enabled():
+        if jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    call = partial(_call_captured, fn)
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+        pairs = [call(item) for item in items]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            pairs = list(pool.map(call, items))
+    results = []
+    for result, snapshot in pairs:
+        obs.merge_snapshot(snapshot)
+        results.append(result)
+    return results

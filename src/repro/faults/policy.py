@@ -43,6 +43,8 @@ from repro.core.controller import plan_with_transient_guard
 from repro.datacenter.builder import DataCenter
 from repro.faults.inject import DegradedView, degraded_view
 from repro.faults.model import FaultKind, FaultSchedule
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.simulate.engine import simulate_trace
 from repro.simulate.events import CoreOutage
 from repro.simulate.metrics import SimulationMetrics
@@ -196,6 +198,9 @@ class ChaosRunResult:
 
     @property
     def reward_rate(self) -> float:
+        """Reward per second; 0.0 for a degenerate (zero-length) horizon."""
+        if self.horizon_s <= 0.0:
+            return 0.0
         return self.total_reward / self.horizon_s
 
     @property
@@ -315,9 +320,28 @@ class FaultAwareController:
             state = schedule.state_at(a, dc.n_nodes, dc.n_crac)
             view = degraded_view(dc, self.workload, state)
             cap = view.cap(self.p_const)
-            t0 = time.perf_counter()
-            shed = False
-            try:
+            cause = _interval_cause(schedule, a)
+            with obs_span("interval", cause=cause,
+                          n_nodes_alive=view.datacenter.n_nodes):
+                record, t_out_full, cursor = self._run_interval(
+                    a, b, horizon_s, cause, state, view, cap, trace,
+                    cursor, t_out_full, schedule)
+            intervals.append(record)
+        return ChaosRunResult(horizon_s=float(horizon_s), schedule=schedule,
+                              intervals=intervals)
+
+    def _run_interval(self, a: float, b: float, horizon_s: float,
+                      cause: str, state, view: DegradedView, cap: float,
+                      trace: list[Task], cursor: int,
+                      t_out_full: np.ndarray | None,
+                      schedule: FaultSchedule
+                      ) -> tuple[IntervalRecord, np.ndarray, int]:
+        """One constant-inventory interval: replan, propagate, replay."""
+        pol = self.policy
+        t0 = time.perf_counter()
+        shed = False
+        try:
+            with obs_span("replan", cold_start=t_out_full is None):
                 if t_out_full is None:
                     # cold start: no previous operating point to transition
                     # from; commit the plain plan (matches `repro simulate`)
@@ -333,77 +357,81 @@ class FaultAwareController:
                         derate_step=pol.derate_step,
                         max_derate=pol.max_derate,
                         on_exhausted=pol.on_derate_exhausted)
-            except RuntimeError:
-                # even the (derated) first step is infeasible under this
-                # inventory — shed all load rather than abort the run; in
-                # strict mode the caller wants the error instead
-                if pol.on_derate_exhausted == "raise":
-                    raise
-                plan = _shed_plan(view.datacenter,
-                                  view.workload.n_task_types)
-                derated, overshoot, shed = 0, None, True
-            replan_wall = time.perf_counter() - t0
+        except RuntimeError:
+            # even the (derated) first step is infeasible under this
+            # inventory — shed all load rather than abort the run; in
+            # strict mode the caller wants the error instead
+            if pol.on_derate_exhausted == "raise":
+                raise
+            plan = _shed_plan(view.datacenter,
+                              view.workload.n_task_types)
+            derated, overshoot, shed = 0, None, True
+            obs_metrics.counter("chaos.shed_events").inc()
+        replan_wall = time.perf_counter() - t0
+        if cause != "start":
+            obs_metrics.counter("chaos.replans").inc()
+            obs_metrics.histogram("chaos.replan_s").observe(replan_wall)
 
-            # thermal state propagation over the interval (and the
-            # violation-minutes exposure of the transition into it)
-            model = view.datacenter.require_thermal()
-            node_power = view.datacenter.node_power_kw(plan.pstates)
-            if t_out_full is None:
-                start_t_out = self._cold_start_t_out(view)
-                # convention: the cold room settles at the plan's
-                # operating point before tasks arrive (no transition)
-                violation_min = 0.0
-                end_t_out = model.steady_state(plan.t_crac_out,
-                                               node_power).t_out
-            else:
-                dt = min(1.0, pol.tau_s / 4.0)
-                start_t_out = view.reduce_t_out(t_out_full)
+        # thermal state propagation over the interval (and the
+        # violation-minutes exposure of the transition into it)
+        model = view.datacenter.require_thermal()
+        node_power = view.datacenter.node_power_kw(plan.pstates)
+        if t_out_full is None:
+            start_t_out = self._cold_start_t_out(view)
+            # convention: the cold room settles at the plan's
+            # operating point before tasks arrive (no transition)
+            violation_min = 0.0
+            end_t_out = model.steady_state(plan.t_crac_out,
+                                           node_power).t_out
+        else:
+            dt = min(1.0, pol.tau_s / 4.0)
+            start_t_out = view.reduce_t_out(t_out_full)
+            with obs_span("transient"):
                 transient = simulate_transient(
                     model, plan.t_crac_out, node_power, start_t_out,
                     duration_s=max(b - a, dt), tau_s=pol.tau_s, dt_s=dt)
-                violation_min = transient.violation_minutes(
-                    view.datacenter.redline_c)
-                end_t_out = transient.t_out[-1]
-            t_out_full = view.expand_t_out(end_t_out)
+            violation_min = transient.violation_minutes(
+                view.datacenter.redline_c)
+            end_t_out = transient.t_out[-1]
+        t_out_full = view.expand_t_out(end_t_out)
 
-            # the interval's task slice, re-based to interval-local time
-            chunk: list[Task] = []
-            while cursor < len(trace) and trace[cursor].arrival < b:
-                t = trace[cursor]
-                chunk.append(t if a == 0.0 else
-                             Task(arrival=t.arrival - a,
-                                  task_type=t.task_type, uid=t.uid,
-                                  deadline=t.deadline - a))
-                cursor += 1
+        # the interval's task slice, re-based to interval-local time
+        chunk: list[Task] = []
+        while cursor < len(trace) and trace[cursor].arrival < b:
+            t = trace[cursor]
+            chunk.append(t if a == 0.0 else
+                         Task(arrival=t.arrival - a,
+                              task_type=t.task_type, uid=t.uid,
+                              deadline=t.deadline - a))
+            cursor += 1
 
-            # nodes dying exactly at the right boundary strand their queues
-            outages: list[CoreOutage] = []
-            if b < horizon_s:
-                for ev in schedule.events_starting_at(
-                        b, kind=FaultKind.NODE_CRASH):
-                    pos = np.nonzero(view.node_map == ev.target)[0]
-                    if pos.size == 0:
-                        continue  # already dead in this interval
-                    node = view.datacenter.nodes[int(pos[0])]
-                    outages.append(CoreOutage(
-                        start_s=b - a,
-                        cores=tuple(node.core_indices)))
-            metrics = simulate_trace(
-                view.datacenter, view.workload, plan.tc, plan.pstates,
-                chunk, duration=b - a,
-                faults=outages if outages else None,
-                stranded_policy=pol.stranded)
-            intervals.append(IntervalRecord(
-                start_s=a, end_s=b, cause=_interval_cause(schedule, a),
-                n_nodes_alive=view.datacenter.n_nodes,
-                crac_capacity=[float(c) for c in state.crac_capacity],
-                cap_kw=cap,
-                plan_reward_rate=plan.reward_rate,
-                derated=derated,
-                transient_overshoot_c=overshoot,
-                violation_minutes=violation_min,
-                replan_wall_s=replan_wall,
-                metrics=metrics,
-                shed=shed))
-        return ChaosRunResult(horizon_s=float(horizon_s), schedule=schedule,
-                              intervals=intervals)
+        # nodes dying exactly at the right boundary strand their queues
+        outages: list[CoreOutage] = []
+        if b < horizon_s:
+            for ev in schedule.events_starting_at(
+                    b, kind=FaultKind.NODE_CRASH):
+                pos = np.nonzero(view.node_map == ev.target)[0]
+                if pos.size == 0:
+                    continue  # already dead in this interval
+                node = view.datacenter.nodes[int(pos[0])]
+                outages.append(CoreOutage(
+                    start_s=b - a,
+                    cores=tuple(node.core_indices)))
+        metrics = simulate_trace(
+            view.datacenter, view.workload, plan.tc, plan.pstates,
+            chunk, duration=b - a,
+            faults=outages if outages else None,
+            stranded_policy=pol.stranded)
+        record = IntervalRecord(
+            start_s=a, end_s=b, cause=cause,
+            n_nodes_alive=view.datacenter.n_nodes,
+            crac_capacity=[float(c) for c in state.crac_capacity],
+            cap_kw=cap,
+            plan_reward_rate=plan.reward_rate,
+            derated=derated,
+            transient_overshoot_c=overshoot,
+            violation_minutes=violation_min,
+            replan_wall_s=replan_wall,
+            metrics=metrics,
+            shed=shed)
+        return record, t_out_full, cursor

@@ -1,0 +1,116 @@
+"""repro.obs — dependency-free tracing, metrics and profiling.
+
+The observability layer for the solver and DES hot paths.  Three parts:
+
+* :mod:`repro.obs.trace` — hierarchical wall-clock spans
+  (``with span("stage1.search"): ...``), thread-safe, near-zero
+  overhead while disabled.
+* :mod:`repro.obs.metrics` — process-local counters / gauges /
+  histograms (LP solve counts, cache hits, replans, shed-load events).
+* :mod:`repro.obs.export` — JSON-lines event log, aggregated profile
+  tree, and worker-snapshot merging for the process-pool engine.
+
+Everything is **off by default**: instrumented code pays one flag check
+per span or metric touch and produces no records, so tier-1 results and
+timings are unchanged.  Turn it on around a region of interest::
+
+    from repro import obs
+
+    obs.enable()
+    ... run something ...
+    obs.write_events_jsonl("trace.jsonl")
+    print(obs.render_profile(obs.profile_from_snapshot(obs.obs_snapshot())))
+
+or scoped (state swapped in and restored, used by the engine to isolate
+each run's spans)::
+
+    with obs.capture() as snap_fn:
+        ... run one unit of work ...
+    snapshot = snap_fn()     # picklable: spans + metrics of the region
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.export import (ProfileNode, build_profile, merge_snapshot,
+                              obs_snapshot, profile_from_snapshot,
+                              profile_to_dict, read_events_jsonl,
+                              render_metrics, render_profile,
+                              write_events_jsonl)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               counter, current_registry, gauge, histogram,
+                               swap_registry)
+from repro.obs.trace import (Span, Tracer, annotate, current_tracer,
+                             disable_tracing, enable_tracing, span,
+                             swap_tracer, tracing_enabled)
+
+__all__ = [
+    # switches
+    "enable", "disable", "enabled", "reset", "capture",
+    # tracing
+    "span", "annotate", "tracing_enabled", "Tracer", "Span",
+    "current_tracer", "swap_tracer", "enable_tracing", "disable_tracing",
+    # metrics
+    "counter", "gauge", "histogram", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "current_registry", "swap_registry",
+    # export
+    "ProfileNode", "build_profile", "profile_from_snapshot",
+    "profile_to_dict", "obs_snapshot", "merge_snapshot",
+    "write_events_jsonl", "read_events_jsonl", "render_profile",
+    "render_metrics",
+]
+
+
+def enabled() -> bool:
+    """True when the observability layer is recording."""
+    return current_tracer().enabled
+
+
+def enable() -> None:
+    """Start recording spans and metrics (idempotent)."""
+    current_tracer().enabled = True
+    current_registry().enabled = True
+
+
+def disable() -> None:
+    """Stop recording (already-collected records are kept)."""
+    current_tracer().enabled = False
+    current_registry().enabled = False
+
+
+def reset() -> None:
+    """Drop all collected spans and metrics (enabled state unchanged)."""
+    current_tracer().reset()
+    current_registry().reset()
+
+
+@contextmanager
+def capture():
+    """Record a region into *fresh, isolated* state.
+
+    Swaps in a new enabled tracer and registry, restores the previous
+    globals on exit (even on error), and yields a zero-argument callable
+    returning the region's snapshot — picklable, so a pool worker can
+    return it to the parent, and mergeable via :func:`merge_snapshot`.
+
+    The engine wraps every run in a capture (inline or in a worker), so
+    span paths inside a run are rooted identically regardless of
+    ``--jobs``.  Not safe to interleave with other threads tracing
+    concurrently: the swap is process-global.
+    """
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry(enabled=True)
+    old_tracer = swap_tracer(tracer)
+    old_registry = swap_registry(registry)
+    try:
+        yield lambda: {
+            "schema": 1,
+            "spans": tracer.snapshot()["spans"],
+            "metrics": registry.snapshot(),
+        }
+    finally:
+        swap_tracer(old_tracer)
+        swap_registry(old_registry)

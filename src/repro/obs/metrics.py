@@ -1,0 +1,206 @@
+"""Process-local metric registry (the counting half of :mod:`repro.obs`).
+
+Three metric kinds, all thread-safe and all free when observability is
+disabled (the accessor returns a shared no-op object):
+
+* :class:`Counter` — monotonically increasing event count (LP solves,
+  cache hits, replans, shed-load events).
+* :class:`Gauge` — last-written value (problem sizes that matter as
+  "what was it", not "how often").
+* :class:`Histogram` — running ``count/total/min/max`` summary of a
+  value stream (LP variable counts, span-free timings).  No buckets:
+  the four moments merge across processes without binning decisions,
+  which keeps worker → parent merges exact and order-independent.
+
+Snapshots are plain dicts (picklable, JSON-able); merging a snapshot
+adds counters, merges histogram moments, and last-writer-wins gauges —
+the engine merges worker snapshots in seed order so the result is
+deterministic for a deterministic sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "counter", "gauge", "histogram", "current_registry",
+           "swap_registry"]
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+    def merge(self, doc: dict) -> None:
+        self.value += int(doc["value"])
+
+
+class Gauge:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def to_dict(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
+    def merge(self, doc: dict) -> None:
+        self.value = float(doc["value"])
+
+
+class Histogram:
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"kind": "histogram", "count": self.count,
+                "total": self.total,
+                "min": None if self.count == 0 else self.min,
+                "max": None if self.count == 0 else self.max}
+
+    def merge(self, doc: dict) -> None:
+        n = int(doc["count"])
+        if n == 0:
+            return
+        self.count += n
+        self.total += float(doc["total"])
+        self.min = min(self.min, float(doc["min"]))
+        self.max = max(self.max, float(doc["max"]))
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _NullMetric:
+    """Accepts every metric operation and records nothing."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        return None
+
+    def set(self, v: float) -> None:
+        return None
+
+    def observe(self, v: float) -> None:
+        return None
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Name → metric map for one process (or one scoped capture)."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, cls())
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """Picklable/JSON-able copy: ``{name: metric.to_dict()}``."""
+        with self._lock:
+            return {name: m.to_dict()
+                    for name, m in sorted(self._metrics.items())}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one."""
+        for name, doc in sorted(snapshot.items()):
+            cls = _KINDS.get(doc.get("kind"))
+            if cls is None:
+                raise ValueError(f"unknown metric kind in snapshot: {doc!r}")
+            self._get(name, cls).merge(doc)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def current_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def swap_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` globally; returns the previous one."""
+    global _REGISTRY
+    old = _REGISTRY
+    _REGISTRY = registry
+    return old
+
+
+def counter(name: str) -> Counter:
+    """The named global counter (a shared no-op when obs is disabled)."""
+    reg = _REGISTRY
+    if not reg.enabled:
+        return _NULL_METRIC  # type: ignore[return-value]
+    return reg.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    reg = _REGISTRY
+    if not reg.enabled:
+        return _NULL_METRIC  # type: ignore[return-value]
+    return reg.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    reg = _REGISTRY
+    if not reg.enabled:
+        return _NULL_METRIC  # type: ignore[return-value]
+    return reg.histogram(name)

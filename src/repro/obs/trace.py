@@ -1,0 +1,214 @@
+"""Hierarchical wall-clock spans (the tracing half of :mod:`repro.obs`).
+
+A *span* measures one timed region of the solver or simulator::
+
+    from repro.obs import span
+
+    with span("stage1.search", nodes=30):
+        ...
+
+Spans nest: a span opened while another is active becomes its child, and
+the finished record carries the full dot-joined path
+(``"solve.stage1.search"``).  The design constraints, in order:
+
+* **near-zero overhead when disabled** — the common case.  ``span()``
+  checks one module-level flag and returns a shared no-op context
+  manager; no allocation, no clock read.
+* **thread-safe** — the span stack is thread-local, finished records
+  append under a lock.  Spans opened on different threads never see each
+  other as parents.
+* **picklable state** — :meth:`Tracer.snapshot` returns plain dicts so a
+  ``ProcessPoolExecutor`` worker can ship its spans back to the parent
+  (see :func:`repro.obs.export.merge_snapshot`).
+
+Timestamps come from :func:`time.perf_counter` relative to the tracer's
+epoch, so they are meaningful *within* one tracer only; merged worker
+records keep their own relative clocks (durations stay valid, absolute
+starts are per-process).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+__all__ = ["Tracer", "Span", "span", "tracing_enabled", "enable_tracing",
+           "disable_tracing", "reset_tracing", "current_tracer",
+           "swap_tracer", "annotate"]
+
+
+class Tracer:
+    """Collects finished span records for one process (or one capture).
+
+    Records are plain dicts — ``{"path", "name", "t0", "dur", "attrs"}``
+    — appended in span *exit* order, which is deterministic for a
+    deterministic program.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.records: list[dict] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def record(self, rec: dict) -> None:
+        with self._lock:
+            self.records.append(rec)
+
+    def snapshot(self) -> dict:
+        """Picklable/JSON-able copy of everything recorded so far."""
+        with self._lock:
+            return {"schema": 1, "spans": [dict(r) for r in self.records]}
+
+    def merge(self, snapshot: dict) -> None:
+        """Append another tracer's span records (e.g. from a worker).
+
+        Records keep their recorded paths; call sites that need the
+        merge to be deterministic must merge snapshots in a
+        deterministic order (the engine merges in seed order).
+        """
+        spans = snapshot.get("spans", [])
+        with self._lock:
+            self.records.extend(dict(r) for r in spans)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.records.clear()
+        self._epoch = time.perf_counter()
+
+
+class Span:
+    """A live (entered) span; created by :func:`span` when enabled."""
+
+    __slots__ = ("_tracer", "name", "attrs", "path", "_t0")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach key/value attributes to the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self.path = f"{stack[-1]}.{self.name}" if stack else self.name
+        stack.append(self.path)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t1 = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self.path:
+            stack.pop()
+        pending = getattr(tracer._local, "pending_attrs", None)
+        if pending is not None and self.path in pending:
+            self.attrs.update(pending.pop(self.path))
+        tracer.record({
+            "path": self.path,
+            "name": self.name,
+            "t0": self._t0 - tracer._epoch,
+            "dur": t1 - self._t0,
+            "attrs": self.attrs,
+        })
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_TRACER = Tracer(enabled=False)
+
+
+def current_tracer() -> Tracer:
+    return _TRACER
+
+
+def swap_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global tracer; returns the old one.
+
+    Used by :func:`repro.obs.capture` to isolate a scoped capture (e.g.
+    one engine run) from whatever the surrounding process accumulated.
+    """
+    global _TRACER
+    old = _TRACER
+    _TRACER = tracer
+    return old
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def enable_tracing() -> None:
+    _TRACER.enabled = True
+
+
+def disable_tracing() -> None:
+    _TRACER.enabled = False
+
+
+def reset_tracing() -> None:
+    _TRACER.reset()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span named ``name`` on the global tracer.
+
+    Returns a context manager; when tracing is disabled this is a shared
+    no-op object and the call costs one flag check.  Attribute values
+    should be JSON-able scalars (they are exported verbatim).
+    """
+    tracer = _TRACER
+    if not tracer.enabled:
+        return _NULL_SPAN
+    return Span(tracer, name, attrs)
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the *innermost* open span, if any.
+
+    A no-op when tracing is disabled or no span is open — safe to call
+    unconditionally from hot paths.
+    """
+    tracer = _TRACER
+    if not tracer.enabled:
+        return
+    stack = tracer._stack()
+    if not stack:
+        return
+    # the innermost open span is found by path; record-on-exit means we
+    # stash the attrs on the stack-side channel instead
+    pending = getattr(tracer._local, "pending_attrs", None)
+    if pending is None:
+        pending = {}
+        tracer._local.pending_attrs = pending
+    pending.setdefault(stack[-1], {}).update(attrs)

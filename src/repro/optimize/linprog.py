@@ -23,6 +23,9 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog as _scipy_linprog
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
+
 __all__ = ["LinearProgram", "LPSolution", "InfeasibleError"]
 
 
@@ -178,6 +181,15 @@ class LinearProgram:
         """
         if self._num_vars == 0:
             raise ValueError(f"LP '{self.name}' has no variables")
+        with obs_span("lp", lp=self.name, vars=self._num_vars,
+                      constraints=self.num_constraints):
+            return self._solve(require_feasible)
+
+    def _solve(self, require_feasible: bool) -> LPSolution:
+        obs_metrics.counter(f"lp.solves.{self.name}").inc()
+        obs_metrics.histogram(f"lp.vars.{self.name}").observe(self._num_vars)
+        obs_metrics.histogram(
+            f"lp.constraints.{self.name}").observe(self.num_constraints)
         c = np.asarray(self._obj, dtype=float)
         if self.maximize:
             c = -c
@@ -197,6 +209,7 @@ class LinearProgram:
         res = _scipy_linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
                              bounds=bounds, method="highs")
         if not res.success:
+            obs_metrics.counter(f"lp.infeasible.{self.name}").inc()
             if require_feasible:
                 raise InfeasibleError(
                     f"LP '{self.name}' failed: {res.message} (status {res.status})")

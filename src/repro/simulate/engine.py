@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.core.scheduler import DynamicScheduler
 from repro.datacenter.builder import DataCenter
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.simulate.events import CoreOutage, EventKind, EventQueue
 from repro.simulate.metrics import SimulationMetrics
 from repro.workload.tasktypes import Workload
@@ -73,6 +75,32 @@ def simulate_trace(datacenter: DataCenter, workload: Workload,
         ``"drop"`` discards them.  Response times of requeued tasks are
         measured from the requeue instant.
     """
+    with obs_span("des_replay", n_tasks=len(trace),
+                  faulted=bool(faults)):
+        metrics = _simulate_trace(
+            datacenter, workload, tc, pstates, trace, duration=duration,
+            collect_latency=collect_latency, faults=faults,
+            stranded_policy=stranded_policy)
+    obs_metrics.counter("des.replays").inc()
+    obs_metrics.counter("des.tasks_completed").inc(int(metrics.completed.sum()))
+    obs_metrics.counter("des.tasks_dropped").inc(int(metrics.dropped.sum()))
+    obs_metrics.counter("des.fault_events").inc(metrics.n_fault_events)
+    if metrics.stranded_requeued is not None:
+        obs_metrics.counter("des.stranded_requeued").inc(
+            int(metrics.stranded_requeued.sum()))
+    if metrics.stranded_dropped is not None:
+        obs_metrics.counter("des.stranded_dropped").inc(
+            int(metrics.stranded_dropped.sum()))
+    return metrics
+
+
+def _simulate_trace(datacenter: DataCenter, workload: Workload,
+                    tc: np.ndarray, pstates: np.ndarray,
+                    trace: list[Task], *,
+                    duration: float | None,
+                    collect_latency: bool,
+                    faults: Sequence[CoreOutage] | None,
+                    stranded_policy: str) -> SimulationMetrics:
     if stranded_policy not in STRANDED_POLICIES:
         raise ValueError(f"stranded_policy must be one of "
                          f"{STRANDED_POLICIES}, got {stranded_policy!r}")

@@ -51,7 +51,13 @@ class SimulationMetrics:
 
     @property
     def reward_rate(self) -> float:
-        """Reward per second — comparable to the Stage 3 prediction."""
+        """Reward per second — comparable to the Stage 3 prediction.
+
+        0.0 for a degenerate (non-positive) horizon: no time passed, so
+        no rate was sustained.
+        """
+        if self.duration <= 0.0:
+            return 0.0
         return self.total_reward / self.duration
 
     @property
@@ -65,7 +71,12 @@ class SimulationMetrics:
 
     @property
     def utilization(self) -> np.ndarray:
-        """Per-core fraction of the horizon spent executing."""
+        """Per-core fraction of the horizon spent executing.
+
+        All-zeros for a degenerate (non-positive) horizon.
+        """
+        if self.duration <= 0.0:
+            return np.zeros_like(self.busy_time)
         return self.busy_time / self.duration
 
     def tracking_error(self) -> float:
@@ -132,11 +143,11 @@ class SimulationMetrics:
 
         1.0 would mean every completion landed exactly on its deadline;
         small values mean the scheduler had headroom.  NaN with no
-        completions.
+        completions or a non-positive slack.
         """
         if self.response_times is None:
             raise RuntimeError("latencies were not collected in this run")
         samples = self.response_times[task_type]
-        if samples.size == 0:
+        if samples.size == 0 or deadline_slack <= 0.0:
             return float("nan")
         return float(samples.mean() / deadline_slack)

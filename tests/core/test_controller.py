@@ -94,3 +94,39 @@ class TestValidation:
         with pytest.raises(ValueError, match="horizon"):
             controller.run(profile, horizon_s=0.0,
                            rng=np.random.default_rng(0))
+
+
+class TestDegenerateResult:
+    """Regression: empty/zero-length results must not raise.
+
+    ``ControllerResult.reward_rate`` used to index ``epochs[-1]`` and
+    divide by the horizon unguarded — an empty epoch list raised
+    ``IndexError`` and a single instantaneous epoch raised
+    ``ZeroDivisionError``.  The documented convention is now 0.0.
+    """
+
+    def test_empty_epochs_rate_is_zero(self):
+        from repro.core.controller import ControllerResult
+
+        result = ControllerResult(epochs=[])
+        assert result.horizon_s == 0.0
+        assert result.reward_rate == 0.0
+        assert result.planned_reward_rate == 0.0
+        assert result.total_reward == 0.0
+
+    def test_zero_length_horizon_rate_is_zero(self):
+        from types import SimpleNamespace
+
+        from repro.core.controller import ControllerResult, EpochRecord
+
+        epoch = EpochRecord(
+            start_s=5.0, end_s=5.0, rates=np.asarray([1.0]),
+            plan=SimpleNamespace(reward_rate=7.0), derated=0,
+            transient_overshoot_c=0.0,
+            metrics=SimpleNamespace(total_reward=3.0))
+        result = ControllerResult(epochs=[epoch])
+        assert result.horizon_s == 0.0
+        assert result.reward_rate == 0.0
+        assert result.planned_reward_rate == 0.0
+        # the reward itself is still reported
+        assert result.total_reward == 3.0

@@ -222,3 +222,76 @@ class TestParallelMap:
 
     def test_empty(self):
         assert parallel_map(_double, [], jobs=4) == []
+
+
+class TestCanonicalJson:
+    """Regression: cache keys must not depend on hash randomization.
+
+    ``cache_key`` used to serialize via ``json.dumps(..., default=list)``
+    — a ``set`` field serialized in iteration order, which varies with
+    ``PYTHONHASHSEED``, silently splitting the cache across processes.
+    """
+
+    def test_sets_serialize_sorted(self):
+        from repro.experiments.engine import canonical_json
+
+        a = canonical_json({"s": {"x", "y", "z", "w"}})
+        b = canonical_json({"s": {"w", "z", "y", "x"}})
+        assert a == b
+        assert a == '{"s": ["w", "x", "y", "z"]}'
+
+    def test_nested_collections(self):
+        from repro.experiments.engine import canonical_json
+
+        doc = canonical_json({"a": ({"k": frozenset({2, 1})},)})
+        assert doc == '{"a": [{"k": [1, 2]}]}'
+
+    def test_unknown_type_raises(self):
+        from repro.experiments.engine import canonical_json
+
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_json({"obj": object()})
+
+    def test_non_string_dict_key_raises(self):
+        from repro.experiments.engine import canonical_json
+
+        with pytest.raises(TypeError, match="keys must be str"):
+            canonical_json({1: "x"})
+
+    def test_stable_across_hash_seeds(self):
+        """The digest of a set-bearing payload is PYTHONHASHSEED-proof."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(engine_mod.__file__).parents[2])
+        code = (
+            "import hashlib\n"
+            "from repro.experiments.engine import canonical_json\n"
+            "payload = {'members': set('abcdefghij'), 'n': 3}\n"
+            "print(hashlib.sha256("
+            "canonical_json(payload).encode()).hexdigest())\n")
+        digests = []
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src)
+            out = subprocess.run([sys.executable, "-c", code], env=env,
+                                 capture_output=True, text=True, check=True)
+            digests.append(out.stdout.strip())
+        assert len(set(digests)) == 1
+
+    def test_cache_key_unchanged_for_plain_config(self):
+        # the canonicalization must be a no-op for JSON-native payloads:
+        # existing caches built from plain configs stay valid
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        from repro.experiments.engine import code_version
+
+        payload = {"code_version": code_version(),
+                   "config": asdict(TINY), "seed": 7}
+        legacy = hashlib.sha256(
+            json.dumps(payload, sort_keys=True,
+                       default=list).encode()).hexdigest()
+        assert cache_key(TINY, 7) == legacy

@@ -188,3 +188,17 @@ class TestResultAggregation:
         with pytest.raises(ValueError, match="horizon"):
             _controller(chaos_scenario).run(chaos_trace, 0.0,
                                             FaultSchedule.empty())
+
+
+class TestDegenerateChaosResult:
+    """Regression: a zero-length chaos horizon must not divide by zero."""
+
+    def test_zero_horizon_reward_rate_is_zero(self):
+        from repro.faults.model import FaultSchedule
+        from repro.faults.policy import ChaosRunResult
+
+        result = ChaosRunResult(horizon_s=0.0,
+                                schedule=FaultSchedule.empty(),
+                                intervals=[])
+        assert result.reward_rate == 0.0
+        assert result.total_reward == 0.0

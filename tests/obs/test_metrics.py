@@ -1,0 +1,103 @@
+"""Tests for repro.obs.metrics — counters, gauges, histograms, merging."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (_NULL_METRIC, MetricsRegistry, counter,
+                               gauge, histogram)
+
+
+class TestDisabled:
+    def test_accessors_return_shared_noop(self):
+        assert counter("a") is _NULL_METRIC
+        assert gauge("b") is _NULL_METRIC
+        assert histogram("c") is _NULL_METRIC
+
+    def test_noop_accepts_all_operations(self):
+        counter("a").inc(5)
+        gauge("b").set(3.0)
+        histogram("c").observe(1.0)
+        assert obs.current_registry().snapshot() == {}
+
+
+class TestKinds:
+    def test_counter_accumulates(self):
+        obs.enable()
+        counter("lp.solves").inc()
+        counter("lp.solves").inc(4)
+        snap = obs.current_registry().snapshot()
+        assert snap["lp.solves"] == {"kind": "counter", "value": 5}
+
+    def test_gauge_last_write_wins(self):
+        obs.enable()
+        gauge("size").set(10)
+        gauge("size").set(3)
+        assert obs.current_registry().snapshot()["size"]["value"] == 3.0
+
+    def test_histogram_moments(self):
+        obs.enable()
+        for v in (2.0, 4.0, 9.0):
+            histogram("h").observe(v)
+        doc = obs.current_registry().snapshot()["h"]
+        assert doc == {"kind": "histogram", "count": 3, "total": 15.0,
+                       "min": 2.0, "max": 9.0}
+        assert histogram("h").mean == 5.0
+
+    def test_empty_histogram_snapshot_has_null_extremes(self):
+        obs.enable()
+        obs.current_registry().histogram("empty")
+        doc = obs.current_registry().snapshot()["empty"]
+        assert doc["count"] == 0
+        assert doc["min"] is None and doc["max"] is None
+
+    def test_kind_mismatch_raises(self):
+        obs.enable()
+        counter("x").inc()
+        with pytest.raises(TypeError, match="already registered"):
+            histogram("x")
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_moments(self):
+        obs.enable()
+        counter("c").inc(2)
+        histogram("h").observe(1.0)
+        worker = MetricsRegistry(enabled=True)
+        worker.counter("c").inc(3)
+        worker.histogram("h").observe(5.0)
+        worker.gauge("g").set(7.0)
+        obs.current_registry().merge(worker.snapshot())
+        snap = obs.current_registry().snapshot()
+        assert snap["c"]["value"] == 5
+        assert snap["h"] == {"kind": "histogram", "count": 2, "total": 6.0,
+                             "min": 1.0, "max": 5.0}
+        assert snap["g"]["value"] == 7.0
+
+    def test_merge_is_order_independent_for_histograms(self):
+        parts = []
+        for values in ((1.0, 2.0), (9.0,), (0.5, 4.0)):
+            reg = MetricsRegistry(enabled=True)
+            for v in values:
+                reg.histogram("h").observe(v)
+            parts.append(reg.snapshot())
+        forward = MetricsRegistry(enabled=True)
+        backward = MetricsRegistry(enabled=True)
+        for p in parts:
+            forward.merge(p)
+        for p in reversed(parts):
+            backward.merge(p)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_empty_histogram_is_identity(self):
+        obs.enable()
+        histogram("h").observe(2.0)
+        worker = MetricsRegistry(enabled=True)
+        worker.histogram("h")
+        before = obs.current_registry().snapshot()
+        obs.current_registry().merge(worker.snapshot())
+        assert obs.current_registry().snapshot() == before
+
+    def test_merge_unknown_kind_raises(self):
+        obs.enable()
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            obs.current_registry().merge({"bad": {"kind": "exotic"}})

@@ -1,0 +1,159 @@
+"""Tests for repro.obs.trace — spans, nesting, disabled no-op, capture."""
+
+import threading
+
+from repro import obs
+from repro.obs.trace import _NULL_SPAN, Tracer, annotate, span
+
+
+class TestDisabled:
+    def test_span_is_shared_noop(self):
+        assert span("a") is _NULL_SPAN
+        assert span("b", k=1) is _NULL_SPAN
+
+    def test_noop_span_records_nothing(self):
+        with span("solve"):
+            with span("inner"):
+                pass
+        annotate(ignored=True)
+        assert obs.current_tracer().records == []
+
+    def test_set_is_chainable_noop(self):
+        assert span("x").set(a=1) is _NULL_SPAN
+
+
+class TestNesting:
+    def test_paths_dot_join_and_exit_order(self):
+        obs.enable()
+        with span("solve"):
+            with span("stage1"):
+                pass
+            with span("stage3"):
+                pass
+        paths = [r["path"] for r in obs.current_tracer().records]
+        assert paths == ["solve.stage1", "solve.stage3", "solve"]
+
+    def test_sibling_reuse_same_parent(self):
+        obs.enable()
+        with span("a"):
+            for _ in range(3):
+                with span("b"):
+                    pass
+        paths = [r["path"] for r in obs.current_tracer().records]
+        assert paths == ["a.b", "a.b", "a.b", "a"]
+
+    def test_record_fields(self):
+        obs.enable()
+        with span("lp", vars=7):
+            pass
+        (rec,) = obs.current_tracer().records
+        assert rec["name"] == "lp"
+        assert rec["path"] == "lp"
+        assert rec["attrs"] == {"vars": 7}
+        assert rec["dur"] >= 0.0
+
+    def test_annotate_lands_on_innermost_open_span(self):
+        obs.enable()
+        with span("outer"):
+            with span("inner"):
+                annotate(probes=12)
+        recs = {r["path"]: r for r in obs.current_tracer().records}
+        assert recs["outer.inner"]["attrs"] == {"probes": 12}
+        assert recs["outer"]["attrs"] == {}
+
+    def test_annotate_without_open_span_is_noop(self):
+        obs.enable()
+        annotate(orphan=True)
+        assert obs.current_tracer().records == []
+
+    def test_exception_still_records_and_pops(self):
+        obs.enable()
+        try:
+            with span("outer"):
+                with span("boom"):
+                    raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        paths = [r["path"] for r in obs.current_tracer().records]
+        assert paths == ["outer.boom", "outer"]
+        # the stack unwound completely: a new span is a root again
+        with span("after"):
+            pass
+        assert obs.current_tracer().records[-1]["path"] == "after"
+
+
+class TestThreads:
+    def test_threads_do_not_nest_under_each_other(self):
+        obs.enable()
+        ready = threading.Barrier(2)
+
+        def work(name: str) -> None:
+            ready.wait()
+            with span(name):
+                pass
+
+        with span("main"):
+            threads = [threading.Thread(target=work, args=(f"t{i}",))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        paths = sorted(r["path"] for r in obs.current_tracer().records)
+        # worker spans are roots of their own threads, not "main.tN"
+        assert paths == ["main", "t0", "t1"]
+
+
+class TestCapture:
+    def test_capture_isolates_and_restores(self):
+        obs.enable()
+        with span("before"):
+            pass
+        with obs.capture() as snap_fn:
+            with span("inside"):
+                pass
+            snapshot = snap_fn()
+        with span("after"):
+            pass
+        outer_paths = [r["path"] for r in obs.current_tracer().records]
+        assert outer_paths == ["before", "after"]
+        assert [r["path"] for r in snapshot["spans"]] == ["inside"]
+
+    def test_capture_restores_on_error(self):
+        tracer_before = obs.current_tracer()
+        try:
+            with obs.capture():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert obs.current_tracer() is tracer_before
+
+    def test_capture_records_even_when_globally_disabled(self):
+        assert not obs.enabled()
+        with obs.capture() as snap_fn:
+            with span("inside"):
+                pass
+            snapshot = snap_fn()
+        assert [r["path"] for r in snapshot["spans"]] == ["inside"]
+        assert not obs.enabled()
+
+
+class TestMergeAndReset:
+    def test_merge_appends_in_call_order(self):
+        obs.enable()
+        with span("parent"):
+            pass
+        worker = Tracer(enabled=True)
+        worker.record({"path": "w", "name": "w", "t0": 0.0, "dur": 0.1,
+                       "attrs": {}})
+        obs.current_tracer().merge(worker.snapshot())
+        paths = [r["path"] for r in obs.current_tracer().records]
+        assert paths == ["parent", "w"]
+
+    def test_reset_drops_records_keeps_enabled(self):
+        obs.enable()
+        with span("x"):
+            pass
+        obs.reset()
+        assert obs.current_tracer().records == []
+        assert obs.enabled()

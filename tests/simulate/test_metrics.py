@@ -43,3 +43,26 @@ class TestDerived:
     def test_rate_ratios(self):
         ratios = make_metrics().rate_ratios()
         np.testing.assert_allclose(ratios, [0.8])
+
+
+class TestDegenerateDuration:
+    """Regression: zero-length horizons must not divide by zero."""
+
+    def test_zero_duration_reward_rate_is_zero(self):
+        m = make_metrics(duration=0.0)
+        assert m.reward_rate == 0.0
+
+    def test_zero_duration_utilization_is_zero(self):
+        m = make_metrics(duration=0.0)
+        np.testing.assert_array_equal(m.utilization, [0.0, 0.0])
+
+    def test_zero_duration_to_dict_is_finite(self):
+        doc = make_metrics(duration=0.0).to_dict()
+        assert doc["reward_rate"] == 0.0
+        assert doc["mean_utilization"] == 0.0
+
+    def test_nonpositive_slack_is_nan(self):
+        m = make_metrics(
+            response_times=[np.asarray([1.0]), np.asarray([])])
+        assert np.isnan(m.slack_utilization(0, 0.0))
+        assert np.isnan(m.slack_utilization(1, 2.0))
