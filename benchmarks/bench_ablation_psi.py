@@ -9,8 +9,6 @@ Stage 1 (the few "best" types cannot keep cores busy), large psi dilutes
 the ARR with poor task types.
 """
 
-import numpy as np
-
 from repro.core import three_stage_assignment
 
 PSIS = (12.5, 25.0, 37.5, 50.0, 75.0, 100.0)

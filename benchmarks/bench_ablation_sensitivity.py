@@ -15,8 +15,7 @@ can be attributed to its knob.
 
 import numpy as np
 
-from repro.experiments import (ScenarioConfig, confidence_interval,
-                               run_simulation_set)
+from repro.experiments import ScenarioConfig, run_simulation_set
 
 
 def bench_ablation_sensitivity(benchmark, capsys, scale):

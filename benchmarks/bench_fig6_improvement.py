@@ -21,8 +21,6 @@ engine's process pool — per-run numbers are identical to the serial
 path, only the wall clock changes.
 """
 
-import numpy as np
-
 from repro.experiments import (ProgressReporter, fig6_data, format_fig6,
                                paper_sets, scaled_down)
 

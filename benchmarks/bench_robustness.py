@@ -10,8 +10,6 @@ substantial estimation error, because the rates absorb most of the
 adaptation.
 """
 
-import numpy as np
-
 from repro.experiments.robustness import evaluate_robustness
 
 DELTAS = (0.0, 0.1, 0.2, 0.3)

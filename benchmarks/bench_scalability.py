@@ -11,8 +11,6 @@ cores per second).
 
 import time
 
-import numpy as np
-
 from repro.core import three_stage_assignment
 from repro.experiments import (EngineConfig, ScenarioConfig,
                                generate_scenario, run_set)

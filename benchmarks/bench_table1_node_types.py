@@ -6,8 +6,6 @@ the derivation and prints the regenerated table next to the paper's
 printed values.
 """
 
-import numpy as np
-
 from repro.datacenter.coretypes import paper_node_types
 from repro.experiments.tables import format_table1, pstate_static_percentages
 

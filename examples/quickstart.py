@@ -13,7 +13,7 @@ import sys
 import numpy as np
 
 from repro import (attach_thermal_model, build_datacenter, generate_workload,
-                   power_bounds, three_stage_assignment, total_power)
+                   power_bounds, three_stage_assignment)
 
 
 def main(seed: int = 42) -> None:

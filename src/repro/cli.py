@@ -9,6 +9,8 @@ Exposes the experiment layer without writing any code:
 * ``sweep``    — capacity planning: reward vs power cap (CSV export).
 * ``chaos``    — fault-injection sweep: degradation vs fault rate.
 * ``profile``  — render the profile tree of a ``--trace-out`` log.
+* ``lint``     — AST-based determinism/physics/hygiene analysis
+  (:mod:`repro.lint`, see ``docs/LINTING.md``).
 
 ``fig6``, ``sweep``, ``simulate`` and ``chaos`` accept
 ``--trace-out PATH``: the run records spans/metrics
@@ -122,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "of the text report")
     add_engine_args(p_chaos)
     add_trace_arg(p_chaos)
+
+    p_lint = sub.add_parser(
+        "lint", help="AST-based determinism/physics/hygiene analysis")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(p_lint)
 
     p_prof = sub.add_parser(
         "profile", help="render the profile of a --trace-out event log")
@@ -293,6 +300,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
@@ -325,6 +338,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
+    "lint": _cmd_lint,
     "profile": _cmd_profile,
 }
 

@@ -26,10 +26,13 @@ new code — including the experiment engine — should build a
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.datacenter.builder import DataCenter
 from repro.workload.tasktypes import Workload
+
+if TYPE_CHECKING:
+    from repro.core.assignment import AssignmentResult
 
 __all__ = ["SolveOptions", "SolveRequest", "SolveOutcome", "BestPsiOutcome",
            "solve", "available_methods"]
@@ -95,7 +98,7 @@ class SolveRequest:
     p_const: float
     options: SolveOptions = field(default_factory=SolveOptions)
 
-    def with_options(self, **changes) -> "SolveRequest":
+    def with_options(self, **changes: object) -> "SolveRequest":
         """A copy of this request with some options replaced."""
         return replace(self, options=replace(self.options, **changes))
 
@@ -108,11 +111,11 @@ class BestPsiOutcome:
     assignment (the paper reports them separately, so all must hold).
     """
 
-    by_psi: dict
+    by_psi: dict[float, AssignmentResult]
     search: object | None = None
 
     @property
-    def best(self):
+    def best(self) -> AssignmentResult:
         return max(self.by_psi.values(), key=lambda r: r.reward_rate)
 
     @property
@@ -120,7 +123,7 @@ class BestPsiOutcome:
         return self.best.reward_rate
 
     @property
-    def reward_by_psi(self) -> dict:
+    def reward_by_psi(self) -> dict[float, float]:
         return {psi: r.reward_rate for psi, r in self.by_psi.items()}
 
     def verify(self, datacenter: DataCenter, p_const: float,
@@ -138,7 +141,7 @@ class BestPsiOutcome:
         }
 
 
-def _solve_three_stage(request: SolveRequest):
+def _solve_three_stage(request: SolveRequest) -> SolveOutcome:
     from repro.core.assignment import three_stage_assignment
 
     opt = request.options
@@ -157,7 +160,7 @@ def _solve_best_psi(request: SolveRequest) -> BestPsiOutcome:
     return BestPsiOutcome(by_psi=by_psi)
 
 
-def _solve_baseline(request: SolveRequest):
+def _solve_baseline(request: SolveRequest) -> SolveOutcome:
     from repro.core.baseline import solve_baseline
 
     opt = request.options
@@ -169,7 +172,7 @@ def _solve_baseline(request: SolveRequest):
     return solution
 
 
-def _solve_exact(request: SolveRequest):
+def _solve_exact(request: SolveRequest) -> SolveOutcome:
     from repro.core.exact import solve_exact
 
     opt = request.options

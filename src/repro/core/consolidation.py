@@ -37,7 +37,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.assignment import AssignmentResult
-from repro.core.stage1 import build_arr_functions, solve_stage1
+from repro.core.stage1 import solve_stage1
 from repro.core.stage2 import solve_stage2
 from repro.core.stage3 import solve_stage3
 from repro.datacenter.builder import DataCenter

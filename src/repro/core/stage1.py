@@ -28,7 +28,6 @@ import numpy as np
 
 from repro.core.arr import AggregateRewardRate, aggregate_reward_rate
 from repro.datacenter.builder import DataCenter
-from repro.datacenter.power import total_power
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import annotate as obs_annotate
 from repro.obs.trace import span as obs_span

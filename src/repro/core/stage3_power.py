@@ -21,7 +21,6 @@ power- and thermally-safe under the task-dependent draw.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

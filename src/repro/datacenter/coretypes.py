@@ -15,7 +15,7 @@ between simulation sets (30% vs 20%).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

@@ -42,7 +42,8 @@ class CRACUnit:
             raise ValueError(f"CRAC {self.index}: flow must be positive")
         lo, hi = self.outlet_range_c
         if lo > hi:
-            raise ValueError(f"CRAC {self.index}: empty outlet range {self.outlet_range_c}")
+            raise ValueError(f"CRAC {self.index}: empty outlet range "
+                             f"{self.outlet_range_c}")
 
     def power_kw(self, inlet_temp_c: float, outlet_temp_c: float) -> float:
         """Electrical power at the given inlet/outlet temperatures (Eq. 3)."""

@@ -288,7 +288,9 @@ def _execute_comparison_body(config: ScenarioConfig, seed: int,
         except _NON_RETRYABLE as exc:
             error = exc
             break
-        except Exception as exc:  # transient: I/O, memory pressure, ...
+        # the one deliberate broad catch: transient failures (I/O,
+        # memory pressure, ...) are retried and then recorded as data
+        except Exception as exc:  # repro-lint: disable=RL020
             error = exc
             if attempts > retries:
                 break

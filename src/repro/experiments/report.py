@@ -8,8 +8,6 @@ results stay generated from one code path.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.runner import SetResult
 
 __all__ = ["ascii_bar_chart", "fig6_bar_chart", "fig6_markdown",

@@ -25,7 +25,7 @@ from scipy import stats
 
 from repro.core.api import SolveOptions, SolveRequest, solve
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.generator import Scenario, generate_scenario
+from repro.experiments.generator import Scenario
 
 __all__ = ["DegenerateBaselineError", "RunResult", "RunFailure",
            "ConfidenceInterval", "SetResult", "run_comparison",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.datacenter.coretypes import NodeTypeSpec, paper_node_types
+from repro.datacenter.coretypes import paper_node_types
 from repro.datacenter.layout import RACK_LABELS, TABLE_II_RANGES
 from repro.power.cmos import static_fraction as cmos_static_fraction
 

@@ -1,0 +1,107 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the CI gate demand *zero new* findings while known,
+deliberate ones stay documented in one reviewable file.  Entries match
+on ``(code, path, context)`` — the stripped source line — rather than
+line numbers, so unrelated edits above a grandfathered site do not
+invalidate it.  Every entry carries a mandatory ``reason``.
+
+File format (JSON, sorted keys, one entry per kept finding)::
+
+    {
+      "schema": 1,
+      "entries": [
+        {"code": "RL003", "path": "src/repro/datacenter/builder.py",
+         "context": "rng = np.random.default_rng()",
+         "reason": "documented convenience fallback; callers pass ..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+BASELINE_SCHEMA = 1
+
+
+class Baseline:
+    """Multiset of grandfathered findings keyed on (code, path, context)."""
+
+    def __init__(self, entries: list[dict[str, str]]) -> None:
+        self.entries = entries
+        self._budget: Counter[tuple[str, str, str]] = Counter(
+            self._key_of(e) for e in entries)
+        self._used: Counter[tuple[str, str, str]] = Counter()
+
+    @staticmethod
+    def _key_of(entry: dict[str, str]) -> tuple[str, str, str]:
+        return (entry["code"], entry["path"], entry["context"])
+
+    @staticmethod
+    def _key_for(finding: Finding) -> tuple[str, str, str]:
+        return (finding.code, finding.path, finding.context)
+
+    def absorb(self, finding: Finding) -> bool:
+        """Consume one matching entry; False when none remains."""
+        key = self._key_for(finding)
+        if self._used[key] < self._budget[key]:
+            self._used[key] += 1
+            return True
+        return False
+
+    def stale_entries(self) -> list[dict[str, str]]:
+        """Entries that matched no finding this run (fixed meanwhile)."""
+        leftover = self._budget - self._used
+        stale: list[dict[str, str]] = []
+        seen: Counter[tuple[str, str, str]] = Counter()
+        for entry in self.entries:
+            key = self._key_of(entry)
+            if seen[key] < leftover[key]:
+                seen[key] += 1
+                stale.append(entry)
+        return stale
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline([])
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {p}: {exc}") from exc
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {p}: unsupported schema {doc.get('schema')!r}")
+    entries = doc.get("entries", [])
+    for entry in entries:
+        missing = {"code", "path", "context", "reason"} - set(entry)
+        if missing:
+            raise ValueError(
+                f"baseline {p}: entry {entry!r} missing {sorted(missing)}")
+    return Baseline(list(entries))
+
+
+def write_baseline(findings: list[Finding], path: str | Path,
+                   reason: str = "TODO: justify this exemption") -> None:
+    """Write every finding as a baseline entry (the adoption workflow).
+
+    Reasons default to a marker that reviewers are expected to replace
+    — a baseline entry without a real justification defeats its point.
+    """
+    entries = [
+        {"code": f.code, "path": f.path, "context": f.context,
+         "reason": reason}
+        for f in sorted(findings)
+    ]
+    doc = {"schema": BASELINE_SCHEMA, "entries": entries}
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")

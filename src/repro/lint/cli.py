@@ -1,0 +1,103 @@
+"""``repro lint`` — argument handling and the command body.
+
+Exit codes: 0 clean (possibly with baselined/suppressed findings),
+1 actionable findings (or unparsable files), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.base import (LintConfig, load_span_taxonomy, rule_catalog)
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import lint_paths, select_rules
+from repro.lint.output import render_github, render_json, render_text
+
+__all__ = ["add_lint_arguments", "main", "run_lint_command"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+FORMATS = ("text", "json", "github")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` arguments to ``parser``."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to lint (default: src)")
+    parser.add_argument("--format", choices=FORMATS, default="text",
+                        help="report format (default text; 'github' "
+                             "emits ::error annotations for Actions)")
+    parser.add_argument("--baseline", type=str, default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             f"(default {DEFAULT_BASELINE}; a missing "
+                             "file is an empty baseline)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--select", type=str, default=None,
+                        help="comma-separated rule codes to run "
+                             "exclusively (e.g. RL001,RL002)")
+    parser.add_argument("--ignore", type=str, default=None,
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write every current finding to the "
+                             "baseline file and exit 0 (adoption "
+                             "workflow; fill in the reasons!)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+
+
+def _split_codes(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    return [c.strip() for c in text.split(",") if c.strip()]
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Body of ``repro lint`` (shared by repro.cli and python -m)."""
+    if args.list_rules:
+        for code, name, category, description in rule_catalog():
+            print(f"{code}  {name:30s} [{category}]")
+            print(f"       {description}")
+        return 0
+    try:
+        rules = select_rules(_split_codes(args.select),
+                             _split_codes(args.ignore))
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    start = Path(args.paths[0]) if args.paths else Path.cwd()
+    config = LintConfig(span_taxonomy=load_span_taxonomy(start))
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = lint_paths(list(args.paths), rules=rules, config=config,
+                            baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(report.findings, args.baseline)
+        print(f"wrote {len(report.findings)} entries to {args.baseline}; "
+              "replace the TODO reasons with real justifications")
+        return 0
+    renderer = {"text": render_text, "json": render_json,
+                "github": render_github}[args.format]
+    print(renderer(report))
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point: ``python -m repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism / physics-invariant / "
+                    "hygiene analysis for the repro codebase")
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))

@@ -1,0 +1,132 @@
+"""Lint driver: file discovery, rule execution, disposition.
+
+Deterministic by construction: files are visited in sorted order, rules
+in code order, findings sorted before output — the same tree always
+produces byte-identical reports (the property this linter exists to
+protect in the code it checks).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path, PurePosixPath
+
+from repro.lint.base import FileContext, LintConfig, RuleVisitor, all_rules
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, LintReport
+from repro.lint.suppress import parse_suppressions
+
+__all__ = ["iter_python_files", "lint_paths", "select_rules"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".repro-cache", ".venv", "venv",
+              "build", "dist", "node_modules"}
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for root, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in _SKIP_DIRS and not d.startswith("."))
+                for name in filenames:
+                    if name.endswith(".py"):
+                        out.add(Path(root) / name)
+        elif p.suffix == ".py":
+            out.add(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return sorted(out)
+
+
+def select_rules(select: list[str] | None = None,
+                 ignore: list[str] | None = None) -> list[type[RuleVisitor]]:
+    """Resolve ``--select`` / ``--ignore`` into a rule list.
+
+    ``select`` picks exactly those codes (and validates them);
+    ``ignore`` then removes codes.  With neither, every registered rule
+    runs.
+    """
+    rules = all_rules()
+    known = {cls.code for cls in rules}
+    for code in (select or []) + (ignore or []):
+        if code not in known:
+            raise ValueError(f"unknown rule code {code!r}; known: "
+                             f"{', '.join(sorted(known))}")
+    if select:
+        wanted = set(select)
+        rules = [cls for cls in rules if cls.code in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        rules = [cls for cls in rules if cls.code not in unwanted]
+    return rules
+
+
+def _rel_posix(path: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(Path.cwd())
+    except ValueError:
+        rel = path
+    return str(PurePosixPath(rel))
+
+
+def _lint_file(path: Path, rules: list[type[RuleVisitor]],
+               config: LintConfig) -> tuple[list[Finding], list[Finding]]:
+    """Return (kept, suppressed) findings for one file."""
+    rel = _rel_posix(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        finding = Finding(path=rel, line=1, col=1, code="RL000",
+                          rule="parse-error",
+                          message=f"cannot read file: {exc}")
+        return [finding], []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(path=rel, line=exc.lineno or 1,
+                          col=(exc.offset or 0) + 1, code="RL000",
+                          rule="parse-error",
+                          message=f"syntax error: {exc.msg}")
+        return [finding], []
+    ctx = FileContext(path=path, rel_path=rel, source=source,
+                      lines=source.splitlines(), tree=tree)
+    suppressions = parse_suppressions(source)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for cls in rules:
+        for finding in cls(ctx, config).run():
+            if suppressions.is_suppressed(finding.code, finding.line):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def lint_paths(paths: list[str | Path], *,
+               rules: list[type[RuleVisitor]] | None = None,
+               config: LintConfig | None = None,
+               baseline: Baseline | None = None) -> LintReport:
+    """Lint every Python file under ``paths`` and build the report."""
+    rules = all_rules() if rules is None else rules
+    config = config or LintConfig()
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files_checked += 1
+        kept, suppressed = _lint_file(path, rules, config)
+        report.suppressed.extend(suppressed)
+        for finding in sorted(kept):
+            if baseline is not None and baseline.absorb(finding):
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    if baseline is not None:
+        report.stale_baseline = baseline.stale_entries()
+    report.findings.sort()
+    report.suppressed.sort()
+    report.baselined.sort()
+    return report

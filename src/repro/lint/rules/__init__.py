@@ -1,0 +1,13 @@
+"""Rule implementations; importing this package registers every rule.
+
+Codes are grouped by category and never reused:
+
+* ``RL000``           — reserved: file could not be parsed
+* ``RL001``-``RL009`` — determinism
+* ``RL010``-``RL019`` — physics / units
+* ``RL020``-``RL029`` — hygiene
+"""
+
+from repro.lint.rules import determinism, hygiene, physics
+
+__all__ = ["determinism", "hygiene", "physics"]

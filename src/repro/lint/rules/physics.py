@@ -1,0 +1,134 @@
+"""Physics / units rules (RL010-RL019).
+
+The paper's unit system lives in :mod:`repro.units`; these rules keep
+physical quantities flowing through it instead of re-materializing as
+magic float literals, and keep float comparisons on physical values
+tolerance-based.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.base import RuleVisitor, register
+from repro.lint.rules.common import walk_identifiers
+
+__all__ = ["FloatEquality", "PhysicalLiteral"]
+
+#: Identifier shapes that denote a physical quantity: temperatures,
+#: redlines, inlet/outlet, power, and the repo's ``_kw`` / ``_c`` unit
+#: suffixes.
+_PHYSICS_NAME_RE = re.compile(
+    r"(?:^|_)(?:redline|inlet|outlet|temp|power)(?:$|_)"
+    r"|(?:^|_)t_(?:in|out)(?:$|_)"
+    r"|_kw$|_c$")
+
+#: Parameter names whose float defaults must come from repro.units.
+_PHYSICS_PARAM_RE = re.compile(
+    r"(?:^|_)(?:redline|rho|density)(?:$|_)|^cp$|(?:^|_)t_redline(?:$|_)")
+
+
+def _physics_named(node: ast.expr) -> bool:
+    return any(_PHYSICS_NAME_RE.search(name)
+               for name in walk_identifiers(node))
+
+
+@register
+class PhysicalLiteral(RuleVisitor):
+    """Known physical constants re-typed as bare float literals."""
+
+    code = "RL010"
+    name = "physical-literal"
+    category = "physics"
+    description = (
+        "a float literal equal to a physical constant (air density "
+        "1.205, node redline 25.0 C, CRAC redline 40.0 C) used as a "
+        "physics parameter default or compared against a physical "
+        "quantity; import the symbol from repro.units so a constant "
+        "change propagates everywhere")
+
+    def _constant_symbol(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return self.config.physical_constants.get(node.value)
+        return None
+
+    def _check_defaults(self, args: ast.arguments) -> None:
+        named = list(args.posonlyargs) + list(args.args)
+        defaults = list(args.defaults)
+        for arg, default in zip(named[len(named) - len(defaults):],
+                                defaults):
+            self._check_param(arg, default)
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None:
+                self._check_param(arg, kw_default)
+
+    def _check_param(self, arg: ast.arg, default: ast.expr) -> None:
+        symbol = self._constant_symbol(default)
+        if symbol is not None and _PHYSICS_PARAM_RE.search(arg.arg):
+            self.report(
+                default,
+                f"parameter {arg.arg!r} defaults to the bare literal "
+                f"for {symbol}; use the named constant")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, operand in enumerate(operands):
+            symbol = self._constant_symbol(operand)
+            if symbol is None:
+                continue
+            others = operands[:i] + operands[i + 1:]
+            if any(_physics_named(o) for o in others):
+                self.report(
+                    operand,
+                    f"comparison against the bare literal for {symbol}; "
+                    "use the named constant from repro.units")
+        self.generic_visit(node)
+
+
+@register
+class FloatEquality(RuleVisitor):
+    """``==`` / ``!=`` between physical float quantities."""
+
+    code = "RL011"
+    name = "float-equality"
+    category = "physics"
+    description = (
+        "exact ==/!= between a physical quantity (temperature, "
+        "redline, power, *_kw/*_c) and a non-zero float — rounding in "
+        "the thermal algebra makes exact equality brittle; use "
+        "repro.units.approx_eq / math.isclose with an explicit "
+        "tolerance (comparisons against exactly 0.0 are allowed as "
+        "structural emptiness checks)")
+
+    @staticmethod
+    def _nonzero_float(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Constant)
+                and isinstance(node.value, float)
+                and node.value != 0.0)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (left, right)
+            physical = [e for e in pair if _physics_named(e)]
+            if not physical:
+                continue
+            if any(self._nonzero_float(e) for e in pair) \
+                    or all(_physics_named(e) for e in pair):
+                self.report(
+                    node,
+                    "exact float equality on a physical quantity; "
+                    "compare with repro.units.approx_eq (or "
+                    "math.isclose) and an explicit tolerance")
+        self.generic_visit(node)

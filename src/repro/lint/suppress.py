@@ -1,0 +1,76 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the usual lint pragmas:
+
+* ``# repro-lint: disable=RL001`` (or ``RL001,RL020``) on the reported
+  line suppresses those codes for that line only;
+* ``# repro-lint: disable-file=RL004`` anywhere in the file (by
+  convention near the top) suppresses the codes for the whole file;
+  ``disable-file=all`` silences every rule.
+
+Comments are located with :mod:`tokenize`, so the pragma text inside a
+string literal is inert.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"(all|RL\d{3}(?:\s*,\s*RL\d{3})*)")
+
+
+@dataclass
+class Suppressions:
+    """Suppression state for one file."""
+
+    line_codes: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_codes: frozenset[str] = frozenset()
+    file_all: bool = False
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if self.file_all or code in self.file_codes:
+            return True
+        return code in self.line_codes.get(line, frozenset())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for pragma comments.
+
+    Tokenization errors (the engine lints only files that already
+    parsed, but be safe) yield an empty suppression set.
+    """
+    line_codes: dict[int, set[str]] = {}
+    file_codes: set[str] = set()
+    file_all = False
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return Suppressions()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        kind, codes_text = match.groups()
+        if codes_text == "all":
+            if kind == "disable-file":
+                file_all = True
+            continue                     # per-line "all" is not a thing
+        codes = {c.strip() for c in codes_text.split(",")}
+        if kind == "disable-file":
+            file_codes.update(codes)
+        else:
+            line_codes.setdefault(tok.start[0], set()).update(codes)
+    return Suppressions(
+        line_codes={ln: frozenset(cs) for ln, cs in line_codes.items()},
+        file_codes=frozenset(file_codes),
+        file_all=file_all)

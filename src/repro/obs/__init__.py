@@ -34,6 +34,7 @@ See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Any, Callable, Iterator
 
 from repro.obs.export import (ProfileNode, build_profile, merge_snapshot,
                               obs_snapshot, profile_from_snapshot,
@@ -88,7 +89,7 @@ def reset() -> None:
 
 
 @contextmanager
-def capture():
+def capture() -> Iterator[Callable[[], dict[str, Any]]]:
     """Record a region into *fresh, isolated* state.
 
     Swaps in a new enabled tracer and registry, restores the previous

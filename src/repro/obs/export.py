@@ -40,7 +40,7 @@ class ProfileNode:
 
     __slots__ = ("name", "count", "total_s", "min_s", "max_s", "children")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total_s = 0.0

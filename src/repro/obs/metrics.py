@@ -21,6 +21,9 @@ deterministic for a deterministic sweep.
 from __future__ import annotations
 
 import threading
+from typing import TypeVar
+
+_M = TypeVar("_M", "Counter", "Gauge", "Histogram")
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "counter", "gauge", "histogram", "current_registry",
@@ -125,12 +128,12 @@ _NULL_METRIC = _NullMetric()
 class MetricsRegistry:
     """Name → metric map for one process (or one scoped capture)."""
 
-    def __init__(self, enabled: bool = False):
+    def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
         self._lock = threading.Lock()
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls: type[_M]) -> _M:
         metric = self._metrics.get(name)
         if metric is None:
             with self._lock:

@@ -46,7 +46,7 @@ class Tracer:
     deterministic program.
     """
 
-    def __init__(self, enabled: bool = False):
+    def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.records: list[dict] = []
         self._lock = threading.Lock()
@@ -92,7 +92,7 @@ class Span:
 
     __slots__ = ("_tracer", "name", "attrs", "path", "_t0")
 
-    def __init__(self, tracer: Tracer, name: str, attrs: dict):
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
@@ -111,7 +111,7 @@ class Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         t1 = time.perf_counter()
         tracer = self._tracer
         stack = tracer._stack()
@@ -140,7 +140,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         return None
 
 
@@ -180,7 +180,7 @@ def reset_tracing() -> None:
     _TRACER.reset()
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> "Span | _NullSpan":
     """Open a span named ``name`` on the global tracer.
 
     Returns a context manager; when tracing is disabled this is a shared

@@ -1,6 +1,7 @@
 """Power models: CMOS core power (Appendix A), CRAC CoP and power (Eqs. 2-3, 8)."""
 
-from repro.power.cmos import CmosConstants, derive_constants, pstate_powers, static_fraction
+from repro.power.cmos import (CmosConstants, derive_constants,
+                              pstate_powers, static_fraction)
 from repro.power.cop import CoPModel, HP_UTILITY_COP
 from repro.power.crac import crac_power_kw, heat_removed_kw
 from repro.power.taskpower import (TaskPowerModel, expected_node_power,

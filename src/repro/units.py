@@ -19,6 +19,8 @@ heats its air stream by ``0.793 / (1.205 * 0.07) = 9.4 C``.
 
 from __future__ import annotations
 
+import math
+
 #: Density of air used in the paper's simulations, kg/m^3.
 AIR_DENSITY: float = 1.205
 
@@ -33,6 +35,26 @@ NODE_REDLINE_C: float = 25.0
 
 #: Redline inlet temperature for CRAC units, Celsius (Section VI.F).
 CRAC_REDLINE_C: float = 40.0
+
+#: Default tolerance for comparing temperatures, Celsius.  Matches the
+#: redline slack used by the constraint checkers
+#: (:meth:`repro.thermal.constraints.ThermalLinearization.check`).
+TEMP_TOL_C: float = 1e-6
+
+#: Default tolerance for comparing powers, kW.
+POWER_TOL_KW: float = 1e-6
+
+
+def approx_eq(a: float, b: float, tol: float = TEMP_TOL_C) -> bool:
+    """Tolerance comparison for physical quantities.
+
+    Exact ``==`` on temperatures or powers is brittle once values have
+    passed through the thermal algebra (LP round-off, affine
+    reconstruction); the lint rule RL011 points here.  ``tol`` is an
+    absolute tolerance in the quantity's unit; a relative component of
+    1e-9 guards large magnitudes.
+    """
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=tol)
 
 
 def heat_capacity_rate(flow_m3s: float,

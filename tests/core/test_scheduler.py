@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.scheduler import DynamicScheduler
-from repro.workload.tasktypes import Workload
 
 
 @pytest.fixture()

@@ -7,9 +7,9 @@ import pytest
 
 from repro.experiments import engine as engine_mod
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.engine import (CACHE_SCHEMA_VERSION, EngineConfig,
-                                      EngineError, cache_key, cache_path,
-                                      parallel_map, run_set, run_sets)
+from repro.experiments.engine import (EngineConfig, EngineError, cache_key,
+                                      cache_path, parallel_map, run_set,
+                                      run_sets)
 from repro.experiments.progress import ProgressReporter
 from repro.experiments.runner import RunResult
 from repro.optimize.linprog import InfeasibleError
@@ -44,6 +44,51 @@ class TestCacheKey:
         path = cache_path(tmp_path, TINY, 42)
         assert path.name.startswith("engine-tiny-seed42-")
         assert path.suffix == ".json"
+
+    def test_frozenset_and_nested_tuple_round_trip(self):
+        """The PR-3 postmortem footgun: only ``set`` was regression-
+        tested through ``cache_key``.  A config carrying a frozenset
+        (inside a nested tuple) must key identically regardless of the
+        frozenset's construction order — and must not raise."""
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class FrozenConfig:
+            name: str = "frozen-tiny"
+            psis: tuple = (25.0, (50.0, 75.0))
+            tags: frozenset = frozenset()
+
+        a = FrozenConfig(tags=frozenset({"slow", "hot", "big"}))
+        b = FrozenConfig(tags=frozenset({"big", "hot", "slow"}))
+        assert cache_key(a, 7) == cache_key(b, 7)
+        assert cache_key(a, 7) != cache_key(FrozenConfig(), 7)
+
+    def test_frozenset_digest_stable_across_hash_seeds(self):
+        """Subprocess check: frozenset-bearing keys are
+        PYTHONHASHSEED-proof end to end (sets were already covered)."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(engine_mod.__file__).parents[2])
+        code = (
+            "from dataclasses import dataclass\n"
+            "from repro.experiments.engine import cache_key\n"
+            "@dataclass(frozen=True)\n"
+            "class C:\n"
+            "    name: str = 'fs'\n"
+            "    tags: frozenset = frozenset('abcdefgh')\n"
+            "    nested: tuple = ((1.0, 2.0), (3.0,))\n"
+            "print(cache_key(C(), 3))\n")
+        digests = set()
+        for seed in ("0", "7", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src)
+            out = subprocess.run([sys.executable, "-c", code], env=env,
+                                 capture_output=True, text=True,
+                                 check=True)
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
 
 
 class TestEngineConfig:

@@ -3,7 +3,6 @@
 import csv
 import io
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import ScenarioConfig

@@ -1,6 +1,5 @@
 """Tests for repro.experiments.report — ASCII/markdown rendering."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import ScenarioConfig

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.faults.model import FaultKind, FaultSchedule
+from repro.faults.model import FaultKind
 from repro.faults.schedule import (FaultRates, demo_rates,
                                    generate_fault_schedule, load_schedule,
                                    schedule_from_dict)

@@ -1,0 +1,12 @@
+"""RL001 bad: set iteration order reaching ordered output."""
+
+
+def leak_order(items):
+    seen = set(items)
+    out = []
+    for item in seen:                          # line 7: for over a set
+        out.append(item)
+    ordered = list({"a", "b", "c"})            # line 9: list(set literal)
+    pairs = [x for x in frozenset(items)]      # line 10: comprehension
+    text = ",".join(set(items))                # line 11: join
+    return out, ordered, pairs, text

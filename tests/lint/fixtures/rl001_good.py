@@ -1,0 +1,14 @@
+"""RL001 good: every set is sorted (or consumed order-insensitively)."""
+
+
+def keep_order(items):
+    seen = set(items)
+    out = []
+    for item in sorted(seen):
+        out.append(item)
+    ordered = sorted({"a", "b", "c"})
+    pairs = [x for x in sorted(frozenset(items))]
+    text = ",".join(sorted(set(items)))
+    n = len(set(items))            # order-insensitive consumers are fine
+    top = max(seen)
+    return out, ordered, pairs, text, n, top

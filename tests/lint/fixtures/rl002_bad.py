@@ -1,0 +1,19 @@
+"""RL002 bad: the PR-3 cache-key bug, both shapes.
+
+``cache_key`` reproduces the original defect verbatim: a config whose
+``psis`` field was a set, serialized with ``default=list`` — iteration
+order (and therefore the digest) depended on ``PYTHONHASHSEED``.
+"""
+
+import hashlib
+import json
+
+
+def cache_key(config_dict, seed):
+    payload = {"config": config_dict, "seed": seed}
+    blob = json.dumps(payload, sort_keys=True, default=list)   # line 14
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def tag_blob(tags):
+    return json.dumps({"tags": set(tags)})                     # line 19

@@ -1,0 +1,14 @@
+"""RL002 good: serialization goes through the canonicalizer."""
+
+import hashlib
+
+from repro.experiments.engine import canonical_json
+
+
+def cache_key(config_dict, seed):
+    payload = {"config": config_dict, "seed": seed}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def tag_blob(tags):
+    return canonical_json({"tags": set(tags)})

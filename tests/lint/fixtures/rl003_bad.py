@@ -1,0 +1,15 @@
+"""RL003 bad: unseeded randomness in every flavor."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()                  # line 9: stdlib global RNG
+    b = random.choice([1, 2, 3])         # line 10
+    c = np.random.rand(4)                # line 11: numpy legacy global
+    d = np.random.shuffle([1, 2])        # line 12
+    rng = np.random.default_rng()        # line 13: unseeded generator
+    r = random.Random()                  # line 14: unseeded Random
+    return a, b, c, d, rng, r

@@ -1,0 +1,14 @@
+"""RL003 good: every draw flows from a seeded Generator."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed: int, rng: np.random.Generator | None = None):
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    a = rng.random()
+    b = rng.choice([1, 2, 3])
+    r = random.Random(seed)              # explicitly seeded is fine
+    return a, b, r

@@ -1,0 +1,10 @@
+"""RL004 bad: host wall clock read inside a deterministic path."""
+
+import time
+from datetime import datetime
+
+
+def cache_entry(payload):
+    return {"payload": payload,
+            "written_at": time.time(),       # line 9
+            "day": datetime.now()}           # line 10

@@ -1,0 +1,13 @@
+"""RL010 bad: physical constants re-typed as bare literals."""
+
+
+def heat_rate(flow_m3s, rho=1.205):                   # line 4: density
+    return rho * flow_m3s
+
+
+def violates(t_inlet_c, redline_c=25.0):              # line 8: redline
+    return t_inlet_c > redline_c
+
+
+def crac_ok(t_in):
+    return t_in <= 40.0                               # line 13: compare

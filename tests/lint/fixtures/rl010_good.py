@@ -1,0 +1,15 @@
+"""RL010 good: constants come from repro.units."""
+
+from repro.units import AIR_DENSITY, CRAC_REDLINE_C, NODE_REDLINE_C
+
+
+def heat_rate(flow_m3s, rho=AIR_DENSITY):
+    return rho * flow_m3s
+
+
+def violates(t_inlet_c, redline_c=NODE_REDLINE_C):
+    return t_inlet_c > redline_c
+
+
+def crac_ok(t_in):
+    return t_in <= CRAC_REDLINE_C

@@ -1,0 +1,13 @@
+"""RL011 bad: exact float equality on physical quantities."""
+
+
+def redline_hit(t_inlet_c, redline_c):
+    return t_inlet_c == redline_c                     # line 5: both phys
+
+
+def at_half_load(node_power_kw):
+    return node_power_kw == 0.3965                    # line 9: vs literal
+
+
+def outlet_pinned(t_out):
+    return t_out != 15.0                              # line 13

@@ -1,0 +1,15 @@
+"""RL011 good: tolerance comparisons, and exact-zero structure checks."""
+
+from repro.units import approx_eq
+
+
+def redline_hit(t_inlet_c, redline_c):
+    return approx_eq(t_inlet_c, redline_c)
+
+
+def at_half_load(node_power_kw):
+    return approx_eq(node_power_kw, 0.3965, tol=1e-9)
+
+
+def is_off(node_power_kw):
+    return node_power_kw == 0.0        # exact zero = structural check

@@ -1,0 +1,15 @@
+"""RL020 bad: handlers that swallow fault/solver errors."""
+
+
+def swallow_everything(solve):
+    try:
+        return solve()
+    except:                                           # line 7: bare
+        return None
+
+
+def swallow_broad(solve):
+    try:
+        return solve()
+    except Exception:                                 # line 14: broad
+        return None

@@ -1,0 +1,18 @@
+"""RL020 good: specific catches, or broad with a re-raise."""
+
+import logging
+
+
+def catch_specific(solve):
+    try:
+        return solve()
+    except (ValueError, ArithmeticError):
+        return None
+
+
+def log_and_reraise(solve):
+    try:
+        return solve()
+    except Exception:
+        logging.getLogger(__name__).exception("solve failed")
+        raise

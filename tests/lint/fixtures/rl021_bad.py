@@ -1,0 +1,16 @@
+"""RL021 bad: mutable default arguments."""
+
+
+def accumulate(x, acc=[]):                            # line 4
+    acc.append(x)
+    return acc
+
+
+def tally(key, counts={}):                            # line 9
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def visit(node, seen=set()):                          # line 14
+    seen.add(node)
+    return seen

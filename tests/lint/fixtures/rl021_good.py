@@ -1,0 +1,14 @@
+"""RL021 good: None defaults, constructed inside the function."""
+
+
+def accumulate(x, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(x)
+    return acc
+
+
+def tally(key, counts=None):
+    if counts is None:
+        counts = {}
+    counts[key] = counts.get(key, 0) + 1
+    return counts

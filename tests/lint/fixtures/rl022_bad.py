@@ -1,0 +1,9 @@
+"""RL022 bad: span names outside the documented taxonomy."""
+
+from repro.obs.trace import span as obs_span
+
+
+def solve_with_mystery_span(fn):
+    with obs_span("mystery_stage"):                   # line 7
+        with obs_span("stage1.warmup"):               # line 8: bad tail
+            return fn()

@@ -1,0 +1,9 @@
+"""RL022 good: only documented span names."""
+
+from repro.obs.trace import span as obs_span
+
+
+def solve_with_spans(fn):
+    with obs_span("three_stage"):
+        with obs_span("stage1", mode="fast"):
+            return fn()

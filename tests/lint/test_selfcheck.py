@@ -1,0 +1,50 @@
+"""Self-check: the shipped tree is clean against the committed baseline.
+
+This is the test the CI ``lint`` job mirrors — if it fails, either fix
+the new finding or (with a written reason) add it to
+``lint-baseline.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def _run_lint(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", *args],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=300)
+
+
+class TestSelfCheck:
+    def test_src_is_clean_against_committed_baseline(self):
+        proc = _run_lint("--baseline", "lint-baseline.json",
+                         "--format", "json")
+        doc = json.loads(proc.stdout)
+        assert proc.returncode == 0, \
+            f"repro lint src reported new findings:\n" \
+            f"{json.dumps(doc.get('findings'), indent=2)}"
+        assert doc["ok"] is True
+
+    def test_baseline_has_no_stale_entries(self):
+        proc = _run_lint("--baseline", "lint-baseline.json",
+                         "--format", "json")
+        doc = json.loads(proc.stdout)
+        assert doc["stale_baseline"] == [], \
+            "baseline entries no longer match any finding — delete them"
+
+    def test_baseline_reasons_are_real(self):
+        doc = json.loads(
+            (REPO_ROOT / "lint-baseline.json").read_text())
+        for entry in doc["entries"]:
+            assert "TODO" not in entry["reason"], entry
+            assert len(entry["reason"]) >= 20, entry

@@ -1,0 +1,124 @@
+"""Suppression pragmas and the committed-baseline workflow."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (Baseline, Finding, LintConfig, lint_paths,
+                        load_baseline, parse_suppressions, select_rules,
+                        write_baseline)
+
+BAD_LINE = "x = time.time()\n"
+
+
+def _write(tmp_path: Path, body: str) -> Path:
+    path = tmp_path / "mod.py"
+    path.write_text("import time\n" + body)
+    return path
+
+
+def _rl004(tmp_path: Path, body: str):
+    return lint_paths([_write(tmp_path, body)],
+                      rules=select_rules(select=["RL004"]),
+                      config=LintConfig())
+
+
+class TestSuppressions:
+    def test_line_pragma_suppresses_only_that_line(self, tmp_path):
+        report = _rl004(
+            tmp_path,
+            "a = time.time()  # repro-lint: disable=RL004\n"
+            "b = time.time()\n")
+        assert [f.line for f in report.findings] == [3]
+        assert [f.line for f in report.suppressed] == [2]
+
+    def test_file_pragma_suppresses_whole_file(self, tmp_path):
+        report = _rl004(
+            tmp_path,
+            "# repro-lint: disable-file=RL004\n"
+            "a = time.time()\n"
+            "b = time.time()\n")
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_disable_file_all(self, tmp_path):
+        report = _rl004(
+            tmp_path, "# repro-lint: disable-file=all\na = time.time()\n")
+        assert report.findings == []
+
+    def test_pragma_for_other_code_does_not_suppress(self, tmp_path):
+        report = _rl004(
+            tmp_path, "a = time.time()  # repro-lint: disable=RL001\n")
+        assert [f.line for f in report.findings] == [2]
+
+    def test_pragma_inside_string_is_inert(self):
+        sup = parse_suppressions(
+            's = "# repro-lint: disable=RL004"\n')
+        assert not sup.is_suppressed("RL004", 1)
+
+    def test_multiple_codes_one_pragma(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=RL001,RL004\n")
+        assert sup.is_suppressed("RL001", 1)
+        assert sup.is_suppressed("RL004", 1)
+        assert not sup.is_suppressed("RL002", 1)
+
+
+class TestBaseline:
+    def _finding(self, **kw):
+        defaults = dict(path="src/m.py", line=5, col=1, code="RL004",
+                        rule="wall-clock", message="msg",
+                        context=BAD_LINE.strip())
+        defaults.update(kw)
+        return Finding(**defaults)
+
+    def test_absorbs_on_context_not_line_number(self):
+        base = Baseline([{"code": "RL004", "path": "src/m.py",
+                          "context": BAD_LINE.strip(), "reason": "why"}])
+        assert base.absorb(self._finding(line=99))      # drifted line
+        assert not base.absorb(self._finding(line=100))  # budget spent
+
+    def test_stale_entries_reported(self):
+        entry = {"code": "RL004", "path": "src/m.py",
+                 "context": "gone = time.time()", "reason": "why"}
+        base = Baseline([entry])
+        assert base.stale_entries() == [entry]
+
+    def test_write_then_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._finding()], path, reason="kept on purpose")
+        base = load_baseline(path)
+        assert base.absorb(self._finding())
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 1
+        assert doc["entries"][0]["reason"] == "kept on purpose"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        base = load_baseline(tmp_path / "nope.json")
+        assert not base.absorb(self._finding())
+        assert base.stale_entries() == []
+
+    def test_entry_missing_reason_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "entries": [{"code": "RL004", "path": "p",
+                         "context": "c"}]}))
+        with pytest.raises(ValueError, match="reason"):
+            load_baseline(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_baselined_findings_do_not_fail_report(self, tmp_path):
+        mod = _write(tmp_path, BAD_LINE)
+        base = Baseline([{"code": "RL004", "path": mod.as_posix(),
+                          "context": BAD_LINE.strip(), "reason": "legacy"}])
+        report = lint_paths([mod], rules=select_rules(select=["RL004"]),
+                            config=LintConfig(), baseline=base)
+        assert report.ok
+        assert len(report.baselined) == 1

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.power.cmos import (CmosConstants, derive_constants, pstate_powers,
+from repro.power.cmos import (derive_constants, pstate_powers,
                               static_fraction)
 
 # AMD Opteron 8381 HE ladder (Appendix A / Table I, node type 1)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.simulate.engine import simulate_trace
-from repro.workload.tasktypes import Workload
 from repro.workload.trace import Task, generate_trace
 
 

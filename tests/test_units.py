@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.units import (AIR_DENSITY, AIR_SPECIFIC_HEAT, delta_t_for_power,
+from repro.units import (AIR_DENSITY, AIR_SPECIFIC_HEAT, NODE_REDLINE_C,
+                         TEMP_TOL_C, approx_eq, delta_t_for_power,
                          heat_capacity_rate)
 
 
@@ -44,3 +45,21 @@ class TestDeltaT:
 def test_constants_match_paper():
     assert AIR_DENSITY == 1.205
     assert AIR_SPECIFIC_HEAT == 1.0
+
+
+class TestApproxEq:
+    """Tolerance comparison the RL011 lint rule points at."""
+
+    def test_within_default_tolerance(self):
+        assert approx_eq(NODE_REDLINE_C, NODE_REDLINE_C + TEMP_TOL_C / 2)
+
+    def test_outside_default_tolerance(self):
+        assert not approx_eq(25.0, 25.0 + 1e-3)
+
+    def test_custom_tolerance(self):
+        assert approx_eq(0.793, 0.794, tol=1e-2)
+        assert not approx_eq(0.793, 0.794, tol=1e-4)
+
+    def test_relative_component_guards_large_magnitudes(self):
+        big = 1e12
+        assert approx_eq(big, big * (1 + 1e-10))

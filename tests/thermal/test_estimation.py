@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.thermal.estimation import (Measurement, collect_measurements,
+from repro.thermal.estimation import (collect_measurements,
                                       estimate_mix_matrix, estimation_error,
                                       _project_to_simplex)
 
