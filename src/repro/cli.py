@@ -70,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record spans/metrics and write a JSON-lines "
                             "event log here (inspect with 'repro profile')")
 
+    def add_kernel_arg(p: argparse.ArgumentParser) -> None:
+        from repro import kernels
+
+        p.add_argument("--kernel", choices=kernels.available_kernels(),
+                       default=kernels.DEFAULT_KERNEL,
+                       help="numeric kernel for the solver hot loops "
+                            "(see docs/KERNELS.md; default "
+                            f"{kernels.DEFAULT_KERNEL})")
+
+    add_kernel_arg(p_cmp)
+
     p_fig6 = sub.add_parser("fig6", help="run the Figure 6 experiment")
     p_fig6.add_argument("--runs", type=int, default=5,
                         help="simulation runs per set (paper: 25)")
@@ -79,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig6.add_argument("--csv", type=str, default=None,
                         help="also write the bar series to this CSV file")
     add_engine_args(p_fig6)
+    add_kernel_arg(p_fig6)
     add_trace_arg(p_fig6)
 
     p_sweep = sub.add_parser(
@@ -89,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", type=str, default=None,
                          help="also write the curve to this CSV file")
     add_engine_args(p_sweep)
+    add_kernel_arg(p_sweep)
     add_trace_arg(p_sweep)
 
     p_sim = sub.add_parser("simulate",
@@ -100,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON summary instead "
                             "of the text report")
+    add_kernel_arg(p_sim)
     add_trace_arg(p_sim)
 
     p_chaos = sub.add_parser(
@@ -123,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit a machine-readable JSON summary instead "
                               "of the text report")
     add_engine_args(p_chaos)
+    add_kernel_arg(p_chaos)
     add_trace_arg(p_chaos)
 
     p_lint = sub.add_parser(
@@ -345,21 +360,24 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    trace_out = getattr(args, "trace_out", None)
-    if trace_out is None:
-        return _COMMANDS[args.command](args)
-    from repro import obs
+    from repro import kernels
 
-    obs.reset()
-    obs.enable()
-    try:
-        code = _COMMANDS[args.command](args)
-    finally:
-        obs.disable()
-        n = obs.write_events_jsonl(trace_out,
-                                   meta={"command": args.command})
-        print(f"trace: {n} spans -> {trace_out}", file=sys.stderr)
+    args = build_parser().parse_args(argv)
+    with kernels.use_kernel(getattr(args, "kernel", None)):
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out is None:
+            return _COMMANDS[args.command](args)
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            code = _COMMANDS[args.command](args)
+        finally:
+            obs.disable()
+            n = obs.write_events_jsonl(trace_out,
+                                       meta={"command": args.command})
+            print(f"trace: {n} spans -> {trace_out}", file=sys.stderr)
     return code
 
 

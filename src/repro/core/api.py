@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from repro import kernels
 from repro.datacenter.builder import DataCenter
 from repro.workload.tasktypes import Workload
 
@@ -71,6 +72,10 @@ class SolveOptions:
         Grid granularities of the ``"full"`` coarse-to-fine search.
     temp_step / max_assignments:
         Exact-enumeration knobs (``"exact"`` method only).
+    kernel:
+        Numeric kernel the solve runs under (``"vectorized"`` — the
+        default — or the scalar ``"reference"`` oracle; see
+        :mod:`repro.kernels` and ``docs/KERNELS.md``).
     """
 
     psi: float = 50.0
@@ -80,6 +85,7 @@ class SolveOptions:
     final_step: float = 1.0
     temp_step: float = 3.0
     max_assignments: int = 200_000
+    kernel: str = kernels.DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.search not in ("fast", "full"):
@@ -87,6 +93,10 @@ class SolveOptions:
                 f"unknown search mode {self.search!r} (use 'fast' or 'full')")
         if not self.psis:
             raise ValueError("need at least one psi value")
+        if self.kernel not in kernels.available_kernels():
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from "
+                f"{', '.join(kernels.available_kernels())}")
 
 
 @dataclass(frozen=True, eq=False)
@@ -199,7 +209,9 @@ def solve(request: SolveRequest, *, method: str = "three_stage"
     """Solve one first-step problem with the named technique.
 
     Every return value exposes ``.reward_rate``, ``.verify(datacenter,
-    p_const)`` and ``.to_dict()`` regardless of the method.
+    p_const)`` and ``.to_dict()`` regardless of the method.  The solve
+    runs under ``request.options.kernel`` (scoped — the process-wide
+    kernel selection is restored afterwards).
     """
     try:
         solver = _SOLVERS[method]
@@ -207,4 +219,5 @@ def solve(request: SolveRequest, *, method: str = "three_stage"
         raise ValueError(
             f"unknown solve method {method!r}; "
             f"choose from {', '.join(_SOLVERS)}") from None
-    return solver(request)
+    with kernels.use_kernel(request.options.kernel):
+        return solver(request)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.core.arr import AggregateRewardRate, aggregate_reward_rate
 from repro.datacenter.builder import DataCenter
 from repro.obs import metrics as obs_metrics
@@ -82,27 +83,13 @@ def build_arr_functions(datacenter: DataCenter, workload: Workload,
 def _node_segments(datacenter: DataCenter,
                    arrs: list[AggregateRewardRate]
                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flatten per-node hull segments for the LP.
+    """Flatten per-node hull segments for the LP (via the active kernel).
 
     Returns ``(node_of_var, capacity, slope)`` — one entry per
     (node, segment) variable; capacity is segment length times the
     node's core count.
     """
-    node_ids: list[int] = []
-    caps: list[float] = []
-    slopes: list[float] = []
-    per_type = []
-    for arr in arrs:
-        lengths, slps = arr.segments_decreasing_slope()
-        per_type.append((lengths, slps))
-    for node in datacenter.nodes:
-        lengths, slps = per_type[node.type_index]
-        for length, slope in zip(lengths, slps):
-            node_ids.append(node.index)
-            caps.append(float(length) * node.n_cores)
-            slopes.append(float(slope))
-    return (np.asarray(node_ids, dtype=int), np.asarray(caps),
-            np.asarray(slopes))
+    return kernels.active().assemble_segments(datacenter, arrs)
 
 
 def solve_stage1_fixed_temps(datacenter: DataCenter,
@@ -191,32 +178,11 @@ def distribute_node_power(datacenter: DataCenter,
     the remainder to a single partial core.  Every resulting per-core
     power is a hull breakpoint (a real, "good" P-state power) except at
     most one per node, and the summed ``ARR`` equals the LP objective.
+    Dispatches to the active kernel (``docs/KERNELS.md``); the kernels
+    agree bit-for-bit.
     """
-    core_power = np.zeros(datacenter.n_cores)
-    for node in datacenter.nodes:
-        budget = float(node_core_power[node.index])
-        if budget <= 0.0:
-            continue
-        hull_x = arrs[node.type_index].concave.x
-        n = node.n_cores
-        powers = np.zeros(n)
-        level = 0.0
-        for bp in hull_x[1:]:
-            step = bp - level
-            full_cost = n * step
-            if budget >= full_cost - 1e-12:
-                powers[:] = bp
-                budget -= full_cost
-                level = bp
-                continue
-            k = int(budget // step)
-            powers[:k] = bp
-            powers[k] = level + (budget - k * step)
-            budget = 0.0
-            break
-        first = node.first_core
-        core_power[first:first + n] = powers
-    return core_power
+    return kernels.active().distribute_node_power(datacenter, arrs,
+                                                  node_core_power)
 
 
 def solve_stage1(datacenter: DataCenter, workload: Workload,
@@ -275,7 +241,9 @@ def solve_stage1(datacenter: DataCenter, workload: Workload,
     lows = [c.outlet_range_c[0] for c in datacenter.cracs]
     highs = [c.outlet_range_c[1] for c in datacenter.cracs]
     arrs = build_arr_functions(datacenter, workload, psi)
-    cop_model = datacenter.cracs[0].cop_model
+    # the active kernel picks the CoP evaluation strategy (direct vs
+    # memoized lookup — bit-identical values either way)
+    cop_model = kernels.active().wrap_cop(datacenter.cracs[0].cop_model)
     best: dict[bytes, Stage1Solution] = {}
     probes = infeasible = 0
 

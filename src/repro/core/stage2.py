@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.core.stage1 import Stage1Solution
 from repro.datacenter.builder import DataCenter
 
@@ -89,22 +90,8 @@ def convert_power_to_pstates(datacenter: DataCenter,
     if budget.shape != (datacenter.n_nodes,):
         raise ValueError(
             f"expected {datacenter.n_nodes} node budgets, got {budget.shape}")
-    pstates = np.empty(datacenter.n_cores, dtype=int)
-    for node in datacenter.nodes:
-        table = np.asarray(node.spec.pstate_power_kw)
-        first, n = node.first_core, node.n_cores
-        local = np.asarray([
-            _round_up_pstate(table, core_power_kw[first + c])
-            for c in range(n)
-        ])
-        core_budget = budget[node.index] - node.spec.base_power_kw
-        # step 2: trim while over budget (tolerance absorbs LP round-off)
-        while table[local].sum() > core_budget + 1e-9:
-            worst = int(np.argmin(local))       # smallest P-state index
-            if local[worst] >= node.spec.off_pstate:
-                break                            # everything already off
-            local[worst] += 1
-        pstates[first:first + n] = local
+    pstates = kernels.active().convert_power_to_pstates(
+        datacenter, core_power_kw, budget)
     node_power = datacenter.node_power_kw(pstates)
     return Stage2Solution(pstates=pstates, node_power_kw=node_power)
 

@@ -126,8 +126,25 @@ class DataCenter:
         """Global core indices belonging to node ``j`` (``cores_j``)."""
         return self.nodes[j].core_indices
 
+    def _validate_pstates(self, core_pstates: np.ndarray) -> np.ndarray:
+        """Shape/range-check a global P-state vector (or batch of them)."""
+        from repro.kernels.tables import core_power_table
+
+        ps = np.asarray(core_pstates, dtype=int)
+        if ps.shape[-1:] != (self.n_cores,):
+            raise ValueError(
+                f"expected {self.n_cores} core P-states, got shape {ps.shape}")
+        eta = core_power_table(self).n_pstates[self.core_type]
+        bad = (ps < 0) | (ps >= eta)
+        if bad.any():
+            t = int(self.core_type[np.nonzero(bad)[-1][0]])
+            raise IndexError(
+                f"P-state out of range for node type "
+                f"{self.node_types[t].name}")
+        return ps
+
     def node_power_kw(self, core_pstates: np.ndarray) -> np.ndarray:
-        """Eq. 1 for every node at once.
+        """Eq. 1 for every node at once (via the active kernel).
 
         Parameters
         ----------
@@ -139,24 +156,30 @@ class DataCenter:
         numpy.ndarray
             ``PCN_j`` for every node, kW.
         """
-        ps = np.asarray(core_pstates, dtype=int)
-        if ps.shape != (self.n_cores,):
+        from repro import kernels
+
+        ps = self._validate_pstates(core_pstates)
+        if ps.ndim != 1:
             raise ValueError(
-                f"expected {self.n_cores} core P-states, got shape {ps.shape}")
-        core_power = np.empty(self.n_cores)
-        for t, spec in enumerate(self.node_types):
-            mask = self.core_type == t
-            if not mask.any():
-                continue
-            table = np.asarray(spec.pstate_power_kw)
-            sub = ps[mask]
-            if np.any(sub < 0) or np.any(sub >= table.size):
-                raise IndexError(
-                    f"P-state out of range for node type {spec.name}")
-            core_power[mask] = table[sub]
-        sums = np.bincount(self.core_node, weights=core_power,
-                           minlength=self.n_nodes)
-        return self.node_base_power + sums
+                f"expected a flat P-state vector, got shape {ps.shape}")
+        return kernels.active().node_power_kw(self, ps)
+
+    def node_power_batch(self, core_pstates: np.ndarray) -> np.ndarray:
+        """Eq. 1 for every row of a ``(B, n_cores)`` P-state batch.
+
+        Row ``b`` of the result equals ``node_power_kw(core_pstates[b])``
+        bit-for-bit; the batch form exists so callers evaluating many
+        candidate assignments (controller epochs, enumeration, property
+        tests) avoid per-call Python overhead.
+        """
+        from repro import kernels
+
+        ps = self._validate_pstates(core_pstates)
+        if ps.ndim != 2:
+            raise ValueError(
+                f"expected a (batch, {self.n_cores}) P-state array, got "
+                f"shape {ps.shape}")
+        return kernels.active().node_power_batch(self, ps)
 
     def all_off_pstates(self) -> np.ndarray:
         """Global P-state vector with every core turned off."""

@@ -1,0 +1,182 @@
+"""Scalar reference kernels — the oracle the vectorized path must match.
+
+Every function here is the original per-core / per-node Python-loop
+implementation of its primitive, kept deliberately simple: these are the
+semantics, and ``tests/kernels/`` asserts the vectorized kernels agree
+with them (bit-identically for integer outputs, within
+``repro.units.approx_eq`` for floats).
+
+See :mod:`repro.kernels` for the shared contract.  Inputs are validated
+by the public call sites before dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.arr import AggregateRewardRate
+    from repro.datacenter.builder import DataCenter
+    from repro.power.cop import CoPModel
+    from repro.thermal.heatflow import HeatFlowModel
+
+__all__ = ["node_power_kw", "node_power_batch", "steady_state_batch",
+           "convert_power_to_pstates", "assemble_segments",
+           "distribute_node_power", "wrap_cop"]
+
+
+# ----------------------------------------------------------------------
+# power evaluation (Eq. 1 / Eq. 23)
+
+def node_power_kw(datacenter: "DataCenter",
+                  core_pstates: np.ndarray) -> np.ndarray:
+    """Eq. 1 per node: base power plus the sum of its cores' P-state powers."""
+    core_power = np.empty(datacenter.n_cores)
+    core_type = datacenter.core_type
+    types = datacenter.node_types
+    for k in range(datacenter.n_cores):
+        core_power[k] = types[core_type[k]].pstate_power_kw[core_pstates[k]]
+    sums = np.bincount(datacenter.core_node, weights=core_power,
+                       minlength=datacenter.n_nodes)
+    return datacenter.node_base_power + sums
+
+
+def node_power_batch(datacenter: "DataCenter",
+                     core_pstates: np.ndarray) -> np.ndarray:
+    """Eq. 1 for each row of a ``(B, n_cores)`` P-state batch."""
+    return np.stack([node_power_kw(datacenter, row)
+                     for row in core_pstates])
+
+
+# ----------------------------------------------------------------------
+# steady-state heat flow (Eqs. 4-5)
+
+def steady_state_batch(model: "HeatFlowModel", t_crac_out: np.ndarray,
+                       node_power_kw: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One affine solve per row, exactly as ``HeatFlowModel.steady_state``.
+
+    ``t_crac_out`` and ``node_power_kw`` are ``(B, n_crac)`` and
+    ``(B, n_nodes)``; returns ``(t_in, t_out, crac_heat_kw)`` stacked
+    the same way.
+    """
+    n_runs = node_power_kw.shape[0]
+    n_crac = model.n_crac
+    t_in = np.empty((n_runs, model.n_units))
+    t_out = np.empty((n_runs, model.n_units))
+    heat = np.empty((n_runs, n_crac))
+    for b in range(n_runs):
+        const, gain = model.inlet_affine(t_crac_out[b])
+        p = node_power_kw[b]
+        t_in[b] = const + gain @ p
+        t_out[b, :n_crac] = t_crac_out[b]
+        t_out[b, n_crac:] = t_in[b, n_crac:] + model.node_heat_coeff * p
+        heat[b] = np.maximum(
+            model.crac_capacity * (t_in[b, :n_crac] - t_out[b, :n_crac]),
+            0.0)
+    return t_in, t_out, heat
+
+
+# ----------------------------------------------------------------------
+# stage 2: integer P-state conversion (Section V.B.3)
+
+def convert_power_to_pstates(datacenter: "DataCenter",
+                             core_power_kw: np.ndarray,
+                             node_power_budget_kw: np.ndarray) -> np.ndarray:
+    """Round every core's power up to a P-state, then trim per node."""
+    from repro.core.stage2 import _round_up_pstate
+
+    pstates = np.empty(datacenter.n_cores, dtype=int)
+    for node in datacenter.nodes:
+        table = np.asarray(node.spec.pstate_power_kw)
+        first, n = node.first_core, node.n_cores
+        local = np.asarray([
+            _round_up_pstate(table, core_power_kw[first + c])
+            for c in range(n)
+        ])
+        core_budget = node_power_budget_kw[node.index] \
+            - node.spec.base_power_kw
+        # step 2: trim while over budget (tolerance absorbs LP round-off)
+        while table[local].sum() > core_budget + 1e-9:
+            worst = int(np.argmin(local))        # smallest P-state index
+            if local[worst] >= node.spec.off_pstate:
+                break                            # everything already off
+            local[worst] += 1
+        pstates[first:first + n] = local
+    return pstates
+
+
+# ----------------------------------------------------------------------
+# stage 1: LP assembly and breakpoint fill
+
+def assemble_segments(datacenter: "DataCenter",
+                      arrs: "list[AggregateRewardRate]"
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten per-node hull segments into LP variables.
+
+    Returns ``(node_of_var, capacity, slope)`` — one entry per
+    (node, segment) variable; capacity is segment length times the
+    node's core count.
+    """
+    node_ids: list[int] = []
+    caps: list[float] = []
+    slopes: list[float] = []
+    per_type = []
+    for arr in arrs:
+        lengths, slps = arr.segments_decreasing_slope()
+        per_type.append((lengths, slps))
+    for node in datacenter.nodes:
+        lengths, slps = per_type[node.type_index]
+        for length, slope in zip(lengths, slps):
+            node_ids.append(node.index)
+            caps.append(float(length) * node.n_cores)
+            slopes.append(float(slope))
+    return (np.asarray(node_ids, dtype=int), np.asarray(caps),
+            np.asarray(slopes))
+
+
+def distribute_node_power(datacenter: "DataCenter",
+                          arrs: "list[AggregateRewardRate]",
+                          node_core_power: np.ndarray) -> np.ndarray:
+    """Split each node's total core power onto its cores.
+
+    Breakpoint-quantized greedy (DESIGN.md §3.1): raise all cores of the
+    node through the concave-hull breakpoints in order; within the last
+    affordable level, advance as many whole cores as possible and give
+    the remainder to a single partial core.
+    """
+    core_power = np.zeros(datacenter.n_cores)
+    for node in datacenter.nodes:
+        budget = float(node_core_power[node.index])
+        if budget <= 0.0:
+            continue
+        hull_x = arrs[node.type_index].concave.x
+        n = node.n_cores
+        powers = np.zeros(n)
+        level = 0.0
+        for bp in hull_x[1:]:
+            step = bp - level
+            full_cost = n * step
+            if budget >= full_cost - 1e-12:
+                powers[:] = bp
+                budget -= full_cost
+                level = bp
+                continue
+            k = int(budget // step)
+            powers[:k] = bp
+            powers[k] = level + (budget - k * step)
+            budget = 0.0
+            break
+        first = node.first_core
+        core_power[first:first + n] = powers
+    return core_power
+
+
+# ----------------------------------------------------------------------
+# CRAC efficiency
+
+def wrap_cop(cop_model: "CoPModel") -> "Callable[[np.ndarray], np.ndarray]":
+    """Reference strategy: evaluate the CoP curve directly every time."""
+    return cop_model

@@ -1,0 +1,110 @@
+"""Precomputed lookup tables shared by the vectorized kernels.
+
+Two kinds of memoization:
+
+* :class:`CorePowerTable` — the per-type P-state power ladders padded
+  into one dense ``(n_types, max_eta)`` array plus the node/core layout
+  arrays the kernels gather through.  Built once per
+  :class:`~repro.datacenter.builder.DataCenter` and cached on the
+  instance (rooms are immutable after construction).
+* :class:`CachedCoP` — exact memoization of a CoP curve evaluation at
+  repeated outlet-temperature vectors.  The stage-1 temperature search
+  revisits the same outlet vectors across psi levels and controller
+  epochs; the quadratic is cheap but the memo makes the evaluation a
+  dict lookup and — more importantly — guarantees bit-identical values
+  for identical inputs by construction.
+
+Both return the exact same floats the unmemoized path produces: a table
+gather reads the same IEEE doubles the scalar code reads, and the CoP
+memo stores the result of the one real evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.datacenter.builder import DataCenter
+    from repro.power.cop import CoPModel
+
+__all__ = ["CorePowerTable", "core_power_table", "CachedCoP"]
+
+_TABLE_ATTR = "_kernel_core_power_table"
+
+
+@dataclass(frozen=True)
+class CorePowerTable:
+    """Dense P-state power lookup + room layout arrays.
+
+    Attributes
+    ----------
+    power:
+        ``(n_types, max_eta)`` per-core P-state power, kW; rows of types
+        with fewer P-states are zero-padded (the pad is never indexed —
+        call sites bounds-check against :attr:`n_pstates` first).
+    n_pstates / off_pstate:
+        Per-type ladder length ``eta_j`` and off index (``eta_j - 1``).
+    node_first_core / node_n_cores:
+        Global core-index layout, one entry per node.
+    """
+
+    power: np.ndarray
+    n_pstates: np.ndarray
+    off_pstate: np.ndarray
+    node_first_core: np.ndarray
+    node_n_cores: np.ndarray
+
+
+def core_power_table(datacenter: "DataCenter") -> CorePowerTable:
+    """The room's :class:`CorePowerTable`, built once and cached."""
+    cached = datacenter.__dict__.get(_TABLE_ATTR)
+    if cached is not None:
+        return cached
+    specs = datacenter.node_types
+    etas = np.asarray([spec.n_pstates for spec in specs], dtype=int)
+    power = np.zeros((len(specs), int(etas.max())))
+    for t, spec in enumerate(specs):
+        power[t, :etas[t]] = np.asarray(spec.pstate_power_kw)
+    counts = np.asarray([node.n_cores for node in datacenter.nodes],
+                        dtype=int)
+    firsts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(int)
+    table = CorePowerTable(
+        power=power,
+        n_pstates=etas,
+        off_pstate=etas - 1,
+        node_first_core=firsts,
+        node_n_cores=counts,
+    )
+    datacenter.__dict__[_TABLE_ATTR] = table
+    return table
+
+
+class CachedCoP:
+    """Memoizing wrapper around a :class:`~repro.power.cop.CoPModel`.
+
+    Keyed on the exact bytes of the input array, so a hit returns the
+    bit-identical result of the original evaluation.  The memo is
+    bounded (FIFO eviction) — the temperature search only ever visits a
+    few hundred distinct outlet vectors, so eviction is a safety valve,
+    not a steady state.
+    """
+
+    _MAX_ENTRIES = 4096
+
+    def __init__(self, model: "CoPModel"):
+        self.model = model
+        self._memo: dict[bytes, np.ndarray] = {}
+
+    def __call__(self, t_out_c) -> np.ndarray:
+        t = np.asarray(t_out_c, dtype=float)
+        key = t.tobytes()
+        hit = self._memo.get(key)
+        if hit is None:
+            hit = np.asarray(self.model(t), dtype=float)
+            if len(self._memo) >= self._MAX_ENTRIES:
+                self._memo.pop(next(iter(self._memo)))
+            self._memo[key] = hit
+        return hit.copy()

@@ -20,6 +20,13 @@ from repro.workload import generate_workload
 SEED = 20120521  # IPDPSW 2012 conference date
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the tests/golden/data baselines from the current "
+             "code instead of comparing against them")
+
+
 @pytest.fixture(scope="session")
 def small_dc():
     """A 20-node, 3-CRAC room with its thermal model attached."""

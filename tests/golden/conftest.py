@@ -1,0 +1,107 @@
+"""The golden-value harness (docs/KERNELS.md, "Golden workflow").
+
+``golden`` is a fixture-as-function: a test builds a JSON-able document
+of headline numbers and calls ``golden("name", document)``.  Normally
+the document is compared against the committed baseline
+``tests/golden/data/name.json`` — floats within ``REL_TOL``/``ABS_TOL``
+(cross-BLAS robustness; see the tolerance policy in docs/KERNELS.md),
+everything else exactly — and mismatches fail with a per-path diff
+report.  With ``pytest --update-golden`` the baselines are rewritten
+from the current code instead; review the resulting git diff like any
+other source change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Callable, Iterator
+
+import pytest
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: Float comparison bounds.  Wide enough to absorb BLAS/platform
+#: accumulation-order noise, tight enough that any real behavior change
+#: (different P-state, different search optimum) fails loudly.
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+#: Mismatched paths shown before truncating the report.
+MAX_DIFFS_SHOWN = 25
+
+
+def _diff(path: str, expected, got) -> Iterator[str]:
+    """Yield one human-readable line per mismatched leaf."""
+    # bool is an int subclass: compare it by identity-of-type first so
+    # True does not silently match 1.0
+    if isinstance(expected, bool) or isinstance(got, bool):
+        if expected is not got:
+            yield f"{path}: expected {expected!r}, got {got!r}"
+        return
+    if isinstance(expected, (int, float)) and isinstance(got, (int, float)):
+        exp_f, got_f = float(expected), float(got)
+        if math.isnan(exp_f) and math.isnan(got_f):
+            return
+        if not math.isclose(exp_f, got_f, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+            yield (f"{path}: expected {expected!r}, got {got!r} "
+                   f"(|diff| = {abs(exp_f - got_f):.3e})")
+        return
+    if type(expected) is not type(got):
+        yield (f"{path}: type changed from {type(expected).__name__} "
+               f"to {type(got).__name__}")
+        return
+    if isinstance(expected, dict):
+        for key in sorted(expected.keys() - got.keys()):
+            yield f"{path}.{key}: missing from current output"
+        for key in sorted(got.keys() - expected.keys()):
+            yield f"{path}.{key}: not in baseline"
+        for key in sorted(expected.keys() & got.keys()):
+            yield from _diff(f"{path}.{key}", expected[key], got[key])
+        return
+    if isinstance(expected, list):
+        if len(expected) != len(got):
+            yield (f"{path}: length changed from {len(expected)} "
+                   f"to {len(got)}")
+            return
+        for i, (e, g) in enumerate(zip(expected, got)):
+            yield from _diff(f"{path}[{i}]", e, g)
+        return
+    if expected != got:
+        yield f"{path}: expected {expected!r}, got {got!r}"
+
+
+@pytest.fixture
+def golden(request) -> Callable[[str, dict], None]:
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, document: dict) -> None:
+        path = DATA_DIR / f"{name}.json"
+        # round-trip through JSON so the baseline and the live document
+        # are compared in the same representation (tuples become lists,
+        # numpy scalars must already be plain — a TypeError here means
+        # the test forgot a .tolist()/float())
+        document = json.loads(json.dumps(document, sort_keys=True))
+        if update:
+            DATA_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden baseline {path.name} does not exist; generate it "
+                f"with: pytest tests/golden --update-golden", pytrace=False)
+        expected = json.loads(path.read_text())
+        diffs = list(_diff("$", expected, document))
+        if diffs:
+            shown = "\n  ".join(diffs[:MAX_DIFFS_SHOWN])
+            extra = len(diffs) - MAX_DIFFS_SHOWN
+            tail = f"\n  ... and {extra} more" if extra > 0 else ""
+            pytest.fail(
+                f"golden mismatch vs {path.name} ({len(diffs)} paths):\n"
+                f"  {shown}{tail}\n"
+                f"(intentional change? refresh with: pytest tests/golden "
+                f"--update-golden and review the data diff)", pytrace=False)
+
+    return check

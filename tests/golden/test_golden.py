@@ -1,0 +1,100 @@
+"""Golden-value regression suite.
+
+Each test runs one headline pipeline at a fixed seed under the default
+(vectorized) kernel and pins its observable outputs — reward rates,
+per-core P-states, CRAC outlets, inlet temperatures, CRAC powers — to a
+committed JSON baseline.  Wall-clock measurements are deliberately
+excluded (they are the only nondeterministic outputs).
+
+The suite is the repo's early-warning system for silent numeric drift:
+a kernel change, an LP-tie flip or a generator reordering shows up here
+as a per-path diff long before it would move a paper figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import SolveOptions, SolveRequest, solve
+from repro.experiments.chaos import ChaosConfig, sweep_chaos
+from repro.experiments.config import PAPER_SET_1, paper_sets, scaled_down
+from repro.experiments.figures import fig6_data
+from repro.experiments.generator import generate_scenario
+from repro.experiments.sweeps import sweep_power_cap
+
+from tests.conftest import SEED
+
+
+def test_solver_detail_golden(golden):
+    """Full three-stage output on one room, down to per-core P-states."""
+    sc = generate_scenario(scaled_down(PAPER_SET_1, 12), SEED)
+    result = solve(SolveRequest(sc.datacenter, sc.workload, sc.p_const,
+                                options=SolveOptions(psi=50.0)))
+    result.verify(sc.datacenter, sc.p_const)
+    power = result.power(sc.datacenter)
+    steady = sc.datacenter.require_thermal().steady_state(
+        result.t_crac_out, result.stage2.node_power_kw)
+    golden("solver_detail", {
+        "p_const_kw": float(sc.p_const),
+        "reward_rate": float(result.reward_rate),
+        "stage1_objective": float(result.stage1.objective),
+        "t_crac_out_c": result.t_crac_out.tolist(),
+        "pstates": [int(p) for p in result.pstates],
+        "node_power_kw": result.stage2.node_power_kw.tolist(),
+        "crac_power_kw": power.crac_kw.tolist(),
+        "inlet_temperatures_c": steady.t_in.tolist(),
+    })
+
+
+def test_fig6_golden(golden):
+    """The headline experiment, shrunk: 2 runs x 10 nodes x 3 sets."""
+    configs = [scaled_down(c, 10) for c in paper_sets()]
+    results = fig6_data(n_runs=2, base_seed=1000, configs=configs)
+    document = {}
+    for name, set_result in results.items():
+        document[name] = {
+            "runs": [r.to_dict() for r in set_result.runs],
+            "improvement_means": {
+                label: float(ci.mean)
+                for label, ci in set_result.intervals.items()},
+            "n_degenerate": len(set_result.degenerate),
+            "n_failed": len(set_result.failures),
+        }
+    golden("fig6_small", document)
+
+
+def test_capacity_sweep_golden(golden):
+    """Reward-vs-cap curve at three caps on one 10-node room."""
+    sc = generate_scenario(scaled_down(PAPER_SET_1, 10), SEED)
+    caps = np.linspace(sc.bounds.p_min * 1.05, sc.bounds.p_max, 3)
+    points = sweep_power_cap(sc.datacenter, sc.workload, caps)
+    golden("capacity_sweep", {
+        "points": [{
+            "p_const_kw": p.p_const,
+            "reward_three_stage": p.reward_three_stage,
+            "reward_baseline": p.reward_baseline,
+            "power_used_kw": p.power_used_kw,
+        } for p in points],
+    })
+
+
+def test_chaos_golden(golden):
+    """Fault-injection sweep: healthy control plus factor 1.
+
+    ``mean_replan_s`` (measured wall time) is the one nondeterministic
+    field of a chaos point; everything else is pure in (config, factor).
+    """
+    config = ChaosConfig(n_nodes=6, seed=SEED, horizon_s=20.0)
+    points = sweep_chaos(config, [0.0, 1.0])
+    golden("chaos_sweep", {
+        "points": [{
+            "factor": p.factor,
+            "n_fault_events": p.n_fault_events,
+            "reward_rate": p.reward_rate,
+            "violation_minutes": p.violation_minutes,
+            "tasks_lost": p.tasks_lost,
+            "tasks_requeued": p.tasks_requeued,
+            "n_replans": p.n_replans,
+            "reward_retained": p.reward_retained,
+        } for p in points],
+    })

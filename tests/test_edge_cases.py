@@ -124,3 +124,122 @@ class TestExampleFigures:
         spec = example_node_type()
         assert spec.off_pstate == 3
         assert spec.p0_power_kw == 0.15
+
+
+class TestExactSolverEdges:
+    """Edge cases of the brute-force oracle (satellite 4 of the kernels
+    PR): the paths a paper-scale run never exercises."""
+
+    @staticmethod
+    def _tiny(seed=0, n_nodes=2, cores=2, n_crac=2):
+        from repro.datacenter.coretypes import shrunken_node_types
+        from repro.workload import generate_workload
+
+        rng = np.random.default_rng(seed)
+        dc = build_datacenter(n_nodes=n_nodes, n_crac=n_crac,
+                              node_types=shrunken_node_types(cores),
+                              rng=rng, nodes_per_rack=min(n_nodes, 5))
+        attach_thermal_model(dc, rng=rng)
+        wl = generate_workload(dc, rng, n_task_types=4)
+        return dc, wl
+
+    def test_infeasible_pconst_raises(self):
+        from repro.core.exact import solve_exact
+
+        dc, wl = self._tiny()
+        # well below the all-off idle power: nothing can run
+        with pytest.raises(RuntimeError, match="no feasible assignment"):
+            solve_exact(dc, wl, 1e-3, temp_step=4.0)
+
+    def test_single_node_room(self):
+        from repro.core.exact import solve_exact
+        from repro.datacenter import power_bounds
+
+        dc, wl = self._tiny(seed=3, n_nodes=1, n_crac=1)
+        p_const = power_bounds(dc).p_const
+        result = solve_exact(dc, wl, p_const, temp_step=4.0)
+        assert result.reward_rate >= 0.0
+        assert result.pstates.shape == (dc.n_cores,)
+        node_power = dc.node_power_kw(result.pstates)
+        assert dc.thermal.is_feasible(result.t_crac_out, node_power,
+                                      dc.redline_c)
+
+    def test_max_assignments_guard(self):
+        from repro.core.exact import solve_exact
+
+        dc, wl = self._tiny()
+        with pytest.raises(ValueError, match="tiny rooms"):
+            solve_exact(dc, wl, 10.0, max_assignments=1)
+
+    def test_all_off_only_feasible_cap(self):
+        """A cap admitting only base power forces every core off."""
+        from repro.core.exact import solve_exact
+        from repro.datacenter.power import total_power
+
+        dc, wl = self._tiny(seed=1)
+        all_off = dc.all_off_pstates()
+        node_off = dc.node_power_kw(all_off)
+        # cheapest way to idle the room over the exact solver's grid
+        best_idle = None
+        for t in (15.0, 19.0, 23.0):
+            tv = np.full(dc.n_crac, t)
+            if dc.thermal.is_feasible(tv, node_off, dc.redline_c):
+                cost = total_power(dc, tv, node_off).total
+                best_idle = cost if best_idle is None \
+                    else min(best_idle, cost)
+        assert best_idle is not None
+        result = solve_exact(dc, wl, best_idle * 1.001, temp_step=4.0)
+        assert np.array_equal(result.pstates, all_off)
+        assert result.reward_rate == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMinPowerEdges:
+    @staticmethod
+    def _room(seed=0, n_nodes=4):
+        from repro.experiments import PAPER_SET_1, scaled_down
+        from repro.experiments.generator import generate_scenario
+
+        return generate_scenario(scaled_down(PAPER_SET_1, n_nodes), seed)
+
+    def test_unreachable_target_raises(self):
+        from repro.core.minpower import minimize_power
+
+        sc = self._room()
+        with pytest.raises(RuntimeError, match="unreachable"):
+            minimize_power(sc.datacenter, sc.workload, 1e9)
+
+    def test_nonpositive_target_rejected(self):
+        from repro.core.minpower import minimize_power
+
+        sc = self._room()
+        with pytest.raises(ValueError, match="must be positive"):
+            minimize_power(sc.datacenter, sc.workload, 0.0)
+        with pytest.raises(ValueError, match="must be positive"):
+            minimize_power(sc.datacenter, sc.workload, -5.0)
+
+    def test_single_node_room_target(self):
+        from repro.core.assignment import three_stage_assignment
+        from repro.core.minpower import minimize_power
+
+        dc, wl = TestExactSolverEdges._tiny(seed=3, n_nodes=1, n_crac=1)
+        p_const = power_bounds(dc).p_const
+        primal = three_stage_assignment(dc, wl, p_const, psi=50.0)
+        if primal.reward_rate <= 0:
+            pytest.skip("this tiny room plans zero reward")
+        result = minimize_power(dc, wl, 0.5 * primal.reward_rate)
+        assert result.total_power_kw <= p_const + 1e-6
+
+
+class TestStage2AllCoresOff:
+    def test_zero_core_power_base_only_budget(self, small_dc):
+        """Zero relaxed powers + base-only budgets: every core ends off
+        and node power equals base power exactly."""
+        from repro.core.stage2 import convert_power_to_pstates
+
+        dc = small_dc
+        zero = np.zeros(dc.n_cores)
+        result = convert_power_to_pstates(dc, zero,
+                                          dc.node_base_power.copy())
+        assert np.array_equal(result.pstates, dc.all_off_pstates())
+        np.testing.assert_allclose(result.node_power_kw,
+                                   dc.node_base_power)

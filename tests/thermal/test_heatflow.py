@@ -152,3 +152,66 @@ class TestValidation:
         model = two_unit_model()
         with pytest.raises(ValueError, match="outlet temps"):
             model.inlet_affine(np.asarray([15.0, 16.0]))
+
+
+class TestCensoredCache:
+    """``without_nodes`` memoizes per dead-node set (satellite 3 of the
+    kernels PR): fault sweeps re-censor the same inventory every replan,
+    and re-factoring ``(I - A_MM)`` each time dominated chaos runs."""
+
+    def test_repeat_call_returns_same_object(self, small_dc):
+        model = small_dc.thermal
+        first = model.without_nodes([1, 3])
+        again = model.without_nodes([3, 1])       # order-insensitive key
+        assert again is first
+
+    def test_distinct_dead_sets_distinct_models(self, small_dc):
+        model = small_dc.thermal
+        assert model.without_nodes([1, 3]) is not model.without_nodes([2])
+
+    def test_cached_model_matches_fresh_build(self, small_dc):
+        from repro.thermal.heatflow import HeatFlowModel
+
+        model = small_dc.thermal
+        cached = model.without_nodes([0, 5])
+        model._censored.clear()
+        fresh = model.without_nodes([0, 5])
+        assert fresh is not cached
+        assert np.array_equal(fresh.alpha, cached.alpha)
+        assert np.array_equal(fresh.flows, cached.flows)
+        assert isinstance(fresh, HeatFlowModel)
+
+    def test_hit_and_rebuild_counters(self, small_dc):
+        from repro import obs
+
+        model = small_dc.thermal
+        model._censored.clear()
+        with obs.capture() as snapshot:
+            model.without_nodes([2, 4])
+            model.without_nodes([2, 4])
+            model.without_nodes([2, 4])
+        metrics = snapshot()["metrics"]
+        assert metrics["thermal.censored_rebuilds"]["value"] == 1
+        assert metrics["thermal.censored_cache_hits"]["value"] == 2
+
+    def test_empty_dead_set_is_identity_not_cached(self, small_dc):
+        model = small_dc.thermal
+        assert model.without_nodes([]) is model
+
+    def test_invalid_indices_still_raise(self, small_dc):
+        model = small_dc.thermal
+        with pytest.raises(ValueError, match="dead node indices"):
+            model.without_nodes([small_dc.n_nodes])
+        with pytest.raises(ValueError, match="every compute node"):
+            model.without_nodes(list(range(small_dc.n_nodes)))
+
+    def test_censored_alpha_path_not_stale_after_eviction(self, small_dc):
+        """FIFO eviction at 64 entries must rebuild, not misread."""
+        model = small_dc.thermal
+        model._censored.clear()
+        keep = model.without_nodes([0])
+        alpha_before = keep.alpha.copy()
+        for j in range(1, 65):
+            model.without_nodes([j % (small_dc.n_nodes - 1) + 1, j // 60])
+        rebuilt = model.without_nodes([0])
+        assert np.array_equal(rebuilt.alpha, alpha_before)
