@@ -6,6 +6,8 @@ Exposes the experiment layer without writing any code:
 * ``compare``  — one room, all three techniques, constraint audit.
 * ``fig6``     — the headline experiment at a chosen scale (CSV export).
 * ``simulate`` — first step + second-step DES replay on one room.
+* ``serve``    — live rolling-horizon control service on a streaming
+  arrival trace (:mod:`repro.serve`, see ``docs/SERVING.md``).
 * ``sweep``    — capacity planning: reward vs power cap (CSV export).
 * ``chaos``    — fault-injection sweep: degradation vs fault rate.
 * ``profile``  — render the profile tree of a ``--trace-out`` log.
@@ -29,59 +31,90 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Shared argparse parents.  Several subcommands accept the same flags;
+# each family is defined once here (``add_help=False`` parents composed
+# via ``add_parser(parents=[...])``) so the help text stays
+# byte-identical across subcommands by construction.
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """``--jobs`` / ``--cache-dir`` / ``--resume`` (the engine family)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes (1 = serial; results are "
+                        "identical either way)")
+    p.add_argument("--cache-dir", type=str, default=".repro-cache",
+                   help="directory for per-run result caching "
+                        "(default .repro-cache)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay cached runs instead of recomputing")
+    return p
+
+
+def _trace_out_parent() -> argparse.ArgumentParser:
+    """``--trace-out`` (observability event log)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--trace-out", type=str, default=None,
+                   metavar="PATH",
+                   help="record spans/metrics and write a JSON-lines "
+                        "event log here (inspect with 'repro profile')")
+    return p
+
+
+def _kernel_parent() -> argparse.ArgumentParser:
+    """``--kernel`` (numeric kernel selection)."""
+    from repro import kernels
+
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--kernel", choices=kernels.available_kernels(),
+                   default=kernels.DEFAULT_KERNEL,
+                   help="numeric kernel for the solver hot loops "
+                        "(see docs/KERNELS.md; default "
+                        f"{kernels.DEFAULT_KERNEL})")
+    return p
+
+
+def _json_parent() -> argparse.ArgumentParser:
+    """``--json`` (machine-readable output)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON summary instead "
+                        "of the text report")
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Thermal-aware data center P-state assignment "
                     "(IPDPSW 2012 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
+    engine = _engine_parent()
+    trace_out = _trace_out_parent()
+    kernel = _kernel_parent()
+    json_flag = _json_parent()
 
     p_tables = sub.add_parser("tables", help="print Tables I and II")
     p_tables.add_argument("--static", type=float, default=0.3,
                           help="P-state-0 static power fraction "
                                "(default 0.3)")
 
-    p_cmp = sub.add_parser("compare",
+    p_cmp = sub.add_parser("compare", parents=[kernel],
                            help="compare techniques on one random room")
     p_cmp.add_argument("--nodes", type=int, default=30)
     p_cmp.add_argument("--seed", type=int, default=1)
     p_cmp.add_argument("--set", dest="paper_set", type=int, default=3,
                        choices=(1, 2, 3), help="paper simulation set")
 
-    def positive_int(text: str) -> int:
-        value = int(text)
-        if value < 1:
-            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-        return value
-
-    def add_engine_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--jobs", type=positive_int, default=1,
-                       help="worker processes (1 = serial; results are "
-                            "identical either way)")
-        p.add_argument("--cache-dir", type=str, default=".repro-cache",
-                       help="directory for per-run result caching "
-                            "(default .repro-cache)")
-        p.add_argument("--resume", action="store_true",
-                       help="replay cached runs instead of recomputing")
-
-    def add_trace_arg(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--trace-out", type=str, default=None,
-                       metavar="PATH",
-                       help="record spans/metrics and write a JSON-lines "
-                            "event log here (inspect with 'repro profile')")
-
-    def add_kernel_arg(p: argparse.ArgumentParser) -> None:
-        from repro import kernels
-
-        p.add_argument("--kernel", choices=kernels.available_kernels(),
-                       default=kernels.DEFAULT_KERNEL,
-                       help="numeric kernel for the solver hot loops "
-                            "(see docs/KERNELS.md; default "
-                            f"{kernels.DEFAULT_KERNEL})")
-
-    add_kernel_arg(p_cmp)
-
-    p_fig6 = sub.add_parser("fig6", help="run the Figure 6 experiment")
+    p_fig6 = sub.add_parser("fig6", parents=[engine, kernel, trace_out],
+                            help="run the Figure 6 experiment")
     p_fig6.add_argument("--runs", type=int, default=5,
                         help="simulation runs per set (paper: 25)")
     p_fig6.add_argument("--nodes", type=int, default=30,
@@ -89,35 +122,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig6.add_argument("--seed", type=int, default=1000)
     p_fig6.add_argument("--csv", type=str, default=None,
                         help="also write the bar series to this CSV file")
-    add_engine_args(p_fig6)
-    add_kernel_arg(p_fig6)
-    add_trace_arg(p_fig6)
 
     p_sweep = sub.add_parser(
-        "sweep", help="capacity planning: reward vs power cap")
+        "sweep", parents=[engine, kernel, trace_out],
+        help="capacity planning: reward vs power cap")
     p_sweep.add_argument("--nodes", type=int, default=25)
     p_sweep.add_argument("--seed", type=int, default=4)
     p_sweep.add_argument("--points", type=int, default=6)
     p_sweep.add_argument("--csv", type=str, default=None,
                          help="also write the curve to this CSV file")
-    add_engine_args(p_sweep)
-    add_kernel_arg(p_sweep)
-    add_trace_arg(p_sweep)
 
-    p_sim = sub.add_parser("simulate",
+    p_sim = sub.add_parser("simulate", parents=[kernel, trace_out, json_flag],
                            help="first step + DES second step on one room")
     p_sim.add_argument("--nodes", type=int, default=20)
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.add_argument("--horizon", type=float, default=30.0,
                        help="simulated seconds of task arrivals")
-    p_sim.add_argument("--json", action="store_true",
-                       help="emit a machine-readable JSON summary instead "
-                            "of the text report")
-    add_kernel_arg(p_sim)
-    add_trace_arg(p_sim)
+
+    p_serve = sub.add_parser(
+        "serve", parents=[kernel, trace_out, json_flag],
+        help="live rolling-horizon control service on a streaming trace")
+    p_serve.add_argument("--nodes", type=int, default=20)
+    p_serve.add_argument("--seed", type=int, default=1)
+    p_serve.add_argument("--ticks", type=_positive_int, default=20,
+                         help="control ticks to run (default 20)")
+    p_serve.add_argument("--tick-s", type=float, default=30.0,
+                         help="control-tick length, seconds (default 30)")
+    p_serve.add_argument("--trace", choices=("diurnal", "burst", "shift",
+                                             "composite"),
+                         default="composite",
+                         help="arrival-trace shape: diurnal cycle, "
+                              "flash-crowd burst, regional demand shift, "
+                              "or all three composed (default composite)")
+    p_serve.add_argument("--warm", choices=("off", "replay", "seed"),
+                         default="replay",
+                         help="warm-start policy for the per-tick replans "
+                              "(default replay; see docs/SERVING.md)")
 
     p_chaos = sub.add_parser(
-        "chaos", help="fault-injection sweep on one room")
+        "chaos", parents=[engine, kernel, trace_out, json_flag],
+        help="fault-injection sweep on one room")
     p_chaos.add_argument("--nodes", type=int, default=20)
     p_chaos.add_argument("--seed", type=int, default=1)
     p_chaos.add_argument("--horizon", type=float, default=30.0,
@@ -133,12 +177,6 @@ def build_parser() -> argparse.ArgumentParser:
                          default="requeue",
                          help="what happens to tasks stranded on crashed "
                               "cores (default requeue)")
-    p_chaos.add_argument("--json", action="store_true",
-                         help="emit a machine-readable JSON summary instead "
-                              "of the text report")
-    add_engine_args(p_chaos)
-    add_kernel_arg(p_chaos)
-    add_trace_arg(p_chaos)
 
     p_lint = sub.add_parser(
         "lint", help="AST-based determinism/physics/hygiene analysis")
@@ -273,6 +311,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_profile(kind: str, base_rates: np.ndarray, tick_s: float,
+                   n_ticks: int):
+    """Build the arrival profile behind ``repro serve --trace``."""
+    from repro.workload import (ConstantProfile, DiurnalProfile,
+                                FlashCrowdProfile, RegionalShiftProfile)
+
+    horizon = tick_s * n_ticks
+    if kind == "diurnal":
+        return DiurnalProfile(base_rates=base_rates, amplitude=0.4,
+                              period_s=horizon)
+    if kind == "burst":
+        return FlashCrowdProfile(
+            ConstantProfile(base_rates=base_rates),
+            bursts=((horizon / 3.0, horizon / 6.0, 4.0),))
+    if kind == "shift":
+        return RegionalShiftProfile(ConstantProfile(base_rates=base_rates),
+                                    amplitude=0.3, period_s=horizon)
+    # composite: diurnal cycle + regional shift + one flash crowd
+    diurnal = DiurnalProfile(base_rates=base_rates, amplitude=0.4,
+                             period_s=horizon)
+    shifted = RegionalShiftProfile(diurnal, amplitude=0.3,
+                                   period_s=horizon / 2.0)
+    return FlashCrowdProfile(shifted,
+                             bursts=((horizon / 3.0, horizon / 6.0, 4.0),))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.config import PAPER_SET_1, scaled_down
+    from repro.experiments.generator import generate_scenario
+    from repro.serve import ServeConfig, serve_trace
+    from repro.workload import stream_trace_ticks
+
+    sc = generate_scenario(scaled_down(PAPER_SET_1, args.nodes), args.seed)
+    profile = _serve_profile(args.trace, sc.workload.arrival_rates,
+                             args.tick_s, args.ticks)
+    config = ServeConfig(tick_s=args.tick_s, warm=args.warm)
+    ticks = stream_trace_ticks(sc.workload, profile, args.tick_s,
+                               args.ticks,
+                               np.random.default_rng(args.seed + 1))
+    result = serve_trace(sc.datacenter, sc.workload, sc.p_const, ticks,
+                         config)
+    if args.json:
+        print(json.dumps(result.to_dict(), sort_keys=True))
+        return 0
+    print(f"serve: {args.nodes} nodes, cap {sc.p_const:.1f} kW, "
+          f"{args.ticks} ticks x {args.tick_s:.0f}s, trace={args.trace}, "
+          f"warm={args.warm}")
+    print(f"{'tick':>5}{'reward/s':>10}{'warm':>10}{'arrived':>9}"
+          f"{'admitted':>9}{'shed':>7}")
+    for t in result.ticks:
+        print(f"{t.index:>5}{t.reward_rate:>10.1f}{t.warm_level:>10}"
+              f"{t.arrived:>9}{t.admitted:>9}{t.shed_tasks:>7}")
+    levels = ", ".join(f"{k}={v}" for k, v in
+                       sorted(result.warm_levels.items()))
+    print(f"total: {result.total_reward:.0f} reward predicted, "
+          f"{result.tasks_shed} of {result.tasks_arrived} tasks shed "
+          f"over {result.shed_ticks} shed ticks ({levels})")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -351,6 +451,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "fig6": _cmd_fig6,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
     "lint": _cmd_lint,

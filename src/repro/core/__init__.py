@@ -3,7 +3,8 @@ P-state assignment (three-stage first step + dynamic second step) and
 the P0-or-off baseline it is compared against."""
 
 from repro.core.api import (BestPsiOutcome, SolveOptions, SolveOutcome,
-                            SolveRequest, available_methods, solve)
+                            SolveRequest, SolveResult, SolveState,
+                            available_methods, solve)
 from repro.core.arr import (AggregateRewardRate, aggregate_reward_rate,
                             select_best_task_types)
 from repro.core.assignment import (AssignmentResult, best_psi_assignment,
@@ -36,6 +37,8 @@ __all__ = [
     "SolveOptions",
     "SolveOutcome",
     "SolveRequest",
+    "SolveResult",
+    "SolveState",
     "available_methods",
     "solve",
     "AggregateRewardRate",

@@ -1,50 +1,78 @@
 """Unified solver API — one request shape for every first-step solver.
 
 The four first-step entry points grew up separately and diverged:
-``solve_stage1`` takes ``(datacenter, workload, psi, p_const)``,
-``solve_baseline`` and ``best_psi_assignment`` take
+``solve_stage1`` took ``(datacenter, workload, psi, p_const)``,
+``solve_baseline`` and ``best_psi_assignment`` took
 ``(datacenter, workload, p_const)`` with different tuning keywords, and
 ``solve_exact`` adds its own enumeration knobs.  Their return shapes
 diverged the same way (result, ``(result, search)`` tuples, …).
 
 This module is the convergence point:
 
-* :class:`SolveRequest` — the problem: a data center, a workload and a
-  power cap.
+* :class:`SolveRequest` — the problem: a data center, a workload, a
+  power cap, and optionally the previous solve's ``warm_start`` state.
 * :class:`SolveOptions` — every tuning knob any solver accepts, all
   keyword-only, with the shared defaults.
 * :func:`solve` — dispatch to a solver by name (``"three_stage"``,
-  ``"best_psi"``, ``"baseline"``, ``"exact"``); every return value
-  satisfies :class:`SolveOutcome` (``.reward_rate``, ``.verify(...)``,
-  ``.to_dict()``).
+  ``"best_psi"``, ``"baseline"``, ``"exact"``), returning a
+  :class:`SolveResult`.
 
-The legacy entry points keep working (see their deprecation shims) but
-new code — including the experiment engine — should build a
-``SolveRequest`` and call :func:`solve`.
+Frozen result protocol
+----------------------
+Every :func:`solve` call returns a :class:`SolveResult` pairing
+
+* ``outcome`` — the method-specific result object.  It satisfies
+  :class:`SolveOutcome` (``.reward_rate``, ``.verify(datacenter,
+  p_const)``, ``.to_dict()``); ``SolveResult`` re-exposes the same
+  three members and transparently forwards every other attribute to the
+  outcome, so existing call sites (``.tc``, ``.pstates``,
+  ``.t_crac_out``, ``.power(...)``, …) keep working unchanged.
+* ``state`` — an opaque :class:`repro.core.warmstart.SolveState`
+  handle.  Feeding it back via ``SolveRequest.warm_start`` lets the
+  next solve reuse search state, thermal linearizations and LP
+  solutions.  The contract is strict: **a warm-started solve of an
+  identical request is bit-identical to a cold solve**, and a state
+  never changes *values* — only speed — unless
+  ``SolveOptions.warm_seed`` explicitly allows the heuristic seeded
+  search after a structural change (power cap moved).  ``state`` is
+  JSON-serializable via ``to_dict()``/``from_dict()``; the serialized
+  form drops the in-memory caches but keeps exact warm-starting for
+  unchanged-cap requests.
+
+These shapes — ``SolveRequest``/``SolveOptions`` in,
+``SolveResult``/``SolveState`` out — are frozen as of this release;
+new solver capabilities must extend ``SolveOptions`` with defaulted
+fields rather than change any signature.  All legacy positional calling
+conventions have been removed (they now raise ``TypeError``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
 
 from repro import kernels
+from repro.core.warmstart import (Digests, SolveState, WarmContext,
+                                  capture_state, compute_digests,
+                                  prepare_context)
 from repro.datacenter.builder import DataCenter
+from repro.obs import metrics as obs_metrics
 from repro.workload.tasktypes import Workload
 
 if TYPE_CHECKING:
     from repro.core.assignment import AssignmentResult
 
-__all__ = ["SolveOptions", "SolveRequest", "SolveOutcome", "BestPsiOutcome",
-           "solve", "available_methods"]
+__all__ = ["SolveOptions", "SolveRequest", "SolveOutcome", "SolveResult",
+           "SolveState", "BestPsiOutcome", "solve", "available_methods"]
 
 
 @runtime_checkable
 class SolveOutcome(Protocol):
     """What every first-step solver result can do.
 
-    ``AssignmentResult``, ``BaselineSolution``, ``ExactResult`` and
-    :class:`BestPsiOutcome` all satisfy this protocol.
+    ``AssignmentResult``, ``BaselineSolution``, ``ExactResult``,
+    :class:`BestPsiOutcome` and :class:`SolveResult` all satisfy this
+    protocol.
     """
 
     @property
@@ -76,6 +104,15 @@ class SolveOptions:
         Numeric kernel the solve runs under (``"vectorized"`` — the
         default — or the scalar ``"reference"`` oracle; see
         :mod:`repro.kernels` and ``docs/KERNELS.md``).
+    warm_seed:
+        Whether a warm start may seed the ``"fast"`` temperature search
+        from the previous optimum after the power cap changed — a
+        heuristic (different cap, possibly a different descent basin)
+        that trades a bounded amount of reward for replan speed, so it
+        is **off by default**: without it a warm start only engages the
+        value-exact reuse levels and warm results match cold results
+        bit-for-bit.  When only arrival rates changed the seed is exact
+        and used regardless of this flag.
     """
 
     psi: float = 50.0
@@ -86,6 +123,7 @@ class SolveOptions:
     temp_step: float = 3.0
     max_assignments: int = 200_000
     kernel: str = kernels.DEFAULT_KERNEL
+    warm_seed: bool = False
 
     def __post_init__(self) -> None:
         if self.search not in ("fast", "full"):
@@ -101,12 +139,17 @@ class SolveOptions:
 
 @dataclass(frozen=True, eq=False)
 class SolveRequest:
-    """One first-step problem instance: room + workload + power cap."""
+    """One first-step problem instance: room + workload + power cap.
+
+    ``warm_start`` optionally carries the state of a previous solve;
+    see the module docstring for the reuse contract.
+    """
 
     datacenter: DataCenter
     workload: Workload
     p_const: float
     options: SolveOptions = field(default_factory=SolveOptions)
+    warm_start: SolveState | None = None
 
     def with_options(self, **changes: object) -> "SolveRequest":
         """A copy of this request with some options replaced."""
@@ -121,11 +164,11 @@ class BestPsiOutcome:
     assignment (the paper reports them separately, so all must hold).
     """
 
-    by_psi: dict[float, AssignmentResult]
+    by_psi: dict[float, "AssignmentResult"]
     search: object | None = None
 
     @property
-    def best(self) -> AssignmentResult:
+    def best(self) -> "AssignmentResult":
         return max(self.by_psi.values(), key=lambda r: r.reward_rate)
 
     @property
@@ -151,26 +194,120 @@ class BestPsiOutcome:
         }
 
 
-def _solve_three_stage(request: SolveRequest) -> SolveOutcome:
+@dataclass
+class SolveResult:
+    """A solver outcome paired with its warm-start state.
+
+    Satisfies :class:`SolveOutcome` and forwards every attribute it does
+    not define itself to :attr:`outcome`, so it is a drop-in for the
+    bare result objects the solvers used to return.
+    """
+
+    outcome: SolveOutcome
+    state: SolveState
+
+    @property
+    def reward_rate(self) -> float:
+        return self.outcome.reward_rate
+
+    def verify(self, datacenter: DataCenter, p_const: float,
+               tol: float = 1e-6) -> None:
+        self.outcome.verify(datacenter, p_const, tol=tol)
+
+    def to_dict(self) -> dict:
+        return self.outcome.to_dict()
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return getattr(object.__getattribute__(self, "outcome"), name)
+
+
+def _solve_three_stage(request: SolveRequest) -> SolveResult:
     from repro.core.assignment import three_stage_assignment
 
     opt = request.options
-    return three_stage_assignment(
+    digests = compute_digests(request.datacenter, request.workload,
+                              request.p_const, opt)
+    ctx = prepare_context(request.warm_start, digests,
+                          method="three_stage", search=opt.search,
+                          warm_seed=opt.warm_seed)
+    obs_metrics.counter(f"solve.warm_level.{ctx.level}").inc()
+    outcome = three_stage_assignment(
         request.datacenter, request.workload, request.p_const,
-        psi=opt.psi, search=opt.search)
+        psi=opt.psi, search=opt.search, warm=ctx)
+    state = capture_state(digests, ctx, outcome, method="three_stage",
+                          kernel=opt.kernel, search=opt.search,
+                          psi=opt.psi)
+    return SolveResult(outcome=outcome, state=state)
 
 
-def _solve_best_psi(request: SolveRequest) -> BestPsiOutcome:
+def _solve_best_psi(request: SolveRequest) -> SolveResult:
     from repro.core.assignment import best_psi_assignment
 
     opt = request.options
+    prev = request.warm_start
+    contexts: dict[float, WarmContext] = {}
+    child_digests: dict[float, Digests] = {}
+    for raw_psi in opt.psis:
+        psi = float(raw_psi)
+        digests = compute_digests(request.datacenter, request.workload,
+                                  request.p_const, opt, psi=psi)
+        child_digests[psi] = digests
+        child = prev.children.get(str(psi)) if prev is not None else None
+        contexts[psi] = prepare_context(child, digests,
+                                        method="three_stage",
+                                        search=opt.search,
+                                        warm_seed=opt.warm_seed)
     _, by_psi = best_psi_assignment(
         request.datacenter, request.workload, request.p_const,
-        psis=opt.psis, search=opt.search)
-    return BestPsiOutcome(by_psi=by_psi)
+        psis=opt.psis, search=opt.search, warm=contexts)
+    outcome = BestPsiOutcome(by_psi=by_psi)
+    children = {
+        str(psi): capture_state(child_digests[psi], contexts[psi], result,
+                                method="three_stage", kernel=opt.kernel,
+                                search=opt.search, psi=psi)
+        for psi, result in by_psi.items()
+    }
+    parent_digests = compute_digests(request.datacenter, request.workload,
+                                     request.p_const, opt)
+    best = outcome.best
+    state = SolveState(
+        method="best_psi", kernel=opt.kernel, search=opt.search,
+        digests=parent_digests, psi=None,
+        t_crac_out=tuple(float(t) for t in best.t_crac_out),
+        objective=float(outcome.reward_rate), children=children)
+    return SolveResult(outcome=outcome, state=state)
 
 
-def _solve_baseline(request: SolveRequest) -> SolveOutcome:
+def _solve_generic(request: SolveRequest, method: str,
+                   run: Callable[[SolveRequest], SolveOutcome]
+                   ) -> SolveResult:
+    """Request-level replay wrapper for solvers without deeper warm paths.
+
+    The baseline and exact solvers are deterministic in the request, so
+    an unchanged request replays the stored outcome; anything else runs
+    cold.
+    """
+    opt = request.options
+    digests = compute_digests(request.datacenter, request.workload,
+                              request.p_const, opt)
+    prev = request.warm_start
+    if prev is not None and prev.method == method \
+            and prev.digests.request == digests.request \
+            and prev.runtime is not None \
+            and prev.runtime.outcome is not None:
+        obs_metrics.counter("solve.replays").inc()
+        outcome: SolveOutcome = prev.runtime.outcome
+    else:
+        outcome = run(request)
+    ctx = WarmContext(stage1_key=digests.stage1)
+    state = capture_state(digests, ctx, outcome, method=method,
+                          kernel=opt.kernel, search=opt.search, psi=None)
+    return SolveResult(outcome=outcome, state=state)
+
+
+def _run_baseline(request: SolveRequest) -> SolveOutcome:
     from repro.core.baseline import solve_baseline
 
     opt = request.options
@@ -182,7 +319,7 @@ def _solve_baseline(request: SolveRequest) -> SolveOutcome:
     return solution
 
 
-def _solve_exact(request: SolveRequest) -> SolveOutcome:
+def _run_exact(request: SolveRequest) -> SolveOutcome:
     from repro.core.exact import solve_exact
 
     opt = request.options
@@ -191,7 +328,15 @@ def _solve_exact(request: SolveRequest) -> SolveOutcome:
         temp_step=opt.temp_step, max_assignments=opt.max_assignments)
 
 
-_SOLVERS = {
+def _solve_baseline(request: SolveRequest) -> SolveResult:
+    return _solve_generic(request, "baseline", _run_baseline)
+
+
+def _solve_exact(request: SolveRequest) -> SolveResult:
+    return _solve_generic(request, "exact", _run_exact)
+
+
+_SOLVERS: dict[str, Callable[[SolveRequest], SolveResult]] = {
     "three_stage": _solve_three_stage,
     "best_psi": _solve_best_psi,
     "baseline": _solve_baseline,
@@ -205,13 +350,15 @@ def available_methods() -> tuple[str, ...]:
 
 
 def solve(request: SolveRequest, *, method: str = "three_stage"
-          ) -> SolveOutcome:
+          ) -> SolveResult:
     """Solve one first-step problem with the named technique.
 
-    Every return value exposes ``.reward_rate``, ``.verify(datacenter,
-    p_const)`` and ``.to_dict()`` regardless of the method.  The solve
-    runs under ``request.options.kernel`` (scoped — the process-wide
-    kernel selection is restored afterwards).
+    Every return value is a :class:`SolveResult`: the method-specific
+    outcome (``.reward_rate``, ``.verify(datacenter, p_const)``,
+    ``.to_dict()`` plus forwarded attributes) together with the
+    ``.state`` handle for warm-starting the next solve.  The solve runs
+    under ``request.options.kernel`` (scoped — the process-wide kernel
+    selection is restored afterwards).
     """
     try:
         solver = _SOLVERS[method]

@@ -14,7 +14,6 @@ assignment with the highest Stage 3 reward rate.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -23,8 +22,11 @@ import numpy as np
 from repro.core.stage1 import Stage1Solution, solve_stage1
 from repro.core.stage2 import Stage2Solution, solve_stage2
 from repro.core.stage3 import Stage3Solution, solve_stage3
+from repro.core.warmstart import WarmContext
 from repro.datacenter.builder import DataCenter
 from repro.datacenter.power import PowerBreakdown, total_power
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import annotate as obs_annotate
 from repro.obs.trace import span as obs_span
 from repro.optimize.search import SearchResult
 from repro.workload.tasktypes import Workload
@@ -99,37 +101,53 @@ class AssignmentResult:
         }
 
 
-def _legacy_positional(name: str, knob: str, legacy: tuple, current):
-    """Deprecation shim: accept one tuning knob passed positionally."""
-    if not legacy:
-        return current
-    if len(legacy) > 1:
-        raise TypeError(
-            f"{name}() takes at most one positional tuning argument "
-            f"({knob}); pass the rest as keywords")
-    warnings.warn(
-        f"passing {knob} positionally to {name}() is deprecated; "
-        f"use {knob}=... (see repro.core.api.SolveRequest for the "
-        f"unified API)", DeprecationWarning, stacklevel=3)
-    return legacy[0]
+def _stage1_outputs_equal(a: Stage1Solution, b: Stage1Solution) -> bool:
+    """Bit-equality of the Stage 1 outputs Stage 2 consumes.
+
+    Exact byte comparison is the point: Stage 2 may only be reused when
+    Stage 1 reproduced its output *bit-for-bit*, so no tolerance.
+    """
+    return (a.t_crac_out.tobytes() == b.t_crac_out.tobytes()
+            and a.core_power_kw.tobytes()  # repro-lint: disable=RL011
+            == b.core_power_kw.tobytes()
+            and a.node_power_kw.tobytes()  # repro-lint: disable=RL011
+            == b.node_power_kw.tobytes())
 
 
 def three_stage_assignment(datacenter: DataCenter, workload: Workload,
-                           p_const: float, *legacy, psi: float = 50.0,
-                           search: str = "fast") -> AssignmentResult:
+                           p_const: float, *, psi: float = 50.0,
+                           search: str = "fast",
+                           warm: WarmContext | None = None
+                           ) -> AssignmentResult:
     """Run the full three-stage technique (Section V.B).
 
-    ``psi`` and ``search`` are keyword-only; passing ``psi``
-    positionally still works for one release but warns.  See
-    :func:`repro.core.stage1.solve_stage1` for the ``search`` modes.
+    All tuning knobs are keyword-only.  See
+    :func:`repro.core.stage1.solve_stage1` for the ``search`` modes and
+    the warm-start semantics of ``warm``; additionally, a context at
+    reuse level ``"request"`` replays the previous outcome outright, and
+    Stage 2 (a deterministic function of the Stage 1 output) is reused
+    whenever Stage 1 reproduces its previous output bit-for-bit.
     """
-    psi = _legacy_positional("three_stage_assignment", "psi", legacy, psi)
     with obs_span("three_stage", psi=psi, n_nodes=datacenter.n_nodes,
                   p_const=p_const):
+        if warm is not None and warm.level == "request" \
+                and warm.outcome is not None:
+            obs_annotate(warm_level="request")
+            obs_metrics.counter("solve.replays").inc()
+            return warm.outcome
+        if warm is not None:
+            obs_annotate(warm_level=warm.level)
         stage1, trace = solve_stage1(datacenter, workload,
-                                     p_const=p_const, psi=psi, search=search)
-        with obs_span("stage2"):
-            stage2 = solve_stage2(datacenter, stage1)
+                                     p_const=p_const, psi=psi,
+                                     search=search, warm=warm)
+        if warm is not None and warm.prev_stage1 is not None \
+                and warm.prev_stage2 is not None \
+                and _stage1_outputs_equal(stage1, warm.prev_stage1):
+            stage2 = warm.prev_stage2
+            obs_metrics.counter("stage2.reuses").inc()
+        else:
+            with obs_span("stage2"):
+                stage2 = solve_stage2(datacenter, stage1)
         stage3 = solve_stage3(datacenter, workload, stage2.pstates)
     return AssignmentResult(
         psi=psi,
@@ -145,23 +163,25 @@ def three_stage_assignment(datacenter: DataCenter, workload: Workload,
 
 
 def best_psi_assignment(datacenter: DataCenter, workload: Workload,
-                        p_const: float, *legacy,
+                        p_const: float, *,
                         psis: Sequence[float] = (25.0, 50.0),
-                        search: str = "fast"
+                        search: str = "fast",
+                        warm: dict[float, WarmContext] | None = None
                         ) -> tuple[AssignmentResult, dict[float, AssignmentResult]]:
     """Run the pipeline for each ψ and keep the best Stage 3 reward.
 
     Returns ``(best, all_results)`` — the paper reports ψ=25, ψ=50 and
     "best of the two" separately (Figure 6), so callers get both.
-    ``psis`` and ``search`` are keyword-only (positional ``psis`` is
-    deprecated).
+    All tuning knobs are keyword-only.  ``warm`` optionally maps each ψ
+    to its own :class:`repro.core.warmstart.WarmContext` (the ARR hulls
+    differ per ψ, so the per-ψ pipelines warm-start independently).
     """
-    psis = _legacy_positional("best_psi_assignment", "psis", legacy, psis)
     if not psis:
         raise ValueError("need at least one psi value")
     results = {
-        float(psi): three_stage_assignment(datacenter, workload, p_const,
-                                           psi=psi, search=search)
+        float(psi): three_stage_assignment(
+            datacenter, workload, p_const, psi=float(psi), search=search,
+            warm=warm.get(float(psi)) if warm is not None else None)
         for psi in psis
     }
     best = max(results.values(), key=lambda r: r.reward_rate)

@@ -28,7 +28,10 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import kernels
+from repro.core.api import SolveOptions, SolveRequest, SolveResult, solve
 from repro.core.assignment import AssignmentResult, three_stage_assignment
+from repro.core.warmstart import SolveState
 from repro.datacenter.builder import DataCenter
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import annotate as obs_annotate
@@ -50,8 +53,10 @@ def plan_with_transient_guard(datacenter: DataCenter, workload: Workload,
                               transient_horizon_s: float | None = None,
                               derate_step: float = 0.05,
                               max_derate: int = 10,
-                              on_exhausted: str = "raise"
-                              ) -> tuple[AssignmentResult, int, float]:
+                              on_exhausted: str = "raise",
+                              warm_start: SolveState | None = None,
+                              warm_seed: bool = False
+                              ) -> tuple[SolveResult, int, float]:
     """Solve a first-step plan whose *transition* is transient-safe.
 
     The derate loop shared by the epoch controller and the fault-aware
@@ -76,12 +81,20 @@ def plan_with_transient_guard(datacenter: DataCenter, workload: Workload,
         chaos runs use this because after a severe fault *no* admissible
         plan may transition cleanly, and the experiment wants to measure
         the residual exposure rather than abort.
+    warm_start / warm_seed:
+        Previous solve state to warm the (re-)solves from, and whether
+        the heuristic seeded search may engage after a cap change (see
+        :class:`repro.core.api.SolveOptions`).  The state chains through
+        the derate iterations, so each derated re-solve warm-starts from
+        the previous iteration.
 
     Returns
     -------
     (plan, derated, overshoot_c):
-        The committed plan, how many derating steps it took, and the
-        worst remaining redline overshoot (<= 0 when safe).
+        The committed plan (a :class:`repro.core.api.SolveResult`, whose
+        ``.state`` warm-starts the next replan), how many derating steps
+        it took, and the worst remaining redline overshoot (<= 0 when
+        safe).
     """
     if on_exhausted not in ("raise", "best"):
         raise ValueError(f"on_exhausted must be 'raise' or 'best', got "
@@ -90,11 +103,16 @@ def plan_with_transient_guard(datacenter: DataCenter, workload: Workload,
     horizon = 10.0 * tau_s if transient_horizon_s is None \
         else transient_horizon_s
     cap = p_const
-    best: tuple[AssignmentResult, int, float] | None = None
+    best: tuple[SolveResult, int, float] | None = None
     overshoot = np.inf
+    state = warm_start
+    options = SolveOptions(psi=psi, warm_seed=warm_seed,
+                           kernel=kernels.active_name())
     with obs_span("transient_guard", p_const=p_const):
         for derated in range(max_derate + 1):
-            plan = three_stage_assignment(datacenter, workload, cap, psi=psi)
+            plan = solve(SolveRequest(datacenter, workload, cap,
+                                      options=options, warm_start=state))
+            state = plan.state
             node_power = datacenter.node_power_kw(plan.pstates)
             with obs_span("transient"):
                 result = simulate_transient(model, plan.t_crac_out,
@@ -129,7 +147,8 @@ class EpochRecord:
     rates:
         Arrival rates the plan was sized for (profile at epoch start).
     plan:
-        The epoch's first-step assignment.
+        The epoch's first-step assignment (a
+        :class:`repro.core.api.SolveResult`).
     derated:
         How many derating steps the transient check forced (0 = the
         initial plan transitioned safely).
@@ -143,7 +162,7 @@ class EpochRecord:
     start_s: float
     end_s: float
     rates: np.ndarray
-    plan: AssignmentResult
+    plan: SolveResult
     derated: int
     transient_overshoot_c: float
     metrics: SimulationMetrics
@@ -236,6 +255,11 @@ class EpochController:
         self.tau_s = tau_s
         self.derate_step = derate_step
         self.max_derate = max_derate
+        # warm-start state chained across epochs: only the arrival-rate
+        # vector changes between epochs (and the cap inside the derate
+        # loop), so every reuse it engages is value-exact — epoch plans
+        # are bit-identical to a cold-solving controller's.
+        self._warm: SolveState | None = None
 
     # ------------------------------------------------------------------
     def _plan_for_rates(self, rates: np.ndarray,
@@ -255,15 +279,21 @@ class EpochController:
         return result.max_inlet_overshoot(self.datacenter.redline_c)
 
     def plan_epoch(self, rates: np.ndarray, t_out_prev: np.ndarray
-                   ) -> tuple[AssignmentResult, int, float]:
-        """Solve one epoch's plan with the transient safety loop."""
+                   ) -> tuple[SolveResult, int, float]:
+        """Solve one epoch's plan with the transient safety loop.
+
+        Warm-starts from the previous epoch's plan (exact reuse only —
+        see ``_warm``) and chains the returned state for the next call.
+        """
         workload = replace(self.base_workload, arrival_rates=rates)
-        return plan_with_transient_guard(
+        plan, derated, overshoot = plan_with_transient_guard(
             self.datacenter, workload, self.p_const, t_out_prev,
             psi=self.psi, tau_s=self.tau_s,
             transient_horizon_s=min(10.0 * self.tau_s, self.epoch_s),
             derate_step=self.derate_step, max_derate=self.max_derate,
-            on_exhausted="raise")
+            on_exhausted="raise", warm_start=self._warm)
+        self._warm = plan.state
+        return plan, derated, overshoot
 
     # ------------------------------------------------------------------
     def run(self, profile: ArrivalProfile, horizon_s: float,

@@ -32,8 +32,11 @@ from repro.datacenter.builder import DataCenter
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import annotate as obs_annotate
 from repro.obs.trace import span as obs_span
-from repro.optimize.linprog import InfeasibleError, LinearProgram
+from repro.core.warmstart import WarmContext
+from repro.optimize.linprog import (InfeasibleError, LinearProgram,
+                                    LPSolution, LPWarmStart)
 from repro.optimize.search import (SearchResult, coarse_to_fine_search,
+                                   seeded_coordinate_search,
                                    uniform_then_coordinate_search)
 from repro.thermal.constraints import ThermalLinearization
 from repro.workload.tasktypes import Workload
@@ -92,11 +95,21 @@ def _node_segments(datacenter: DataCenter,
     return kernels.active().assemble_segments(datacenter, arrs)
 
 
+#: Sentinel distinguishing "no cache entry" from a cached infeasibility.
+_LP_MISS = object()
+
+
 def solve_stage1_fixed_temps(datacenter: DataCenter,
                              arrs: list[AggregateRewardRate],
                              linearization: ThermalLinearization,
                              p_const: float,
-                             disabled_nodes: np.ndarray | None = None
+                             disabled_nodes: np.ndarray | None = None,
+                             *,
+                             segments: tuple[np.ndarray, np.ndarray,
+                                             np.ndarray] | None = None,
+                             lp_cache: dict[str, LPSolution | None]
+                             | None = None,
+                             lp_key: str | None = None
                              ) -> Stage1Solution | None:
     """Solve the Stage 1 LP at fixed CRAC outlet temperatures.
 
@@ -108,6 +121,16 @@ def solve_stage1_fixed_temps(datacenter: DataCenter,
     ``disabled_nodes`` (boolean mask) removes nodes' cores from the
     optimization — used by the consolidation extension for powered-down
     chassis, whose base power the caller zeroes separately.
+
+    ``segments`` lets the caller hoist the (temperature-independent)
+    hull-segment assembly out of the probe loop.  ``lp_cache`` /
+    ``lp_key`` plug the warm-start replay of
+    :class:`repro.optimize.linprog.LPWarmStart`: when the key is
+    present, the stored LP solution (or stored infeasibility) is
+    replayed bit-for-bit; otherwise the cold solve's outcome is cached
+    under it.  The key must determine the assembled LP exactly — Stage 1
+    derives it from the warm-start digests (see
+    :mod:`repro.core.warmstart`).
     """
     lin = linearization
     base = datacenter.node_base_power
@@ -120,7 +143,8 @@ def solve_stage1_fixed_temps(datacenter: DataCenter,
     if base_total > p_const + 1e-9:
         return None
 
-    node_of_var, caps, slopes = _node_segments(datacenter, arrs)
+    node_of_var, caps, slopes = segments if segments is not None \
+        else _node_segments(datacenter, arrs)
     if disabled_nodes is not None:
         disabled_nodes = np.asarray(disabled_nodes, dtype=bool)
         if disabled_nodes.shape != (datacenter.n_nodes,):
@@ -140,10 +164,24 @@ def solve_stage1_fixed_temps(datacenter: DataCenter,
     power_row = (1.0 + lin.crac_coeff)[node_of_var]
     lp.add_dense_le_rows(power_row[None, :], np.asarray([p_const - base_total]))
 
+    caching = lp_cache is not None and lp_key is not None
+    warm = None
+    if caching:
+        cached = lp_cache.get(lp_key, _LP_MISS)
+        if cached is None:      # this exact LP was infeasible before
+            obs_metrics.counter("stage1.infeasible_lp_replays").inc()
+            return None
+        if cached is not _LP_MISS:
+            warm = LPWarmStart(fingerprint=lp_key, solution=cached)
     try:
-        sol = lp.solve()
+        sol = lp.solve(warm_start=warm,
+                       fingerprint=lp_key if caching else None)
     except InfeasibleError:
+        if caching:
+            lp_cache[lp_key] = None
         return None
+    if caching and warm is None:
+        lp_cache[lp_key] = sol
 
     fills = sol.x
     core_sums = np.bincount(node_of_var, weights=fills,
@@ -185,22 +223,20 @@ def distribute_node_power(datacenter: DataCenter,
                                                   node_core_power)
 
 
-def solve_stage1(datacenter: DataCenter, workload: Workload,
-                 *legacy, p_const: float | None = None, psi: float = 50.0,
+def solve_stage1(datacenter: DataCenter, workload: Workload, *,
+                 p_const: float, psi: float = 50.0,
                  search: str = "fast",
                  coarse_step: float = 5.0,
                  final_step: float = 1.0,
-                 disabled_nodes: np.ndarray | None = None
+                 disabled_nodes: np.ndarray | None = None,
+                 warm: WarmContext | None = None
                  ) -> tuple[Stage1Solution, SearchResult]:
     """Full Stage 1: discretized CRAC temperature search around the LP.
 
     The canonical call is ``solve_stage1(datacenter, workload,
     p_const=cap, psi=50.0)`` — the same ``(datacenter, workload,
     p_const)`` order as every other solver (see
-    :mod:`repro.core.api`).  The historical positional form
-    ``solve_stage1(datacenter, workload, psi, p_const)`` still works for
-    one release but emits a ``DeprecationWarning`` (note it put ``psi``
-    *before* the cap — the divergence the unified API removes).
+    :mod:`repro.core.api`); every tuning knob is keyword-only.
 
     Parameters
     ----------
@@ -210,60 +246,84 @@ def solve_stage1(datacenter: DataCenter, workload: Workload,
         default because the full grid "increases exponentially with the
         number of CRAC units" as the paper notes); ``"full"`` — the
         paper's coarse-to-fine product-grid scan.
+    warm:
+        A :class:`repro.core.warmstart.WarmContext` carrying the
+        previous solve's caches; ARR hulls, hull segments, thermal
+        linearizations and LP solutions replay from it (value-exact by
+        construction), and — in ``"fast"`` mode with a seed vector — the
+        scalar scan is replaced by coordinate descent from the previous
+        optimum, with a cold fallback when the seed went infeasible.
 
     Returns the best solution and the search trace.  Raises
     ``RuntimeError`` if no outlet-temperature vector admits a feasible
     operating point (e.g. ``p_const`` below the idle power of the room).
     """
-    if legacy:
-        import warnings
-
-        if len(legacy) > 2:
-            raise TypeError(
-                "solve_stage1() takes at most two positional arguments "
-                "after (datacenter, workload): the legacy (psi, p_const)")
-        warnings.warn(
-            "passing (psi, p_const) positionally to solve_stage1() is "
-            "deprecated; call solve_stage1(datacenter, workload, "
-            "p_const=..., psi=...) instead",
-            DeprecationWarning, stacklevel=2)
-        psi = float(legacy[0])
-        if len(legacy) == 2:
-            if p_const is not None:
-                raise TypeError("solve_stage1() got p_const both "
-                                "positionally and as a keyword")
-            p_const = float(legacy[1])
-    if p_const is None:
-        raise TypeError("solve_stage1() missing required argument: "
-                        "'p_const'")
     model = datacenter.require_thermal()
     redline = datacenter.redline_c
     lows = [c.outlet_range_c[0] for c in datacenter.cracs]
     highs = [c.outlet_range_c[1] for c in datacenter.cracs]
-    arrs = build_arr_functions(datacenter, workload, psi)
+    if warm is not None and warm.arrs is not None:
+        arrs = warm.arrs
+    else:
+        arrs = build_arr_functions(datacenter, workload, psi)
+    if warm is not None and warm.segments is not None:
+        segments = warm.segments
+    else:
+        segments = _node_segments(datacenter, arrs)
+    if warm is not None:
+        warm.arrs = arrs
+        warm.segments = segments
     # the active kernel picks the CoP evaluation strategy (direct vs
     # memoized lookup — bit-identical values either way)
     cop_model = kernels.active().wrap_cop(datacenter.cracs[0].cop_model)
+    # linearizations are pure in (structure, t_vec); memoize per solve
+    # and across warm-chained solves
+    lin_cache = warm.lin_cache if warm is not None else {}
+    lp_cache = warm.lp_cache if warm is not None else None
+    if disabled_nodes is None:
+        disabled_key = "-"
+    else:
+        disabled_key = np.asarray(disabled_nodes,
+                                  dtype=bool).tobytes().hex()
+    key_prefix = f"{warm.stage1_key if warm is not None else ''}" \
+                 f"|d{disabled_key}|t"
     best: dict[bytes, Stage1Solution] = {}
     probes = infeasible = 0
 
     def objective(t_vec: np.ndarray) -> float | None:
         nonlocal probes, infeasible
         probes += 1
-        lin = ThermalLinearization.build(model, t_vec, redline, cop_model)
-        sol = solve_stage1_fixed_temps(datacenter, arrs, lin, p_const,
-                                       disabled_nodes=disabled_nodes)
+        t_key = t_vec.tobytes()
+        lin = lin_cache.get(t_key)
+        if lin is None:
+            lin = ThermalLinearization.build(model, t_vec, redline,
+                                             cop_model)
+            lin_cache[t_key] = lin
+        sol = solve_stage1_fixed_temps(
+            datacenter, arrs, lin, p_const, disabled_nodes=disabled_nodes,
+            segments=segments, lp_cache=lp_cache,
+            lp_key=key_prefix + t_key.hex() if lp_cache is not None
+            else None)
         if sol is None:
             infeasible += 1
             return None
-        best[t_vec.tobytes()] = sol
+        best[t_key] = sol
         return sol.objective
 
+    seed = warm.seed_t if warm is not None else None
     with obs_span("stage1", mode=search, n_crac=datacenter.n_crac):
+        result = None
         if search == "fast":
-            result = uniform_then_coordinate_search(
-                objective, datacenter.n_crac, min(lows), max(highs),
-                step=final_step, maximize=True)
+            if seed is not None:
+                result = seeded_coordinate_search(
+                    objective, seed, datacenter.n_crac, min(lows),
+                    max(highs), step=final_step, maximize=True)
+                if result is not None:
+                    obs_metrics.counter("stage1.warm_seeded").inc()
+            if result is None:
+                result = uniform_then_coordinate_search(
+                    objective, datacenter.n_crac, min(lows), max(highs),
+                    step=final_step, maximize=True)
         elif search == "full":
             result = coarse_to_fine_search(
                 objective, datacenter.n_crac, min(lows), max(highs),
@@ -272,7 +332,8 @@ def solve_stage1(datacenter: DataCenter, workload: Workload,
         else:
             raise ValueError(
                 f"unknown search mode {search!r} (use 'fast' or 'full')")
-        obs_annotate(probes=probes, infeasible_probes=infeasible)
+        obs_annotate(probes=probes, infeasible_probes=infeasible,
+                     warm_seeded=seed is not None)
         obs_metrics.counter("stage1.probes").inc(probes)
         obs_metrics.counter("stage1.infeasible_probes").inc(infeasible)
     solution = best[result.temperatures.tobytes()]

@@ -1,0 +1,291 @@
+"""Warm-start state for incremental re-solves (docs/SERVING.md).
+
+A rolling-horizon controller re-solves the first-step problem every few
+seconds, but consecutive problems are nearly identical: usually only the
+arrival-rate vector moved (diurnal drift), sometimes only the power cap
+(an emergency derate), rarely the room itself (a fault).  This module
+gives :func:`repro.core.api.solve` a memory between those solves.
+
+Three content digests grade how much of a previous solve still applies:
+
+``structure``
+    The room, the workload's reward structure (``ecs`` / ``rewards`` /
+    ``deadline_slack``) and every tuning knob that shapes the solver's
+    trajectory.  Stage 1's thermal linearizations and ARR hulls depend
+    on nothing else, so they transfer whenever this digest matches.
+``stage1``
+    ``structure`` plus the power cap.  The Stage 1 LP family is fully
+    determined by it — ``ARR`` does not read arrival rates — so an
+    equal digest lets every LP replay bit-for-bit and the previous
+    outlet vector seed the search *exactly* (it is a fixed point of the
+    coordinate descent it produced).
+``request``
+    ``stage1`` plus the arrival rates: the whole problem.  An equal
+    digest replays the previous outcome verbatim.
+
+:class:`SolveState` is the opaque artifact carrying the digests (and a
+JSON-serializable seed) across solves; its :attr:`SolveState.runtime`
+field holds the in-memory caches and is deliberately never serialized —
+a deserialized state still warm-starts, just through the exact seeded
+path instead of outright replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.api import SolveOptions
+    from repro.core.assignment import AssignmentResult
+    from repro.core.stage1 import Stage1Solution
+    from repro.core.stage2 import Stage2Solution
+    from repro.datacenter.builder import DataCenter
+    from repro.optimize.linprog import LPSolution
+    from repro.workload.tasktypes import Workload
+
+__all__ = ["Digests", "SolveState", "WarmContext", "compute_digests",
+           "prepare_context", "capture_state"]
+
+#: Reuse grades, strongest first (see module docstring).
+LEVELS = ("request", "stage1", "structure", "none")
+
+#: Soft cap on cached LP solutions per chained context; the cache only
+#: grows when the power cap keeps changing, and eviction affects speed,
+#: never values.
+_LP_CACHE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class Digests:
+    """The three content digests of one solve request."""
+
+    structure: str
+    stage1: str
+    request: str
+
+
+def _hash_array(h: "hashlib._Hash", arr: np.ndarray) -> None:
+    h.update(np.ascontiguousarray(arr).tobytes())
+
+
+def compute_digests(datacenter: DataCenter, workload: Workload,
+                    p_const: float, options: SolveOptions,
+                    psi: float | None = None) -> Digests:
+    """Digest a request at one aggregation level.
+
+    ``psi`` defaults to ``options.psi``; the ``best_psi`` method digests
+    each of its per-ψ children separately.  Every option knob that can
+    move solver output is folded into the structure digest, so a knob
+    change can never silently replay a stale result.
+    """
+    model = datacenter.require_thermal()
+    h = hashlib.sha256()
+    _hash_array(h, model.alpha)
+    _hash_array(h, model.flows)
+    h.update(repr((model.n_crac, model.rho, model.cp)).encode())
+    _hash_array(h, datacenter.redline_c)
+    _hash_array(h, datacenter.node_base_power)
+    _hash_array(h, datacenter.node_type_index)
+    _hash_array(h, datacenter.core_type)
+    for spec in datacenter.node_types:
+        h.update(repr((spec.name, spec.base_power_kw, spec.cores_per_node,
+                       spec.frequencies_mhz, spec.voltages_v,
+                       spec.pstate_power_kw, spec.flow_m3s,
+                       spec.performance_scale,
+                       spec.static_fraction_p0)).encode())
+    for crac in datacenter.cracs:
+        cop = crac.cop_model
+        h.update(repr((crac.flow_m3s, crac.outlet_range_c,
+                       cop.a2, cop.a1, cop.a0)).encode())
+    _hash_array(h, workload.ecs)
+    _hash_array(h, workload.rewards)
+    _hash_array(h, workload.deadline_slack)
+    psi_val = options.psi if psi is None else float(psi)
+    h.update(repr((psi_val, tuple(options.psis), options.search,
+                   options.coarse_step, options.final_step,
+                   options.temp_step, options.max_assignments,
+                   options.kernel)).encode())
+    structure = h.hexdigest()
+    stage1 = hashlib.sha256(
+        (structure + repr(float(p_const))).encode()).hexdigest()
+    req = hashlib.sha256(
+        stage1.encode()
+        + np.ascontiguousarray(workload.arrival_rates).tobytes()).hexdigest()
+    return Digests(structure=structure, stage1=stage1, request=req)
+
+
+@dataclass
+class WarmContext:
+    """In-memory caches threaded through one solve (never serialized).
+
+    ``level`` grades what the previous state shares with the current
+    request (one of :data:`LEVELS`); the caches below it are only ever
+    populated when their validity level is met, so the solver can use
+    whatever is present without re-checking digests:
+
+    * ``arrs`` / ``segments`` / ``lin_cache`` — pure functions of the
+      structure digest; reuse is value-exact at any level ≥ structure.
+    * ``lp_cache`` — keyed by ``stage1_key`` plus the probe temperature,
+      so entries self-invalidate when the cap changes; replay is
+      bit-exact.
+    * ``seed_t`` — starting vector for the coordinate descent.  Exact
+      at level ``stage1`` (it is the incumbent optimum of the identical
+      search problem); heuristic at level ``structure`` and therefore
+      only set there when the caller opted in via ``warm_seed``.
+    * ``prev_stage1`` / ``prev_stage2`` — Stage 2 replays when Stage 1
+      reproduces its previous output bit-for-bit.
+    * ``outcome`` — the full previous result, replayed at ``request``.
+    """
+
+    level: str = "none"
+    stage1_key: str = ""
+    seed_t: np.ndarray | None = None
+    arrs: list[Any] | None = None
+    segments: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+    lin_cache: dict[bytes, Any] = field(default_factory=dict)
+    lp_cache: dict[str, "LPSolution | None"] = field(default_factory=dict)
+    prev_stage1: "Stage1Solution | None" = None
+    prev_stage2: "Stage2Solution | None" = None
+    outcome: "AssignmentResult | None" = None
+
+
+@dataclass
+class SolveState:
+    """Opaque, serializable warm-start handle (schema 1).
+
+    Returned with every :class:`repro.core.api.SolveResult` and accepted
+    back via ``SolveRequest.warm_start``.  The serializable core is the
+    digests plus the previous outlet vector; :attr:`runtime` carries the
+    heavyweight caches within a process and is dropped by
+    :meth:`to_dict` and by pickling (engine workers ship states across
+    processes without the caches).
+    """
+
+    method: str
+    kernel: str
+    search: str
+    digests: Digests
+    psi: float | None = None
+    t_crac_out: tuple[float, ...] | None = None
+    objective: float | None = None
+    children: dict[str, "SolveState"] = field(default_factory=dict)
+    schema: int = 1
+    runtime: WarmContext | None = field(default=None, repr=False,
+                                        compare=False)
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        state["runtime"] = None
+        return state
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (round-trips via :meth:`from_dict`)."""
+        return {
+            "schema": self.schema,
+            "method": self.method,
+            "kernel": self.kernel,
+            "search": self.search,
+            "digests": {"structure": self.digests.structure,
+                        "stage1": self.digests.stage1,
+                        "request": self.digests.request},
+            "psi": self.psi,
+            "t_crac_out": None if self.t_crac_out is None
+            else list(self.t_crac_out),
+            "objective": self.objective,
+            "children": {key: child.to_dict()
+                         for key, child in self.children.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "SolveState":
+        if doc.get("schema") != 1:
+            raise ValueError(
+                f"unsupported SolveState schema {doc.get('schema')!r}")
+        digests = Digests(structure=doc["digests"]["structure"],
+                          stage1=doc["digests"]["stage1"],
+                          request=doc["digests"]["request"])
+        t_out = doc.get("t_crac_out")
+        return cls(
+            method=doc["method"],
+            kernel=doc["kernel"],
+            search=doc["search"],
+            digests=digests,
+            psi=doc.get("psi"),
+            t_crac_out=None if t_out is None else tuple(float(t)
+                                                        for t in t_out),
+            objective=doc.get("objective"),
+            children={key: cls.from_dict(child)
+                      for key, child in doc.get("children", {}).items()},
+        )
+
+
+def prepare_context(state: SolveState | None, digests: Digests, *,
+                    method: str, search: str,
+                    warm_seed: bool) -> WarmContext:
+    """Grade a previous state against the current request.
+
+    Always returns a usable context — a cold solve just gets one with
+    empty caches — so the solver plumbing never branches on None.
+    """
+    ctx = WarmContext(stage1_key=digests.stage1)
+    if state is None or state.method != method \
+            or state.digests.structure != digests.structure:
+        return ctx
+    rt = state.runtime
+    if rt is not None:
+        ctx.arrs = rt.arrs
+        ctx.segments = rt.segments
+        ctx.lin_cache = rt.lin_cache
+        ctx.lp_cache = rt.lp_cache
+        if len(ctx.lp_cache) > _LP_CACHE_LIMIT:
+            ctx.lp_cache.clear()
+    seed = None if state.t_crac_out is None \
+        else np.asarray(state.t_crac_out, dtype=float)
+    if state.digests.request == digests.request:
+        if rt is not None and rt.outcome is not None:
+            ctx.level = "request"
+            ctx.outcome = rt.outcome
+            ctx.prev_stage1 = rt.prev_stage1
+            ctx.prev_stage2 = rt.prev_stage2
+            return ctx
+        # deserialized state: same request, but no outcome to replay —
+        # fall through to the exact seeded path
+        ctx.level = "stage1"
+    elif state.digests.stage1 == digests.stage1:
+        ctx.level = "stage1"
+    else:
+        ctx.level = "structure"
+    if rt is not None:
+        ctx.prev_stage1 = rt.prev_stage1
+        ctx.prev_stage2 = rt.prev_stage2
+    if search == "fast" and (ctx.level == "stage1" or warm_seed):
+        ctx.seed_t = seed
+    return ctx
+
+
+def capture_state(digests: Digests, ctx: WarmContext, outcome: Any, *,
+                  method: str, kernel: str, search: str,
+                  psi: float | None) -> SolveState:
+    """Package the caches accumulated during a solve into a new state."""
+    ctx.outcome = outcome
+    t_out = getattr(outcome, "t_crac_out", None)
+    stage1 = getattr(outcome, "stage1", None)
+    stage2 = getattr(outcome, "stage2", None)
+    if stage1 is not None:
+        ctx.prev_stage1 = stage1
+        ctx.prev_stage2 = stage2
+    return SolveState(
+        method=method,
+        kernel=kernel,
+        search=search,
+        digests=digests,
+        psi=psi,
+        t_crac_out=None if t_out is None else tuple(float(t)
+                                                    for t in t_out),
+        objective=float(outcome.reward_rate),
+        runtime=ctx,
+    )

@@ -54,7 +54,9 @@ __all__ = ["EngineConfig", "EngineError", "run_set", "run_sets",
 #: Bump when the cached payload layout (or run semantics) changes; old
 #: cache entries are then ignored rather than misread.  2: cache keys
 #: carry the active numeric kernel (see :mod:`repro.kernels`).
-CACHE_SCHEMA_VERSION = 2
+#: 3: ``solve()`` returns :class:`~repro.core.api.SolveResult` and the
+#: solvers grew warm-start reuse paths.
+CACHE_SCHEMA_VERSION = 3
 
 #: Exceptions that are deterministic for a given ``(config, seed)`` —
 #: retrying cannot help, so they fail fast (but are still recorded).

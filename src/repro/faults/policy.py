@@ -38,8 +38,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.assignment import three_stage_assignment
+from repro import kernels
+from repro.core.api import SolveOptions, SolveRequest, solve
 from repro.core.controller import plan_with_transient_guard
+from repro.core.warmstart import SolveState, compute_digests
 from repro.datacenter.builder import DataCenter
 from repro.faults.inject import DegradedView, degraded_view
 from repro.faults.model import FaultKind, FaultSchedule
@@ -102,6 +104,15 @@ class ReactionPolicy:
         ``"best"`` (default) commits the least-overshooting plan and
         records the exposure; ``"raise"`` aborts the run like the epoch
         controller.
+    warm:
+        Warm-start policy for the re-solves.  ``"replay"`` (default)
+        threads :class:`~repro.core.warmstart.SolveState` between
+        intervals that share an inventory, engaging only the
+        value-exact reuse levels — every committed plan is bit-identical
+        to a cold solve.  ``"seed"`` additionally allows the heuristic
+        seeded temperature search after a cap change
+        (``SolveOptions.warm_seed``); ``"off"`` disables warm-starting
+        entirely.
     """
 
     psi: float = 50.0
@@ -110,6 +121,7 @@ class ReactionPolicy:
     max_derate: int = 10
     stranded: str = "requeue"
     on_derate_exhausted: str = "best"
+    warm: str = "replay"
 
     def __post_init__(self) -> None:
         if self.stranded not in ("requeue", "drop"):
@@ -117,6 +129,9 @@ class ReactionPolicy:
                 f"stranded must be 'requeue' or 'drop', got {self.stranded!r}")
         if self.on_derate_exhausted not in ("best", "raise"):
             raise ValueError("on_derate_exhausted must be 'best' or 'raise'")
+        if self.warm not in ("off", "replay", "seed"):
+            raise ValueError(
+                f"warm must be 'off', 'replay' or 'seed', got {self.warm!r}")
 
 
 @dataclass
@@ -293,6 +308,11 @@ class FaultAwareController:
         self.workload = workload
         self.p_const = p_const
         self.policy = policy or ReactionPolicy()
+        # warm-start states keyed by structure digest: the healthy room
+        # and every distinct degraded inventory keep independent chains,
+        # so a recovery replays against the pre-fault state, not the
+        # degraded one
+        self._warm: dict[str, SolveState] = {}
 
     # ------------------------------------------------------------------
     def _cold_start_t_out(self, view: DegradedView) -> np.ndarray:
@@ -340,14 +360,22 @@ class FaultAwareController:
         pol = self.policy
         t0 = time.perf_counter()
         shed = False
+        options = SolveOptions(psi=pol.psi, warm_seed=pol.warm == "seed",
+                               kernel=kernels.active_name())
+        warm_key: str | None = None
+        warm_state: SolveState | None = None
+        if pol.warm != "off":
+            warm_key = compute_digests(view.datacenter, view.workload,
+                                       cap, options).structure
+            warm_state = self._warm.get(warm_key)
         try:
             with obs_span("replan", cold_start=t_out_full is None):
                 if t_out_full is None:
                     # cold start: no previous operating point to transition
                     # from; commit the plain plan (matches `repro simulate`)
-                    plan = three_stage_assignment(view.datacenter,
-                                                  view.workload, cap,
-                                                  psi=pol.psi)
+                    plan = solve(SolveRequest(
+                        view.datacenter, view.workload, cap,
+                        options=options, warm_start=warm_state))
                     derated, overshoot = 0, None
                 else:
                     t_prev = view.reduce_t_out(t_out_full)
@@ -356,7 +384,11 @@ class FaultAwareController:
                         psi=pol.psi, tau_s=pol.tau_s,
                         derate_step=pol.derate_step,
                         max_derate=pol.max_derate,
-                        on_exhausted=pol.on_derate_exhausted)
+                        on_exhausted=pol.on_derate_exhausted,
+                        warm_start=warm_state,
+                        warm_seed=pol.warm == "seed")
+            if warm_key is not None:
+                self._warm[warm_key] = plan.state
         except RuntimeError:
             # even the (derated) first step is infeasible under this
             # inventory — shed all load rather than abort the run; in

@@ -16,6 +16,7 @@ The wrapper exists so that
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -26,7 +27,7 @@ from scipy.optimize import linprog as _scipy_linprog
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span as obs_span
 
-__all__ = ["LinearProgram", "LPSolution", "InfeasibleError"]
+__all__ = ["LinearProgram", "LPSolution", "LPWarmStart", "InfeasibleError"]
 
 
 class InfeasibleError(RuntimeError):
@@ -51,6 +52,30 @@ class LPSolution:
     x: np.ndarray
     objective: float
     status: int
+
+
+@dataclass(frozen=True)
+class LPWarmStart:
+    """A previous solve's solution, tagged with the LP it came from.
+
+    HiGHS (as exposed through scipy) accepts no starting basis, so the
+    only exact warm-start mechanism available is *replay*: when the new
+    LP is byte-identical to the one that produced ``solution`` (the
+    fingerprints match), the stored solution IS the optimum and is
+    returned without invoking the solver at all.  A mismatched
+    fingerprint falls through to a normal cold solve, so correctness
+    never depends on the warm start.
+
+    ``fingerprint`` is an opaque caller-chosen key.  Callers that
+    already know what distinguishes their LPs (e.g. Stage 1 keys its
+    LPs by (structure digest, power cap, disabled set, temperature
+    vector)) should pass a cheap derived string; callers without such
+    knowledge can use :meth:`LinearProgram.fingerprint`, which hashes
+    the assembled program exactly but costs a pass over the triplets.
+    """
+
+    fingerprint: str
+    solution: LPSolution
 
 
 @dataclass
@@ -171,8 +196,38 @@ class LinearProgram:
         self._b_ub.extend(rhs.tolist())
 
     # ------------------------------------------------------------------
-    def solve(self, *, require_feasible: bool = True) -> LPSolution:
+    def fingerprint(self) -> str:
+        """Exact structural hash of the assembled program.
+
+        Two programs share a fingerprint iff they have identical
+        objective sense, bounds, objective coefficients and constraint
+        triplets — i.e. iff :meth:`solve` is guaranteed to return
+        bit-identical solutions for both.  Cost is linear in the number
+        of nonzeros; hot paths that can derive a cheaper equivalent key
+        should do so and pass it to :meth:`solve` directly.
+        """
+        h = hashlib.sha256()
+        h.update(b"max" if self.maximize else b"min")
+        for part in (self._obj, self._lb, self._ub, self._b_ub, self._b_eq,
+                     self._ub_vals, self._eq_vals):
+            h.update(np.asarray(part, dtype=float).tobytes())
+        for part in (self._ub_rows, self._ub_cols,
+                     self._eq_rows, self._eq_cols):
+            h.update(np.asarray(part, dtype=np.int64).tobytes())
+        h.update(self._num_vars.to_bytes(8, "little"))
+        return h.hexdigest()
+
+    def solve(self, *, require_feasible: bool = True,
+              warm_start: LPWarmStart | None = None,
+              fingerprint: str | None = None) -> LPSolution:
         """Solve with HiGHS and return an :class:`LPSolution`.
+
+        When ``warm_start`` is given and its fingerprint equals
+        ``fingerprint`` (or, if ``fingerprint`` is None, this program's
+        :meth:`fingerprint`), the stored solution is replayed verbatim —
+        bit-identical to a cold solve of the same program — and the
+        solver is never invoked.  A fingerprint mismatch falls through
+        to a cold solve.
 
         Raises
         ------
@@ -181,6 +236,13 @@ class LinearProgram:
         """
         if self._num_vars == 0:
             raise ValueError(f"LP '{self.name}' has no variables")
+        if warm_start is not None:
+            key = fingerprint if fingerprint is not None \
+                else self.fingerprint()
+            if warm_start.fingerprint == key:
+                obs_metrics.counter(f"lp.warm_hits.{self.name}").inc()
+                return warm_start.solution
+            obs_metrics.counter(f"lp.warm_misses.{self.name}").inc()
         with obs_span("lp", lp=self.name, vars=self._num_vars,
                       constraints=self.num_constraints):
             return self._solve(require_feasible)

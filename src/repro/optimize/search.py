@@ -25,7 +25,8 @@ from typing import Callable
 import numpy as np
 
 __all__ = ["SearchResult", "coarse_to_fine_search", "temperature_grid",
-           "uniform_then_coordinate_search", "golden_refine"]
+           "uniform_then_coordinate_search", "seeded_coordinate_search",
+           "golden_refine"]
 
 #: Objective signature: maps an outlet-temperature vector to a scalar
 #: score, or ``None``/``-inf`` when the temperatures are infeasible.
@@ -209,6 +210,67 @@ def uniform_then_coordinate_search(objective: Objective,
     if best_t is None or not np.isfinite(best_score):
         raise RuntimeError(
             f"no feasible uniform CRAC outlet temperature in [{low}, {high}]")
+
+    for _ in range(max_sweeps):
+        improved = False
+        for i in range(n_crac):
+            for delta in (step, -step):
+                cand = best_t.copy()
+                cand[i] = np.clip(cand[i] + delta, low, high)
+                if cand[i] == best_t[i]:
+                    continue
+                s = score_of(cand)
+                if s > best_score + 1e-12:
+                    best_score, best_t = s, cand
+                    improved = True
+        if not improved:
+            break
+    return SearchResult(temperatures=best_t, score=sign * best_score,
+                        evaluations=evaluations)
+
+
+def seeded_coordinate_search(objective: Objective,
+                             seed: np.ndarray,
+                             n_crac: int,
+                             low: float,
+                             high: float,
+                             *,
+                             step: float = 1.0,
+                             max_sweeps: int = 8,
+                             maximize: bool = True) -> SearchResult | None:
+    """Coordinate descent from a known-good starting vector.
+
+    The warm-started variant of
+    :func:`uniform_then_coordinate_search`: instead of the scalar scan,
+    the descent starts from ``seed`` — typically the previous control
+    epoch's optimal outlet temperatures.  The ``+-step`` moves and the
+    ``1e-12`` acceptance threshold are identical to the cold search, so
+    when the seed is the cold search's own optimum it is a fixed point
+    of the descent and the result is bit-identical to cold.
+
+    Returns ``None`` when the seed itself is infeasible (the caller
+    should fall back to the cold search rather than fail).
+    """
+    if n_crac <= 0:
+        raise ValueError(f"n_crac must be positive, got {n_crac}")
+    sign = 1.0 if maximize else -1.0
+    evaluations = 0
+
+    def score_of(t_vec: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        s = objective(t_vec)
+        if s is None or not np.isfinite(s):
+            return -np.inf
+        return sign * s
+
+    best_t = np.clip(np.asarray(seed, dtype=float).copy(), low, high)
+    if best_t.shape != (n_crac,):
+        raise ValueError(
+            f"seed shape {best_t.shape} does not match n_crac={n_crac}")
+    best_score = score_of(best_t)
+    if not np.isfinite(best_score):
+        return None
 
     for _ in range(max_sweeps):
         improved = False

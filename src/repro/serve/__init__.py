@@ -1,0 +1,15 @@
+"""Live rolling-horizon control service (deployment story, Section VII).
+
+The paper positions the three-stage technique as something a data
+center would re-run "when conditions change"; :mod:`repro.serve` makes
+that concrete: a long-running control loop that consumes a streaming
+arrival trace tick by tick, replans with warm-started incremental
+solves (:class:`repro.core.warmstart.SolveState` threading), and sheds
+load when the room saturates.  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.service import (ControlService, ServeConfig, ServeResult,
+                                 TickRecord, serve_trace)
+
+__all__ = ["ControlService", "ServeConfig", "ServeResult", "TickRecord",
+           "serve_trace"]

@@ -8,7 +8,9 @@ from repro.workload.profiles import (ArrivalProfile, ConstantProfile,
                                      generate_nonstationary_trace)
 from repro.workload.tasktypes import (Workload, arrival_rates, deadline_slacks,
                                       generate_workload, rewards_from_ecs)
-from repro.workload.trace import Task, generate_trace
+from repro.workload.trace import (FlashCrowdProfile, RegionalShiftProfile,
+                                  Task, TickDemand, generate_trace,
+                                  stream_trace_ticks)
 
 __all__ = [
     "extend_ecs",
@@ -25,6 +27,10 @@ __all__ = [
     "deadline_slacks",
     "generate_workload",
     "rewards_from_ecs",
+    "FlashCrowdProfile",
+    "RegionalShiftProfile",
     "Task",
+    "TickDemand",
     "generate_trace",
+    "stream_trace_ticks",
 ]

@@ -4,17 +4,29 @@ The first-step optimization only needs arrival *rates*; the second-step
 dynamic scheduler consumes an actual stream of tasks.  We model each task
 type as an independent Poisson process with the workload's rate, the
 standard model consistent with the paper's steady-state analysis.
+
+For the live control service (:mod:`repro.serve`) this module also
+provides *streaming* generation — :func:`stream_trace_ticks` yields one
+:class:`TickDemand` per control tick — plus two profile combinators
+(:class:`FlashCrowdProfile`, :class:`RegionalShiftProfile`) that wrap
+any :class:`repro.workload.profiles.ArrivalProfile` with the demand
+patterns the service is stress-tested against: sudden flash-crowd
+bursts and slow regional demand shifts between task types.  The
+combinators duck-type the profile protocol rather than import it, since
+:mod:`repro.workload.profiles` already imports :class:`Task` from here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.workload.tasktypes import Workload
 
-__all__ = ["Task", "generate_trace"]
+__all__ = ["Task", "generate_trace", "FlashCrowdProfile",
+           "RegionalShiftProfile", "TickDemand", "stream_trace_ticks"]
 
 
 @dataclass(frozen=True, order=True)
@@ -71,3 +83,151 @@ def generate_trace(workload: Workload, duration: float,
     slack = workload.deadline_slack
     return [Task(arrival=t, task_type=i, uid=uid, deadline=t + float(slack[i]))
             for uid, (t, i) in enumerate(arrivals)]
+
+
+@dataclass(frozen=True)
+class FlashCrowdProfile:
+    """Flash-crowd bursts multiplied onto an inner profile.
+
+    Each burst is ``(start_s, duration_s, magnitude)``: every task
+    type's rate is multiplied by ``magnitude`` on
+    ``[start_s, start_s + duration_s)``.  Overlapping bursts compound.
+    ``inner`` is any arrival profile
+    (:class:`repro.workload.profiles.ArrivalProfile`).
+    """
+
+    inner: object
+    bursts: tuple[tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        for start, duration, magnitude in self.bursts:
+            if duration <= 0:
+                raise ValueError(
+                    f"burst duration must be positive, got {duration}")
+            if magnitude < 0:
+                raise ValueError(
+                    f"burst magnitude must be non-negative, got {magnitude}")
+            if start < 0:
+                raise ValueError(
+                    f"burst start must be non-negative, got {start}")
+
+    def _factor(self, t: float) -> float:
+        factor = 1.0
+        for start, duration, magnitude in self.bursts:
+            if start <= t < start + duration:
+                factor *= magnitude
+        return factor
+
+    def rates(self, t: float) -> np.ndarray:
+        return np.asarray(self.inner.rates(t), dtype=float) \
+            * self._factor(t)
+
+    def max_rates(self) -> np.ndarray:
+        # valid thinning bound: assume every amplifying burst overlaps
+        bound = 1.0
+        for _, _, magnitude in self.bursts:
+            bound *= max(magnitude, 1.0)
+        return np.asarray(self.inner.max_rates(), dtype=float) * bound
+
+
+@dataclass(frozen=True)
+class RegionalShiftProfile:
+    """Slow demand shift *between* task types (regions) over a cycle.
+
+    Each task type ``i`` is modulated by
+    ``1 + amplitude * sin(2 pi t / period_s + 2 pi i / T)`` — the phase
+    offset staggers the types around the cycle, so total demand is
+    roughly conserved while its composition rotates (follow-the-sun
+    regional load).  ``inner`` is any arrival profile.
+    """
+
+    inner: object
+    amplitude: float = 0.3
+    period_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude}")
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+
+    def _factors(self, t: float, n: int) -> np.ndarray:
+        phase = 2.0 * np.pi * np.arange(n) / max(n, 1)
+        return 1.0 + self.amplitude * np.sin(
+            2.0 * np.pi * t / self.period_s + phase)
+
+    def rates(self, t: float) -> np.ndarray:
+        base = np.asarray(self.inner.rates(t), dtype=float)
+        return base * self._factors(t, base.size)
+
+    def max_rates(self) -> np.ndarray:
+        return np.asarray(self.inner.max_rates(), dtype=float) \
+            * (1.0 + self.amplitude)
+
+
+@dataclass(frozen=True)
+class TickDemand:
+    """Demand presented to the control service during one tick.
+
+    Attributes
+    ----------
+    index / start_s:
+        Tick number and its start instant (run time, seconds).
+    rates:
+        The profile's arrival-rate vector at ``start_s`` — what the
+        rolling-horizon replanner plans against.
+    tasks:
+        The tick's sampled arrivals (absolute arrival times), uids
+        continuous across the whole stream.
+    """
+
+    index: int
+    start_s: float
+    rates: np.ndarray
+    tasks: tuple[Task, ...]
+
+
+def stream_trace_ticks(workload: Workload, profile: object, tick_s: float,
+                       n_ticks: int, rng: np.random.Generator
+                       ) -> Iterator[TickDemand]:
+    """Yield one :class:`TickDemand` per control tick.
+
+    Arrivals are sampled per tick by Lewis-Shedler thinning against the
+    profile's global maximum rates; because Poisson increments over
+    disjoint windows are independent, restarting the candidate stream at
+    each tick boundary is still an exact simulation of the
+    inhomogeneous process.  Task uids number the stream continuously.
+    """
+    if tick_s <= 0:
+        raise ValueError(f"tick length must be positive, got {tick_s}")
+    if n_ticks <= 0:
+        raise ValueError(f"tick count must be positive, got {n_ticks}")
+    max_rates = np.asarray(profile.max_rates(), dtype=float)
+    if max_rates.shape != (workload.n_task_types,):
+        raise ValueError("profile dimension does not match workload")
+    slack = workload.deadline_slack
+    uid = 0
+    for index in range(n_ticks):
+        a = index * tick_s
+        b = a + tick_s
+        arrivals: list[tuple[float, int]] = []
+        for i, rate_max in enumerate(max_rates):
+            if rate_max <= 0:
+                continue
+            t = a
+            while True:
+                t += rng.exponential(1.0 / rate_max)
+                if t >= b:
+                    break
+                if rng.uniform() <= profile.rates(t)[i] / rate_max:
+                    arrivals.append((t, i))
+        arrivals.sort()
+        tasks = tuple(
+            Task(arrival=t, task_type=i, uid=uid + j,
+                 deadline=t + float(slack[i]))
+            for j, (t, i) in enumerate(arrivals))
+        uid += len(tasks)
+        yield TickDemand(index=index, start_s=a,
+                         rates=np.asarray(profile.rates(a), dtype=float),
+                         tasks=tasks)

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.api import (BestPsiOutcome, SolveOptions, SolveOutcome,
-                            SolveRequest, available_methods, solve)
+                            SolveRequest, SolveResult, SolveState,
+                            available_methods, solve)
 
 
 @pytest.fixture(scope="module")
@@ -64,42 +65,70 @@ class TestSolveDispatch:
         assert outcome.search is not None    # trace attached by the API
 
     def test_best_psi_outcome(self, request_for, scenario):
-        outcome = solve(request_for, method="best_psi")
-        assert isinstance(outcome, BestPsiOutcome)
-        assert set(outcome.by_psi) == {25.0, 50.0}
-        assert outcome.reward_rate \
-            == max(outcome.reward_by_psi.values())
-        assert outcome.to_dict()["method"] == "best_psi"
+        result = solve(request_for, method="best_psi")
+        assert isinstance(result.outcome, BestPsiOutcome)
+        assert set(result.by_psi) == {25.0, 50.0}
+        assert result.reward_rate \
+            == max(result.reward_by_psi.values())
+        assert result.to_dict()["method"] == "best_psi"
 
 
-class TestDeprecationShims:
-    def test_three_stage_positional_psi_warns(self, scenario):
+class TestSolveResult:
+    def test_pairs_outcome_with_state(self, request_for):
+        result = solve(request_for)
+        assert isinstance(result, SolveResult)
+        assert isinstance(result.state, SolveState)
+        assert result.state.method == "three_stage"
+
+    def test_forwards_outcome_attributes(self, request_for):
+        result = solve(request_for)
+        assert result.psi == result.outcome.psi
+        assert result.tc is result.outcome.tc
+        assert result.pstates is result.outcome.pstates
+
+    def test_unknown_attribute_raises(self, request_for):
+        result = solve(request_for)
+        with pytest.raises(AttributeError):
+            result.no_such_attribute
+
+    def test_satisfies_outcome_protocol(self, request_for, scenario):
+        result = solve(request_for)
+        assert isinstance(result, SolveOutcome)
+        result.verify(scenario.datacenter, scenario.p_const)
+
+    def test_result_pickles(self, request_for):
+        import pickle
+
+        result = solve(request_for)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.reward_rate == result.reward_rate
+        # runtime caches are deliberately dropped from the pickle
+        assert clone.state.runtime is None
+
+
+class TestRetiredPositionalConventions:
+    """The PR-1 legacy positional shims are gone: TypeError, not warning."""
+
+    def test_three_stage_positional_psi_rejected(self, scenario):
         from repro.core import three_stage_assignment
 
-        with pytest.warns(DeprecationWarning, match="psi"):
-            res = three_stage_assignment(
-                scenario.datacenter, scenario.workload, scenario.p_const,
-                50.0)
-        assert res.psi == 50.0
+        with pytest.raises(TypeError):
+            three_stage_assignment(scenario.datacenter, scenario.workload,
+                                   scenario.p_const, 50.0)
 
-    def test_best_psi_positional_psis_warns(self, scenario):
+    def test_best_psi_positional_psis_rejected(self, scenario):
         from repro.core import best_psi_assignment
 
-        with pytest.warns(DeprecationWarning, match="psis"):
-            _, results = best_psi_assignment(
-                scenario.datacenter, scenario.workload, scenario.p_const,
-                (50.0,))
-        assert list(results) == [50.0]
+        with pytest.raises(TypeError):
+            best_psi_assignment(scenario.datacenter, scenario.workload,
+                                scenario.p_const, (50.0,))
 
-    def test_solve_stage1_legacy_order_warns(self, scenario):
+    def test_solve_stage1_legacy_order_rejected(self, scenario):
         from repro.core import solve_stage1
 
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            legacy, _ = solve_stage1(scenario.datacenter, scenario.workload,
-                                     50.0, scenario.p_const)
-        modern, _ = solve_stage1(scenario.datacenter, scenario.workload,
-                                 p_const=scenario.p_const, psi=50.0)
-        assert legacy.objective == pytest.approx(modern.objective)
+        with pytest.raises(TypeError):
+            solve_stage1(scenario.datacenter, scenario.workload,
+                         50.0, scenario.p_const)
 
     def test_solve_stage1_missing_p_const_rejected(self, scenario):
         from repro.core import solve_stage1
@@ -107,17 +136,9 @@ class TestDeprecationShims:
         with pytest.raises(TypeError, match="p_const"):
             solve_stage1(scenario.datacenter, scenario.workload)
 
-    def test_solve_stage1_duplicate_p_const_rejected(self, scenario):
-        from repro.core import solve_stage1
-
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="p_const"):
-                solve_stage1(scenario.datacenter, scenario.workload,
-                             50.0, 10.0, p_const=10.0)
-
     def test_too_many_positionals_rejected(self, scenario):
         from repro.core import three_stage_assignment
 
-        with pytest.raises(TypeError, match="positional"):
+        with pytest.raises(TypeError):
             three_stage_assignment(scenario.datacenter, scenario.workload,
                                    scenario.p_const, 50.0, "fast")

@@ -130,3 +130,51 @@ class TestDegenerateResult:
         assert result.planned_reward_rate == 0.0
         # the reward itself is still reported
         assert result.total_reward == 3.0
+
+
+def _idle_t_out(sc):
+    """Idle-room steady state (the controller's cold-start convention)."""
+    dc = sc.datacenter
+    model = dc.require_thermal()
+    idle = dc.node_power_kw(dc.all_off_pstates())
+    t_mid = np.full(dc.n_crac,
+                    float(np.mean([c.outlet_range_c for c in dc.cracs])))
+    return model.steady_state(t_mid, idle).t_out
+
+
+class TestWarmChaining:
+    """The epoch controller threads SolveState between epochs; all epoch
+    reuse is value-exact, so the warm chain is bit-identical to solving
+    every epoch cold."""
+
+    def test_plan_epoch_returns_solve_result(self, tiny_scenario):
+        from repro.core.api import SolveResult
+
+        sc = tiny_scenario
+        ctrl = EpochController(sc.datacenter, sc.workload, sc.p_const,
+                               epoch_s=60.0, tau_s=10.0)
+        t_out = _idle_t_out(sc)
+        plan, derated, overshoot = ctrl.plan_epoch(
+            sc.workload.arrival_rates, t_out)
+        assert isinstance(plan, SolveResult)
+        assert derated >= 0
+
+    def test_warm_chain_matches_cold_epochs(self, tiny_scenario):
+        from repro.core.api import SolveRequest, solve
+        from dataclasses import replace as dc_replace
+
+        sc = tiny_scenario
+        ctrl = EpochController(sc.datacenter, sc.workload, sc.p_const,
+                               epoch_s=60.0, tau_s=10.0)
+        t_out = _idle_t_out(sc)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            factors = rng.uniform(0.6, 1.0, sc.workload.n_task_types)
+            rates = sc.workload.arrival_rates * factors
+            plan, _, _ = ctrl.plan_epoch(rates, t_out)
+            wl = dc_replace(sc.workload, arrival_rates=rates)
+            cold = solve(SolveRequest(sc.datacenter, wl, sc.p_const))
+            assert np.array_equal(plan.t_crac_out, cold.t_crac_out)
+            assert np.array_equal(plan.pstates, cold.pstates)
+            assert np.array_equal(plan.tc, cold.tc)
+            assert plan.reward_rate == cold.reward_rate

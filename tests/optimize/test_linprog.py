@@ -124,3 +124,63 @@ class TestSolve:
         lp.add_eq_constraint({x[0]: 1, x[2]: 1}, 5.0)
         lp.add_eq_constraint({x[1]: 1, x[3]: 1}, 5.0)
         assert lp.solve().objective == pytest.approx(10.0)
+
+
+class TestWarmStart:
+    def _lp(self, ub=2.0):
+        from repro.optimize.linprog import LinearProgram
+
+        lp = LinearProgram(maximize=True, name="warmtest")
+        lp.add_variables(2, lb=0.0, ub=ub, objective=1.0)
+        lp.add_le_constraint({0: 1.0, 1: 1.0}, 3.0)
+        return lp
+
+    def test_fingerprint_stable_and_sensitive(self):
+        assert self._lp().fingerprint() == self._lp().fingerprint()
+        assert self._lp().fingerprint() != self._lp(ub=5.0).fingerprint()
+
+    def test_replay_returns_stored_solution(self):
+        from repro.optimize.linprog import LPWarmStart
+
+        first = self._lp().solve()
+        warm = LPWarmStart(fingerprint=self._lp().fingerprint(),
+                           solution=first)
+        again = self._lp().solve(warm_start=warm)
+        assert again is first
+
+    def test_mismatched_fingerprint_solves_cold(self):
+        from repro.optimize.linprog import LPWarmStart
+
+        first = self._lp().solve()
+        warm = LPWarmStart(fingerprint="not-this-lp", solution=first)
+        again = self._lp(ub=5.0).solve(warm_start=warm)
+        assert again is not first
+        assert again.objective == pytest.approx(3.0)
+
+    def test_caller_fingerprint_short_circuits_hashing(self):
+        from repro.optimize.linprog import LPWarmStart
+
+        first = self._lp().solve()
+        warm = LPWarmStart(fingerprint="cheap-key", solution=first)
+        again = self._lp().solve(warm_start=warm, fingerprint="cheap-key")
+        assert again is first
+
+    def test_replay_counts_hit_metric(self):
+        from repro import obs
+        from repro.optimize.linprog import LPWarmStart
+
+        first = self._lp().solve()
+        warm = LPWarmStart(fingerprint="k", solution=first)
+        obs.reset()
+        obs.enable()
+        try:
+            self._lp().solve(warm_start=warm, fingerprint="k")
+            self._lp().solve(warm_start=warm, fingerprint="other")
+            snap = obs.current_registry().snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert snap["lp.warm_hits.warmtest"]["value"] == 1
+        assert snap["lp.warm_misses.warmtest"]["value"] == 1
+        # a replay never counts as a solve
+        assert snap.get("lp.solves.warmtest", {"value": 1})["value"] == 1

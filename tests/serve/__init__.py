@@ -1,0 +1,1 @@
+"""Tests for repro.serve — the rolling-horizon control service."""

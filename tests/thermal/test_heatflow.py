@@ -215,3 +215,34 @@ class TestCensoredCache:
             model.without_nodes([j % (small_dc.n_nodes - 1) + 1, j // 60])
         rebuilt = model.without_nodes([0])
         assert np.array_equal(rebuilt.alpha, alpha_before)
+
+
+class TestCensoredMemoGauges:
+    """Instance counters + gauges for the ``without_nodes`` memo."""
+
+    def test_instance_counters_track_lifetime(self, small_dc):
+        model = small_dc.thermal
+        model._censored.clear()
+        rebuilds0 = model.censored_rebuilds
+        hits0 = model.censored_cache_hits
+        model.without_nodes([1, 2])
+        model.without_nodes([1, 2])
+        model.without_nodes([3])
+        assert model.censored_rebuilds == rebuilds0 + 2
+        assert model.censored_cache_hits == hits0 + 1
+
+    def test_gauges_exported(self, small_dc):
+        from repro import obs
+
+        model = small_dc.thermal
+        model._censored.clear()
+        with obs.capture() as snapshot:
+            model.without_nodes([1, 4])
+            model.without_nodes([1, 4])
+        metrics = snapshot()["metrics"]
+        assert metrics["thermal.censored_memo_rebuilds"]["value"] \
+            == float(model.censored_rebuilds)
+        assert metrics["thermal.censored_memo_hits"]["value"] \
+            == float(model.censored_cache_hits)
+        assert metrics["thermal.censored_memo_size"]["value"] \
+            == float(len(model._censored))

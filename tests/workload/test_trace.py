@@ -83,3 +83,135 @@ class TestTaskOrdering:
         a = Task(arrival=1.0, task_type=5, uid=10, deadline=2.0)
         b = Task(arrival=2.0, task_type=0, uid=1, deadline=2.5)
         assert a < b
+
+
+class TestFlashCrowdProfile:
+    def test_burst_multiplies_rates(self):
+        from repro.workload.trace import FlashCrowdProfile
+        from repro.workload.profiles import ConstantProfile
+
+        base = ConstantProfile(base_rates=np.asarray([2.0, 4.0]))
+        profile = FlashCrowdProfile(base, bursts=((10.0, 5.0, 3.0),))
+        assert np.allclose(profile.rates(5.0), [2.0, 4.0])
+        assert np.allclose(profile.rates(12.0), [6.0, 12.0])
+        assert np.allclose(profile.rates(15.0), [2.0, 4.0])  # half-open
+
+    def test_overlapping_bursts_compound(self):
+        from repro.workload.trace import FlashCrowdProfile
+        from repro.workload.profiles import ConstantProfile
+
+        base = ConstantProfile(base_rates=np.asarray([1.0]))
+        profile = FlashCrowdProfile(
+            base, bursts=((0.0, 10.0, 2.0), (5.0, 10.0, 3.0)))
+        assert np.allclose(profile.rates(7.0), [6.0])
+
+    def test_max_rates_bounds_rates_everywhere(self):
+        from repro.workload.trace import FlashCrowdProfile
+        from repro.workload.profiles import ConstantProfile
+
+        base = ConstantProfile(base_rates=np.asarray([1.5]))
+        profile = FlashCrowdProfile(
+            base, bursts=((1.0, 2.0, 4.0), (2.0, 2.0, 0.5)))
+        bound = profile.max_rates()
+        for t in np.linspace(0.0, 6.0, 61):
+            assert np.all(profile.rates(t) <= bound + 1e-12)
+
+    def test_invalid_bursts_rejected(self):
+        from repro.workload.trace import FlashCrowdProfile
+        from repro.workload.profiles import ConstantProfile
+
+        base = ConstantProfile(base_rates=np.asarray([1.0]))
+        with pytest.raises(ValueError, match="duration"):
+            FlashCrowdProfile(base, bursts=((0.0, 0.0, 2.0),))
+        with pytest.raises(ValueError, match="magnitude"):
+            FlashCrowdProfile(base, bursts=((0.0, 1.0, -1.0),))
+
+
+class TestRegionalShiftProfile:
+    def test_phases_stagger_types(self):
+        from repro.workload.trace import RegionalShiftProfile
+        from repro.workload.profiles import ConstantProfile
+
+        base = ConstantProfile(base_rates=np.asarray([10.0, 10.0]))
+        profile = RegionalShiftProfile(base, amplitude=0.5, period_s=100.0)
+        r = profile.rates(25.0)
+        assert not np.allclose(r[0], r[1])  # opposite phases at T=2
+
+    def test_mean_over_cycle_is_base(self):
+        from repro.workload.trace import RegionalShiftProfile
+        from repro.workload.profiles import ConstantProfile
+
+        base = ConstantProfile(base_rates=np.asarray([4.0, 8.0, 2.0]))
+        profile = RegionalShiftProfile(base, amplitude=0.4, period_s=60.0)
+        samples = np.stack([profile.rates(t)
+                            for t in np.linspace(0.0, 60.0, 600,
+                                                 endpoint=False)])
+        assert np.allclose(samples.mean(axis=0), [4.0, 8.0, 2.0],
+                           rtol=1e-3)
+
+    def test_invalid_amplitude_rejected(self):
+        from repro.workload.trace import RegionalShiftProfile
+        from repro.workload.profiles import ConstantProfile
+
+        base = ConstantProfile(base_rates=np.asarray([1.0]))
+        with pytest.raises(ValueError, match="amplitude"):
+            RegionalShiftProfile(base, amplitude=1.5)
+
+
+class TestStreamTraceTicks:
+    def _profile(self, rates):
+        from repro.workload.profiles import ConstantProfile
+
+        return ConstantProfile(base_rates=np.asarray(rates, dtype=float))
+
+    def test_tick_structure(self):
+        from repro.workload.trace import stream_trace_ticks
+
+        wl = tiny_workload([5.0, 3.0])
+        ticks = list(stream_trace_ticks(wl, self._profile([5.0, 3.0]),
+                                        10.0, 4,
+                                        np.random.default_rng(0)))
+        assert [t.index for t in ticks] == [0, 1, 2, 3]
+        assert [t.start_s for t in ticks] == [0.0, 10.0, 20.0, 30.0]
+        for tick in ticks:
+            assert np.allclose(tick.rates, [5.0, 3.0])
+            for task in tick.tasks:
+                assert tick.start_s <= task.arrival < tick.start_s + 10.0
+
+    def test_uids_continuous_across_ticks(self):
+        from repro.workload.trace import stream_trace_ticks
+
+        wl = tiny_workload([8.0])
+        ticks = list(stream_trace_ticks(wl, self._profile([8.0]), 5.0, 5,
+                                        np.random.default_rng(1)))
+        uids = [task.uid for tick in ticks for task in tick.tasks]
+        assert uids == list(range(len(uids)))
+
+    def test_deterministic_for_seed(self):
+        from repro.workload.trace import stream_trace_ticks
+
+        wl = tiny_workload([4.0, 2.0])
+        a = list(stream_trace_ticks(wl, self._profile([4.0, 2.0]), 5.0, 3,
+                                    np.random.default_rng(9)))
+        b = list(stream_trace_ticks(wl, self._profile([4.0, 2.0]), 5.0, 3,
+                                    np.random.default_rng(9)))
+        assert all(x.tasks == y.tasks for x, y in zip(a, b))
+
+    def test_burst_tick_has_more_arrivals(self):
+        from repro.workload.trace import (FlashCrowdProfile,
+                                          stream_trace_ticks)
+
+        wl = tiny_workload([10.0])
+        profile = FlashCrowdProfile(self._profile([10.0]),
+                                    bursts=((10.0, 10.0, 5.0),))
+        ticks = list(stream_trace_ticks(wl, profile, 10.0, 3,
+                                        np.random.default_rng(3)))
+        assert len(ticks[1].tasks) > 2 * len(ticks[0].tasks)
+
+    def test_rejects_bad_dimensions(self):
+        from repro.workload.trace import stream_trace_ticks
+
+        wl = tiny_workload([1.0, 2.0])
+        with pytest.raises(ValueError, match="dimension"):
+            next(stream_trace_ticks(wl, self._profile([1.0]), 1.0, 1,
+                                    np.random.default_rng(0)))
