@@ -178,6 +178,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="what happens to tasks stranded on crashed "
                               "cores (default requeue)")
 
+    p_tour = sub.add_parser(
+        "tournament", parents=[engine, kernel, trace_out, json_flag],
+        help="race every solver backend on the scenario matrix")
+    p_tour.add_argument("--nodes", type=int, default=20)
+    p_tour.add_argument("--seed", type=int, default=1000)
+    p_tour.add_argument("--sets", type=str, default="1",
+                        help="comma-separated paper sets to race "
+                             "(default 1)")
+    p_tour.add_argument("--backends", type=str,
+                        default="three_stage,annealing,evolution",
+                        help="comma-separated solver backends (see "
+                             "docs/SOLVERS.md)")
+    p_tour.add_argument("--max-evals", type=_positive_int, default=800,
+                        help="evaluation budget per metaheuristic solve "
+                             "(default 800)")
+    p_tour.add_argument("--backend-seed", type=int, default=0,
+                        help="RNG seed for stochastic backends (default 0)")
+
     p_lint = sub.add_parser(
         "lint", help="AST-based determinism/physics/hygiene analysis")
     from repro.lint.cli import add_lint_arguments
@@ -415,6 +433,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.tournament import (TournamentConfig,
+                                              sweep_tournament,
+                                              tournament_table)
+
+    try:
+        sets = tuple(int(s) for s in args.sets.split(",") if s.strip())
+    except ValueError:
+        print(f"invalid --sets value: {args.sets!r}", file=sys.stderr)
+        return 2
+    backends = tuple(b.strip() for b in args.backends.split(",")
+                     if b.strip())
+    try:
+        config = TournamentConfig(
+            n_nodes=args.nodes, seed=args.seed, sets=sets,
+            backends=backends, backend_seed=args.backend_seed,
+            max_evals=args.max_evals)
+        points = sweep_tournament(config, jobs=args.jobs,
+                                  cache_dir=args.cache_dir,
+                                  resume=args.resume)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"schema": 1,
+                          "config": {"n_nodes": args.nodes,
+                                     "seed": args.seed,
+                                     "sets": list(sets),
+                                     "backends": list(backends),
+                                     "backend_seed": args.backend_seed,
+                                     "max_evals": args.max_evals},
+                          "points": [p.to_dict() for p in points]},
+                         sort_keys=True))
+        return 0
+    print(f"solver tournament: {args.nodes} nodes, seed {args.seed}, "
+          f"sets {','.join(str(s) for s in sets)}, "
+          f"budget {args.max_evals} evals")
+    print(tournament_table(points))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint_command
 
@@ -454,6 +515,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
+    "tournament": _cmd_tournament,
     "lint": _cmd_lint,
     "profile": _cmd_profile,
 }

@@ -13,8 +13,12 @@ This module is the convergence point:
   power cap, and optionally the previous solve's ``warm_start`` state.
 * :class:`SolveOptions` — every tuning knob any solver accepts, all
   keyword-only, with the shared defaults.
-* :func:`solve` — dispatch to a solver by name (``"three_stage"``,
-  ``"best_psi"``, ``"baseline"``, ``"exact"``), returning a
+* :func:`solve` — dispatch through the :mod:`repro.solvers` backend
+  registry, selected by ``SolveOptions.backend`` (or the explicit
+  ``method=`` override).  Built-ins: the classic ``"three_stage"``,
+  ``"best_psi"``, ``"baseline"`` and ``"exact"`` methods registered
+  here, plus the seeded metaheuristics ``"annealing"`` and
+  ``"evolution"`` from :mod:`repro.solvers`.  Returns a
   :class:`SolveResult`.
 
 Frozen result protocol
@@ -57,6 +61,7 @@ from repro.core.warmstart import (Digests, SolveState, WarmContext,
                                   prepare_context)
 from repro.datacenter.builder import DataCenter
 from repro.obs import metrics as obs_metrics
+from repro.solvers import get_solver, list_solvers, register_solver
 from repro.workload.tasktypes import Workload
 
 if TYPE_CHECKING:
@@ -113,6 +118,18 @@ class SolveOptions:
         value-exact reuse levels and warm results match cold results
         bit-for-bit.  When only arrival rates changed the seed is exact
         and used regardless of this flag.
+    backend:
+        Solver backend :func:`solve` dispatches to when no explicit
+        ``method=`` is given (see :mod:`repro.solvers`).  The default
+        ``"three_stage"`` keeps every existing call site bit-identical.
+    seed:
+        RNG seed for stochastic backends (the metaheuristics).  The
+        deterministic built-ins ignore it, but it still splits cache
+        and warm-start digests so runs never mix.
+    max_evals:
+        Evaluation budget for metaheuristic backends — candidates
+        repaired-and-scored, **never** wall-clock seconds, so budgeted
+        searches stay bit-reproducible.
     """
 
     psi: float = 50.0
@@ -124,6 +141,9 @@ class SolveOptions:
     max_assignments: int = 200_000
     kernel: str = kernels.DEFAULT_KERNEL
     warm_seed: bool = False
+    backend: str = "three_stage"
+    seed: int = 0
+    max_evals: int = 2000
 
     def __post_init__(self) -> None:
         if self.search not in ("fast", "full"):
@@ -135,6 +155,12 @@ class SolveOptions:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; choose from "
                 f"{', '.join(kernels.available_kernels())}")
+        if self.max_evals < 1:
+            raise ValueError("max_evals must be at least 1")
+        if self.backend not in list_solvers():
+            raise ValueError(
+                f"unknown solver backend {self.backend!r}; choose from "
+                f"{', '.join(list_solvers())}")
 
 
 @dataclass(frozen=True, eq=False)
@@ -336,22 +362,25 @@ def _solve_exact(request: SolveRequest) -> SolveResult:
     return _solve_generic(request, "exact", _run_exact)
 
 
-_SOLVERS: dict[str, Callable[[SolveRequest], SolveResult]] = {
-    "three_stage": _solve_three_stage,
-    "best_psi": _solve_best_psi,
-    "baseline": _solve_baseline,
-    "exact": _solve_exact,
-}
+register_solver("three_stage", _solve_three_stage, replace=True)
+register_solver("best_psi", _solve_best_psi, replace=True)
+register_solver("baseline", _solve_baseline, replace=True)
+register_solver("exact", _solve_exact, replace=True)
 
 
 def available_methods() -> tuple[str, ...]:
-    """Names accepted by :func:`solve`."""
-    return tuple(_SOLVERS)
+    """Names accepted by :func:`solve` (every registered backend)."""
+    return list_solvers()
 
 
-def solve(request: SolveRequest, *, method: str = "three_stage"
+def solve(request: SolveRequest, *, method: str | None = None
           ) -> SolveResult:
     """Solve one first-step problem with the named technique.
+
+    ``method`` overrides ``request.options.backend``; with neither set
+    the default is the paper's ``"three_stage"`` decomposition.  The
+    name is looked up in the :mod:`repro.solvers` registry, so externally
+    registered backends dispatch exactly like the built-ins.
 
     Every return value is a :class:`SolveResult`: the method-specific
     outcome (``.reward_rate``, ``.verify(datacenter, p_const)``,
@@ -360,11 +389,7 @@ def solve(request: SolveRequest, *, method: str = "three_stage"
     under ``request.options.kernel`` (scoped — the process-wide kernel
     selection is restored afterwards).
     """
-    try:
-        solver = _SOLVERS[method]
-    except KeyError:
-        raise ValueError(
-            f"unknown solve method {method!r}; "
-            f"choose from {', '.join(_SOLVERS)}") from None
+    name = request.options.backend if method is None else method
+    solver = get_solver(name)
     with kernels.use_kernel(request.options.kernel):
         return solver(request)

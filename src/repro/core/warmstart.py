@@ -108,7 +108,8 @@ def compute_digests(datacenter: DataCenter, workload: Workload,
     h.update(repr((psi_val, tuple(options.psis), options.search,
                    options.coarse_step, options.final_step,
                    options.temp_step, options.max_assignments,
-                   options.kernel)).encode())
+                   options.kernel, options.backend, options.seed,
+                   options.max_evals)).encode())
     structure = h.hexdigest()
     stage1 = hashlib.sha256(
         (structure + repr(float(p_const))).encode()).hexdigest()

@@ -32,6 +32,12 @@ class ScenarioConfig:
     ``static_fraction`` (P-state-0 static power share), ``psis`` (the ψ
     levels evaluated), ``search`` (CRAC temperature search mode, see
     :func:`repro.core.stage1.solve_stage1`).
+
+    ``backend`` / ``backend_seed`` / ``max_evals`` select the solver
+    backend runs solve with (see :mod:`repro.solvers`) and, for the
+    metaheuristic backends, the RNG seed and evaluation budget.  All
+    three feed the engine cache key — runs under different backends or
+    budgets never share cached points.
     """
 
     name: str = "set1"
@@ -48,12 +54,17 @@ class ScenarioConfig:
     nodes_per_rack: int = 5
     crac_outlet_low_c: float = 10.0
     crac_outlet_high_c: float = 25.0
+    backend: str = "three_stage"
+    backend_seed: int = 0
+    max_evals: int = 2000
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0 or self.n_crac <= 0 or self.n_task_types <= 0:
             raise ValueError("scenario sizes must be positive")
         if not self.psis:
             raise ValueError("need at least one psi level")
+        if self.max_evals < 1:
+            raise ValueError("max_evals must be at least 1")
 
 
 #: Paper simulation set 1: static 30%, V_prop = 0.1.

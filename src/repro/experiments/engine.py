@@ -56,7 +56,10 @@ __all__ = ["EngineConfig", "EngineError", "run_set", "run_sets",
 #: carry the active numeric kernel (see :mod:`repro.kernels`).
 #: 3: ``solve()`` returns :class:`~repro.core.api.SolveResult` and the
 #: solvers grew warm-start reuse paths.
-CACHE_SCHEMA_VERSION = 3
+#: 4: scenario configs carry the solver backend + its budget knobs
+#: (``backend`` / ``backend_seed`` / ``max_evals``), splitting cached
+#: points per backend exactly like the kernel treatment.
+CACHE_SCHEMA_VERSION = 4
 
 #: Exceptions that are deterministic for a given ``(config, seed)`` —
 #: retrying cannot help, so they fail fast (but are still recorded).

@@ -224,17 +224,34 @@ class SetResult:
 
 
 def run_comparison(scenario: Scenario) -> RunResult:
-    """Run both techniques on one scenario (one Figure 6 sample)."""
+    """Run both techniques on one scenario (one Figure 6 sample).
+
+    With the default ``backend="three_stage"`` this is the paper's
+    best-of-ψ pipeline; any other configured backend (metaheuristics,
+    external registrations) replaces the "ours" side, keyed under the
+    single configured ψ, while the baseline side stays the paper's
+    baseline for a like-for-like improvement number.
+    """
     config = scenario.config
+    options = SolveOptions(psis=tuple(config.psis), search=config.search,
+                           backend=config.backend,
+                           seed=config.backend_seed,
+                           max_evals=config.max_evals)
     request = SolveRequest(
         scenario.datacenter, scenario.workload, scenario.p_const,
-        options=SolveOptions(psis=tuple(config.psis), search=config.search))
-    ours = solve(request, method="best_psi")
+        options=options)
+    if config.backend == "three_stage":
+        ours = solve(request, method="best_psi")
+        reward_by_psi = ours.reward_by_psi
+    else:
+        ours = solve(request)
+        reward_by_psi = {float(psi): ours.reward_rate
+                         for psi in config.psis}
     ours.verify(scenario.datacenter, scenario.p_const)
     baseline = solve(request, method="baseline")
     return RunResult(
         seed=scenario.seed,
-        reward_by_psi=ours.reward_by_psi,
+        reward_by_psi=reward_by_psi,
         baseline_reward=baseline.reward_rate,
         p_const=scenario.p_const,
     )

@@ -1,0 +1,16 @@
+"""Gym-style reinforcement-learning interface over the thermal stack.
+
+:class:`repro.rl.env.ThermalSchedulingEnv` exposes the epoch control
+problem — pick CRAC outlets and a P-state profile, collect the DES
+reward — through the familiar ``reset``/``step`` episode API without a
+hard gymnasium dependency (duck-typed; an optional adapter wraps it in
+a real ``gymnasium.Env`` when the package is installed).
+:class:`repro.rl.policies.GreedyPlanPolicy` is the scripted in-repo
+reference agent.
+"""
+
+from repro.rl.env import ThermalSchedulingEnv, make_gymnasium_env
+from repro.rl.policies import GreedyPlanPolicy
+
+__all__ = ["ThermalSchedulingEnv", "GreedyPlanPolicy",
+           "make_gymnasium_env"]

@@ -1,0 +1,310 @@
+"""Gym-style thermal-scheduling environment over the epoch loop + DES.
+
+One episode is a short horizon of fixed-length control epochs.  At each
+step the agent picks a joint action — a CRAC outlet level and a P-state
+fill per node type — and the environment:
+
+1. maps the action to a per-core candidate, repairs it against the
+   power cap and redlines with the same deterministic repair the
+   metaheuristic backends use (:class:`repro.solvers.common.
+   CandidateEvaluator`), so **every committed plan is feasible by
+   construction**;
+2. solves the Stage 3 LP at the repaired P-states for the desired-rate
+   matrix;
+3. replays the epoch's slice of the (seeded, episode-long) Poisson task
+   trace through the second-step DES and pays out the realized reward;
+4. simulates the thermal transient from the previous operating point
+   and reports redline-violation minutes in ``info``.
+
+The API is duck-typed gymnasium: ``reset(seed) -> (obs, info)`` and
+``step(action) -> (obs, reward, terminated, truncated, info)``.  There
+is **no hard gymnasium dependency** — :func:`make_gymnasium_env` wraps
+the environment in a real ``gymnasium.Env`` only when the package is
+importable.
+
+Determinism: the episode is a pure function of the reset seed.  The
+task trace is drawn once at ``reset`` from ``np.random.default_rng
+(seed)`` and every other ingredient (repair, LP, DES) is deterministic,
+so identical seeds give bit-identical trajectories — tested in
+``tests/rl/``.
+
+Observation layout (``float64`` vector, ``observation_size`` long):
+
+== ==========================================================
+0  epoch index / n_epochs
+1+ per-task-type upcoming arrival count this epoch, normalized
+   by the expected count + 1
+-3 previous mean outlet temperature, normalized to [0, 1]
+-2 worst steady-state redline margin of the room state, °C / 10
+-1 total room power / power cap
+== ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.stage3 import Stage3Solution
+from repro.datacenter.builder import DataCenter
+from repro.datacenter.power import total_power
+from repro.obs import metrics as obs_metrics
+from repro.simulate.engine import simulate_trace
+from repro.solvers.common import Candidate, CandidateEvaluator
+from repro.thermal.transient import simulate_transient
+from repro.workload.tasktypes import Workload
+from repro.workload.trace import Task, generate_trace
+
+__all__ = ["ThermalSchedulingEnv", "make_gymnasium_env"]
+
+
+class ThermalSchedulingEnv:
+    """Duck-typed gym environment for the epoch scheduling problem.
+
+    Parameters
+    ----------
+    datacenter:
+        Room with a thermal model attached.
+    workload:
+        Task mix; its arrival rates drive the episode trace.
+    p_const:
+        Room power cap, kW.
+    epoch_s:
+        Seconds per control epoch (one ``step``).
+    n_epochs:
+        Steps per episode.
+    outlet_levels:
+        Outlet-temperature grid resolution available to actions.
+    tau_s:
+        Node thermal time constant for the transient check.
+    """
+
+    def __init__(self, datacenter: DataCenter, workload: Workload,
+                 p_const: float, *, epoch_s: float = 60.0,
+                 n_epochs: int = 4, outlet_levels: int = 5,
+                 tau_s: float = 15.0):
+        if epoch_s <= 0:
+            raise ValueError("epoch length must be positive")
+        if n_epochs < 1:
+            raise ValueError("need at least one epoch per episode")
+        self.datacenter = datacenter
+        self.workload = workload
+        self.p_const = float(p_const)
+        self.epoch_s = float(epoch_s)
+        self.n_epochs = int(n_epochs)
+        self.tau_s = float(tau_s)
+        self.evaluator = CandidateEvaluator(datacenter, workload, p_const,
+                                            outlet_levels=outlet_levels)
+        self._model = datacenter.require_thermal()
+        self._trace: list[Task] | None = None
+        self._cursor = 0
+        self._epoch = 0
+        self._t_out_prev: np.ndarray | None = None
+        self._last_margin = 0.0
+        self._last_power_frac = 0.0
+        self._last_outlet_norm = 0.5
+
+    # ------------------------------------------------------------------
+    @property
+    def n_task_types(self) -> int:
+        return self.workload.n_task_types
+
+    @property
+    def observation_size(self) -> int:
+        return 1 + self.n_task_types + 3
+
+    def action_spec(self) -> dict[str, Any]:
+        """Discrete action shape: one outlet level + one fill per type.
+
+        An action is ``(outlet_level, fills)`` with ``0 <= outlet_level
+        < outlet_levels`` and ``fills`` one P-state fill per node type
+        (each core of type *t* is set to ``min(fills[t], off_t)`` before
+        repair).
+        """
+        etas = tuple(spec.n_pstates for spec in self.datacenter.node_types)
+        return {"outlet_levels": self.evaluator.outlet_levels,
+                "pstate_levels": etas}
+
+    # ------------------------------------------------------------------
+    def plan_action(self, action: tuple[int, Any]
+                    ) -> tuple[Candidate, float]:
+        """Repair + score an action without advancing the episode.
+
+        Returns the repaired (feasible) candidate and its Stage 3
+        predicted reward rate; the scripted greedy policy uses this to
+        rank actions cheaply (rewards are memoized per P-state class
+        histogram inside the shared evaluator).
+        """
+        level, fills = action
+        level = int(level)
+        if not 0 <= level < self.evaluator.outlet_levels:
+            raise ValueError(f"outlet level {level} out of range")
+        fills_arr = np.asarray(fills, dtype=int)
+        if fills_arr.shape != (len(self.datacenter.node_types),):
+            raise ValueError(
+                f"need one P-state fill per node type "
+                f"({len(self.datacenter.node_types)}), got "
+                f"{fills_arr.shape}")
+        pstates = np.minimum(fills_arr[self.datacenter.core_type],
+                             self.evaluator.off)
+        cand = Candidate(
+            outlet_idx=np.full(self.datacenter.n_crac, level, dtype=int),
+            pstates=pstates)
+        reward = self.evaluator.evaluate(cand)
+        return cand, reward
+
+    # ------------------------------------------------------------------
+    def _observe(self) -> np.ndarray:
+        start = self._epoch * self.epoch_s
+        end = start + self.epoch_s
+        counts = np.zeros(self.n_task_types)
+        assert self._trace is not None
+        for task in self._trace[self._cursor:]:
+            if task.arrival >= end:
+                break
+            counts[task.task_type] += 1
+        expected = np.asarray(self.workload.arrival_rates) * self.epoch_s
+        obs = np.empty(self.observation_size)
+        obs[0] = self._epoch / self.n_epochs
+        obs[1:1 + self.n_task_types] = counts / (expected + 1.0)
+        obs[-3] = self._last_outlet_norm
+        obs[-2] = self._last_margin / 10.0
+        obs[-1] = self._last_power_frac
+        return obs
+
+    def _room_state(self, t_vec: np.ndarray,
+                    node_power: np.ndarray) -> None:
+        margin = self._model.redline_margin(t_vec, node_power,
+                                            self.datacenter.redline_c)
+        self._last_margin = float(margin.min())
+        breakdown = total_power(self.datacenter, t_vec, node_power)
+        self._last_power_frac = float(breakdown.total / self.p_const)
+        lows = self.evaluator.outlet_grid[0]
+        highs = self.evaluator.outlet_grid[-1]
+        span = np.maximum(highs - lows, 1e-9)
+        self._last_outlet_norm = float(np.mean((t_vec - lows) / span))
+
+    def reset(self, seed: int = 0) -> tuple[np.ndarray, dict[str, Any]]:
+        """Start a fresh episode; pure function of ``seed``."""
+        rng = np.random.default_rng(seed)
+        horizon = self.epoch_s * self.n_epochs
+        self._trace = generate_trace(self.workload, horizon, rng)
+        self._cursor = 0
+        self._epoch = 0
+        dc = self.datacenter
+        idle_power = dc.node_power_kw(dc.all_off_pstates())
+        t_mid = np.full(dc.n_crac, float(np.mean(
+            [c.outlet_range_c for c in dc.cracs])))
+        self._t_out_prev = self._model.steady_state(t_mid,
+                                                    idle_power).t_out
+        self._room_state(t_mid, idle_power)
+        obs_metrics.counter("rl.episodes").inc()
+        return self._observe(), {"n_tasks": len(self._trace),
+                                 "seed": int(seed)}
+
+    def step(self, action: tuple[int, Any]
+             ) -> tuple[np.ndarray, float, bool, bool, dict[str, Any]]:
+        """Commit one epoch plan and replay its task slice.
+
+        Returns ``(obs, reward, terminated, truncated, info)``; reward
+        is the epoch's realized DES total reward.  ``info`` carries the
+        plan audit: predicted Stage 3 reward rate, worst steady-state
+        redline margin (>= ``-tol`` by repair construction), transient
+        redline-violation minutes during the transition, and total room
+        power.
+        """
+        if self._trace is None:
+            raise RuntimeError("call reset() before step()")
+        if self._epoch >= self.n_epochs:
+            raise RuntimeError("episode over — call reset()")
+        cand, predicted = self.plan_action(action)
+        t_vec = self.evaluator.outlets(cand.outlet_idx)
+        stage3: Stage3Solution = self.evaluator.finish(cand)
+        dc = self.datacenter
+        node_power = dc.node_power_kw(cand.pstates)
+        assert self._t_out_prev is not None
+        transient = simulate_transient(
+            self._model, t_vec, node_power, self._t_out_prev,
+            duration_s=min(10.0 * self.tau_s, self.epoch_s),
+            tau_s=self.tau_s)
+        violation_min = transient.violation_minutes(dc.redline_c)
+        start = self._epoch * self.epoch_s
+        end = start + self.epoch_s
+        chunk: list[Task] = []
+        while self._cursor < len(self._trace) \
+                and self._trace[self._cursor].arrival < end:
+            task = self._trace[self._cursor]
+            chunk.append(Task(arrival=task.arrival - start,
+                              task_type=task.task_type, uid=task.uid,
+                              deadline=task.deadline - start))
+            self._cursor += 1
+        metrics = simulate_trace(dc, self.workload, stage3.tc,
+                                 cand.pstates, chunk,
+                                 duration=self.epoch_s)
+        self._t_out_prev = self._model.steady_state(t_vec,
+                                                    node_power).t_out
+        self._room_state(t_vec, node_power)
+        self._epoch += 1
+        terminated = self._epoch >= self.n_epochs
+        obs_metrics.counter("rl.steps").inc()
+        info = {
+            "predicted_reward_rate": float(predicted),
+            "steady_margin_c": self._last_margin,
+            "violation_minutes": float(violation_min),
+            "power_kw": self._last_power_frac * self.p_const,
+            "n_tasks": len(chunk),
+            "epoch": self._epoch - 1,
+        }
+        return (self._observe(), float(metrics.total_reward), terminated,
+                False, info)
+
+
+def make_gymnasium_env(datacenter: DataCenter, workload: Workload,
+                       p_const: float, **kwargs: Any) -> Any:
+    """Wrap :class:`ThermalSchedulingEnv` in a real ``gymnasium.Env``.
+
+    Optional adapter — gymnasium is **not** a dependency of this
+    package; calling this without it installed raises ``RuntimeError``
+    with instructions, everything else in :mod:`repro.rl` keeps working.
+    Actions become a flat ``MultiDiscrete([outlet_levels, *etas])``
+    vector, observations a ``Box`` of the duck-typed vector.
+    """
+    try:
+        import gymnasium
+        from gymnasium import spaces
+    except ImportError:
+        raise RuntimeError(
+            "gymnasium is not installed; use ThermalSchedulingEnv "
+            "directly (duck-typed, same API) or install gymnasium to "
+            "get a wrapped gymnasium.Env") from None
+
+    inner = ThermalSchedulingEnv(datacenter, workload, p_const, **kwargs)
+    spec = inner.action_spec()
+
+    class _GymThermalEnv(gymnasium.Env):  # type: ignore[misc]
+        metadata = {"render_modes": []}
+
+        def __init__(self) -> None:
+            self.env = inner
+            self.action_space = spaces.MultiDiscrete(
+                [spec["outlet_levels"], *spec["pstate_levels"]])
+            self.observation_space = spaces.Box(
+                low=-np.inf, high=np.inf,
+                shape=(inner.observation_size,), dtype=np.float64)
+
+        def reset(self, *, seed: int | None = None,
+                  options: dict | None = None) -> tuple[np.ndarray, dict]:
+            super().reset(seed=seed)
+            return self.env.reset(seed=0 if seed is None else seed)
+
+        def step(self, action: np.ndarray
+                 ) -> tuple[np.ndarray, float, bool, bool, dict]:
+            flat = np.asarray(action, dtype=int)
+            return self.env.step((int(flat[0]), flat[1:]))
+
+    return _GymThermalEnv()
+
+
+# typing helper for policies
+Policy = Callable[[np.ndarray], tuple[int, Any]]

@@ -1,0 +1,97 @@
+"""Solver backend registry — pluggable first-step solvers behind ``solve()``.
+
+:func:`repro.core.api.solve` historically dispatched through a private
+module-level dict with exactly four entries.  This package turns that
+dict into an open registry so new solver families (the seeded
+metaheuristics in :mod:`repro.solvers.annealing` /
+:mod:`repro.solvers.evolution`, external plug-ins, learned policies) can
+compete on equal footing: a backend is any callable taking a
+:class:`~repro.core.api.SolveRequest` and returning a
+:class:`~repro.core.api.SolveResult`, registered under a unique name and
+selected per request via ``SolveOptions.backend`` (default
+``"three_stage"`` — bit-identical to the pre-registry dispatch).
+
+The registry itself imports no backend modules at top level; the
+built-in backends load lazily on first lookup.  ``repro.core.api``
+registers the four classic methods as a side effect of its import, and
+this module then pulls in the metaheuristic backends — breaking the
+import cycle ``api -> solvers -> annealing -> api`` by construction.
+
+Backend contract (see ``docs/SOLVERS.md``):
+
+* pure in the request — no wall clock, no ambient RNG; all randomness
+  flows from ``SolveOptions.seed`` and budgets are counted in
+  *evaluations* (``SolveOptions.max_evals``), never seconds;
+* the returned outcome satisfies the frozen
+  :class:`~repro.core.api.SolveOutcome` protocol (``reward_rate``,
+  ``verify``, ``to_dict``);
+* the result must pass ``verify`` — backends repair infeasible
+  candidates instead of returning them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.core.api import SolveRequest, SolveResult
+
+__all__ = ["register_solver", "list_solvers", "get_solver"]
+
+#: Name -> backend callable.  Populated by ``repro.core.api`` (builtin
+#: methods) and the metaheuristic modules; open to external callers.
+_REGISTRY: dict[str, "Callable[[SolveRequest], SolveResult]"] = {}
+
+_BACKENDS_LOADED = False
+
+
+def register_solver(name: str,
+                    backend: "Callable[[SolveRequest], SolveResult]", *,
+                    replace: bool = False
+                    ) -> "Callable[[SolveRequest], SolveResult]":
+    """Register ``backend`` under ``name``; returns ``backend``.
+
+    Duplicate names raise unless ``replace=True`` (used by the built-in
+    registrations so a module re-import stays idempotent).
+    """
+    if not name:
+        raise ValueError("solver backend name must be non-empty")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"solver backend {name!r} is already registered; pass "
+            f"replace=True to override it")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def _ensure_backends_loaded() -> None:
+    """Import every built-in backend module exactly once.
+
+    ``repro.core.api`` registers the classic methods (``three_stage``,
+    ``best_psi``, ``baseline``, ``exact``) when it imports; the
+    metaheuristic modules register themselves the same way.
+    """
+    global _BACKENDS_LOADED
+    if _BACKENDS_LOADED:
+        return
+    _BACKENDS_LOADED = True
+    import repro.core.api  # noqa: F401  (registers the builtins)
+    import repro.solvers.annealing  # noqa: F401
+    import repro.solvers.evolution  # noqa: F401
+
+
+def list_solvers() -> tuple[str, ...]:
+    """Sorted names of every registered solver backend."""
+    _ensure_backends_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_solver(name: str) -> "Callable[[SolveRequest], SolveResult]":
+    """Look up a backend by name (raises ``ValueError`` with choices)."""
+    _ensure_backends_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver backend {name!r}; choose from "
+            f"{', '.join(sorted(_REGISTRY))}") from None

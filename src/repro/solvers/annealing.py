@@ -1,0 +1,87 @@
+"""Seeded simulated-annealing backend over (outlets, P-states).
+
+A classic single-chain anneal in the joint space of
+:class:`repro.solvers.common.Candidate`: start from the best of the
+deterministic constructive seeds, propose one neighborhood move per
+iteration (:func:`repro.solvers.common.mutate`), always accept
+improvements, accept regressions with probability
+``exp(delta / temperature)`` under a geometric cooling schedule sized so
+the temperature decays by three decades across the evaluation budget.
+
+Determinism contract: all randomness flows from one
+``np.random.default_rng(options.seed)`` generator and the budget is
+``options.max_evals`` evaluations — no wall clock anywhere — so the
+result is a pure function of the request and bit-identical across
+processes and ``--jobs`` values.  Dispatch goes through
+:func:`repro.core.api._solve_generic`, which also gives the backend the
+standard request-level warm-start replay.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.api import (SolveOutcome, SolveRequest, SolveResult,
+                            _solve_generic)
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import annotate as obs_annotate
+from repro.obs.trace import span as obs_span
+from repro.solvers import register_solver
+from repro.solvers.common import (Candidate, CandidateEvaluator, mutate,
+                                  outcome_from_best, seed_candidates)
+
+__all__ = ["solve_annealing"]
+
+#: Fraction of the incumbent reward used as the starting temperature.
+#: Single-move reward deltas are a few percent of the total, so this
+#: starts the chain accepting most small regressions without devolving
+#: into a random walk.
+_T0_FRACTION = 0.02
+
+#: Total temperature decay across the budget (three decades).
+_COOLING_SPAN = 1e-3
+
+
+def _run_annealing(request: SolveRequest) -> SolveOutcome:
+    opt = request.options
+    evaluator = CandidateEvaluator(request.datacenter, request.workload,
+                                   request.p_const)
+    rng = np.random.default_rng(opt.seed)
+    with obs_span("annealing", n_nodes=request.datacenter.n_nodes,
+                  seed=opt.seed, max_evals=opt.max_evals):
+        best: Candidate | None = None
+        for cand in seed_candidates(evaluator):
+            if evaluator.evaluations >= opt.max_evals:
+                break
+            evaluator.evaluate(cand)
+            if best is None or cand.reward > best.reward:
+                best = cand
+        assert best is not None  # max_evals >= 1 is enforced by options
+        current = best
+        temperature = _T0_FRACTION * max(best.reward, 1.0)
+        remaining = max(opt.max_evals - evaluator.evaluations, 1)
+        alpha = _COOLING_SPAN ** (1.0 / remaining)
+        while evaluator.evaluations < opt.max_evals:
+            cand = mutate(current, evaluator, rng)
+            evaluator.evaluate(cand)
+            delta = cand.reward - current.reward
+            if delta >= 0.0 or rng.random() < math.exp(
+                    delta / max(temperature, 1e-12)):
+                current = cand
+            if cand.reward > best.reward:
+                best = cand
+            temperature *= alpha
+        obs_annotate(evaluations=evaluator.evaluations,
+                     best_reward=best.reward)
+    obs_metrics.counter("solver.evals.annealing").inc(evaluator.evaluations)
+    return outcome_from_best("annealing", evaluator, best, opt.seed)
+
+
+def solve_annealing(request: SolveRequest) -> SolveResult:
+    """Simulated-annealing backend (``SolveOptions.backend="annealing"``)."""
+    return _solve_generic(request, "annealing", _run_annealing)
+
+
+register_solver("annealing", solve_annealing, replace=True)

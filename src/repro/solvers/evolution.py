@@ -1,0 +1,121 @@
+"""(μ+λ) evolutionary-search backend over (outlets, P-states).
+
+A steady population of μ parents produces λ offspring per generation by
+uniform crossover (independent per-core P-state mask, per-CRAC outlet
+mask) followed by mutation (per-core uniform redraw at an expected three
+cores per child, per-CRAC ±1 outlet jitter).  Parents and offspring
+compete jointly; the best μ by Stage 3 reward survive, with candidate
+content bytes as the sort tie-break so selection is fully deterministic
+even under reward ties.
+
+Determinism contract matches :mod:`repro.solvers.annealing`: one
+``np.random.default_rng(options.seed)`` generator, budget counted in
+``options.max_evals`` evaluations (offspring that do not fit into the
+budget are discarded unevaluated), no wall clock — bit-identical across
+processes and ``--jobs`` values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import (SolveOutcome, SolveRequest, SolveResult,
+                            _solve_generic)
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import annotate as obs_annotate
+from repro.obs.trace import span as obs_span
+from repro.solvers import register_solver
+from repro.solvers.common import (Candidate, CandidateEvaluator,
+                                  outcome_from_best, seed_candidates)
+
+__all__ = ["solve_evolution"]
+
+#: Parent population size (μ).
+MU = 6
+
+#: Offspring per generation (λ).
+LAMBDA = 12
+
+#: Expected number of per-core P-state redraws per child.
+_EXPECTED_CORE_MUTATIONS = 3.0
+
+#: Per-CRAC probability of a ±1 outlet-level jitter per child.
+_OUTLET_JITTER_PROB = 0.25
+
+
+def _crossover(a: Candidate, b: Candidate,
+               rng: np.random.Generator) -> Candidate:
+    """Uniform crossover of two parents (new candidate)."""
+    core_mask = rng.random(a.pstates.shape[0]) < 0.5
+    crac_mask = rng.random(a.outlet_idx.shape[0]) < 0.5
+    return Candidate(
+        outlet_idx=np.where(crac_mask, a.outlet_idx, b.outlet_idx),
+        pstates=np.where(core_mask, a.pstates, b.pstates))
+
+
+def _mutate_child(child: Candidate, evaluator: CandidateEvaluator,
+                  rng: np.random.Generator) -> None:
+    """In-place mutation: P-state redraws + outlet jitter."""
+    ev = evaluator
+    p_core = min(_EXPECTED_CORE_MUTATIONS / max(ev.n_cores, 1), 1.0)
+    redraw = rng.random(ev.n_cores) < p_core
+    fresh = rng.integers(0, ev.off + 1)
+    child.pstates = np.where(redraw, fresh, child.pstates)
+    jitter_mask = rng.random(ev.n_crac) < _OUTLET_JITTER_PROB
+    steps = np.where(rng.random(ev.n_crac) < 0.5, -1, 1)
+    jittered = np.clip(child.outlet_idx + steps, 0, ev.outlet_levels - 1)
+    child.outlet_idx = np.where(jitter_mask, jittered, child.outlet_idx)
+
+
+def _rank(pool: list[Candidate]) -> list[Candidate]:
+    """Best-first, content bytes as the deterministic tie-break."""
+    return sorted(pool, key=lambda c: (-c.reward, c.key()))
+
+
+def _run_evolution(request: SolveRequest) -> SolveOutcome:
+    opt = request.options
+    evaluator = CandidateEvaluator(request.datacenter, request.workload,
+                                   request.p_const)
+    rng = np.random.default_rng(opt.seed)
+
+    def eval_within_budget(cands: list[Candidate]) -> list[Candidate]:
+        scored: list[Candidate] = []
+        for cand in cands:
+            if evaluator.evaluations >= opt.max_evals:
+                break
+            evaluator.evaluate(cand)
+            scored.append(cand)
+        return scored
+
+    with obs_span("evolution", n_nodes=request.datacenter.n_nodes,
+                  seed=opt.seed, max_evals=opt.max_evals):
+        initial = seed_candidates(evaluator)
+        while len(initial) < MU + LAMBDA:
+            initial.append(Candidate(
+                outlet_idx=rng.integers(0, evaluator.outlet_levels,
+                                        evaluator.n_crac),
+                pstates=rng.integers(0, evaluator.off + 1)))
+        population = _rank(eval_within_budget(initial))[:MU]
+        while evaluator.evaluations < opt.max_evals:
+            offspring: list[Candidate] = []
+            for _ in range(LAMBDA):
+                p1 = population[int(rng.integers(len(population)))]
+                p2 = population[int(rng.integers(len(population)))]
+                child = _crossover(p1, p2, rng)
+                _mutate_child(child, evaluator, rng)
+                offspring.append(child)
+            population = _rank(population
+                               + eval_within_budget(offspring))[:MU]
+        best = population[0]
+        obs_annotate(evaluations=evaluator.evaluations,
+                     best_reward=best.reward)
+    obs_metrics.counter("solver.evals.evolution").inc(evaluator.evaluations)
+    return outcome_from_best("evolution", evaluator, best, opt.seed)
+
+
+def solve_evolution(request: SolveRequest) -> SolveResult:
+    """Evolutionary backend (``SolveOptions.backend="evolution"``)."""
+    return _solve_generic(request, "evolution", _run_evolution)
+
+
+register_solver("evolution", solve_evolution, replace=True)

@@ -21,6 +21,7 @@ from repro.experiments.config import PAPER_SET_1, paper_sets, scaled_down
 from repro.experiments.figures import fig6_data
 from repro.experiments.generator import generate_scenario
 from repro.experiments.sweeps import sweep_power_cap
+from repro.experiments.tournament import TournamentConfig, sweep_tournament
 
 from tests.conftest import SEED
 
@@ -75,6 +76,33 @@ def test_capacity_sweep_golden(golden):
             "reward_baseline": p.reward_baseline,
             "power_used_kw": p.power_used_kw,
         } for p in points],
+    })
+
+
+def test_tournament_golden(golden):
+    """Each backend's seeded output on one small room.
+
+    Pins every backend's full operating point — reward, outlets,
+    P-states, evaluation counts — so a metaheuristic RNG/repair change
+    can't silently drift the tournament results.
+    """
+    config = TournamentConfig(n_nodes=10, seed=SEED, sets=(1,),
+                              backends=("three_stage", "annealing",
+                                        "evolution"),
+                              backend_seed=0, max_evals=200)
+    points = sweep_tournament(config)
+    from repro.core.api import SolveRequest as _Req
+    from repro.experiments.generator import generate_scenario as _gen
+    sc = _gen(scaled_down(PAPER_SET_1, 10), SEED)
+    details = {}
+    for backend in ("annealing", "evolution"):
+        result = solve(_Req(sc.datacenter, sc.workload, sc.p_const,
+                            options=SolveOptions(backend=backend, seed=0,
+                                                 max_evals=200)))
+        details[backend] = result.to_dict()
+    golden("tournament", {
+        "points": [p.to_dict() for p in points],
+        "details": details,
     })
 
 

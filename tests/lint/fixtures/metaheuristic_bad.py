@@ -1,0 +1,22 @@
+"""Metaheuristic anti-pattern: an unseeded search loop.
+
+An unseeded RNG makes the search a function of process state instead of
+``(request, seed, budget)`` — results drift across runs, machines and
+``--jobs`` values, which is exactly what the solver-backend contract
+forbids.  RL003 flags both the unseeded generator and the stdlib
+fallback draw.
+"""
+
+import random
+
+import numpy as np
+
+
+def anneal(evaluate, mutate, start, max_evals):
+    rng = np.random.default_rng()        # line 16: unseeded generator
+    best = start
+    for _ in range(max_evals):
+        cand = mutate(best, rng)
+        if evaluate(cand) > evaluate(best) or random.random() < 0.01:
+            best = cand                  # stdlib global RNG on line 20
+    return best

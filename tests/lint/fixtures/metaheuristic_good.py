@@ -1,0 +1,18 @@
+"""Metaheuristic pattern done right: all randomness from a seeded RNG.
+
+The search is a pure function of ``(start, seed, max_evals)`` — the
+solver-backend determinism contract — because every draw, including the
+acceptance test, flows from the one ``default_rng(seed)`` generator.
+"""
+
+import numpy as np
+
+
+def anneal(evaluate, mutate, start, seed, max_evals):
+    rng = np.random.default_rng(seed)
+    best = start
+    for _ in range(max_evals):
+        cand = mutate(best, rng)
+        if evaluate(cand) > evaluate(best) or rng.random() < 0.01:
+            best = cand
+    return best

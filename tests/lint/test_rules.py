@@ -63,6 +63,21 @@ class TestPr3BugClass:
         assert any(f.line == 19 for f in report.findings)
 
 
+class TestMetaheuristicPattern:
+    """Acceptance: an unseeded metaheuristic search loop — the bug class
+    the PR-7 solver backends must never reintroduce — trips RL003, and
+    the seeded variant is clean."""
+
+    def test_unseeded_search_loop_is_flagged(self):
+        report = _lint_fixture("metaheuristic_bad.py", "RL003")
+        lines = [f.line for f in report.findings]
+        assert lines == [16, 20]
+
+    def test_seeded_search_loop_is_clean(self):
+        report = _lint_fixture("metaheuristic_good.py", "RL003")
+        assert report.findings == []
+
+
 class TestRuleMetadata:
     def test_every_expected_code_is_registered(self):
         from repro.lint import all_rules

@@ -1,0 +1,172 @@
+"""Metaheuristic backends: determinism, budgets, repair, warm replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import SolveOptions, SolveRequest, solve
+from repro.datacenter.power import total_power
+from repro.experiments.config import PAPER_SET_1, scaled_down
+from repro.experiments.generator import generate_scenario
+from repro.solvers.common import (Candidate, CandidateEvaluator,
+                                  seed_candidates)
+
+from tests.conftest import SEED
+
+BACKENDS = ("annealing", "evolution")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_scenario(scaled_down(PAPER_SET_1, 8), SEED)
+
+
+def _request(scenario, backend, seed=0, max_evals=120):
+    return SolveRequest(
+        scenario.datacenter, scenario.workload, scenario.p_const,
+        options=SolveOptions(backend=backend, seed=seed,
+                             max_evals=max_evals))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackends:
+    def test_result_verifies(self, scenario, backend):
+        result = solve(_request(scenario, backend))
+        result.verify(scenario.datacenter, scenario.p_const)
+        assert result.reward_rate >= 0.0
+
+    def test_deterministic_under_fixed_seed(self, scenario, backend):
+        a = solve(_request(scenario, backend, seed=3))
+        b = solve(_request(scenario, backend, seed=3))
+        assert a.to_dict() == b.to_dict()
+        assert np.array_equal(a.tc, b.tc)
+
+    def test_seed_changes_search(self, scenario, backend):
+        a = solve(_request(scenario, backend, seed=0))
+        b = solve(_request(scenario, backend, seed=99))
+        # searches differ (pstates or evaluations trajectory), even if
+        # they happen to land on equal rewards
+        assert a.seed != b.seed
+
+    def test_budget_is_respected_exactly(self, scenario, backend):
+        for budget in (40, 90):
+            result = solve(_request(scenario, backend, max_evals=budget))
+            assert result.evaluations <= budget
+
+    def test_more_budget_never_hurts_incumbent(self, scenario, backend):
+        small = solve(_request(scenario, backend, max_evals=60))
+        large = solve(_request(scenario, backend, max_evals=240))
+        assert large.reward_rate >= small.reward_rate - 1e-9
+
+    def test_outcome_fields(self, scenario, backend):
+        result = solve(_request(scenario, backend))
+        doc = result.to_dict()
+        assert doc["method"] == backend
+        assert doc["seed"] == 0
+        assert len(doc["pstates"]) == scenario.datacenter.n_cores
+        assert len(doc["t_crac_out"]) == scenario.datacenter.n_crac
+        power = result.power(scenario.datacenter)
+        assert power.total <= scenario.p_const * (1 + 1e-6)
+
+    def test_warm_replay_of_identical_request(self, scenario, backend):
+        first = solve(_request(scenario, backend))
+        replay_req = SolveRequest(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            options=SolveOptions(backend=backend, seed=0, max_evals=120),
+            warm_start=first.state)
+        replay = solve(replay_req)
+        assert replay.to_dict() == first.to_dict()
+
+    def test_seed_splits_warm_digest(self, scenario, backend):
+        first = solve(_request(scenario, backend, seed=0))
+        other_req = SolveRequest(
+            scenario.datacenter, scenario.workload, scenario.p_const,
+            options=SolveOptions(backend=backend, seed=1, max_evals=120),
+            warm_start=first.state)
+        other = solve(other_req)
+        # a different seed must re-run the search, not replay seed 0
+        fresh = solve(_request(scenario, backend, seed=1))
+        assert other.to_dict() == fresh.to_dict()
+
+
+class TestEvaluator:
+    def test_repair_makes_infeasible_candidate_feasible(self, scenario):
+        # pick an outlet level where the all-off room is feasible, then
+        # set the cap between the all-off and flat-out totals there: the
+        # flat-out candidate violates the cap but is repairable because
+        # repair can always weaken toward the feasible all-off point
+        dc = scenario.datacenter
+        probe = CandidateEvaluator(dc, scenario.workload, scenario.p_const)
+        level = next(
+            lv for lv in range(probe.outlet_levels)
+            if probe.is_feasible(Candidate(
+                outlet_idx=np.full(probe.n_crac, lv, dtype=int),
+                pstates=probe.off.copy())))
+        t_vec = probe.outlets(np.full(probe.n_crac, level, dtype=int))
+        off_total = total_power(dc, t_vec,
+                                dc.node_power_kw(probe.off)).total
+        hot_total = total_power(
+            dc, t_vec,
+            dc.node_power_kw(np.zeros(probe.n_cores, dtype=int))).total
+        cap = off_total + 0.3 * (hot_total - off_total)
+        ev = CandidateEvaluator(dc, scenario.workload, cap)
+        cand = Candidate(
+            outlet_idx=np.full(ev.n_crac, level, dtype=int),
+            pstates=np.zeros(ev.n_cores, dtype=int))
+        assert not ev.is_feasible(cand)
+        ev.repair(cand)
+        assert ev.is_feasible(cand)
+
+    def test_repair_gives_up_on_unfixable_outlets(self, scenario):
+        # at the hottest admissible outlet even the idle room violates
+        # a redline — P-state weakening cannot fix it, so repair stops
+        # at all-off and evaluate scores the candidate infeasible
+        ev = CandidateEvaluator(scenario.datacenter, scenario.workload,
+                                scenario.p_const)
+        cand = Candidate(
+            outlet_idx=np.full(ev.n_crac, ev.outlet_levels - 1, dtype=int),
+            pstates=np.zeros(ev.n_cores, dtype=int))
+        reward = ev.evaluate(cand)
+        if not ev.is_feasible(cand):
+            assert reward < 0.0
+            assert np.array_equal(cand.pstates, ev.off)
+
+    def test_repair_keeps_feasible_candidate_unchanged(self, scenario):
+        ev = CandidateEvaluator(scenario.datacenter, scenario.workload,
+                                scenario.p_const)
+        cand = Candidate(outlet_idx=np.zeros(ev.n_crac, dtype=int),
+                         pstates=ev.off.copy())
+        before = cand.pstates.copy()
+        ev.repair(cand)
+        assert np.array_equal(cand.pstates, before)
+
+    def test_evaluate_counts_and_caches(self, scenario):
+        ev = CandidateEvaluator(scenario.datacenter, scenario.workload,
+                                scenario.p_const)
+        cand = Candidate(outlet_idx=np.zeros(ev.n_crac, dtype=int),
+                         pstates=ev.off.copy())
+        r1 = ev.evaluate(cand)
+        r2 = ev.evaluate(cand.copy())
+        assert r1 == pytest.approx(r2)
+        assert ev.evaluations == 2
+
+    def test_all_off_rewards_zero(self, scenario):
+        ev = CandidateEvaluator(scenario.datacenter, scenario.workload,
+                                scenario.p_const)
+        cand = Candidate(outlet_idx=np.zeros(ev.n_crac, dtype=int),
+                         pstates=ev.off.copy())
+        assert ev.evaluate(cand) == pytest.approx(0.0)
+
+    def test_seed_candidates_cover_grid(self, scenario):
+        ev = CandidateEvaluator(scenario.datacenter, scenario.workload,
+                                scenario.p_const)
+        seeds = seed_candidates(ev)
+        assert len(seeds) == ev.outlet_levels * (int(ev.off.max()) + 1)
+        levels = {int(s.outlet_idx[0]) for s in seeds}
+        assert levels == set(range(ev.outlet_levels))
+
+    def test_outlet_levels_validation(self, scenario):
+        with pytest.raises(ValueError, match="outlet levels"):
+            CandidateEvaluator(scenario.datacenter, scenario.workload,
+                               scenario.p_const, outlet_levels=1)

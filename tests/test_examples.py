@@ -1,0 +1,50 @@
+"""Smoke-run every shipped example at a shrunken problem size.
+
+The examples are executable documentation of the public API; this suite
+keeps them from rotting when the API moves.  Each module is loaded from
+its file (``examples/`` is not a package) and its ``main()`` called with
+small keyword overrides so the whole suite stays in CI budget.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Per-example keyword overrides that shrink the run (defaults are
+#: sized for humans reading the output, not for CI).
+SHRUNK = {
+    "capacity_planning": {"n_nodes": 8},
+    "diurnal_control": {"n_nodes": 6},
+    "dynamic_scheduling": {"horizon": 10.0},
+    "oversubscribed_datacenter": {"n_nodes": 10},
+    "quickstart": {},
+    "thermal_map": {},
+}
+
+
+def _load_example(stem: str):
+    path = EXAMPLES_DIR / f"{stem}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{stem}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_is_covered():
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(SHRUNK), \
+        "examples/ and the SHRUNK table drifted apart"
+
+
+@pytest.mark.parametrize("stem", sorted(SHRUNK))
+def test_example_runs(stem, capsys):
+    module = _load_example(stem)
+    module.main(**SHRUNK[stem])
+    out = capsys.readouterr().out
+    assert out.strip(), f"{stem}.main() printed nothing"

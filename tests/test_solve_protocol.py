@@ -1,0 +1,102 @@
+"""Frozen ``SolveOutcome`` protocol across every registered backend.
+
+The protocol — ``reward_rate`` (float), ``verify()`` (raises on
+violation), ``to_dict()`` (JSON-able) — is the contract the experiment
+engine, the serve loop and downstream consumers rely on.  This suite
+solves one tiny room with **every** registered backend and checks each
+result (and its wrapped outcome) against the contract, so a new backend
+cannot ship with a divergent result type.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.api import (SolveOptions, SolveRequest, SolveOutcome,
+                            SolveResult, solve)
+from repro.datacenter import build_datacenter, power_bounds
+from repro.datacenter.coretypes import shrunken_node_types
+from repro.solvers import list_solvers
+from repro.thermal import attach_thermal_model
+from repro.workload import generate_workload
+
+from tests.conftest import SEED
+
+
+@dataclass(frozen=True)
+class _Tiny:
+    datacenter: object
+    workload: object
+    p_const: float
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    # small enough that the "exact" brute-force backend stays cheap
+    rng = np.random.default_rng(SEED)
+    dc = build_datacenter(n_nodes=3, n_crac=2,
+                          node_types=shrunken_node_types(2), rng=rng,
+                          nodes_per_rack=3)
+    attach_thermal_model(dc, rng=rng)
+    wl = generate_workload(dc, rng, n_task_types=4)
+    return _Tiny(dc, wl, power_bounds(dc).p_const)
+
+
+def _solve_with(tiny, backend):
+    options = SolveOptions(backend=backend, seed=0, max_evals=60,
+                           temp_step=6.0)
+    return solve(SolveRequest(tiny.datacenter, tiny.workload,
+                              tiny.p_const, options=options))
+
+
+@pytest.fixture(scope="module", params=sorted(list_solvers()))
+def result(request, tiny):
+    return _solve_with(tiny, request.param)
+
+
+class TestProtocol:
+    def test_every_backend_is_exercised(self):
+        # the param list is the live registry — a new backend is pulled
+        # into this suite automatically
+        assert len(list_solvers()) >= 6
+
+    def test_satisfies_runtime_protocol(self, result):
+        assert isinstance(result, SolveOutcome)
+        assert isinstance(result.outcome, SolveOutcome)
+
+    def test_reward_rate_is_float(self, result):
+        assert isinstance(result.reward_rate, float)
+        assert result.reward_rate >= 0.0
+
+    def test_verify_passes(self, tiny, result):
+        result.verify(tiny.datacenter, tiny.p_const)
+
+    def test_verify_raises_on_impossible_cap(self, tiny, result):
+        # base + CRAC power are nonzero for any committed plan, so a
+        # zero cap must always trip the power check
+        with pytest.raises(AssertionError):
+            result.verify(tiny.datacenter, 0.0)
+
+    def test_to_dict_is_json_able(self, result):
+        doc = result.to_dict()
+        assert isinstance(doc, dict)
+        assert "method" in doc and "reward_rate" in doc
+        json.dumps(doc)  # raises on non-serializable leaves
+
+    def test_wrapper_forwards_attributes(self, result):
+        assert isinstance(result, SolveResult)
+        # forwarded attribute reads hit the wrapped outcome
+        assert result.reward_rate == result.outcome.reward_rate
+        assert result.to_dict() == result.outcome.to_dict()
+
+    def test_wrapper_rejects_dunder_forwarding(self, result):
+        with pytest.raises(AttributeError):
+            result.__missing_dunder__
+
+    def test_unknown_attribute_raises(self, result):
+        with pytest.raises(AttributeError):
+            result.not_a_real_attribute
