@@ -81,6 +81,17 @@ def _kernel_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _thermal_parent() -> argparse.ArgumentParser:
+    """``--thermal-backend`` (heat-flow linear-algebra backend)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--thermal-backend", choices=("auto", "dense", "sparse"),
+                   default="auto",
+                   help="heat-flow linear-algebra backend (auto picks "
+                        "sparse above the room-size threshold; see "
+                        "docs/THERMAL.md)")
+    return p
+
+
 def _json_parent() -> argparse.ArgumentParser:
     """``--json`` (machine-readable output)."""
     p = argparse.ArgumentParser(add_help=False)
@@ -99,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     engine = _engine_parent()
     trace_out = _trace_out_parent()
     kernel = _kernel_parent()
+    thermal = _thermal_parent()
     json_flag = _json_parent()
 
     p_tables = sub.add_parser("tables", help="print Tables I and II")
@@ -106,14 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="P-state-0 static power fraction "
                                "(default 0.3)")
 
-    p_cmp = sub.add_parser("compare", parents=[kernel],
+    p_cmp = sub.add_parser("compare", parents=[kernel, thermal],
                            help="compare techniques on one random room")
     p_cmp.add_argument("--nodes", type=int, default=30)
     p_cmp.add_argument("--seed", type=int, default=1)
     p_cmp.add_argument("--set", dest="paper_set", type=int, default=3,
                        choices=(1, 2, 3), help="paper simulation set")
 
-    p_fig6 = sub.add_parser("fig6", parents=[engine, kernel, trace_out],
+    p_fig6 = sub.add_parser("fig6",
+                            parents=[engine, kernel, thermal, trace_out],
                             help="run the Figure 6 experiment")
     p_fig6.add_argument("--runs", type=int, default=5,
                         help="simulation runs per set (paper: 25)")
@@ -235,13 +248,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     sc = generate_scenario(_set_config(args.paper_set, args.nodes),
                            args.seed)
+    dc = sc.datacenter.with_thermal_backend(args.thermal_backend)
     print(f"room: {args.nodes} nodes, cap {sc.p_const:.1f} kW "
           f"(set {args.paper_set}, seed {args.seed})")
-    ours = three_stage_assignment(sc.datacenter, sc.workload, sc.p_const,
+    ours = three_stage_assignment(dc, sc.workload, sc.p_const,
                                   psi=50.0)
-    ours.verify(sc.datacenter, sc.p_const)
-    base, _ = solve_baseline(sc.datacenter, sc.workload, sc.p_const)
-    srv, _ = solve_server_level(sc.datacenter, sc.workload, sc.p_const)
+    ours.verify(dc, sc.p_const)
+    base, _ = solve_baseline(dc, sc.workload, sc.p_const)
+    srv, _ = solve_server_level(dc, sc.workload, sc.p_const)
     print(f"  three-stage (psi=50): {ours.reward_rate:9.1f} reward/s")
     print(f"  P0-or-off baseline  : {base.reward_rate:9.1f} reward/s")
     print(f"  server-level 80%    : {srv.reward_rate:9.1f} reward/s")
@@ -251,12 +265,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.experiments.config import paper_sets, scaled_down
     from repro.experiments.export import fig6_csv, write_csv
     from repro.experiments.figures import fig6_data, format_fig6
     from repro.experiments.progress import PrintingReporter
 
-    configs = [scaled_down(c, args.nodes) for c in paper_sets()]
+    configs = [replace(scaled_down(c, args.nodes),
+                       thermal_backend=args.thermal_backend)
+               for c in paper_sets()]
     reporter = PrintingReporter()
     results = fig6_data(n_runs=args.runs, base_seed=args.seed,
                         configs=configs, jobs=args.jobs,

@@ -130,6 +130,14 @@ class SolveOptions:
         Evaluation budget for metaheuristic backends — candidates
         repaired-and-scored, **never** wall-clock seconds, so budgeted
         searches stay bit-reproducible.
+    thermal_backend:
+        Linear-algebra backend of the heat-flow model the solve runs
+        against: ``"auto"`` (the default — keep whatever the attached
+        model chose by room size), ``"dense"`` (explicit inverse, the
+        reference oracle) or ``"sparse"`` (CSR + cached ``splu``
+        factorization; see ``docs/THERMAL.md``).  The setting is folded
+        into the warm-start digests, so changing it never replays a
+        stale cache entry.
     """
 
     psi: float = 50.0
@@ -144,6 +152,7 @@ class SolveOptions:
     backend: str = "three_stage"
     seed: int = 0
     max_evals: int = 2000
+    thermal_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.search not in ("fast", "full"):
@@ -161,6 +170,10 @@ class SolveOptions:
             raise ValueError(
                 f"unknown solver backend {self.backend!r}; choose from "
                 f"{', '.join(list_solvers())}")
+        if self.thermal_backend not in ("auto", "dense", "sparse"):
+            raise ValueError(
+                f"unknown thermal backend {self.thermal_backend!r} "
+                "(use 'auto', 'dense' or 'sparse')")
 
 
 @dataclass(frozen=True, eq=False)
@@ -391,5 +404,10 @@ def solve(request: SolveRequest, *, method: str | None = None
     """
     name = request.options.backend if method is None else method
     solver = get_solver(name)
+    backend = request.options.thermal_backend
+    if backend != "auto" and request.datacenter.thermal is not None:
+        converted = request.datacenter.with_thermal_backend(backend)
+        if converted is not request.datacenter:
+            request = replace(request, datacenter=converted)
     with kernels.use_kernel(request.options.kernel):
         return solver(request)

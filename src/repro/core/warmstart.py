@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
+from scipy import sparse
 
 if TYPE_CHECKING:
     from repro.core.api import SolveOptions
@@ -69,6 +70,14 @@ class Digests:
 
 
 def _hash_array(h: "hashlib._Hash", arr: np.ndarray) -> None:
+    if sparse.issparse(arr):
+        # CSR content digest: data + structure.  Canonicalize first so
+        # an identical matrix assembled in a different order hashes
+        # identically.
+        csr = arr.tocsr().sorted_indices()
+        for part in (csr.data, csr.indices, csr.indptr):
+            h.update(np.ascontiguousarray(part).tobytes())
+        return
     h.update(np.ascontiguousarray(arr).tobytes())
 
 
@@ -109,7 +118,7 @@ def compute_digests(datacenter: DataCenter, workload: Workload,
                    options.coarse_step, options.final_step,
                    options.temp_step, options.max_assignments,
                    options.kernel, options.backend, options.seed,
-                   options.max_evals)).encode())
+                   options.max_evals, options.thermal_backend)).encode())
     structure = h.hexdigest()
     stage1 = hashlib.sha256(
         (structure + repr(float(p_const))).encode()).hexdigest()

@@ -14,6 +14,7 @@ air flow equals the total node air flow.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -197,6 +198,25 @@ class DataCenter:
                 "no thermal model attached; generate cross-interference "
                 "coefficients first (repro.thermal.attach_thermal_model)")
         return self.thermal
+
+    def with_thermal_backend(self, backend: str) -> "DataCenter":
+        """A view of this room whose heat-flow model uses ``backend``.
+
+        Shallow copy: nodes, layout and derived arrays are shared; only
+        the ``thermal`` reference differs.  ``"auto"``, no attached
+        model, or an already-matching backend return ``self`` unchanged.
+        The converted model is memoized on the model itself
+        (:meth:`repro.thermal.heatflow.HeatFlowModel.with_backend`), so
+        repeated conversions are free.
+        """
+        if self.thermal is None or backend == "auto":
+            return self
+        converted = self.thermal.with_backend(backend)
+        if converted is self.thermal:
+            return self
+        clone = copy.copy(self)
+        clone.thermal = converted
+        return clone
 
     def restrict(self, node_alive: np.ndarray,
                  cracs: "Sequence[CRACUnit] | None" = None

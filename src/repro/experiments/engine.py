@@ -59,7 +59,10 @@ __all__ = ["EngineConfig", "EngineError", "run_set", "run_sets",
 #: 4: scenario configs carry the solver backend + its budget knobs
 #: (``backend`` / ``backend_seed`` / ``max_evals``), splitting cached
 #: points per backend exactly like the kernel treatment.
-CACHE_SCHEMA_VERSION = 4
+#: 5: scenario configs carry ``thermal_backend`` (dense vs. sparse
+#: heat-flow algebra agree only within float tolerance, so their cached
+#: points must not be mixed).
+CACHE_SCHEMA_VERSION = 5
 
 #: Exceptions that are deterministic for a given ``(config, seed)`` —
 #: retrying cannot help, so they fail fast (but are still recorded).

@@ -125,7 +125,8 @@ def datacenter_to_dict(datacenter: DataCenter) -> dict[str, Any]:
         # mix[j, i] = alpha[i, j] * F_i / F_j  =>
         # alpha[i, j] = mix[j, i] * F_j / F_i
         flows = datacenter.unit_flows
-        alpha = (model.mix.T * flows[None, :] / flows[:, None]).tolist()
+        alpha = (model.mix_dense.T
+                 * flows[None, :] / flows[:, None]).tolist()
     crac0 = datacenter.cracs[0]
     return {
         "format": FORMAT_VERSION,

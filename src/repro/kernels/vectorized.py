@@ -80,11 +80,15 @@ def steady_state_batch(model: "HeatFlowModel", t_crac_out: np.ndarray,
 
     The ``(I - A_MM)`` system is factored once per room topology inside
     :class:`~repro.thermal.heatflow.HeatFlowModel`; evaluating a batch
-    is then two GEMMs against the affine pieces.  Agrees with the
+    is then two GEMMs against the affine pieces on the dense backend,
+    or multi-right-hand-side triangular solves against the cached
+    ``splu`` factorization on the sparse one
+    (:meth:`~repro.thermal.heatflow.HeatFlowModel.batch_inlet` — the
+    dense expression is unchanged bit-for-bit).  Agrees with the
     per-row reference within float tolerance (BLAS accumulation order).
     """
     n_crac = model.n_crac
-    t_in = t_crac_out @ model.inlet_base.T + node_power_kw @ model.inlet_gain.T
+    t_in = model.batch_inlet(t_crac_out, node_power_kw)
     t_out = np.empty_like(t_in)
     t_out[:, :n_crac] = t_crac_out
     t_out[:, n_crac:] = t_in[:, n_crac:] \

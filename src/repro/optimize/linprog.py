@@ -195,6 +195,29 @@ class LinearProgram:
         self._ub_vals.extend(rows[r_idx, c_idx].tolist())
         self._b_ub.extend(rhs.tolist())
 
+    def add_sparse_le_rows(self, rows: "sparse.spmatrix",
+                           rhs: np.ndarray) -> None:
+        """Add many ``<=`` rows given as a scipy sparse matrix.
+
+        Same contract as :meth:`add_dense_le_rows` without ever
+        materializing the dense row block — used by the zonal Stage 1
+        master LP, whose constraint rows are zone-local and would be
+        ~99% explicit zeros at 100x room sizes.
+        """
+        coo = sparse.coo_matrix(rows)
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=float))
+        if coo.shape[0] != rhs.shape[0]:
+            raise ValueError("row/rhs count mismatch")
+        if coo.shape[1] != self._num_vars:
+            raise ValueError(
+                f"row width {coo.shape[1]} != variable count {self._num_vars}")
+        base = len(self._b_ub)
+        keep = coo.data != 0.0
+        self._ub_rows.extend((coo.row[keep] + base).tolist())
+        self._ub_cols.extend(coo.col[keep].tolist())
+        self._ub_vals.extend(coo.data[keep].tolist())
+        self._b_ub.extend(rhs.tolist())
+
     # ------------------------------------------------------------------
     def fingerprint(self) -> str:
         """Exact structural hash of the assembled program.

@@ -3,12 +3,16 @@ generation (Appendix B), and the linearized constraint views used by the
 optimizers."""
 
 from repro.thermal.constraints import ThermalLinearization
-from repro.thermal.heatflow import HeatFlowModel, SteadyState
+from repro.thermal.heatflow import (SPARSE_AUTO_UNITS, HeatFlowModel,
+                                    SteadyState)
 from repro.thermal.estimation import (Measurement, collect_measurements,
                                       estimate_mix_matrix, estimation_error)
 from repro.thermal.interference import (attach_thermal_model,
                                         exit_coefficients, generate_alpha,
                                         recirculation_coefficients)
+from repro.thermal.sparse import (DEFAULT_COUPLING, Zone,
+                                  attach_zonal_thermal, zonal_block_alpha,
+                                  zone_partition)
 from repro.thermal.transient import (TransientResult, simulate_transient,
                                      time_to_steady_state)
 
@@ -16,6 +20,12 @@ __all__ = [
     "ThermalLinearization",
     "HeatFlowModel",
     "SteadyState",
+    "SPARSE_AUTO_UNITS",
+    "DEFAULT_COUPLING",
+    "Zone",
+    "zone_partition",
+    "zonal_block_alpha",
+    "attach_zonal_thermal",
     "attach_thermal_model",
     "exit_coefficients",
     "generate_alpha",

@@ -122,7 +122,7 @@ def estimation_error(model: HeatFlowModel, a_hat: np.ndarray,
     Returns ``(max |A - A_hat|, max inlet prediction error in C)`` over
     fresh random operating points.
     """
-    matrix_err = float(np.abs(model.mix - a_hat).max())
+    matrix_err = float(np.abs(model.mix_dense - a_hat).max())
     t_cracs = np.empty((n_holdout, model.n_crac))
     powers = np.empty((n_holdout, model.n_nodes))
     for i in range(n_holdout):

@@ -69,15 +69,21 @@ class TransientResult:
 
         The chaos-testing metric: after a fault, even a derated plan can
         spend a while above a redline before settling; this integrates
-        that exposure.  Samples are weighted by the step between them
-        (the trajectory is uniformly sampled), so the result is in
-        simulated minutes, not sample counts.
+        that exposure.  The violation indicator is integrated with the
+        trapezoid rule — each sample is weighted by half the gap to each
+        neighbor (so boundary samples, including a violation only at the
+        terminal sample, count half an interval, and a trajectory whose
+        final step was clamped to the horizon is never over-counted).
         """
         violated = np.any(self.t_in > redline_c[None, :] + tol, axis=1)
         if self.times.size < 2:
             return 0.0
-        dt = float(self.times[1] - self.times[0])
-        return float(violated.sum()) * dt / 60.0
+        gaps = np.diff(self.times)
+        weights = np.empty_like(self.times)
+        weights[0] = gaps[0] / 2.0
+        weights[-1] = gaps[-1] / 2.0
+        weights[1:-1] = (gaps[:-1] + gaps[1:]) / 2.0
+        return float(weights[violated].sum()) / 60.0
 
 
 def simulate_transient(model: HeatFlowModel,
@@ -116,24 +122,34 @@ def simulate_transient(model: HeatFlowModel,
         raise ValueError(f"initial state must have {n_units} entries")
     nc = model.n_crac
 
-    steps = int(np.ceil(duration_s / dt_s))
+    # The final sample lands exactly at ``duration_s``: when the horizon
+    # is not a multiple of the step, the trajectory ends with a shorter
+    # partial step (with its own exact decay factor) instead of
+    # integrating past the requested horizon.
+    full = int(np.floor(duration_s / dt_s + 1e-12))
+    remainder = duration_s - full * dt_s
+    partial = remainder > 1e-9 * dt_s
+    steps = full + (1 if partial else 0)
+    last_dt = remainder if partial else dt_s
     times = np.empty(steps + 1)
     outs = np.empty((steps + 1, n_units))
     ins = np.empty((steps + 1, n_units))
     decay = 1.0 - np.exp(-dt_s / tau_s)   # exact first-order update
+    last_decay = 1.0 - np.exp(-last_dt / tau_s)
     rise = model.node_heat_coeff * p
 
     x[:nc] = t_crac_out                    # CRAC control is instantaneous
     for s in range(steps + 1):
         t_in = model.mix @ x
-        times[s] = s * dt_s
+        times[s] = duration_s if s == steps else s * dt_s
         outs[s] = x
         ins[s] = t_in
         if s == steps:
             break
         target = t_in[nc:] + rise
         x = x.copy()
-        x[nc:] += decay * (target - x[nc:])
+        x[nc:] += (last_decay if s == steps - 1 else decay) \
+            * (target - x[nc:])
     return TransientResult(times=times, t_out=outs, t_in=ins)
 
 

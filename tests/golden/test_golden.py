@@ -106,6 +106,39 @@ def test_tournament_golden(golden):
     })
 
 
+def test_stage1_zonal_golden(golden):
+    """Zonal Stage 1 vs the monolithic LP on the shrunken fig6 room.
+
+    Pins the decomposition's objective (equal to the monolithic optimum
+    at the same fixed outlets), the per-node power plan and the
+    reconciliation diagnostics, so a sweep/coordination change that
+    degrades the decomposition shows up as a baseline diff.
+    """
+    from repro.core.stage1 import (build_arr_functions,
+                                   solve_stage1_fixed_temps)
+    from repro.core.stage1_zonal import solve_stage1_zonal
+    from repro.thermal.constraints import ThermalLinearization
+
+    sc = generate_scenario(scaled_down(PAPER_SET_1, 30), 1000)
+    t_fixed = np.asarray([18.0, 17.0, 17.0])
+    result, _ = solve_stage1_zonal(sc.datacenter, sc.workload,
+                                   p_const=sc.p_const, t_crac_out=t_fixed)
+    arrs = build_arr_functions(sc.datacenter, sc.workload, 50.0)
+    lin = ThermalLinearization.build(
+        sc.datacenter.require_thermal(), t_fixed, sc.datacenter.redline_c,
+        sc.datacenter.cracs[0].cop_model)
+    mono = solve_stage1_fixed_temps(sc.datacenter, arrs, lin, sc.p_const)
+    golden("stage1_zonal", {
+        "p_const_kw": float(sc.p_const),
+        "t_crac_out_c": t_fixed.tolist(),
+        "objective": float(result.objective),
+        "monolithic_objective": float(mono.objective),
+        "node_power_kw": result.node_power_kw.tolist(),
+        "sweeps": int(result.sweeps),
+        "repair_scale": float(result.repair_scale),
+    })
+
+
 def test_chaos_golden(golden):
     """Fault-injection sweep: healthy control plus factor 1.
 

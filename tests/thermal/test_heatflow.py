@@ -154,6 +154,49 @@ class TestValidation:
             model.inlet_affine(np.asarray([15.0, 16.0]))
 
 
+class TestAlphaNegativeClamp:
+    """Round-off negatives in ``[-ALPHA_NEG_TOL, 0)`` (LP vertices,
+    censoring algebra) are clamped to 0; anything more negative is still
+    a modeling error and rejected."""
+
+    TINY = 5e-10    # inside the clamp band (ALPHA_NEG_TOL = 1e-9)
+
+    def _noisy_alpha(self, eps):
+        # the closed two-unit loop, with round-off pushed onto the
+        # diagonal; rows still sum to 1 and flow is still conserved
+        return np.asarray([[-eps, 1.0 + eps], [1.0 + eps, -eps]])
+
+    def test_tiny_negative_clamped_dense(self):
+        model = HeatFlowModel(self._noisy_alpha(self.TINY),
+                              np.asarray([0.5, 0.5]), 1)
+        assert float(model.alpha.min()) == 0.0
+        assert float(model.mix.min()) >= 0.0
+        clean = two_unit_model()
+        state = model.steady_state(np.asarray([15.0]), np.asarray([2.0]))
+        want = clean.steady_state(np.asarray([15.0]), np.asarray([2.0]))
+        np.testing.assert_allclose(state.t_in, want.t_in, atol=1e-8)
+
+    def test_tiny_negative_clamped_sparse(self):
+        import scipy.sparse as sp
+
+        alpha = sp.csr_matrix(self._noisy_alpha(self.TINY))
+        model = HeatFlowModel(alpha, np.asarray([0.5, 0.5]), 1)
+        assert model.backend == "sparse"
+        assert float(model.alpha.data.min()) >= 0.0
+        assert float(model.mix.data.min()) >= 0.0
+
+    def test_below_tolerance_still_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            HeatFlowModel(self._noisy_alpha(1e-8),
+                          np.asarray([0.5, 0.5]), 1)
+
+    def test_clamp_does_not_mutate_caller_array(self):
+        alpha = self._noisy_alpha(self.TINY)
+        keep = alpha.copy()
+        HeatFlowModel(alpha, np.asarray([0.5, 0.5]), 1)
+        np.testing.assert_array_equal(alpha, keep)
+
+
 class TestCensoredCache:
     """``without_nodes`` memoizes per dead-node set (satellite 3 of the
     kernels PR): fault sweeps re-censor the same inventory every replan,
@@ -206,7 +249,7 @@ class TestCensoredCache:
             model.without_nodes(list(range(small_dc.n_nodes)))
 
     def test_censored_alpha_path_not_stale_after_eviction(self, small_dc):
-        """FIFO eviction at 64 entries must rebuild, not misread."""
+        """Eviction at 64 entries must rebuild, not misread."""
         model = small_dc.thermal
         model._censored.clear()
         keep = model.without_nodes([0])
@@ -215,6 +258,44 @@ class TestCensoredCache:
             model.without_nodes([j % (small_dc.n_nodes - 1) + 1, j // 60])
         rebuilt = model.without_nodes([0])
         assert np.array_equal(rebuilt.alpha, alpha_before)
+
+    def test_eviction_is_lru_not_fifo(self, small_dc):
+        """A hot inventory re-hit between inserts must survive eviction
+        pressure (the memo refreshes recency on every hit; plain FIFO
+        would evict the oldest *inserted* key — the hot one)."""
+        import itertools
+
+        model = small_dc.thermal
+        model._censored.clear()
+        hot = model.without_nodes([0])
+        fillers = itertools.islice(
+            itertools.combinations(range(1, small_dc.n_nodes), 2), 65)
+        for pair in fillers:
+            model.without_nodes(list(pair))
+            # touch the hot inventory so it is always the most recent
+            assert model.without_nodes([0]) is hot
+        assert len(model._censored) <= 64
+
+    def test_eviction_removes_least_recently_used(self, small_dc):
+        """Filling to capacity, re-touching the oldest insert, then
+        overflowing must evict the second-oldest instead."""
+        import itertools
+
+        model = small_dc.thermal
+        model._censored.clear()
+        oldest = model.without_nodes([0])
+        second = model.without_nodes([1])
+        fillers = list(itertools.islice(
+            itertools.combinations(range(2, small_dc.n_nodes), 2), 62))
+        for pair in fillers:
+            model.without_nodes(list(pair))
+        assert len(model._censored) == 64
+        assert model.without_nodes([0]) is oldest    # refresh the oldest
+        model.without_nodes([2])                     # overflow: evicts [1]
+        assert model.without_nodes([0]) is oldest    # survived
+        before = model.censored_rebuilds
+        assert model.without_nodes([1]) is not second
+        assert model.censored_rebuilds == before + 1  # a genuine rebuild
 
 
 class TestCensoredMemoGauges:

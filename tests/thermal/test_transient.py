@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.thermal.transient import simulate_transient, time_to_steady_state
+from repro.thermal.transient import (TransientResult, simulate_transient,
+                                     time_to_steady_state)
 
 
 @pytest.fixture(scope="module")
@@ -69,6 +70,75 @@ class TestOvershootDiagnostics:
         if model.is_feasible(t_out, p_mid, small_dc.redline_c):
             res = simulate_transient(model, t_out, p_mid, start, 1200.0)
             assert res.max_inlet_overshoot(small_dc.redline_c) <= 1e-6
+
+
+class TestHorizonClamp:
+    """Regression: a horizon that is not a multiple of the step used to
+    be integrated past ``duration_s`` by up to one full ``dt``."""
+
+    def test_final_sample_lands_exactly_on_duration(self, setup):
+        model, t_out, p_hot, p_cold = setup
+        start = model.steady_state(t_out, p_cold).t_out
+        res = simulate_transient(model, t_out, p_hot, start,
+                                 duration_s=100.7, dt_s=3.0)
+        assert res.times[-1] == 100.7
+        assert res.times.max() <= 100.7
+        assert np.all(np.diff(res.times) > 0)
+
+    def test_multiple_horizon_grid_unchanged(self, setup):
+        model, t_out, p_hot, p_cold = setup
+        start = model.steady_state(t_out, p_cold).t_out
+        res = simulate_transient(model, t_out, p_hot, start,
+                                 duration_s=90.0, dt_s=3.0)
+        np.testing.assert_array_equal(res.times, 3.0 * np.arange(31))
+
+    def test_partial_step_uses_exact_decay(self, setup):
+        """The clamped final step must advance the state as far as an
+        exact integration over the same short interval would."""
+        model, t_out, p_hot, p_cold = setup
+        start = model.steady_state(t_out, p_cold).t_out
+        res = simulate_transient(model, t_out, p_hot, start,
+                                 duration_s=10.5, dt_s=1.0)
+        # restart from the last full-step state and take the remainder
+        # as its own (tiny but valid) horizon
+        res2 = simulate_transient(model, t_out, p_hot, res.t_out[-2],
+                                  duration_s=0.5, dt_s=0.5)
+        np.testing.assert_allclose(res.t_out[-1], res2.t_out[-1],
+                                   atol=1e-12)
+
+
+class TestViolationMinutes:
+    """Regression: every violated sample used to count one full ``dt``;
+    the trapezoid weighting halves the boundary samples."""
+
+    REDLINE = np.asarray([5.0])
+
+    @staticmethod
+    def _result(times, t_in_col):
+        times = np.asarray(times, dtype=float)
+        t_in = np.asarray(t_in_col, dtype=float)[:, None]
+        return TransientResult(times=times, t_out=t_in.copy(), t_in=t_in)
+
+    def test_violation_only_at_final_sample_counts_half_interval(self):
+        res = self._result([0.0, 60.0, 120.0], [0.0, 0.0, 10.0])
+        assert res.violation_minutes(self.REDLINE) \
+            == pytest.approx(0.5)        # 30 s, not the old 60 s
+
+    def test_violation_only_at_first_sample_counts_half_interval(self):
+        res = self._result([0.0, 60.0, 120.0], [10.0, 0.0, 0.0])
+        assert res.violation_minutes(self.REDLINE) == pytest.approx(0.5)
+
+    def test_clamped_final_gap_weighted_by_its_true_length(self):
+        res = self._result([0.0, 60.0, 90.0], [0.0, 0.0, 10.0])
+        assert res.violation_minutes(self.REDLINE) == pytest.approx(0.25)
+
+    def test_always_violated_integrates_whole_horizon(self):
+        res = self._result([0.0, 60.0, 90.0], [10.0, 10.0, 10.0])
+        assert res.violation_minutes(self.REDLINE) == pytest.approx(1.5)
+
+    def test_single_sample_trajectory_is_zero(self):
+        res = self._result([0.0], [10.0])
+        assert res.violation_minutes(self.REDLINE) == 0.0
 
 
 class TestValidation:
