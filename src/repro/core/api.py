@@ -148,7 +148,7 @@ class SolveOptions:
     temp_step: float = 3.0
     max_assignments: int = 200_000
     kernel: str = kernels.DEFAULT_KERNEL
-    warm_seed: bool = False
+    warm_seed: bool = False  # repro-lint: cache-exempt(changes the search path, never solution values; hashing it would defeat warm-start reuse)
     backend: str = "three_stage"
     seed: int = 0
     max_evals: int = 2000
@@ -188,7 +188,7 @@ class SolveRequest:
     workload: Workload
     p_const: float
     options: SolveOptions = field(default_factory=SolveOptions)
-    warm_start: SolveState | None = None
+    warm_start: SolveState | None = None  # repro-lint: cache-exempt(a reuse hint; the digests decide what it may replay, so it cannot change results)
 
     def with_options(self, **changes: object) -> "SolveRequest":
         """A copy of this request with some options replaced."""

@@ -14,30 +14,42 @@ Usage::
     python -m repro lint src/                 # via the main CLI
     python -m repro.lint src/ --format json   # standalone
 
-Rules are :class:`~repro.lint.base.RuleVisitor` subclasses registered
-under stable ``RL0xx`` codes; findings can be suppressed per line
+Rules come in two tiers sharing one registry of stable ``RL0xx`` codes:
+per-file :class:`~repro.lint.base.RuleVisitor` subclasses and
+whole-program :class:`~repro.lint.base.ProjectRule` dataflow analyses
+(unit-dimension flow, determinism taint tracking, cache-key
+completeness) driven by the interpreter in :mod:`repro.lint.dataflow`.
+Findings can be suppressed per logical line
 (``# repro-lint: disable=RL001``) or grandfathered in a committed
 baseline file (``lint-baseline.json``) with a written reason.
 """
 
-from repro.lint.base import (FileContext, LintConfig, RuleVisitor,
-                             all_rules, get_rule, load_span_taxonomy,
-                             register, rule_catalog)
-from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.base import (CacheContract, FileContext, LintConfig,
+                             ProjectRule, RuleVisitor, all_rules,
+                             get_rule, load_span_taxonomy, register,
+                             rule_catalog)
+from repro.lint.baseline import (Baseline, load_baseline,
+                                 normalize_context, write_baseline)
 from repro.lint.engine import iter_python_files, lint_paths, select_rules
 from repro.lint.findings import Finding, LintReport
 from repro.lint.output import render_github, render_json, render_text
+from repro.lint.project import Project, build_project
 from repro.lint.suppress import Suppressions, parse_suppressions
 
 __all__ = [
     "Baseline",
+    "CacheContract",
     "FileContext",
     "Finding",
     "LintConfig",
     "LintReport",
+    "Project",
+    "ProjectRule",
     "RuleVisitor",
     "Suppressions",
     "all_rules",
+    "build_project",
+    "normalize_context",
     "get_rule",
     "iter_python_files",
     "lint_paths",

@@ -17,9 +17,12 @@ from typing import ClassVar, Iterator
 from repro.lint.findings import Finding
 
 __all__ = [
+    "DEFAULT_CACHE_CONTRACTS",
     "DEFAULT_SPAN_TAXONOMY",
+    "CacheContract",
     "FileContext",
     "LintConfig",
+    "ProjectRule",
     "RuleVisitor",
     "all_rules",
     "get_rule",
@@ -48,6 +51,36 @@ PHYSICAL_CONSTANTS: dict[float, str] = {
 
 
 @dataclass(frozen=True)
+class CacheContract:
+    """One cache-key completeness obligation (RL050).
+
+    Every field of ``cls`` must reach one of ``key_fns`` (directly as
+    an attribute of a parameter typed as ``cls``, via a blanket
+    ``dataclasses.asdict``/``astuple``, or as an attribute access in a
+    function that calls a key function) or carry a
+    ``# repro-lint: cache-exempt(reason)`` pragma on its definition
+    line.
+    """
+
+    cls: str                    # fully-qualified dataclass name
+    key_fns: tuple[str, ...]    # fully-qualified digest/key functions
+
+
+#: The repo's cache/digest contracts: the experiment cache key over
+#: ``ScenarioConfig`` (the PR-3 bug class) and the warm-start digests
+#: over ``SolveOptions``/``SolveRequest`` (the CACHE_SCHEMA_VERSION
+#: bump class from PRs 5-8).
+DEFAULT_CACHE_CONTRACTS: tuple[CacheContract, ...] = (
+    CacheContract(cls="repro.experiments.config.ScenarioConfig",
+                  key_fns=("repro.experiments.engine.cache_key",)),
+    CacheContract(cls="repro.core.api.SolveOptions",
+                  key_fns=("repro.core.warmstart.compute_digests",)),
+    CacheContract(cls="repro.core.api.SolveRequest",
+                  key_fns=("repro.core.warmstart.compute_digests",)),
+)
+
+
+@dataclass(frozen=True)
 class LintConfig:
     """Knobs shared by every rule.
 
@@ -63,6 +96,13 @@ class LintConfig:
         implementation itself).
     physical_constants:
         ``float value -> canonical symbol`` map for RL010.
+    cache_contracts:
+        Dataclasses whose fields must be covered by their cache-key /
+        digest functions (RL050).
+    taint_source_allow:
+        POSIX path fragments whose *sources* the taint analysis
+        ignores — the observability layer reads the wall clock by
+        design and its outputs are not cache inputs (RL040).
     """
 
     span_taxonomy: frozenset[str] = DEFAULT_SPAN_TAXONOMY
@@ -70,6 +110,8 @@ class LintConfig:
     span_rule_skip: tuple[str, ...] = ("repro/obs/",)
     physical_constants: dict[float, str] = field(
         default_factory=lambda: dict(PHYSICAL_CONSTANTS))
+    cache_contracts: tuple[CacheContract, ...] = DEFAULT_CACHE_CONTRACTS
+    taint_source_allow: tuple[str, ...] = ("repro/obs/",)
 
 
 _SPAN_SECTION_RE = re.compile(
@@ -145,6 +187,9 @@ class RuleVisitor(ast.NodeVisitor):
     name: ClassVar[str] = "abstract-rule"
     category: ClassVar[str] = "none"
     description: ClassVar[str] = ""
+    #: Which ``--analysis`` tier runs this rule: per-file AST rules are
+    #: ``"ast"``; whole-program dataflow rules are ``"dataflow"``.
+    analysis_kind: ClassVar[str] = "ast"
 
     def __init__(self, ctx: FileContext, config: LintConfig) -> None:
         self.ctx = ctx
@@ -172,14 +217,58 @@ class RuleVisitor(ast.NodeVisitor):
         return self.findings
 
 
-_REGISTRY: dict[str, type[RuleVisitor]] = {}
+class ProjectRule:
+    """Base class for one whole-program dataflow rule (RL03x-RL05x).
+
+    Where :class:`RuleVisitor` sees one file, a project rule sees the
+    :class:`~repro.lint.project.Project` — every linted module parsed
+    into a symbol table — and reports findings anywhere in it.
+    Subclasses implement :meth:`check`; :meth:`report` anchors findings
+    to a module+line and may attach the source→sink ``trace`` chain.
+    """
+
+    code: ClassVar[str] = "RL000"
+    name: ClassVar[str] = "abstract-project-rule"
+    category: ClassVar[str] = "none"
+    description: ClassVar[str] = ""
+    analysis_kind: ClassVar[str] = "dataflow"
+
+    def __init__(self, project: "object", config: LintConfig) -> None:
+        self.project = project
+        self.config = config
+        self.findings: list[Finding] = []
+
+    def report(self, module: "object", node: ast.AST, message: str,
+               trace: tuple[str, ...] = ()) -> None:
+        """Record a finding at ``node``'s position in ``module``."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        self.findings.append(Finding(
+            path=module.rel_path, line=lineno, col=col,      # type: ignore[attr-defined]
+            code=self.code, rule=self.name, message=message,
+            context=module.line_text(lineno),                # type: ignore[attr-defined]
+            trace=trace))
+
+    def check(self) -> None:
+        raise NotImplementedError
+
+    def run(self) -> list[Finding]:
+        self.check()
+        self.findings.sort()
+        return self.findings
 
 
-def register(cls: type[RuleVisitor]) -> type[RuleVisitor]:
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
     """Class decorator adding a rule to the global registry.
 
-    Codes are the stable public contract (suppressions and baselines
-    refer to them), so duplicates and malformed codes are hard errors.
+    Accepts both per-file :class:`RuleVisitor` and whole-program
+    :class:`ProjectRule` subclasses; the engine partitions by
+    ``analysis_kind``.  Codes are the stable public contract
+    (suppressions and baselines refer to them), so duplicates and
+    malformed codes are hard errors.
     """
     if not _CODE_RE.match(cls.code):
         raise ValueError(f"rule code {cls.code!r} must match RL0xx")
@@ -191,13 +280,13 @@ def register(cls: type[RuleVisitor]) -> type[RuleVisitor]:
     return cls
 
 
-def all_rules() -> list[type[RuleVisitor]]:
-    """Every registered rule, ordered by code."""
+def all_rules() -> list[type]:
+    """Every registered rule (AST and dataflow), ordered by code."""
     _ensure_loaded()
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
-def get_rule(code: str) -> type[RuleVisitor]:
+def get_rule(code: str) -> type:
     _ensure_loaded()
     try:
         return _REGISTRY[code]

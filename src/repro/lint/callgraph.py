@@ -1,0 +1,99 @@
+"""Conservative call graph over a :class:`~repro.lint.project.Project`.
+
+The dataflow analyses compute *intraprocedural summaries* (what a
+function's return value carries, given what its parameters carry) and
+chain them along call edges.  Summaries must be computed callees-first,
+so this module builds the edge set and a deterministic bottom-up
+function order.
+
+Conservativeness: only calls whose target resolves to a project
+function become edges — calls through variables, ``self.method()``
+dispatch and external libraries are invisible.  That can only *miss*
+propagation chains, never invent them, which matches the linter's
+err-toward-silence posture.  Recursion (any strongly-connected
+component) is broken by falling back to the empty summary for the
+back edge; the analyses document the same fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.project import FunctionInfo, Project
+
+__all__ = ["CallGraph", "CallSite", "build_callgraph"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call expression inside a function body."""
+
+    caller: str                 # qualified name of the enclosing function
+    callee: str                 # resolved target (maybe external)
+    node_lineno: int
+
+
+@dataclass
+class CallGraph:
+    """Edges between project functions plus every resolved call site."""
+
+    edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    sites: list[CallSite] = field(default_factory=list)
+
+    def callees(self, fqn: str) -> tuple[str, ...]:
+        return self.edges.get(fqn, ())
+
+    def bottom_up(self, project: Project) -> list[FunctionInfo]:
+        """Project functions ordered callees-before-callers.
+
+        Iterative post-order DFS from every function in sorted order;
+        cycles are visited once in discovery order, so members of a
+        recursive clique see partial (empty) summaries for their back
+        edges — the documented conservative fallback.
+        """
+        order: list[str] = []
+        done: set[str] = set()
+        for root in sorted(self.edges):
+            if root in done:
+                continue
+            stack: list[tuple[str, int]] = [(root, 0)]
+            on_path: set[str] = {root}
+            while stack:
+                name, idx = stack.pop()
+                callees = self.edges.get(name, ())
+                while idx < len(callees) and (callees[idx] in done
+                                              or callees[idx] in on_path):
+                    idx += 1
+                if idx < len(callees):
+                    stack.append((name, idx + 1))
+                    child = callees[idx]
+                    on_path.add(child)
+                    stack.append((child, 0))
+                else:
+                    done.add(name)
+                    on_path.discard(name)
+                    order.append(name)
+        return [project.functions[name] for name in order
+                if name in project.functions]
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Resolve every call expression in every project function."""
+    graph = CallGraph()
+    for func in project.sorted_functions():
+        callees: list[str] = []
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = project.resolve(func.module, node.func)
+            if target is None:
+                continue
+            graph.sites.append(CallSite(
+                caller=func.qualname, callee=target,
+                node_lineno=node.lineno))
+            if target in project.functions and target != func.qualname:
+                callees.append(target)
+        graph.edges[func.qualname] = tuple(
+            sorted(dict.fromkeys(callees)))
+    return graph

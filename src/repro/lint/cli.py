@@ -7,13 +7,14 @@ Exit codes: 0 clean (possibly with baselined/suppressed findings),
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro.lint.base import (LintConfig, load_span_taxonomy, rule_catalog)
 from repro.lint.baseline import load_baseline, write_baseline
-from repro.lint.engine import lint_paths, select_rules
+from repro.lint.engine import ANALYSES, lint_paths, select_rules
 from repro.lint.output import render_github, render_json, render_text
 
 __all__ = ["add_lint_arguments", "main", "run_lint_command"]
@@ -40,6 +41,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                              "exclusively (e.g. RL001,RL002)")
     parser.add_argument("--ignore", type=str, default=None,
                         help="comma-separated rule codes to skip")
+    parser.add_argument("--analysis", choices=ANALYSES, default="all",
+                        help="analysis tier: per-file 'ast' rules, "
+                             "whole-program 'dataflow' rules, or 'all' "
+                             "(default)")
+    parser.add_argument("--since", metavar="REV", default=None,
+                        help="report findings only in files changed "
+                             "since REV (git diff --name-only REV, plus "
+                             "untracked files); the dataflow project "
+                             "still sees the whole tree")
     parser.add_argument("--write-baseline", action="store_true",
                         help="write every current finding to the "
                              "baseline file and exit 0 (adoption "
@@ -52,6 +62,30 @@ def _split_codes(text: str | None) -> list[str] | None:
     if text is None:
         return None
     return [c.strip() for c in text.split(",") if c.strip()]
+
+
+def _changed_since(rev: str) -> set[str]:
+    """Resolved POSIX paths of .py files changed since ``rev``.
+
+    Changed-or-added tracked files (``git diff --name-only``) plus
+    untracked files, anchored at the repository toplevel so the set
+    compares equal to the engine's resolved paths from any cwd.
+    """
+    def git(*cmd: str) -> str:
+        proc = subprocess.run(["git", *cmd], capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(cmd)} failed: "
+                f"{proc.stderr.strip() or proc.stdout.strip()}")
+        return proc.stdout
+
+    top = Path(git("rev-parse", "--show-toplevel").strip())
+    names = git("diff", "--name-only", "-z", rev, "--").split("\0")
+    names += git("ls-files", "--others", "--exclude-standard",
+                 "-z").split("\0")
+    return {(top / name).resolve().as_posix()
+            for name in names if name.endswith(".py")}
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
@@ -76,9 +110,17 @@ def run_lint_command(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
+    restrict_to = None
+    if args.since is not None:
+        try:
+            restrict_to = _changed_since(args.since)
+        except (RuntimeError, OSError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
     try:
         report = lint_paths(list(args.paths), rules=rules, config=config,
-                            baseline=baseline)
+                            baseline=baseline, analysis=args.analysis,
+                            restrict_to=restrict_to)
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2

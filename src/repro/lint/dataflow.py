@@ -1,0 +1,379 @@
+"""A small forward abstract interpreter over function bodies.
+
+:class:`FunctionAnalysis` drives one pass over one function: statements
+execute in source order against an environment of ``local name →
+abstract value``; branches execute on copies and re-join; loop bodies
+run twice so loop-carried values reach a (one-round) fixpoint.  The
+value domain is defined entirely by subclass hooks, so the same driver
+powers both the unit-dimension analysis (values are physical
+dimensions, RL03x) and the determinism-taint analysis (values are sets
+of taint atoms with traces, RL04x).
+
+Design constraints, in order:
+
+1. **Deterministic** — environments join in sorted-key order and every
+   container is traversed in syntax order, so repeated runs (and runs
+   under different ``PYTHONHASHSEED``) emit byte-identical findings.
+2. **Err toward silence** — anything the interpreter cannot model
+   (dynamic dispatch, ``self.x`` mutation, comprehensions over call
+   results) evaluates to the hook's ``bottom`` rather than guessing.
+3. **Cheap** — one pass per function per analysis; the whole ``src``
+   tree interprets in well under the CI gate's 60 s budget.
+
+Interprocedural behavior comes from *summaries*: analyses walk
+functions in :meth:`~repro.lint.callgraph.CallGraph.bottom_up` order,
+record what each function's return value carries, and consult that
+table at call sites (see the analyses in ``repro/lint/rules/``).
+Module-level statements are not interpreted — the invariants under
+guard live in function bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Generic, TypeVar
+
+from repro.lint.project import FunctionInfo, ModuleInfo, Project
+
+__all__ = ["FunctionAnalysis"]
+
+V = TypeVar("V")
+
+#: One extra execution of every loop body propagates values assigned in
+#: iteration *k* to uses in iteration *k+1*; further rounds cannot grow
+#: the environments of the domains used here (joins are idempotent and
+#: monotone over finite lattices).
+_LOOP_ROUNDS = 2
+
+
+class FunctionAnalysis(Generic[V]):
+    """Forward abstract interpretation of one function body.
+
+    Subclasses implement the value-domain hooks (at minimum
+    :meth:`join`); the driver owns statement sequencing, environment
+    management and expression dispatch.  ``None`` is the universal
+    bottom: absent names, unmodeled expressions and hook defaults all
+    evaluate to it.
+    """
+
+    def __init__(self, project: Project, func: FunctionInfo) -> None:
+        self.project = project
+        self.func = func
+        self.module: ModuleInfo = func.module
+        self.returns: list[tuple[ast.Return, V | None]] = []
+
+    # -- value-domain hooks (override in analyses) ---------------------
+    def join(self, a: V, b: V) -> V | None:
+        raise NotImplementedError
+
+    def param_value(self, name: str, annotation: str | None) -> V | None:
+        """Initial abstract value of one parameter."""
+        return None
+
+    def free_name(self, node: ast.Name) -> V | None:
+        """Value of a name never assigned locally (global / builtin)."""
+        return None
+
+    def const_value(self, node: ast.Constant) -> V | None:
+        return None
+
+    def call_result(self, node: ast.Call, fqn: str | None,
+                    args: list[V | None],
+                    kwargs: dict[str, V | None],
+                    receiver: V | None = None) -> V | None:
+        """Value of a call; also where analyses check sinks/sources.
+
+        ``receiver`` is the abstract value of ``x`` in ``x.method(...)``
+        — method calls are never resolved to project functions, but
+        e.g. taint must still flow through ``payload.encode()``.
+        """
+        return None
+
+    def binop_value(self, node: ast.BinOp, left: V | None,
+                    right: V | None) -> V | None:
+        return self._join_opt(left, right)
+
+    def compare_values(self, node: ast.Compare,
+                       operands: list[V | None]) -> None:
+        """Observation hook for comparisons (no value: bools are bottom)."""
+
+    def attribute_value(self, node: ast.Attribute,
+                        base: V | None) -> V | None:
+        return base
+
+    def subscript_value(self, node: ast.Subscript,
+                        base: V | None) -> V | None:
+        return base
+
+    def collection_value(self, node: ast.expr,
+                         elements: list[V | None]) -> V | None:
+        out: V | None = None
+        for element in elements:
+            out = self._join_opt(out, element)
+        return out
+
+    def element_value(self, iter_node: ast.expr,
+                      iterable: V | None) -> V | None:
+        """Value bound to a loop/comprehension target per element."""
+        return iterable
+
+    def unpack_value(self, value: V | None) -> V | None:
+        """Value bound to each name of a tuple-unpacking target."""
+        return value
+
+    # -- driver --------------------------------------------------------
+    def analyze(self) -> None:
+        env: dict[str, V] = {}
+        for name in self.func.params:
+            value = self.param_value(name,
+                                     self.func.annotations.get(name))
+            if value is not None:
+                env[name] = value
+        self.exec_stmts(self.func.node.body, env)
+
+    def _join_opt(self, a: V | None, b: V | None) -> V | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return self.join(a, b)
+
+    def _join_env(self, a: dict[str, V], b: dict[str, V]) -> dict[str, V]:
+        out: dict[str, V] = {}
+        for key in sorted(set(a) | set(b)):
+            value = self._join_opt(a.get(key), b.get(key))
+            if value is not None:
+                out[key] = value
+        return out
+
+    def _bind(self, target: ast.expr, value: V | None,
+              env: dict[str, V]) -> None:
+        if isinstance(target, ast.Name):
+            if value is None:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            each = self.unpack_value(value)
+            for element in target.elts:
+                self._bind(element, each, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, value, env)
+        # attribute/subscript targets mutate objects we do not model
+
+    def exec_stmts(self, stmts: list[ast.stmt],
+                   env: dict[str, V]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: dict[str, V]) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval_expr(stmt.value, env),
+                           env)
+        elif isinstance(stmt, ast.AugAssign):
+            current = (env.get(stmt.target.id)
+                       if isinstance(stmt.target, ast.Name) else None)
+            value = self.binop_value(
+                ast.BinOp(left=stmt.target, op=stmt.op, right=stmt.value,
+                          lineno=stmt.lineno, col_offset=stmt.col_offset),
+                current, self.eval_expr(stmt.value, env))
+            self._bind(stmt.target, value, env)
+        elif isinstance(stmt, ast.Return):
+            value = (None if stmt.value is None
+                     else self.eval_expr(stmt.value, env))
+            self.returns.append((stmt, value))
+        elif isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value, env)
+        elif isinstance(stmt, (ast.If,)):
+            self.eval_expr(stmt.test, env)
+            then_env = dict(env)
+            self.exec_stmts(stmt.body, then_env)
+            else_env = dict(env)
+            self.exec_stmts(stmt.orelse, else_env)
+            env.clear()
+            env.update(self._join_env(then_env, else_env))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self.eval_expr(stmt.iter, env)
+            for _ in range(_LOOP_ROUNDS):
+                body_env = dict(env)
+                self._bind(stmt.target,
+                           self.element_value(stmt.iter, iterable),
+                           body_env)
+                self.exec_stmts(stmt.body, body_env)
+                env.update(self._join_env(env, body_env))
+            self.exec_stmts(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test, env)
+            for _ in range(_LOOP_ROUNDS):
+                body_env = dict(env)
+                self.exec_stmts(stmt.body, body_env)
+                env.update(self._join_env(env, body_env))
+            self.exec_stmts(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value, env)
+            self.exec_stmts(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self.exec_stmts(stmt.body, body_env)
+            merged = self._join_env(env, body_env)
+            for handler in stmt.handlers:
+                handler_env = dict(merged)
+                self.exec_stmts(handler.body, handler_env)
+                merged = self._join_env(merged, handler_env)
+            env.clear()
+            env.update(merged)
+            self.exec_stmts(stmt.orelse, env)
+            self.exec_stmts(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval_expr(stmt.exc, env)
+        elif isinstance(stmt, ast.Assert):
+            self.eval_expr(stmt.test, env)
+            if stmt.msg is not None:
+                self.eval_expr(stmt.msg, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # nested defs/classes, import/global/pass: no dataflow modeled
+
+    def eval_expr(self, node: ast.expr,
+                  env: dict[str, V]) -> V | None:
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return self.free_name(node)
+        if isinstance(node, ast.Constant):
+            return self.const_value(node)
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval_expr(node.value, env)
+            self._bind(node.target, value, env)
+            return value
+        if isinstance(node, ast.Call):
+            args = [self.eval_expr(a, env) for a in node.args]
+            kwargs = {kw.arg: self.eval_expr(kw.value, env)
+                      for kw in node.keywords if kw.arg is not None}
+            for kw in node.keywords:        # **expansions join the pot
+                if kw.arg is None:
+                    args.append(self.eval_expr(kw.value, env))
+            fqn = self.project.resolve(self.module, node.func)
+            receiver: V | None = None
+            if isinstance(node.func, ast.Attribute):
+                # a method call: evaluate the receiver so nested calls
+                # inside it are observed and its value can flow through
+                # (``payload.encode()`` keeps payload's taint)
+                receiver = self.eval_expr(node.func.value, env)
+            return self.call_result(node, fqn, args, kwargs, receiver)
+        if isinstance(node, ast.BinOp):
+            return self.binop_value(node,
+                                    self.eval_expr(node.left, env),
+                                    self.eval_expr(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval_expr(node.operand, env)
+        if isinstance(node, ast.BoolOp):
+            out: V | None = None
+            for value_node in node.values:
+                out = self._join_opt(out,
+                                     self.eval_expr(value_node, env))
+            return out
+        if isinstance(node, ast.Compare):
+            operands = [self.eval_expr(node.left, env)]
+            operands += [self.eval_expr(c, env)
+                         for c in node.comparators]
+            self.compare_values(node, operands)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.eval_expr(node.test, env)
+            return self._join_opt(self.eval_expr(node.body, env),
+                                  self.eval_expr(node.orelse, env))
+        if isinstance(node, ast.Attribute):
+            return self.attribute_value(
+                node, self.eval_expr(node.value, env))
+        if isinstance(node, ast.Subscript):
+            base = self.eval_expr(node.value, env)
+            if isinstance(node.slice, ast.expr):
+                self.eval_expr(node.slice, env)
+            return self.subscript_value(node, base)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            elements = [self.eval_expr(e, env) for e in node.elts]
+            return self.collection_value(node, elements)
+        if isinstance(node, ast.Dict):
+            elements = [self.eval_expr(k, env)
+                        for k in node.keys if k is not None]
+            elements += [self.eval_expr(v, env) for v in node.values]
+            return self.collection_value(node, elements)
+        if isinstance(node, (ast.ListComp, ast.SetComp,
+                             ast.GeneratorExp, ast.DictComp)):
+            comp_env = dict(env)
+            for gen in node.generators:
+                iterable = self.eval_expr(gen.iter, comp_env)
+                self._bind(gen.target,
+                           self.element_value(gen.iter, iterable),
+                           comp_env)
+                for cond in gen.ifs:
+                    self.eval_expr(cond, comp_env)
+            if isinstance(node, ast.DictComp):
+                elements = [self.eval_expr(node.key, comp_env),
+                            self.eval_expr(node.value, comp_env)]
+            else:
+                elements = [self.eval_expr(node.elt, comp_env)]
+            return self.collection_value(node, elements)
+        if isinstance(node, ast.JoinedStr):
+            out = None
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    out = self._join_opt(
+                        out, self.eval_expr(part.value, env))
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.eval_expr(node.value, env)
+        if isinstance(node, ast.Starred):
+            return self.eval_expr(node.value, env)
+        if isinstance(node, ast.Await):
+            return self.eval_expr(node.value, env)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval_expr(part, env)
+            return None
+        if isinstance(node, ast.Lambda):
+            return None
+        return None
+
+    # -- shared conveniences for analyses ------------------------------
+    def joined_returns(self) -> V | None:
+        out: V | None = None
+        for _, value in self.returns:
+            out = self._join_opt(out, value)
+        return out
+
+    def location(self, node: ast.AST) -> str:
+        lineno = getattr(node, "lineno", 1)
+        return f"{self.module.rel_path}:{lineno}"
+
+    def map_arguments(self, callee: FunctionInfo, node: ast.Call,
+                      args: list[V | None],
+                      kwargs: dict[str, V | None]) -> dict[str, V | None]:
+        """Positional+keyword abstract arguments keyed by parameter name.
+
+        ``self`` receivers are not modeled, so method parameters shift
+        by one when the callee is a method called on an instance; the
+        resolver only produces direct-function targets, so the plain
+        positional zip is right for everything it resolves.
+        """
+        mapping: dict[str, V | None] = {}
+        params = [p for p in callee.params if p not in ("self", "cls")]
+        for name, value in zip(params, args):
+            mapping[name] = value
+        for name, value in kwargs.items():
+            if name in callee.params:
+                mapping[name] = value
+        return mapping

@@ -31,6 +31,10 @@ class Finding:
     context:
         The stripped source line — the key baselines match on, so
         grandfathered findings survive unrelated line-number drift.
+    trace:
+        For dataflow findings (RL03x/RL04x/RL05x): the full
+        source → propagation → sink chain, one ``path:line: event``
+        step per element.  Empty for per-statement AST findings.
     """
 
     path: str
@@ -40,6 +44,7 @@ class Finding:
     rule: str
     message: str
     context: str = ""
+    trace: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -50,6 +55,7 @@ class Finding:
             "rule": self.rule,
             "message": self.message,
             "context": self.context,
+            "trace": list(self.trace),
         }
 
 
@@ -60,13 +66,16 @@ class LintReport:
     ``findings`` are actionable (they fail the run); ``suppressed`` and
     ``baselined`` are retained so the JSON report shows the full
     picture; ``stale_baseline`` lists baseline entries that matched
-    nothing — candidates for deletion.
+    nothing — candidates for deletion — while ``baseline_drift`` lists
+    entries that matched only through whitespace normalization (the
+    code reflowed; refresh the entry's context at leisure).
     """
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
     baselined: list[Finding] = field(default_factory=list)
     stale_baseline: list[dict[str, str]] = field(default_factory=list)
+    baseline_drift: list[dict[str, str]] = field(default_factory=list)
     files_checked: int = 0
 
     @property
@@ -76,11 +85,12 @@ class LintReport:
 
     def to_dict(self) -> dict[str, object]:
         return {
-            "schema": 1,
+            "schema": 2,
             "ok": self.ok,
             "files_checked": self.files_checked,
             "findings": [f.to_dict() for f in sorted(self.findings)],
             "suppressed": [f.to_dict() for f in sorted(self.suppressed)],
             "baselined": [f.to_dict() for f in sorted(self.baselined)],
             "stale_baseline": list(self.stale_baseline),
+            "baseline_drift": list(self.baseline_drift),
         }

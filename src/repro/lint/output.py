@@ -10,11 +10,17 @@ __all__ = ["render_github", "render_json", "render_text"]
 
 
 def render_text(report: LintReport) -> str:
-    """Compiler-style ``path:line:col: CODE message`` lines + summary."""
-    lines = [
-        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message} [{f.rule}]"
-        for f in report.findings
-    ]
+    """Compiler-style ``path:line:col: CODE message`` lines + summary.
+
+    Dataflow findings print their source → propagation → sink chain
+    indented under the finding, one hop per line.
+    """
+    lines: list[str] = []
+    for f in report.findings:
+        lines.append(
+            f"{f.path}:{f.line}:{f.col}: {f.code} {f.message} [{f.rule}]")
+        for step in f.trace:
+            lines.append(f"    trace: {step}")
     summary = (f"{len(report.findings)} finding"
                f"{'' if len(report.findings) == 1 else 's'} "
                f"({report.files_checked} files checked, "
@@ -25,6 +31,11 @@ def render_text(report: LintReport) -> str:
         lines.append(
             f"stale baseline entry (no longer matches): "
             f"{entry['code']} {entry['path']}: {entry['context']!r}")
+    for entry in report.baseline_drift:
+        lines.append(
+            f"baseline drift (matched via whitespace normalization; "
+            f"refresh the context): {entry['code']} {entry['path']}: "
+            f"{entry['context']!r} -> {entry['found_context']!r}")
     return "\n".join(lines)
 
 
@@ -42,11 +53,14 @@ def _escape_annotation(text: str) -> str:
 
 def render_github(report: LintReport) -> str:
     """``::error`` workflow commands — inline PR annotations in Actions."""
-    lines = [
-        f"::error file={f.path},line={f.line},col={f.col},"
-        f"title={f.code} {f.rule}::{_escape_annotation(f.message)}"
-        for f in report.findings
-    ]
-    lines.append(f"{len(report.findings)} findings / "
+    lines = []
+    for f in report.findings:
+        message = f.message
+        if f.trace:
+            message += "\n" + "\n".join(f"trace: {s}" for s in f.trace)
+        lines.append(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title={f.code} {f.rule}::{_escape_annotation(message)}")
+    lines.append(f"{len(lines)} findings / "
                  f"{report.files_checked} files")
     return "\n".join(lines)

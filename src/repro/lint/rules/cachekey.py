@@ -1,0 +1,282 @@
+"""Cache-key completeness (RL050).
+
+PRs 5-8 each grew a config dataclass by a field and each had to
+remember to fold the new field into the cache key or warm-start digest
+(and bump ``CACHE_SCHEMA_VERSION``).  Forgetting is silent: two runs
+that differ only in the new field share a cache entry and replay the
+wrong result.  This rule closes the loop structurally: for every
+:class:`~repro.lint.base.CacheContract` (``dataclass -> key
+functions``), every field of the dataclass must *reach* a key function
+or carry an explicit exemption pragma on its definition line::
+
+    warm_seed: bool = False   # repro-lint: cache-exempt(never changes values)
+
+A field counts as covered when
+
+* a key function takes a parameter annotated with the contract class
+  and reads ``param.field`` anywhere in its body,
+* a key function applies ``dataclasses.asdict``/``astuple``/``vars``/
+  ``repr`` to such a parameter (blanket coverage — every field is in),
+* or a *caller* of a key function passes ``param.field`` (or a local
+  alias ``x = param.field``) in the key-function call's arguments.
+
+Contracts come from :attr:`LintConfig.cache_contracts`; a class may
+also declare its own with ``# repro-lint: cache-class(key_fn)`` on its
+``class`` line (the key function is looked up in the same module) —
+that is how the fixture tests exercise the rule without touching the
+global config.  A contract whose key functions are all missing from
+the project is itself reported: deleting ``cache_key`` outright must
+not silently disable the check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.base import CacheContract, ProjectRule, register
+from repro.lint.callgraph import build_callgraph
+from repro.lint.project import ClassInfo, FunctionInfo, ModuleInfo, Project
+
+__all__ = ["CacheKeyCompleteness"]
+
+_EXEMPT_RE = re.compile(r"#\s*repro-lint:\s*cache-exempt\(([^)]*)\)")
+_CLASS_CONTRACT_RE = re.compile(r"#\s*repro-lint:\s*cache-class\(([^)]*)\)")
+
+#: Calls that serialize a whole dataclass instance — every field reaches
+#: the key when one of these wraps the typed parameter.
+_BLANKET_CALLS = frozenset({
+    "dataclasses.asdict", "dataclasses.astuple", "asdict", "astuple",
+    "vars", "repr", "str",
+})
+
+
+def _annotation_targets(module: ModuleInfo, text: str | None) -> set[str]:
+    """Fully-qualified classes a parameter annotation may refer to.
+
+    Handles ``X``, ``"X"``, ``X | None`` and ``Optional[X]`` by
+    resolving every dotted identifier in the annotation through the
+    module's import tables.
+    """
+    out: set[str] = set()
+    if not text:
+        return out
+    for dotted in re.findall(r"[A-Za-z_][A-Za-z0-9_.]*", text):
+        head, _, rest = dotted.partition(".")
+        if head in module.from_imports:
+            mod, name = module.from_imports[head]
+            base = f"{mod}.{name}"
+            out.add(f"{base}.{rest}" if rest else base)
+        elif head in module.imports:
+            base = module.imports[head]
+            out.add(f"{base}.{rest}" if rest else base)
+        else:
+            out.add(f"{module.name}.{dotted}")
+            out.add(dotted)
+    return out
+
+
+def _typed_params(func: FunctionInfo, cls_fqn: str) -> set[str]:
+    """Parameter names of ``func`` annotated with the contract class."""
+    return {name for name in func.params
+            if cls_fqn in _annotation_targets(
+                func.module, func.annotations.get(name))}
+
+
+def _field_reads(node: ast.AST, params: set[str]) -> set[str]:
+    """``x.field`` attribute names read off any of ``params`` in a tree."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and \
+                isinstance(sub.value, ast.Name) and \
+                sub.value.id in params:
+            out.add(sub.attr)
+    return out
+
+
+def _has_blanket(func: FunctionInfo, node: ast.AST,
+                 params: set[str]) -> bool:
+    """True when a whole-instance serializer wraps a typed parameter."""
+    project_resolve = func.module
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call) or not sub.args:
+            continue
+        first = sub.args[0]
+        if not (isinstance(first, ast.Name) and first.id in params):
+            continue
+        target = None
+        fn = sub.func
+        if isinstance(fn, ast.Name):
+            target = fn.id
+            if target in project_resolve.from_imports:
+                mod, name = project_resolve.from_imports[target]
+                target = f"{mod}.{name}"
+        elif isinstance(fn, ast.Attribute) and \
+                isinstance(fn.value, ast.Name):
+            head = project_resolve.imports.get(fn.value.id, fn.value.id)
+            target = f"{head}.{fn.attr}"
+        if target in _BLANKET_CALLS:
+            return True
+    return False
+
+
+def _alias_map(func: FunctionInfo, params: set[str]) -> dict[str, str]:
+    """``local name -> field`` for simple ``x = param.field`` assigns."""
+    out: dict[str, str] = {}
+    for sub in ast.walk(func.node):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1 and \
+                isinstance(sub.targets[0], ast.Name) and \
+                isinstance(sub.value, ast.Attribute) and \
+                isinstance(sub.value.value, ast.Name) and \
+                sub.value.value.id in params:
+            out[sub.targets[0].id] = sub.value.attr
+    return out
+
+
+@register
+class CacheKeyCompleteness(ProjectRule):
+    code = "RL050"
+    name = "cache-key-completeness"
+    category = "determinism"
+    description = ("a config dataclass field never reaches its cache-key/"
+                   "digest function and carries no cache-exempt pragma")
+
+    def check(self) -> None:
+        contracts = list(self.config.cache_contracts)
+        contracts += self._pragma_contracts()
+        graph = build_callgraph(self.project)
+        for contract in contracts:
+            cls = self.project.classes.get(contract.cls)
+            if cls is None:
+                continue        # class not under analysis in this run
+            self._check_contract(contract, cls, graph)
+
+    # -- contract discovery -------------------------------------------
+    def _pragma_contracts(self) -> list[CacheContract]:
+        """Contracts declared inline: ``# repro-lint: cache-class(fn)``."""
+        out: list[CacheContract] = []
+        for module in self.project.sorted_modules():
+            for qualname in sorted(module.classes):
+                cls = module.classes[qualname]
+                match = _CLASS_CONTRACT_RE.search(
+                    module.line_text(cls.node.lineno))
+                if match is None:
+                    continue
+                key_fns = tuple(
+                    f"{module.name}.{name.strip()}"
+                    for name in match.group(1).split(",") if name.strip())
+                if key_fns:
+                    out.append(CacheContract(cls=qualname,
+                                             key_fns=key_fns))
+        return out
+
+    # -- the completeness check ---------------------------------------
+    def _check_contract(self, contract: CacheContract, cls: ClassInfo,
+                        graph: "object") -> None:
+        key_fns = [self.project.functions[fqn] for fqn in contract.key_fns
+                   if fqn in self.project.functions]
+        if not key_fns:
+            self.report(
+                cls.module, cls.node,
+                f"cache contract broken: none of the key functions "
+                f"({', '.join(contract.key_fns)}) exist in the project; "
+                f"{cls.qualname} fields are no longer covered by any "
+                f"cache key")
+            return
+
+        covered: set[str] = set()
+        blanket = False
+        for fn in key_fns:
+            params = _typed_params(fn, contract.cls)
+            if params:
+                covered |= _field_reads(fn.node, params)
+                blanket = blanket or _has_blanket(fn, fn.node, params)
+        covered |= self._caller_coverage(contract, key_fns, graph)
+
+        trace = tuple(
+            f"{fn.module.rel_path}:{fn.node.lineno}: checked key "
+            f"function {fn.qualname}()" for fn in key_fns)
+        for fld in cls.fields:
+            if blanket or fld.name in covered:
+                continue
+            reason = self._exemption(cls, fld.lineno)
+            if reason is None:
+                self.report(
+                    cls.module, _FieldAnchor(fld.lineno),
+                    f"field '{fld.name}' of {cls.qualname} never reaches "
+                    f"{self._fn_names(key_fns)}; fold it into the key or "
+                    f"mark it '# repro-lint: cache-exempt(reason)'",
+                    trace=trace)
+            elif not reason:
+                self.report(
+                    cls.module, _FieldAnchor(fld.lineno),
+                    f"cache-exempt pragma on '{fld.name}' has an empty "
+                    f"reason; say why the field cannot affect results",
+                    trace=trace)
+        # a pragma on a covered field is stale — the exemption is
+        # meaningless once the field is in the key
+        for fld in cls.fields:
+            if not blanket and fld.name in covered and \
+                    self._exemption(cls, fld.lineno) is not None:
+                self.report(
+                    cls.module, _FieldAnchor(fld.lineno),
+                    f"stale cache-exempt pragma: '{fld.name}' already "
+                    f"reaches {self._fn_names(key_fns)}",
+                    trace=trace)
+
+    def _caller_coverage(self, contract: CacheContract,
+                         key_fns: list[FunctionInfo],
+                         graph: "object") -> set[str]:
+        """Fields passed *into* a key-function call by its callers.
+
+        ``compute_digests(request.datacenter, ...)`` covers
+        ``datacenter`` even though no key-function parameter has the
+        contract's type; one level of local aliasing
+        (``opt = request.options``) is followed.
+        """
+        key_names = {fn.qualname for fn in key_fns}
+        callers = sorted({site.caller for site in graph.sites  # type: ignore[attr-defined]
+                          if site.callee in key_names})
+        covered: set[str] = set()
+        for caller_fqn in callers:
+            caller = self.project.functions.get(caller_fqn)
+            if caller is None:
+                continue
+            params = _typed_params(caller, contract.cls)
+            if not params:
+                continue
+            aliases = _alias_map(caller, params)
+            for sub in ast.walk(caller.node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                target = self.project.resolve(caller.module, sub.func)
+                if target not in key_names:
+                    continue
+                arg_nodes = list(sub.args) + \
+                    [kw.value for kw in sub.keywords]
+                for arg in arg_nodes:
+                    covered |= _field_reads(arg, params)
+                    for name_node in ast.walk(arg):
+                        if isinstance(name_node, ast.Name) and \
+                                name_node.id in aliases:
+                            covered.add(aliases[name_node.id])
+        return covered
+
+    def _exemption(self, cls: ClassInfo, lineno: int) -> str | None:
+        """Pragma reason on a field's line; None when absent."""
+        match = _EXEMPT_RE.search(cls.module.line_text(lineno))
+        if match is None:
+            return None
+        return match.group(1).strip()
+
+    @staticmethod
+    def _fn_names(key_fns: list[FunctionInfo]) -> str:
+        return " or ".join(f"{fn.qualname}()" for fn in key_fns)
+
+
+class _FieldAnchor:
+    """Minimal node stand-in so findings anchor on the field's line."""
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno
+        self.col_offset = 0

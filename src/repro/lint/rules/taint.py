@@ -1,0 +1,400 @@
+"""Determinism taint tracking (RL040).
+
+The repo's headline invariant is bit-identical reruns: cache keys,
+warm-start digests and serialized payloads must not depend on when, on
+which machine, or under which ``PYTHONHASHSEED`` a run happened.  This
+analysis tracks *taint atoms* — values derived from a nondeterministic
+source — through assignments, containers, calls and returns, and
+reports when one reaches a determinism-critical sink.  Every finding
+carries the full source → propagation → sink chain in its ``trace``.
+
+Sources (each atom remembers its kind and birth site):
+
+* ``wall-clock`` — ``time.time()``/``perf_counter()``/``datetime.now()``
+* ``unseeded-rng`` — ``default_rng()`` with no seed, legacy global
+  ``random.*`` / ``numpy.random.*`` draws
+* ``set-order`` — ``set``/``frozenset`` literals and constructors
+  (iteration order varies with ``PYTHONHASHSEED``)
+* ``environment`` — ``os.environ`` / ``os.getenv``
+* ``process-id`` — ``os.getpid()``
+* ``object-identity`` — ``id()``
+* ``uuid`` — ``uuid.uuid1()`` / ``uuid.uuid4()``
+
+Sinks: cache-key/path construction, warm-start digests, canonical
+cache payloads, content hashes, and (for ``set-order`` only) plain
+``json.dumps`` — the exact shape of the PR-3 cache-split bug, where
+``json.dumps(..., default=list)`` serialized a ``set`` in iteration
+order and silently split the experiment cache across processes.
+
+Sanitizers: ``sorted()`` / ``min`` / ``max`` / ``sum`` / ``len`` and
+``canonical_json()`` erase ``set-order`` (they collapse or canonicalize
+iteration order); nothing erases the other kinds.
+
+Interprocedural flow uses two summary channels computed callees-first:
+what a function *returns* (with parameter markers the caller
+substitutes), and which parameters reach a sink *inside* the callee —
+so ``g(tainted)`` is reported at the call site even when the sink is
+three frames down.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.lint.base import LintConfig, ProjectRule, register
+from repro.lint.callgraph import build_callgraph
+from repro.lint.dataflow import FunctionAnalysis
+from repro.lint.project import FunctionInfo, Project
+
+__all__ = ["DeterminismTaint"]
+
+_PARAM_PREFIX = "param:"
+
+
+@dataclass(frozen=True)
+class _Atom:
+    """One taint fact: a kind plus the steps that carried it here.
+
+    ``kind`` is either a concrete source kind (``wall-clock``, ...) or a
+    parameter marker ``param:NAME`` used in summaries; ``sanitized``
+    lists kinds a sanitizer erased along this path (only meaningful on
+    markers, whose concrete kind is unknown until substitution).
+    """
+
+    kind: str
+    steps: tuple[str, ...] = ()
+    sanitized: frozenset[str] = frozenset()
+
+    @property
+    def is_marker(self) -> bool:
+        return self.kind.startswith(_PARAM_PREFIX)
+
+
+def _atom_key(atom: _Atom) -> tuple[str, tuple[str, ...]]:
+    return (atom.kind, atom.steps)
+
+
+@dataclass(frozen=True)
+class _SinkRecord:
+    """A sink reachable from one parameter of a summarized function."""
+
+    chain: tuple[str, ...]              # steps from function entry to sink
+    kinds: frozenset[str] | None        # sink's kind filter (None = all)
+    what: str                           # human label of the sink
+    sanitized: frozenset[str] = frozenset()
+
+
+@dataclass
+class _Summary:
+    """Interprocedural summary of one analyzed function."""
+
+    result_atoms: frozenset[_Atom] = frozenset()
+    param_sinks: dict[str, tuple[_SinkRecord, ...]] = field(
+        default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _Sink:
+    names: tuple[str, ...]              # match fqn == n or fqn.endswith(.n)
+    kinds: frozenset[str] | None        # None accepts every kind
+    what: str
+
+
+_ALL_BUT_SET_ORDER = frozenset({
+    "wall-clock", "unseeded-rng", "environment", "process-id",
+    "object-identity", "uuid",
+})
+
+_SINKS: tuple[_Sink, ...] = (
+    _Sink(("cache_key",), None, "the experiment cache key"),
+    _Sink(("cache_path",), None, "the cache file path"),
+    _Sink(("compute_digests",), None, "the warm-start digests"),
+    # canonical_json sorts sets, so set-order stops here — but a
+    # wall-clock value canonicalized into a cache payload is still a bug
+    _Sink(("canonical_json",), _ALL_BUT_SET_ORDER,
+          "the canonical cache payload"),
+    _Sink(("json.dumps", "json.dump"), frozenset({"set-order"}),
+          "JSON output (iteration-order dependent)"),
+    _Sink(("hashlib.sha256", "hashlib.sha1", "hashlib.md5",
+           "hashlib.blake2b", "hashlib.new"), None, "a content digest"),
+)
+
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.localtime",
+    "time.gmtime", "time.strftime",
+})
+
+_DATETIME_TAILS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+_RNG_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng", "random.Random", "random.SystemRandom",
+})
+
+_GLOBAL_DRAWS = frozenset({
+    "random", "randn", "rand", "randint", "randrange", "shuffle",
+    "choice", "choices", "sample", "uniform", "gauss", "normal",
+    "permutation", "getrandbits", "standard_normal",
+})
+
+#: Calls whose result collapses or canonicalizes iteration order.
+_SET_ORDER_SANITIZERS = frozenset({"sorted", "min", "max", "sum", "len"})
+
+
+def _matches(fqn: str, names: tuple[str, ...]) -> bool:
+    return any(fqn == n or fqn.endswith("." + n) for n in names)
+
+
+def _short(fqn: str) -> str:
+    return fqn.rsplit(".", 1)[-1]
+
+
+def _call_source_kind(fqn: str, node: ast.Call) -> str | None:
+    """Concrete source kind produced by calling ``fqn``, if any."""
+    if fqn in _WALLCLOCK_CALLS:
+        return "wall-clock"
+    if fqn.startswith("datetime.") and fqn.rsplit(".", 1)[-1] in \
+            _DATETIME_TAILS:
+        return "wall-clock"
+    if fqn in _RNG_CONSTRUCTORS:
+        if not node.args and not node.keywords:
+            return "unseeded-rng"
+        return None                     # a seeded RNG is deterministic
+    if fqn.startswith(("random.", "numpy.random.")) and \
+            fqn.rsplit(".", 1)[-1] in _GLOBAL_DRAWS:
+        return "unseeded-rng"
+    if fqn == "os.getenv" or fqn.startswith("os.environ"):
+        return "environment"
+    if fqn in ("os.getpid", "os.getppid"):
+        return "process-id"
+    if fqn == "id":
+        return "object-identity"
+    if fqn in ("uuid.uuid1", "uuid.uuid4"):
+        return "uuid"
+    return None
+
+
+class _TaintAnalysis(FunctionAnalysis[frozenset]):
+    """One function's pass of the taint interpreter."""
+
+    def __init__(self, project: Project, func: FunctionInfo,
+                 config: LintConfig,
+                 summaries: dict[str, _Summary],
+                 emit: Callable[..., None]) -> None:
+        super().__init__(project, func)
+        self.config = config
+        self.summaries = summaries
+        self.emit = emit
+        self.param_sink_records: dict[str, list[_SinkRecord]] = {}
+        self._sources_allowed = not any(
+            frag in func.module.rel_path
+            for frag in config.taint_source_allow)
+
+    # -- domain --------------------------------------------------------
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def param_value(self, name: str,
+                    annotation: str | None) -> frozenset | None:
+        if name in ("self", "cls"):
+            return None
+        return frozenset({_Atom(_PARAM_PREFIX + name)})
+
+    def free_name(self, node: ast.Name) -> frozenset | None:
+        return self._name_source(node)
+
+    def const_value(self, node: ast.Constant) -> frozenset | None:
+        return None
+
+    def attribute_value(self, node: ast.Attribute,
+                        base: frozenset | None) -> frozenset | None:
+        extra = self._name_source(node)
+        if extra is not None:
+            return (base or frozenset()) | extra
+        return base
+
+    def collection_value(self, node: ast.expr,
+                         elements: list[frozenset | None]) -> \
+            frozenset | None:
+        out: set[_Atom] = set()
+        for element in elements:
+            out |= element or frozenset()
+        if isinstance(node, (ast.Set, ast.SetComp)) and \
+                self._sources_allowed:
+            out.add(_Atom("set-order", (
+                f"{self.location(node)}: set constructed here (iteration "
+                f"order varies with PYTHONHASHSEED)",)))
+        return frozenset(out) if out else None
+
+    def call_result(self, node: ast.Call, fqn: str | None,
+                    args: list[frozenset | None],
+                    kwargs: dict[str, frozenset | None],
+                    receiver: frozenset | None = None) -> \
+            frozenset | None:
+        joined: set[_Atom] = set()
+        for value in args:
+            joined |= value or frozenset()
+        for name in sorted(kwargs):
+            joined |= kwargs[name] or frozenset()
+
+        if fqn is not None:
+            self._check_sink(node, fqn, joined)
+
+        # sanitizers collapse iteration order; their result is safe
+        # for set-order regardless of what went in
+        if fqn is not None and (fqn in _SET_ORDER_SANITIZERS
+                                or _matches(fqn, ("canonical_json",))):
+            return self._sanitize(joined | (receiver or frozenset()))
+
+        callee = self.project.function(fqn) if fqn is not None else None
+        if callee is not None and fqn in self.summaries:
+            return self._apply_summary(node, fqn, callee, args, kwargs)
+
+        out = set(joined)
+        if receiver:
+            out |= receiver
+        if fqn is not None and self._sources_allowed:
+            kind = _call_source_kind(fqn, node)
+            if kind == "set-order" or fqn in ("set", "frozenset"):
+                out.add(_Atom("set-order", (
+                    f"{self.location(node)}: set constructed here "
+                    f"(iteration order varies with PYTHONHASHSEED)",)))
+            elif kind is not None:
+                out.add(_Atom(kind, (
+                    f"{self.location(node)}: {kind} source "
+                    f"{_short(fqn)}()",)))
+        return frozenset(out) if out else None
+
+    # -- mechanics -----------------------------------------------------
+    def _name_source(self, node: ast.expr) -> frozenset | None:
+        if not self._sources_allowed:
+            return None
+        fqn = self.project.resolve(self.module, node)
+        if fqn is not None and (fqn == "os.environ"
+                                or fqn.startswith("os.environ.")):
+            return frozenset({_Atom("environment", (
+                f"{self.location(node)}: environment source "
+                f"os.environ",))})
+        return None
+
+    @staticmethod
+    def _sanitize(value: set[_Atom] | frozenset) -> frozenset | None:
+        out: set[_Atom] = set()
+        for atom in value:
+            if atom.kind == "set-order":
+                continue
+            if atom.is_marker:
+                atom = replace(atom,
+                               sanitized=atom.sanitized | {"set-order"})
+            out.add(atom)
+        return frozenset(out) if out else None
+
+    def _check_sink(self, node: ast.Call, fqn: str,
+                    atoms: set[_Atom] | frozenset) -> None:
+        for sink in _SINKS:
+            if not _matches(fqn, sink.names):
+                continue
+            step = (f"{self.location(node)}: flows into "
+                    f"{_short(fqn)}() -> {sink.what}")
+            for atom in sorted(atoms, key=_atom_key):
+                if atom.is_marker:
+                    pname = atom.kind[len(_PARAM_PREFIX):]
+                    self.param_sink_records.setdefault(pname, []).append(
+                        _SinkRecord(chain=atom.steps + (step,),
+                                    kinds=sink.kinds, what=sink.what,
+                                    sanitized=atom.sanitized))
+                elif sink.kinds is None or atom.kind in sink.kinds:
+                    self.emit(self, node, atom, sink.what,
+                              atom.steps + (step,))
+            return
+
+    def _apply_summary(self, node: ast.Call, fqn: str,
+                       callee: FunctionInfo,
+                       args: list[frozenset | None],
+                       kwargs: dict[str, frozenset | None]) -> \
+            frozenset | None:
+        summary = self.summaries[fqn]
+        mapping = self.map_arguments(callee, node, args, kwargs)
+        hop = (f"{self.location(node)}: passed to {_short(fqn)}()")
+
+        # taint reaching a sink *inside* the callee (possibly deeper)
+        for pname in sorted(summary.param_sinks):
+            value = mapping.get(pname)
+            if not value:
+                continue
+            for record in summary.param_sinks[pname]:
+                for atom in sorted(value, key=_atom_key):
+                    blocked = record.sanitized | atom.sanitized
+                    if atom.is_marker:
+                        outer = atom.kind[len(_PARAM_PREFIX):]
+                        self.param_sink_records.setdefault(
+                            outer, []).append(_SinkRecord(
+                                chain=atom.steps + (hop,) + record.chain,
+                                kinds=record.kinds, what=record.what,
+                                sanitized=blocked))
+                        continue
+                    if record.kinds is not None and \
+                            atom.kind not in record.kinds:
+                        continue
+                    if atom.kind in blocked:
+                        continue
+                    self.emit(self, node, atom, record.what,
+                              atom.steps + (hop,) + record.chain)
+
+        # the callee's return value with parameter markers substituted
+        ret = (f"{self.location(node)}: returned by {_short(fqn)}()")
+        out: set[_Atom] = set()
+        for atom in sorted(summary.result_atoms, key=_atom_key):
+            if atom.is_marker:
+                pname = atom.kind[len(_PARAM_PREFIX):]
+                for sub in sorted(mapping.get(pname) or frozenset(),
+                                  key=_atom_key):
+                    out.add(_Atom(sub.kind,
+                                  sub.steps + (hop,) + atom.steps,
+                                  sub.sanitized | atom.sanitized))
+            else:
+                out.add(_Atom(atom.kind, atom.steps + (ret,),
+                              atom.sanitized))
+        return frozenset(out) if out else None
+
+
+@register
+class DeterminismTaint(ProjectRule):
+    code = "RL040"
+    name = "determinism-taint"
+    category = "determinism"
+    description = ("a nondeterministic value (wall clock, unseeded RNG, "
+                   "set iteration order, environment, pid, id()) reaches "
+                   "a cache key, digest or serialized payload")
+
+    def __init__(self, project: Project, config: LintConfig) -> None:
+        super().__init__(project, config)
+        self._seen: set[tuple[str, int, int, str, str]] = set()
+
+    def check(self) -> None:
+        graph = build_callgraph(self.project)
+        summaries: dict[str, _Summary] = {}
+        for func in graph.bottom_up(self.project):
+            analysis = _TaintAnalysis(self.project, func, self.config,
+                                      summaries, self._emit)
+            analysis.analyze()
+            summaries[func.qualname] = _Summary(
+                result_atoms=analysis.joined_returns() or frozenset(),
+                # loop bodies interpret twice; keep each record once
+                param_sinks={name: tuple(dict.fromkeys(records))
+                             for name, records in sorted(
+                                 analysis.param_sink_records.items())})
+
+    def _emit(self, analysis: _TaintAnalysis, node: ast.AST,
+              atom: _Atom, what: str, trace: tuple[str, ...]) -> None:
+        key = (analysis.module.rel_path, getattr(node, "lineno", 1),
+               getattr(node, "col_offset", 0), atom.kind, what)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        message = (f"nondeterministic {atom.kind} value reaches "
+                   f"{what}; runs will disagree across processes "
+                   f"or reruns")
+        self.report(analysis.module, node, message, trace=trace)

@@ -1,0 +1,253 @@
+"""Unit-dimension flow analysis (RL030, RL031).
+
+The paper's algebra mixes five physical quantities — temperature (degC),
+power (kW), air flow (m^3/s), frequency (MHz) and time (s) — and the
+codebase encodes the dimension in identifier suffixes (``t_in_c``,
+``node_kw``, ``flow_m3s``) and in :mod:`repro.units` symbols.  This
+module runs the :class:`~repro.lint.dataflow.FunctionAnalysis`
+interpreter with *dimension* as the abstract value and flags:
+
+* **RL030** — ``+``/``-`` or a comparison whose operands carry
+  different known dimensions (``t_out_c - node_kw`` is always a bug);
+* **RL031** — an ``int()`` cast applied to a value with a known
+  dimension (quantization that silently drops the unit).
+
+Both err toward silence: an operand with *unknown* dimension never
+fires.  Dimensions propagate interprocedurally through return-value
+summaries computed callees-first, so ``limit_c - cooling_kw(node)``
+is caught even though the right side is a call.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.lint.base import LintConfig, ProjectRule, register
+from repro.lint.callgraph import build_callgraph
+from repro.lint.dataflow import FunctionAnalysis
+from repro.lint.project import FunctionInfo, Project
+
+__all__ = ["Dim", "UnitDimensionFlow", "DimensionDroppingCast",
+           "dimension_of_name"]
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A physical dimension plus where the analysis learned it."""
+
+    dim: str    # display name, e.g. "temperature [degC]"
+    why: str    # provenance, e.g. "name suffix '_c'"
+
+
+_TEMPERATURE = "temperature [degC]"
+_POWER = "power [kW]"
+_FLOW = "air flow [m^3/s]"
+_FREQUENCY = "frequency [MHz]"
+_TIME = "time [s]"
+_VOLTAGE = "voltage [V]"
+
+#: Identifier suffix -> dimension.  Longest suffixes first so
+#: ``flow_m3s`` never reads as time.  The table mirrors the conventions
+#: documented in :mod:`repro.units`.
+_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_m3s", _FLOW),
+    ("_mhz", _FREQUENCY),
+    ("_kw", _POWER),
+    ("_c", _TEMPERATURE),
+    ("_s", _TIME),
+    ("_v", _VOLTAGE),
+)
+
+#: :mod:`repro.units` symbols whose dimension the suffix rule cannot
+#: recover (the suffixed constants — ``NODE_REDLINE_C`` et al. — are
+#: already covered by the suffix table after lowercasing).
+_UNIT_SYMBOLS: dict[str, str] = {
+    "repro.units.AIR_DENSITY": "air density [kg/m^3]",
+    "repro.units.AIR_SPECIFIC_HEAT": "specific heat [kJ/(kg.K)]",
+}
+
+#: Dimension of selected :mod:`repro.units` call results.
+_UNIT_CALLS: dict[str, str] = {
+    "repro.units.delta_t_for_power": _TEMPERATURE,
+    "repro.units.heat_capacity_rate": "heat capacity rate [kW/K]",
+}
+
+#: Builtins whose result keeps the argument's dimension.
+_PRESERVING = frozenset({"abs", "min", "max", "sum", "sorted", "float",
+                         "round"})
+
+_OP_SYMBOL = {"Add": "+", "Sub": "-"}
+
+
+def dimension_of_name(name: str) -> Dim | None:
+    """Dimension implied by an identifier's suffix, if any."""
+    low = name.lower()
+    for suffix, dim in _SUFFIXES:
+        if low.endswith(suffix):
+            return Dim(dim, f"name suffix '{suffix}'")
+    return None
+
+
+class _UnitAnalysis(FunctionAnalysis[Dim]):
+    """One function's pass of the dimension interpreter."""
+
+    def __init__(self, project: Project, func: FunctionInfo,
+                 summaries: dict[str, Dim],
+                 on_mismatch: Callable[..., None] | None,
+                 on_cast: Callable[..., None] | None) -> None:
+        super().__init__(project, func)
+        self.summaries = summaries
+        self.on_mismatch = on_mismatch
+        self.on_cast = on_cast
+
+    # -- domain --------------------------------------------------------
+    def join(self, a: Dim, b: Dim) -> Dim | None:
+        return a if a.dim == b.dim else None
+
+    def param_value(self, name: str, annotation: str | None) -> Dim | None:
+        return dimension_of_name(name)
+
+    def free_name(self, node: ast.Name) -> Dim | None:
+        fqn = self.project.resolve(self.module, node)
+        if fqn in _UNIT_SYMBOLS:
+            return Dim(_UNIT_SYMBOLS[fqn], fqn)
+        return dimension_of_name(node.id)
+
+    def attribute_value(self, node: ast.Attribute,
+                        base: Dim | None) -> Dim | None:
+        fqn = self.project.resolve(self.module, node)
+        if fqn in _UNIT_SYMBOLS:
+            return Dim(_UNIT_SYMBOLS[fqn], fqn)
+        # an attribute has its *own* dimension; never inherit the base's
+        return dimension_of_name(node.attr)
+
+    def call_result(self, node: ast.Call, fqn: str | None,
+                    args: list[Dim | None],
+                    kwargs: dict[str, Dim | None],
+                    receiver: Dim | None = None) -> Dim | None:
+        if fqn in _UNIT_CALLS:
+            return Dim(_UNIT_CALLS[fqn], f"return of {fqn}()")
+        if fqn is not None and fqn in self.summaries:
+            summary = self.summaries[fqn]
+            return Dim(summary.dim, f"return of {fqn}()")
+        if fqn == "int":
+            if (self.on_cast is not None and len(args) == 1
+                    and args[0] is not None):
+                self.on_cast(self, node, args[0])
+            return None
+        if fqn in _PRESERVING:
+            out: Dim | None = None
+            for value in args:
+                out = self._join_opt(out, value)
+            return out
+        return None
+
+    def binop_value(self, node: ast.BinOp, left: Dim | None,
+                    right: Dim | None) -> Dim | None:
+        op = type(node.op).__name__
+        if op not in _OP_SYMBOL:
+            return None             # *, / build derived dimensions
+        if left is not None and right is not None:
+            if left.dim != right.dim and self.on_mismatch is not None:
+                self.on_mismatch(self, node, _OP_SYMBOL[op], left, right)
+            return left if left.dim == right.dim else None
+        # adding a dimensionless constant keeps the known dimension
+        return left if left is not None else right
+
+    def compare_values(self, node: ast.Compare,
+                       operands: list[Dim | None]) -> None:
+        if self.on_mismatch is None:
+            return
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot)):
+                continue
+            if left is None or right is None or left.dim == right.dim:
+                continue
+            symbol = {"Lt": "<", "LtE": "<=", "Gt": ">", "GtE": ">=",
+                      "Eq": "==", "NotEq": "!="}.get(
+                          type(op).__name__, type(op).__name__)
+            self.on_mismatch(self, node, symbol, left, right)
+
+
+def run_unit_analysis(project: Project,
+                      on_mismatch: Callable[..., None] | None = None,
+                      on_cast: Callable[..., None] | None = None) -> None:
+    """Interpret every project function callees-first with the given
+    observers; return-value dimensions feed forward as summaries."""
+    graph = build_callgraph(project)
+    summaries: dict[str, Dim] = {}
+    for func in graph.bottom_up(project):
+        analysis = _UnitAnalysis(project, func, summaries,
+                                 on_mismatch, on_cast)
+        analysis.analyze()
+        summary = (dimension_of_name(func.node.name)
+                   or analysis.joined_returns())
+        if summary is not None:
+            summaries[func.qualname] = summary
+
+
+class _UnitRule(ProjectRule):
+    """Shared dedup plumbing for the two unit rules."""
+
+    def __init__(self, project: Project, config: LintConfig) -> None:
+        super().__init__(project, config)
+        self._seen: set[tuple[str, int, int, str]] = set()
+
+    def emit(self, analysis: _UnitAnalysis, node: ast.AST, message: str,
+             trace: tuple[str, ...]) -> None:
+        # loop bodies interpret twice; report each site once
+        key = (analysis.module.rel_path, getattr(node, "lineno", 1),
+               getattr(node, "col_offset", 0), message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.report(analysis.module, node, message, trace=trace)
+
+
+@register
+class UnitDimensionFlow(_UnitRule):
+    code = "RL030"
+    name = "unit-dimension-flow"
+    category = "physics"
+    description = ("+/-/comparison mixes operands of different physical "
+                   "dimensions (inferred from name suffixes, repro.units "
+                   "symbols and call summaries)")
+
+    def check(self) -> None:
+        def on_mismatch(analysis: _UnitAnalysis, node: ast.AST,
+                        op: str, left: Dim, right: Dim) -> None:
+            message = (f"cross-dimension '{op}': left operand is "
+                       f"{left.dim} but right operand is {right.dim}; "
+                       f"convert explicitly via repro.units before mixing")
+            trace = (
+                f"{analysis.location(node)}: left operand carries "
+                f"{left.dim} ({left.why})",
+                f"{analysis.location(node)}: right operand carries "
+                f"{right.dim} ({right.why})",
+            )
+            self.emit(analysis, node, message, trace)
+
+        run_unit_analysis(self.project, on_mismatch=on_mismatch)
+
+
+@register
+class DimensionDroppingCast(_UnitRule):
+    code = "RL031"
+    name = "dimension-dropping-cast"
+    category = "physics"
+    description = ("int() cast applied to a value carrying a physical "
+                   "dimension silently drops the unit")
+
+    def check(self) -> None:
+        def on_cast(analysis: _UnitAnalysis, node: ast.AST,
+                    value: Dim) -> None:
+            message = (f"int() cast drops the physical dimension of its "
+                       f"argument ({value.dim}); quantize explicitly or "
+                       f"keep the float")
+            trace = (f"{analysis.location(node)}: argument carries "
+                     f"{value.dim} ({value.why})",)
+            self.emit(analysis, node, message, trace)
+
+        run_unit_analysis(self.project, on_cast=on_cast)

@@ -8,6 +8,14 @@ Two forms, mirroring the usual lint pragmas:
   convention near the top) suppresses the codes for the whole file;
   ``disable-file=all`` silences every rule.
 
+A per-line pragma covers its whole *logical* line: on any line of a
+multi-line statement (the ``def`` line of a wrapped signature, a
+continuation line, the closing paren) it suppresses findings anchored
+anywhere in that statement.  A decorator is its own logical line, so a
+pragma trailing ``@decorator`` does **not** reach the ``def`` below it
+— put the pragma on the ``def`` line, where rules anchor their
+findings.
+
 Comments are located with :mod:`tokenize`, so the pragma text inside a
 string literal is inert.
 """
@@ -54,22 +62,48 @@ def parse_suppressions(source: str) -> Suppressions:
             io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, IndentationError):
         return Suppressions()
+
+    span_start: int | None = None       # first line of the logical line
+    last_line = 0                       # last line seen in this span
+    pending: set[str] = set()           # per-line codes found in-span
+
+    def flush(end_line: int) -> None:
+        nonlocal span_start, pending
+        if span_start is not None and pending:
+            for lineno in range(span_start, end_line + 1):
+                line_codes.setdefault(lineno, set()).update(pending)
+        span_start = None
+        pending = set()
+
     for tok in tokens:
-        if tok.type != tokenize.COMMENT:
-            continue
-        match = _PRAGMA_RE.search(tok.string)
-        if match is None:
-            continue
-        kind, codes_text = match.groups()
-        if codes_text == "all":
+        if tok.type == tokenize.COMMENT:
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            kind, codes_text = match.groups()
+            if codes_text == "all":
+                if kind == "disable-file":
+                    file_all = True
+                continue                 # per-line "all" is not a thing
+            codes = {c.strip() for c in codes_text.split(",")}
             if kind == "disable-file":
-                file_all = True
-            continue                     # per-line "all" is not a thing
-        codes = {c.strip() for c in codes_text.split(",")}
-        if kind == "disable-file":
-            file_codes.update(codes)
+                file_codes.update(codes)
+            elif span_start is None:
+                # a comment-only line: covers just that line
+                line_codes.setdefault(tok.start[0], set()).update(codes)
+            else:
+                pending.update(codes)
+        elif tok.type == tokenize.NEWLINE:
+            flush(max(last_line, tok.start[0]))
+        elif tok.type in (tokenize.NL, tokenize.INDENT,
+                          tokenize.DEDENT, tokenize.ENDMARKER):
+            continue
         else:
-            line_codes.setdefault(tok.start[0], set()).update(codes)
+            if span_start is None:
+                span_start = tok.start[0]
+            last_line = tok.end[0]
+    flush(last_line)                     # file ending mid-statement
+
     return Suppressions(
         line_codes={ln: frozenset(cs) for ln, cs in line_codes.items()},
         file_codes=frozenset(file_codes),

@@ -89,12 +89,12 @@ def extend_ecs(ecs_p0: np.ndarray, node_types: Sequence[NodeTypeSpec],
     if n_types != len(node_types):
         raise ValueError(
             f"ecs_p0 has {n_types} node types, catalog has {len(node_types)}")
-    active_counts = {nt.n_active_pstates for nt in node_types}
+    active_counts = sorted({nt.n_active_pstates for nt in node_types})
     if len(active_counts) != 1:
         raise ValueError(
             "all node types must have the same number of P-states, got "
-            f"{sorted(active_counts)}")
-    n_active = active_counts.pop()
+            f"{active_counts}")
+    n_active = active_counts[0]
     eta = n_active + 1
     ecs = np.zeros((n_task_types, n_types, eta))
     ecs[:, :, 0] = ecs_p0

@@ -1,0 +1,7 @@
+"""Cross-module taint fixture: the sink side (see crossmod_source)."""
+
+import json
+
+
+def cache_key(payload) -> str:
+    return json.dumps(payload, sort_keys=True, default=list)

@@ -1,0 +1,9 @@
+"""Cross-module taint fixture: a set crosses a module boundary into a
+cache key; the finding's trace must span both files."""
+
+from crossmod_sink import cache_key
+
+
+def write_key(members) -> str:
+    payload = {"members": set(members)}
+    return cache_key(payload)

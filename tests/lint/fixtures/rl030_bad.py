@@ -1,0 +1,12 @@
+"""RL030 bad: cross-dimension arithmetic and comparisons."""
+
+
+def cooling_power_kw(flow_m3s: float) -> float:
+    return 1.2 * flow_m3s
+
+
+def overheat(t_in_c: float, node_kw: float, limit_c: float) -> float:
+    drift = t_in_c - node_kw             # line 9: temperature - power
+    if t_in_c > node_kw:                 # line 10: comparison mixes dims
+        return drift
+    return limit_c - cooling_power_kw(0.07)  # line 12: via call summary

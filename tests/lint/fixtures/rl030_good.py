@@ -1,0 +1,12 @@
+"""RL030 good: dimensions align; unit conversion is explicit."""
+
+from repro.units import delta_t_for_power
+
+
+def headroom_c(t_in_c: float, limit_c: float) -> float:
+    return limit_c - t_in_c
+
+
+def outlet_c(t_in_c: float, node_kw: float, flow_m3s: float) -> float:
+    rise_c = delta_t_for_power(node_kw, flow_m3s)
+    return t_in_c + rise_c

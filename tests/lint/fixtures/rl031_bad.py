@@ -1,0 +1,7 @@
+"""RL031 bad: int() casts that silently drop a physical dimension."""
+
+
+def quantize(t_out_c: float, node_kw: float) -> tuple[int, int]:
+    whole_degrees = int(t_out_c)         # line 5: drops temperature
+    whole_kw = int(node_kw)              # line 6: drops power
+    return whole_degrees, whole_kw

@@ -1,0 +1,5 @@
+"""RL031 good: casts touch only dimensionless values."""
+
+
+def quantize(count: float, ratio: float) -> tuple[int, int]:
+    return int(count), int(round(ratio))

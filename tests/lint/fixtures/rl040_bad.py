@@ -1,0 +1,22 @@
+"""RL040 bad: nondeterministic values reach cache-key sinks."""
+
+import json
+import time
+
+
+def cache_key(payload) -> str:
+    return json.dumps(payload, sort_keys=True, default=list)
+
+
+def stamp():
+    return time.time()                       # line 12: wall-clock source
+
+
+def write_entry(config) -> str:
+    payload = {"config": config, "written_at": stamp()}
+    return cache_key(payload)                # line 17: reaches the key
+
+
+def split_cache(psis) -> str:
+    payload = {"psis": set(psis)}            # line 21: set-order source
+    return cache_key(payload)                # line 22: reaches the key

@@ -1,0 +1,17 @@
+"""RL040 good: deterministic inputs and canonicalized payloads."""
+
+import json
+
+
+def canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def cache_key(payload) -> str:
+    return canonical_json(payload)
+
+
+def write_entry(config, seed: int, psis) -> str:
+    payload = {"config": config, "seed": int(seed),
+               "psis": sorted(set(psis))}
+    return cache_key(payload)

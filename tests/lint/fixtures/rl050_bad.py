@@ -1,0 +1,16 @@
+"""RL050 bad: a config field missing from its cache key."""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioKnobs:  # repro-lint: cache-class(make_key)
+    n_nodes: int
+    p_const: float
+    chaos: bool                 # line 11: never reaches make_key
+
+
+def make_key(config: ScenarioKnobs) -> str:
+    blob = f"{config.n_nodes}|{config.p_const}"
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,25 @@
+"""RL050 good: every field reaches the key or is exempt with a reason."""
+
+import hashlib
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioKnobs:  # repro-lint: cache-class(make_key)
+    n_nodes: int
+    p_const: float
+    chaos: bool
+
+
+@dataclass(frozen=True)
+class SolveKnobs:  # repro-lint: cache-class(solve_key)
+    seed: int
+    warm_seed: bool  # repro-lint: cache-exempt(changes the path, not values)
+
+
+def make_key(config: ScenarioKnobs) -> str:
+    return hashlib.sha256(repr(asdict(config)).encode()).hexdigest()
+
+
+def solve_key(options: SolveKnobs) -> str:
+    return hashlib.sha256(str(options.seed).encode()).hexdigest()

@@ -28,7 +28,8 @@ class TestExitCodes:
     @pytest.mark.parametrize("name", [
         "rl001_bad.py", "rl002_bad.py", "rl003_bad.py", "rl004_bad.py",
         "rl010_bad.py", "rl011_bad.py", "rl020_bad.py", "rl021_bad.py",
-        "rl022_bad.py",
+        "rl022_bad.py", "rl030_bad.py", "rl031_bad.py", "rl040_bad.py",
+        "rl050_bad.py",
     ])
     def test_every_bad_fixture_fails(self, capsys, name):
         code, out, _ = run(capsys, [f"{FIXDIR}/{name}", "--no-baseline"])
@@ -59,7 +60,7 @@ class TestFormats:
         code, out, _ = run(capsys, [f"{FIXDIR}/rl004_bad.py",
                                     "--format", "json", "--no-baseline"])
         doc = json.loads(out)
-        assert doc["schema"] == 1 and doc["ok"] is False
+        assert doc["schema"] == 2 and doc["ok"] is False
         assert [f["line"] for f in doc["findings"]
                 if f["code"] == "RL004"] == [9, 10]
 
@@ -106,6 +107,78 @@ class TestWriteBaseline:
                                     "--baseline", str(baseline)])
         assert code == 0
         assert "2 baselined" in out
+
+
+class TestAnalysisTiers:
+    def test_ast_tier_skips_dataflow_rules(self, capsys):
+        code, out, _ = run(capsys, [f"{FIXDIR}/rl040_bad.py",
+                                    "--select", "RL040",
+                                    "--analysis", "ast", "--no-baseline"])
+        assert code == 0
+        assert "RL040" not in out
+
+    def test_dataflow_tier_skips_ast_rules(self, capsys):
+        code, out, _ = run(capsys, [f"{FIXDIR}/rl004_bad.py",
+                                    "--select", "RL004",
+                                    "--analysis", "dataflow",
+                                    "--no-baseline"])
+        assert code == 0
+
+    def test_all_tier_runs_both(self, capsys):
+        code, out, _ = run(capsys, [f"{FIXDIR}/rl040_bad.py",
+                                    "--select", "RL004,RL040",
+                                    "--analysis", "all", "--no-baseline"])
+        assert code == 1
+        assert "RL004" in out and "RL040" in out
+
+    def test_trace_lines_in_text_output(self, capsys):
+        code, out, _ = run(capsys, [f"{FIXDIR}/rl040_bad.py",
+                                    "--select", "RL040", "--no-baseline"])
+        assert code == 1
+        assert "    trace:" in out
+
+    def test_trace_in_github_annotations(self, capsys):
+        code, out, _ = run(capsys, [f"{FIXDIR}/rl040_bad.py",
+                                    "--select", "RL040",
+                                    "--format", "github", "--no-baseline"])
+        assert any(line.startswith("::error") and "trace" in line
+                   for line in out.splitlines())
+
+
+class TestSince:
+    @staticmethod
+    def _git(cwd, *cmd):
+        import subprocess
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *cmd],
+            cwd=cwd, check=True, capture_output=True)
+
+    def test_since_restricts_reported_files(self, capsys, tmp_path,
+                                            monkeypatch):
+        old = tmp_path / "old.py"
+        new = tmp_path / "new.py"
+        old.write_text("import time\nSTAMP = time.time()\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "old.py")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        new.write_text("import time\nSTAMP = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run(capsys, [str(old), str(new),
+                                    "--since", "HEAD", "--no-baseline"])
+        assert code == 1
+        assert "new.py" in out and "old.py" not in out
+        assert "1 files checked" in out
+
+    def test_since_bad_revision_is_usage_error(self, capsys, tmp_path,
+                                               monkeypatch):
+        mod = tmp_path / "ok.py"
+        mod.write_text("x = 1\n")
+        self._git(tmp_path, "init", "-q")
+        monkeypatch.chdir(tmp_path)
+        code, _, err = run(capsys, [str(mod), "--since", "nope",
+                                    "--no-baseline"])
+        assert code == 2
+        assert "git" in err
 
 
 class TestMainCliIntegration:

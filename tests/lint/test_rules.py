@@ -20,6 +20,11 @@ EXPECTED = {
     "RL020": [7, 14],
     "RL021": [4, 9, 14],
     "RL022": [7, 8],
+    # dataflow tier: interprocedural rules still pin exact lines
+    "RL030": [9, 10, 12],
+    "RL031": [5, 6],
+    "RL040": [17, 22, 22],      # line 22 reaches two distinct sinks
+    "RL050": [11],
 }
 
 

@@ -57,6 +57,41 @@ class TestSuppressions:
             's = "# repro-lint: disable=RL004"\n')
         assert not sup.is_suppressed("RL004", 1)
 
+    def test_pragma_covers_whole_multiline_statement(self, tmp_path):
+        report = _rl004(
+            tmp_path,
+            "a = time.time(\n"
+            ")  # repro-lint: disable=RL004\n")
+        assert report.findings == []
+        assert [f.line for f in report.suppressed] == [2]
+
+    def test_multiline_pragma_does_not_leak_to_next_statement(self,
+                                                              tmp_path):
+        report = _rl004(
+            tmp_path,
+            "a = time.time(\n"
+            ")  # repro-lint: disable=RL004\n"
+            "b = time.time()\n")
+        assert [f.line for f in report.findings] == [4]
+
+    def test_def_line_pragma_suppresses_decorated_function(self):
+        sup = parse_suppressions(
+            "@decorator\n"
+            "def f(a,\n"
+            "      b):  # repro-lint: disable=RL004\n"
+            "    pass\n")
+        assert sup.is_suppressed("RL004", 2)   # the def line
+        assert sup.is_suppressed("RL004", 3)
+        assert not sup.is_suppressed("RL004", 1)  # not the decorator
+
+    def test_decorator_line_pragma_does_not_reach_def(self):
+        sup = parse_suppressions(
+            "@decorator  # repro-lint: disable=RL004\n"
+            "def f():\n"
+            "    pass\n")
+        assert sup.is_suppressed("RL004", 1)
+        assert not sup.is_suppressed("RL004", 2)
+
     def test_multiple_codes_one_pragma(self):
         sup = parse_suppressions(
             "x = 1  # repro-lint: disable=RL001,RL004\n")
@@ -91,8 +126,18 @@ class TestBaseline:
         base = load_baseline(path)
         assert base.absorb(self._finding())
         doc = json.loads(path.read_text())
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert doc["entries"][0]["reason"] == "kept on purpose"
+
+    def test_schema_1_file_still_loads(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "entries": [{"code": "RL004", "path": "src/m.py",
+                         "context": BAD_LINE.strip(),
+                         "reason": "legacy"}]}))
+        base = load_baseline(path)
+        assert base.absorb(self._finding())
 
     def test_missing_file_is_empty(self, tmp_path):
         base = load_baseline(tmp_path / "nope.json")
@@ -122,3 +167,80 @@ class TestBaseline:
                             config=LintConfig(), baseline=base)
         assert report.ok
         assert len(report.baselined) == 1
+
+
+class TestBaselineDrift:
+    """Satellite: whitespace-normalized matching with a drift report
+    that distinguishes reflowed entries from genuinely stale ones."""
+
+    def _finding(self, context):
+        return Finding(path="src/m.py", line=5, col=1, code="RL004",
+                       rule="wall-clock", message="msg", context=context)
+
+    def test_reflowed_context_still_absorbs_and_reports_drift(self):
+        base = Baseline([{"code": "RL004", "path": "src/m.py",
+                          "context": "x  =  time.time()",
+                          "reason": "legacy"}])
+        assert base.absorb(self._finding("x = time.time()"))
+        drift = base.drifted_entries()
+        assert len(drift) == 1
+        assert drift[0]["context"] == "x  =  time.time()"
+        assert drift[0]["found_context"] == "x = time.time()"
+        assert base.stale_entries() == []
+
+    def test_exact_match_is_not_drift(self):
+        base = Baseline([{"code": "RL004", "path": "src/m.py",
+                          "context": "x = time.time()",
+                          "reason": "legacy"}])
+        assert base.absorb(self._finding("x = time.time()"))
+        assert base.drifted_entries() == []
+
+    def test_unmatched_entry_is_stale_not_drifted(self):
+        entry = {"code": "RL004", "path": "src/m.py",
+                 "context": "gone = time.time()", "reason": "legacy"}
+        base = Baseline([entry])
+        assert base.stale_entries() == [entry]
+        assert base.drifted_entries() == []
+
+    def test_drift_flows_into_report(self, tmp_path):
+        mod = _write(tmp_path, BAD_LINE)
+        base = Baseline([{"code": "RL004", "path": mod.as_posix(),
+                          "context": "x   =   time.time()",
+                          "reason": "legacy"}])
+        report = lint_paths([mod], rules=select_rules(select=["RL004"]),
+                            config=LintConfig(), baseline=base)
+        assert report.ok and len(report.baselined) == 1
+        assert len(report.baseline_drift) == 1
+        assert report.baseline_drift[0]["found_context"] == \
+            BAD_LINE.strip()
+
+
+hypothesis = pytest.importorskip("hypothesis")
+given = hypothesis.given
+settings = hypothesis.settings
+st = hypothesis.strategies
+
+_SAFE_TEXT = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           exclude_characters='"\'\\'),
+    max_size=30)
+_QUOTES = st.sampled_from(['"', "'", '"""', "'''"])
+_CODES = st.sampled_from(["RL001", "RL004", "all"])
+
+
+class TestPragmaStringInertness:
+    """Property test: a pragma spelled inside a string literal never
+    creates a suppression, no matter how the literal is quoted or what
+    surrounds the pragma text."""
+
+    @given(prefix=_SAFE_TEXT, suffix=_SAFE_TEXT, quote=_QUOTES,
+           code=_CODES)
+    @settings(max_examples=200, deadline=None)
+    def test_pragma_in_string_literal_never_suppresses(
+            self, prefix, suffix, quote, code):
+        pragma = f"# repro-lint: disable={code}"
+        source = f"s = {quote}{prefix}{pragma}{suffix}{quote}\n"
+        sup = parse_suppressions(source)
+        assert not sup.file_all
+        assert not sup.file_codes
+        assert not sup.line_codes
