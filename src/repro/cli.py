@@ -10,6 +10,9 @@ Exposes the experiment layer without writing any code:
   arrival trace (:mod:`repro.serve`, see ``docs/SERVING.md``).
 * ``sweep``    — capacity planning: reward vs power cap (CSV export).
 * ``chaos``    — fault-injection sweep: degradation vs fault rate.
+* ``control``  — predictive (MPC) vs reactive control under a flash
+  crowd and seeded faults (:mod:`repro.control`, see
+  ``docs/CONTROL.md``).
 * ``profile``  — render the profile tree of a ``--trace-out`` log.
 * ``lint``     — AST-based determinism/physics/hygiene analysis
   (:mod:`repro.lint`, see ``docs/LINTING.md``).
@@ -151,6 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.add_argument("--horizon", type=float, default=30.0,
                        help="simulated seconds of task arrivals")
+    p_sim.add_argument("--controller", choices=("static", "interval", "mpc"),
+                       default="static",
+                       help="static = one plan for the whole horizon "
+                            "(default); interval = epoch replans with the "
+                            "transient guard; mpc = receding-horizon "
+                            "predictive replans (docs/CONTROL.md)")
+    p_sim.add_argument("--epoch-s", type=float, default=60.0,
+                       help="replan epoch for interval/mpc controllers "
+                            "(default 60)")
+    p_sim.add_argument("--forecast", choices=("oracle", "persistence",
+                                              "noisy"),
+                       default="oracle",
+                       help="mpc forecast provider (default oracle)")
 
     p_serve = sub.add_parser(
         "serve", parents=[kernel, trace_out, json_flag],
@@ -171,6 +187,18 @@ def build_parser() -> argparse.ArgumentParser:
                          default="replay",
                          help="warm-start policy for the per-tick replans "
                               "(default replay; see docs/SERVING.md)")
+    p_serve.add_argument("--controller", choices=("interval", "mpc"),
+                         default="interval",
+                         help="per-tick replan policy: reactive interval "
+                              "(default) or receding-horizon mpc "
+                              "(docs/CONTROL.md)")
+    p_serve.add_argument("--mpc-horizon", type=_positive_int, default=3,
+                         help="mpc lookahead depth in ticks (default 3)")
+    p_serve.add_argument("--forecast", choices=("oracle", "persistence",
+                                                "noisy"),
+                         default="oracle",
+                         help="mpc forecast provider over the trace "
+                              "profile (default oracle)")
 
     p_chaos = sub.add_parser(
         "chaos", parents=[engine, kernel, trace_out, json_flag],
@@ -190,6 +218,32 @@ def build_parser() -> argparse.ArgumentParser:
                          default="requeue",
                          help="what happens to tasks stranded on crashed "
                               "cores (default requeue)")
+    p_chaos.add_argument("--controller", choices=("interval", "mpc"),
+                         default="interval",
+                         help="fault-reaction replan policy (default "
+                              "interval; see docs/CONTROL.md)")
+
+    p_ctl = sub.add_parser(
+        "control", parents=[engine, kernel, trace_out, json_flag],
+        help="predictive vs reactive control under flash crowd + faults")
+    p_ctl.add_argument("--nodes", type=int, default=12)
+    p_ctl.add_argument("--seed", type=int, default=1)
+    p_ctl.add_argument("--horizon", type=float, default=360.0,
+                       help="simulated seconds (default 360)")
+    p_ctl.add_argument("--epoch-s", type=float, default=60.0,
+                       help="decision epoch of both arms (default 60)")
+    p_ctl.add_argument("--factors", type=str, default="0,1",
+                       help="comma-separated fault-rate factors "
+                            "(0 = healthy control, always included)")
+    p_ctl.add_argument("--controllers", type=str, default="interval,mpc",
+                       help="comma-separated controller arms "
+                            "(default interval,mpc)")
+    p_ctl.add_argument("--forecast", choices=("oracle", "persistence",
+                                              "noisy"),
+                       default="oracle",
+                       help="mpc forecast provider (default oracle)")
+    p_ctl.add_argument("--mpc-horizon", type=_positive_int, default=3,
+                       help="mpc lookahead depth in epochs (default 3)")
 
     p_tour = sub.add_parser(
         "tournament", parents=[engine, kernel, trace_out, json_flag],
@@ -313,6 +367,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate_controller(args: argparse.Namespace, sc) -> int:
+    """The ``--controller interval|mpc`` branch of ``repro simulate``."""
+    import json
+
+    from repro.control import MPCConfig, MPCController
+    from repro.core.controller import EpochController
+    from repro.workload import ConstantProfile
+
+    profile = ConstantProfile(sc.workload.arrival_rates)
+    rng = np.random.default_rng(args.seed + 1)
+    if args.controller == "mpc":
+        controller = MPCController(
+            sc.datacenter, sc.workload, sc.p_const,
+            MPCConfig(step_s=args.epoch_s), forecast=args.forecast)
+        result = controller.run(profile, args.horizon, rng)
+        precools, derates = result.precools, result.derates
+    else:
+        controller = EpochController(sc.datacenter, sc.workload,
+                                     sc.p_const, epoch_s=args.epoch_s)
+        result = controller.run(profile, args.horizon, rng)
+        precools = 0
+        derates = sum(e.derated for e in result.epochs)
+    if args.json:
+        doc = {
+            "controller": args.controller,
+            "n_epochs": len(result.epochs),
+            "reward_rate": result.reward_rate,
+            "total_reward": result.total_reward,
+            "precools": precools,
+            "derates": derates,
+        }
+        if args.controller == "mpc":
+            doc["violation_minutes"] = result.violation_minutes
+        print(json.dumps(doc, sort_keys=True))
+        return 0
+    print(f"controller          : {args.controller} "
+          f"({len(result.epochs)} epochs x {args.epoch_s:.0f}s)")
+    print(f"achieved reward rate: {result.reward_rate:9.1f}/s")
+    print(f"escalations         : {precools} precools, {derates} derates")
+    if args.controller == "mpc":
+        print(f"violation minutes   : {result.violation_minutes:.2f}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import json
 
@@ -323,6 +421,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.workload import generate_trace
 
     sc = generate_scenario(scaled_down(PAPER_SET_1, args.nodes), args.seed)
+    if args.controller != "static":
+        return _cmd_simulate_controller(args, sc)
     plan = three_stage_assignment(sc.datacenter, sc.workload, sc.p_const,
                                   psi=50.0)
     trace = generate_trace(sc.workload, args.horizon,
@@ -384,18 +484,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     sc = generate_scenario(scaled_down(PAPER_SET_1, args.nodes), args.seed)
     profile = _serve_profile(args.trace, sc.workload.arrival_rates,
                              args.tick_s, args.ticks)
-    config = ServeConfig(tick_s=args.tick_s, warm=args.warm)
+    config = ServeConfig(tick_s=args.tick_s, warm=args.warm,
+                         controller=args.controller,
+                         horizon_ticks=args.mpc_horizon)
+    forecast = None
+    if args.controller == "mpc":
+        from repro.control import make_forecast
+        forecast = make_forecast(args.forecast, profile,
+                                 seed=args.seed)
     ticks = stream_trace_ticks(sc.workload, profile, args.tick_s,
                                args.ticks,
                                np.random.default_rng(args.seed + 1))
     result = serve_trace(sc.datacenter, sc.workload, sc.p_const, ticks,
-                         config)
+                         config, forecast)
     if args.json:
         print(json.dumps(result.to_dict(), sort_keys=True))
         return 0
     print(f"serve: {args.nodes} nodes, cap {sc.p_const:.1f} kW, "
           f"{args.ticks} ticks x {args.tick_s:.0f}s, trace={args.trace}, "
-          f"warm={args.warm}")
+          f"warm={args.warm}, controller={args.controller}")
     print(f"{'tick':>5}{'reward/s':>10}{'warm':>10}{'arrived':>9}"
           f"{'admitted':>9}{'shed':>7}")
     for t in result.ticks:
@@ -418,7 +525,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.schedule import load_schedule
 
     config = ChaosConfig(n_nodes=args.nodes, seed=args.seed,
-                         horizon_s=args.horizon, stranded=args.stranded)
+                         horizon_s=args.horizon, stranded=args.stranded,
+                         controller=args.controller)
     if args.scenario is not None:
         schedule = load_schedule(args.scenario)
         result = run_chaos_scenario(config, schedule)
@@ -441,13 +549,58 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                           "config": {"n_nodes": args.nodes,
                                      "seed": args.seed,
                                      "horizon_s": args.horizon,
-                                     "stranded": args.stranded},
+                                     "stranded": args.stranded,
+                                     "controller": args.controller},
                           "points": [p.to_dict() for p in points]},
                          sort_keys=True))
         return 0
     print(f"chaos sweep: {args.nodes} nodes, seed {args.seed}, "
-          f"{args.horizon:.0f}s horizon, stranded={args.stranded}")
+          f"{args.horizon:.0f}s horizon, stranded={args.stranded}, "
+          f"controller={args.controller}")
     print(chaos_table(points))
+    return 0
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.control import (ControlConfig, control_table,
+                                           sweep_control)
+
+    try:
+        factors = [float(f) for f in args.factors.split(",") if f.strip()]
+    except ValueError:
+        print(f"invalid --factors value: {args.factors!r}", file=sys.stderr)
+        return 2
+    controllers = tuple(c.strip() for c in args.controllers.split(",")
+                        if c.strip())
+    config = ControlConfig(n_nodes=args.nodes, seed=args.seed,
+                           horizon_s=args.horizon, epoch_s=args.epoch_s,
+                           horizon_steps=args.mpc_horizon,
+                           forecast=args.forecast)
+    try:
+        points = sweep_control(config, factors, controllers,
+                               jobs=args.jobs, cache_dir=args.cache_dir,
+                               resume=args.resume)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"schema": 1,
+                          "config": {"n_nodes": args.nodes,
+                                     "seed": args.seed,
+                                     "horizon_s": args.horizon,
+                                     "epoch_s": args.epoch_s,
+                                     "horizon_steps": args.mpc_horizon,
+                                     "forecast": args.forecast,
+                                     "controllers": list(controllers)},
+                          "points": [p.to_dict() for p in points]},
+                         sort_keys=True))
+        return 0
+    print(f"control sweep: {args.nodes} nodes, seed {args.seed}, "
+          f"{args.horizon:.0f}s horizon, epoch {args.epoch_s:.0f}s, "
+          f"forecast={args.forecast}")
+    print(control_table(points))
     return 0
 
 
@@ -533,6 +686,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
+    "control": _cmd_control,
     "tournament": _cmd_tournament,
     "lint": _cmd_lint,
     "profile": _cmd_profile,

@@ -1,0 +1,27 @@
+"""Predictive (receding-horizon) control over the transient thermal model.
+
+``forecast`` projects arrival rates over the lookahead horizon;
+``mpc`` plans against those forecasts with warm-chained solves and a
+pre-cool-before-derate escalation ladder.  See docs/CONTROL.md.
+"""
+
+from repro.control.forecast import (FORECAST_KINDS, ForecastProvider,
+                                    NoisyOracleForecast, OracleForecast,
+                                    PersistenceForecast, make_forecast)
+from repro.control.mpc import (MPCConfig, MPCController, MPCDecision,
+                               MPCEpochRecord, MPCPlanner, MPCResult)
+
+__all__ = [
+    "FORECAST_KINDS",
+    "ForecastProvider",
+    "OracleForecast",
+    "PersistenceForecast",
+    "NoisyOracleForecast",
+    "make_forecast",
+    "MPCConfig",
+    "MPCDecision",
+    "MPCPlanner",
+    "MPCEpochRecord",
+    "MPCResult",
+    "MPCController",
+]

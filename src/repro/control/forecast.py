@@ -1,0 +1,138 @@
+"""Arrival-rate forecast providers for the predictive controller.
+
+The MPC planner (:mod:`repro.control.mpc`) needs the arrival-rate
+vector for each of its H lookahead steps.  A forecast provider turns
+"now" into that ``(H, n_task_types)`` matrix.  Three providers cover
+the evaluation spectrum (docs/CONTROL.md):
+
+* :class:`OracleForecast` — perfect foresight: future rows are read
+  straight from the arrival profile that *generates* the trace
+  (:mod:`repro.workload.trace` / :mod:`repro.workload.profiles`).  The
+  upper bound on what forecasting can buy.
+* :class:`PersistenceForecast` — the no-information baseline: every
+  future row repeats the current measurement.  An MPC fed persistence
+  forecasts degenerates to a transient-aware interval controller.
+* :class:`NoisyOracleForecast` — the oracle with seeded multiplicative
+  log-normal noise on the future rows, for sensitivity studies.  The
+  noise is a pure function of ``(seed, t0, step)``, so runs are
+  reproducible and identical across ``--jobs``.
+
+The contract every provider obeys: row 0 is always ``rates_now``
+verbatim (the present is measured, never forecast), and rows never go
+negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.workload.profiles import ArrivalProfile
+
+__all__ = ["ForecastProvider", "OracleForecast", "PersistenceForecast",
+           "NoisyOracleForecast", "make_forecast", "FORECAST_KINDS"]
+
+#: Provider names accepted by :func:`make_forecast` (CLI choices).
+FORECAST_KINDS = ("oracle", "persistence", "noisy")
+
+
+@runtime_checkable
+class ForecastProvider(Protocol):
+    """Anything that can project arrival rates over a lookahead horizon."""
+
+    def rates_ahead(self, t0: float, rates_now: np.ndarray, steps: int,
+                    step_s: float) -> np.ndarray:
+        """Forecast matrix of shape ``(steps, n_task_types)``.
+
+        Row ``j`` is the rate vector expected to hold on
+        ``[t0 + j * step_s, t0 + (j + 1) * step_s)``; row 0 must equal
+        ``rates_now``.
+        """
+        ...
+
+
+def _validated(t0: float, rates_now: np.ndarray, steps: int,
+               step_s: float) -> np.ndarray:
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if step_s <= 0:
+        raise ValueError(f"step_s must be positive, got {step_s}")
+    rates = np.asarray(rates_now, dtype=float)
+    if rates.ndim != 1:
+        raise ValueError(f"rates_now must be a vector, got shape "
+                         f"{rates.shape}")
+    return rates
+
+
+@dataclass(frozen=True)
+class OracleForecast:
+    """Perfect foresight: future rows come from the generating profile."""
+
+    profile: ArrivalProfile
+
+    def rates_ahead(self, t0: float, rates_now: np.ndarray, steps: int,
+                    step_s: float) -> np.ndarray:
+        rates = _validated(t0, rates_now, steps, step_s)
+        out = np.empty((steps, rates.size))
+        out[0] = rates
+        for j in range(1, steps):
+            out[j] = np.asarray(self.profile.rates(t0 + j * step_s),
+                                dtype=float)
+        return out
+
+
+@dataclass(frozen=True)
+class PersistenceForecast:
+    """No-information baseline: tomorrow looks exactly like right now."""
+
+    def rates_ahead(self, t0: float, rates_now: np.ndarray, steps: int,
+                    step_s: float) -> np.ndarray:
+        rates = _validated(t0, rates_now, steps, step_s)
+        return np.tile(rates, (steps, 1))
+
+
+@dataclass(frozen=True)
+class NoisyOracleForecast:
+    """The oracle with seeded multiplicative noise on the future rows.
+
+    Each future row is the profile's true rate vector scaled by
+    ``exp(sigma * z - sigma^2 / 2)`` with ``z`` standard normal — a
+    mean-one log-normal factor, so the forecast is unbiased and never
+    negative.  ``z`` is drawn from a generator seeded by
+    ``(seed, round(t0 * 1000), j)``: deterministic per decision instant
+    and step, independent of call order.
+    """
+
+    profile: ArrivalProfile
+    sigma: float = 0.2
+    seed: int = 0
+
+    def rates_ahead(self, t0: float, rates_now: np.ndarray, steps: int,
+                    step_s: float) -> np.ndarray:
+        rates = _validated(t0, rates_now, steps, step_s)
+        out = np.empty((steps, rates.size))
+        out[0] = rates
+        for j in range(1, steps):
+            truth = np.asarray(self.profile.rates(t0 + j * step_s),
+                               dtype=float)
+            rng = np.random.default_rng(
+                [self.seed, int(round(t0 * 1000.0)) & 0x7FFFFFFF, j])
+            factor = np.exp(self.sigma * rng.standard_normal(rates.size)
+                            - self.sigma ** 2 / 2.0)
+            out[j] = truth * factor
+        return out
+
+
+def make_forecast(kind: str, profile: ArrivalProfile, *,
+                  sigma: float = 0.2, seed: int = 0) -> ForecastProvider:
+    """Build a provider by name (the CLI / policy entry point)."""
+    if kind == "oracle":
+        return OracleForecast(profile)
+    if kind == "persistence":
+        return PersistenceForecast()
+    if kind == "noisy":
+        return NoisyOracleForecast(profile, sigma=sigma, seed=seed)
+    raise ValueError(
+        f"unknown forecast kind {kind!r} (use one of {FORECAST_KINDS})")

@@ -44,7 +44,49 @@ from repro.workload.tasktypes import Workload
 from repro.workload.trace import Task
 
 __all__ = ["EpochRecord", "ControllerResult", "EpochController",
+           "ShedPlan", "shed_plan", "idle_start_t_out",
            "plan_with_transient_guard"]
+
+
+@dataclass(frozen=True)
+class ShedPlan:
+    """Load-shedding fallback when the room admits no feasible plan.
+
+    Quacks like the slice of :class:`AssignmentResult` the control loops
+    consume: every core off, zero desired rates, the coldest air each
+    (possibly derated) CRAC can still deliver.  Committed when even the
+    fully-derated first step is infeasible — the run then measures the
+    outage instead of aborting (fault-aware chaos runs, MPC horizons on
+    a crippled inventory, shed-all serve ticks).
+    """
+
+    t_crac_out: np.ndarray
+    pstates: np.ndarray
+    tc: np.ndarray
+    reward_rate: float = 0.0
+
+
+def shed_plan(datacenter: DataCenter, n_task_types: int) -> ShedPlan:
+    """The all-off, coldest-outlet :class:`ShedPlan` for ``datacenter``."""
+    return ShedPlan(
+        t_crac_out=np.asarray([c.outlet_range_c[0] for c in datacenter.cracs],
+                              dtype=float),
+        pstates=datacenter.all_off_pstates(),
+        tc=np.zeros((n_task_types, datacenter.n_cores)))
+
+
+def idle_start_t_out(datacenter: DataCenter) -> np.ndarray:
+    """Cold-start room state: the idle room settled at mid-range outlets.
+
+    The convention every controller shares for the state *before* the
+    first plan exists: all cores off, each CRAC at the midpoint of its
+    outlet range, settled to steady state.
+    """
+    model = datacenter.require_thermal()
+    idle = datacenter.node_power_kw(datacenter.all_off_pstates())
+    t_mid = np.full(datacenter.n_crac, float(np.mean(
+        [c.outlet_range_c for c in datacenter.cracs])))
+    return model.steady_state(t_mid, idle).t_out
 
 
 def plan_with_transient_guard(datacenter: DataCenter, workload: Workload,
@@ -311,8 +353,6 @@ class EpochController:
         trace = generate_nonstationary_trace(self.base_workload, profile,
                                              horizon_s, rng)
         n_epochs = int(np.ceil(horizon_s / self.epoch_s))
-        # the room starts idle at the first epoch's outlet setting
-        idle_power = dc.node_power_kw(dc.all_off_pstates())
         t_out_prev: np.ndarray | None = None
         epochs: list[EpochRecord] = []
         cursor = 0
@@ -322,11 +362,7 @@ class EpochController:
             with obs_span("epoch", index=e):
                 rates = np.asarray(profile.rates(start), dtype=float)
                 if t_out_prev is None:
-                    # cold start: previous state is the idle room at a
-                    # mid-range outlet setting
-                    t_mid = np.full(dc.n_crac, float(np.mean(
-                        [c.outlet_range_c for c in dc.cracs])))
-                    t_out_prev = model.steady_state(t_mid, idle_power).t_out
+                    t_out_prev = idle_start_t_out(dc)
                 plan, derated, overshoot = self.plan_epoch(rates, t_out_prev)
                 # epoch task slice, re-based to epoch-local time
                 chunk: list[Task] = []

@@ -33,6 +33,7 @@ path instead of outright replay.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
@@ -48,8 +49,8 @@ if TYPE_CHECKING:
     from repro.optimize.linprog import LPSolution
     from repro.workload.tasktypes import Workload
 
-__all__ = ["Digests", "SolveState", "WarmContext", "compute_digests",
-           "prepare_context", "capture_state"]
+__all__ = ["Digests", "SolveState", "WarmContext", "WarmPool",
+           "compute_digests", "prepare_context", "capture_state"]
 
 #: Reuse grades, strongest first (see module docstring).
 LEVELS = ("request", "stage1", "structure", "none")
@@ -231,6 +232,44 @@ class SolveState:
             children={key: cls.from_dict(child)
                       for key, child in doc.get("children", {}).items()},
         )
+
+
+class WarmPool:
+    """Several warm-start chains keyed by structure digest (LRU).
+
+    Controllers that juggle *multiple* problem structures at once — the
+    fault-aware loop (healthy room plus every distinct degraded
+    inventory) and the MPC planner (true room plus every pre-cool
+    tightening level) — each keep one chain per structure so a recovery
+    or a de-escalation warm-starts from the matching past state, never a
+    stale one.  Keys are structure digests (:func:`compute_digests`), so
+    a wrong lookup can only cause a cold solve, never a wrong value.
+    The pool is bounded: chains for structures that stop recurring are
+    evicted least-recently-used, which affects speed, never results.
+    """
+
+    def __init__(self, limit: int = 16):
+        if limit < 1:
+            raise ValueError(f"limit must be at least 1, got {limit}")
+        self._limit = limit
+        self._states: OrderedDict[str, SolveState] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def get(self, key: str) -> SolveState | None:
+        """The most recent state stored under ``key`` (None when cold)."""
+        state = self._states.get(key)
+        if state is not None:
+            self._states.move_to_end(key)
+        return state
+
+    def put(self, key: str, state: SolveState) -> None:
+        """Store ``state`` as the head of ``key``'s chain."""
+        self._states[key] = state
+        self._states.move_to_end(key)
+        while len(self._states) > self._limit:
+            self._states.popitem(last=False)
 
 
 def prepare_context(state: SolveState | None, digests: Digests, *,

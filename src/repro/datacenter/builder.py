@@ -218,6 +218,27 @@ class DataCenter:
         clone.thermal = converted
         return clone
 
+    def with_redline_margin(self, margin_c: float) -> "DataCenter":
+        """A view of this room with every redline tightened by ``margin_c``.
+
+        The predictive controller's pre-cool mechanism
+        (:mod:`repro.control.mpc`): solving against artificially lower
+        redlines makes the first step pick colder CRAC outlets — banking
+        thermal headroom *now* — while the committed plan is still
+        simulated and verified against the true (untightened) room.
+        Shallow copy, same idiom as :meth:`with_thermal_backend`: nodes,
+        layout, derived arrays and the thermal model are shared; only the
+        two redline scalars differ.  A zero margin returns ``self``.
+        """
+        if margin_c < 0:
+            raise ValueError(f"margin_c must be >= 0, got {margin_c}")
+        if margin_c == 0.0:
+            return self
+        clone = copy.copy(self)
+        clone.node_redline_c = self.node_redline_c - margin_c
+        clone.crac_redline_c = self.crac_redline_c - margin_c
+        return clone
+
     def restrict(self, node_alive: np.ndarray,
                  cracs: "Sequence[CRACUnit] | None" = None
                  ) -> tuple["DataCenter", np.ndarray, np.ndarray]:

@@ -62,6 +62,10 @@ class ChaosConfig:
         Factor-1.0 fault rates; ``None`` derives
         :func:`~repro.faults.schedule.demo_rates` from the room and
         horizon.  Fault timelines draw from ``seed + 2``.
+    controller:
+        Replan policy: ``"interval"`` (default, the classic reactive
+        loop) or ``"mpc"`` (the receding-horizon planner,
+        :mod:`repro.control.mpc`).
     """
 
     n_nodes: int = 20
@@ -70,6 +74,7 @@ class ChaosConfig:
     psi: float = 50.0
     stranded: str = "requeue"
     rates: FaultRates | None = None
+    controller: str = "interval"
 
     def resolved_rates(self, n_crac: int) -> FaultRates:
         if self.rates is not None:
@@ -86,6 +91,7 @@ class ChaosConfig:
             "stranded": self.stranded,
             "rates": self.resolved_rates(n_crac).to_dict(),
             "factor": factor,
+            "controller": self.controller,
         }
 
 
@@ -167,7 +173,8 @@ def run_chaos_scenario(config: ChaosConfig,
     scenario, trace = _chaos_inputs(config)
     controller = FaultAwareController(
         scenario.datacenter, scenario.workload, scenario.p_const,
-        ReactionPolicy(psi=config.psi, stranded=config.stranded))
+        ReactionPolicy(psi=config.psi, stranded=config.stranded,
+                       controller=config.controller))
     return controller.run(trace, config.horizon_s, schedule)
 
 
@@ -192,7 +199,8 @@ def run_chaos_point(config: ChaosConfig, factor: float) -> ChaosPoint:
             np.random.default_rng(config.seed + 2))
     controller = FaultAwareController(
         scenario.datacenter, scenario.workload, scenario.p_const,
-        ReactionPolicy(psi=config.psi, stranded=config.stranded))
+        ReactionPolicy(psi=config.psi, stranded=config.stranded,
+                       controller=config.controller))
     result = controller.run(trace, config.horizon_s, schedule)
     return ChaosPoint.from_result(factor, result)
 

@@ -1,0 +1,325 @@
+"""Control sweep: predictive (MPC) versus reactive (interval) control.
+
+The experiment isolates the value of *looking ahead*.  One room, one
+flash-crowd arrival profile, one seeded fault timeline per intensity
+factor — replayed twice per factor, once under the classic reactive
+interval controller and once under the receding-horizon planner
+(:mod:`repro.control.mpc`).  Both arms share every tolerance (``psi``,
+derate loop, warm policy) and the same epoch grid, so the only
+difference is the control law: the interval controller reacts to the
+transition it is already in, the MPC plans against the forecast and
+pre-cools (banks cold-air headroom at full compute) before it derates.
+
+Reported per arm and factor:
+
+* **reward rate** and **reward retained** relative to that arm's own
+  fault-free (factor-0) control;
+* **redline-violation minutes** over the transition trajectories;
+* escalation counts — pre-cools, derates, shed intervals.
+
+Points carry no wall-clock fields and no measured-time detail, so a
+point is a *byte-identical* pure function of ``(config, arm)`` —
+``--jobs 2`` must reproduce ``--jobs 1`` exactly (the CI ``mpc-smoke``
+job diffs the JSON) and the small sweep is pinned as a golden baseline.
+Caching and fan-out ride the PR-1 engine unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from repro.control.mpc import MPCConfig
+from repro.experiments.config import PAPER_SET_1, scaled_down
+from repro.experiments.engine import load_point, parallel_map, store_point
+from repro.experiments.generator import Scenario, generate_scenario
+from repro.faults.model import FaultSchedule
+from repro.faults.policy import (ChaosRunResult, FaultAwareController,
+                                 ReactionPolicy)
+from repro.faults.schedule import (FaultRates, demo_rates,
+                                   generate_fault_schedule)
+from repro.workload.profiles import (ConstantProfile,
+                                     generate_nonstationary_trace)
+from repro.workload.trace import FlashCrowdProfile
+
+__all__ = ["CONTROLLERS", "ControlConfig", "ControlPoint",
+           "run_control_point", "sweep_control", "control_table"]
+
+#: Controller arms of the sweep (CLI choices).
+CONTROLLERS = ("interval", "mpc")
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Everything that determines one control-sweep arm except
+    ``(controller, factor)``.
+
+    Attributes
+    ----------
+    n_nodes / seed / horizon_s:
+        Room and power cap from
+        ``generate_scenario(scaled_down(PAPER_SET_1, n_nodes), seed)``;
+        the non-stationary trace draws from ``seed + 1`` and fault
+        timelines from ``seed + 2`` (the ``repro chaos`` convention).
+    epoch_s:
+        Decision epoch of both arms — the interval controller replans
+        on this grid too, so the arms see identical rate measurements.
+    burst_start_s / burst_duration_s / burst_magnitude:
+        The flash crowd multiplied onto the scenario's base rates.
+    psi:
+        ARR aggregation level of every solve (both arms).
+    horizon_steps:
+        MPC lookahead depth, in epochs.
+    precool_step_c / max_precool:
+        MPC pre-cool escalation.
+    forecast:
+        MPC forecast provider kind (:mod:`repro.control.forecast`).
+    stranded:
+        Stranded-task disposition at fault boundaries.
+    rates:
+        Factor-1.0 fault rates; ``None`` derives
+        :func:`~repro.faults.schedule.demo_rates`.
+    """
+
+    n_nodes: int = 12
+    seed: int = 1
+    horizon_s: float = 360.0
+    epoch_s: float = 60.0
+    burst_start_s: float = 120.0
+    burst_duration_s: float = 120.0
+    burst_magnitude: float = 4.0
+    psi: float = 50.0
+    horizon_steps: int = 3
+    precool_step_c: float = 1.0
+    max_precool: int = 3
+    forecast: str = "oracle"
+    stranded: str = "requeue"
+    rates: FaultRates | None = None
+
+    def profile(self, base_rates: np.ndarray) -> FlashCrowdProfile:
+        """The flash-crowd arrival profile over the scenario's rates."""
+        return FlashCrowdProfile(
+            ConstantProfile(np.asarray(base_rates, dtype=float)),
+            bursts=((self.burst_start_s, self.burst_duration_s,
+                     self.burst_magnitude),))
+
+    def policy(self, controller: str) -> ReactionPolicy:
+        """The reaction policy of one arm (shared knobs, one control law)."""
+        if controller not in CONTROLLERS:
+            raise ValueError(
+                f"controller must be one of {CONTROLLERS}, "
+                f"got {controller!r}")
+        return ReactionPolicy(
+            psi=self.psi, stranded=self.stranded, controller=controller,
+            epoch_s=self.epoch_s, forecast=self.forecast,
+            mpc=MPCConfig(
+                horizon_steps=self.horizon_steps, step_s=self.epoch_s,
+                psi=self.psi, precool_step_c=self.precool_step_c,
+                max_precool=self.max_precool) if controller == "mpc"
+            else None)
+
+    def resolved_rates(self, n_crac: int) -> FaultRates:
+        if self.rates is not None:
+            return self.rates
+        return demo_rates(self.horizon_s, self.n_nodes, n_crac)
+
+    def cache_tag(self) -> str:
+        return f"control-n{self.n_nodes}-seed{self.seed}"
+
+    def cache_extra(self, controller: str, factor: float,
+                    n_crac: int) -> dict:
+        return {
+            "horizon_s": self.horizon_s,
+            "epoch_s": self.epoch_s,
+            "burst_start_s": self.burst_start_s,
+            "burst_duration_s": self.burst_duration_s,
+            "burst_magnitude": self.burst_magnitude,
+            "psi": self.psi,
+            "horizon_steps": self.horizon_steps,
+            "precool_step_c": self.precool_step_c,
+            "max_precool": self.max_precool,
+            "forecast": self.forecast,
+            "stranded": self.stranded,
+            "rates": self.resolved_rates(n_crac).to_dict(),
+            "controller": controller,
+            "factor": factor,
+        }
+
+
+@dataclass
+class ControlPoint:
+    """One ``(controller, factor)`` arm's summary.
+
+    Deliberately carries **no wall-clock fields and no detail payload**:
+    every field is a deterministic function of ``(config, arm)``, so the
+    sweep's JSON is byte-identical across ``--jobs`` and golden-safe.
+    ``reward_retained`` is filled by :func:`sweep_control` relative to
+    the same controller's factor-0 run.
+    """
+
+    controller: str
+    factor: float
+    n_fault_events: int
+    reward_rate: float
+    violation_minutes: float
+    tasks_lost: int
+    n_replans: int
+    precools: int
+    derates: int
+    sheds: int
+    reward_retained: float = float("nan")
+
+    @classmethod
+    def from_result(cls, controller: str, factor: float,
+                    result: ChaosRunResult) -> "ControlPoint":
+        return cls(controller=controller, factor=float(factor),
+                   n_fault_events=len(result.schedule),
+                   reward_rate=result.reward_rate,
+                   violation_minutes=result.violation_minutes,
+                   tasks_lost=result.tasks_lost,
+                   n_replans=result.n_replans,
+                   precools=result.precools,
+                   derates=result.derates,
+                   sheds=result.shed_intervals)
+
+    def to_dict(self) -> dict:
+        return {
+            "controller": self.controller,
+            "factor": self.factor,
+            "n_fault_events": self.n_fault_events,
+            "reward_rate": self.reward_rate,
+            "violation_minutes": self.violation_minutes,
+            "tasks_lost": self.tasks_lost,
+            "n_replans": self.n_replans,
+            "precools": self.precools,
+            "derates": self.derates,
+            "sheds": self.sheds,
+            "reward_retained": self.reward_retained,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ControlPoint":
+        return cls(controller=str(doc["controller"]),
+                   factor=float(doc["factor"]),
+                   n_fault_events=int(doc["n_fault_events"]),
+                   reward_rate=float(doc["reward_rate"]),
+                   violation_minutes=float(doc["violation_minutes"]),
+                   tasks_lost=int(doc["tasks_lost"]),
+                   n_replans=int(doc["n_replans"]),
+                   precools=int(doc["precools"]),
+                   derates=int(doc["derates"]),
+                   sheds=int(doc["sheds"]),
+                   reward_retained=float(doc.get("reward_retained",
+                                                 float("nan"))))
+
+
+def _control_inputs(config: ControlConfig) -> tuple[Scenario, object, list]:
+    """Room, profile and non-stationary trace shared by both arms."""
+    scenario = generate_scenario(scaled_down(PAPER_SET_1, config.n_nodes),
+                                 config.seed)
+    profile = config.profile(scenario.workload.arrival_rates)
+    trace = generate_nonstationary_trace(
+        scenario.workload, profile, config.horizon_s,
+        np.random.default_rng(config.seed + 1))
+    return scenario, profile, trace
+
+
+def run_control_point(config: ControlConfig, controller: str,
+                      factor: float) -> ControlPoint:
+    """One arm: draw the factor's timeline, run, summarize.
+
+    Byte-identically pure in ``(config, controller, factor)`` — no wall
+    times survive into the point.  Factor 0 uses the empty schedule
+    (consumes no random numbers), matching ``repro chaos``.
+    """
+    if factor < 0:
+        raise ValueError("rate factor must be >= 0")
+    scenario, profile, trace = _control_inputs(config)
+    n_crac = scenario.datacenter.n_crac
+    if factor == 0:
+        schedule = FaultSchedule.empty()
+    else:
+        schedule = generate_fault_schedule(
+            config.n_nodes, n_crac, config.horizon_s,
+            config.resolved_rates(n_crac).scaled(factor),
+            np.random.default_rng(config.seed + 2))
+    loop = FaultAwareController(
+        scenario.datacenter, scenario.workload, scenario.p_const,
+        config.policy(controller))
+    result = loop.run(trace, config.horizon_s, schedule, profile=profile)
+    return ControlPoint.from_result(controller, factor, result)
+
+
+def _run_arm(config: ControlConfig,
+             arm: tuple[str, float]) -> ControlPoint:
+    """Module-level worker wrapper (picklable for ``parallel_map``)."""
+    return run_control_point(config, arm[0], arm[1])
+
+
+def sweep_control(config: ControlConfig, factors: list[float],
+                  controllers: tuple[str, ...] = CONTROLLERS, *,
+                  jobs: int = 1, cache_dir: str | None = None,
+                  resume: bool = False) -> list[ControlPoint]:
+    """Sweep ``controllers x factors``; always includes each arm's
+    factor-0 control.
+
+    Points are cached individually and fan out through
+    :func:`~repro.experiments.engine.parallel_map`, so ``--jobs`` /
+    ``--resume`` behave exactly as in the other sweeps.  Returned
+    points are ordered controller-major, factor-minor, with
+    ``reward_retained`` filled in against the same controller's
+    factor-0 run.
+    """
+    for controller in controllers:
+        if controller not in CONTROLLERS:
+            raise ValueError(
+                f"controller must be one of {CONTROLLERS}, "
+                f"got {controller!r}")
+    wanted = sorted(set(float(f) for f in factors) | {0.0})
+    arms = [(c, f) for c in controllers for f in wanted]
+    scenario, _, _ = _control_inputs(config)
+    n_crac = scenario.datacenter.n_crac
+    points: dict[tuple[str, float], ControlPoint] = {}
+    pending: list[tuple[str, float]] = []
+    for arm in arms:
+        payload = None
+        if cache_dir is not None and resume:
+            payload = load_point(cache_dir, config.cache_tag(),
+                                 config.cache_extra(arm[0], arm[1],
+                                                    n_crac))
+        if payload is not None:
+            points[arm] = ControlPoint.from_dict(payload["point"])
+        else:
+            pending.append(arm)
+    computed = parallel_map(partial(_run_arm, config), pending, jobs=jobs)
+    for arm, point in zip(pending, computed):
+        points[arm] = point
+        if cache_dir is not None:
+            store_point(cache_dir, config.cache_tag(),
+                        config.cache_extra(arm[0], arm[1], n_crac),
+                        {"point": point.to_dict()})
+    for controller in controllers:
+        baseline = points[(controller, 0.0)].reward_rate
+        for (c, _), point in points.items():
+            if c == controller:
+                point.reward_retained = (point.reward_rate / baseline
+                                         if baseline > 0 else float("nan"))
+    return [points[arm] for arm in arms]
+
+
+def control_table(points: list[ControlPoint]) -> str:
+    """Fixed-width text table of a control sweep (CLI output)."""
+    lines = [f"{'ctrl':>9}{'factor':>7}{'faults':>7}{'reward/s':>10}"
+             f"{'retained':>10}{'viol min':>9}{'lost':>6}{'precool':>8}"
+             f"{'derate':>7}{'shed':>5}"]
+    for p in points:
+        retained = ("     --- " if np.isnan(p.reward_retained)
+                    else f"{100 * p.reward_retained:8.1f}%")
+        lines.append(
+            f"{p.controller:>9}{p.factor:>7.2f}{p.n_fault_events:>7d}"
+            f"{p.reward_rate:>10.1f}{retained}"
+            f"{p.violation_minutes:>9.2f}{p.tasks_lost:>6d}"
+            f"{p.precools:>8d}{p.derates:>7d}{p.sheds:>5d}")
+    return "\n".join(lines)

@@ -34,14 +34,17 @@ fault-free DES replay — bit-identical to ``repro simulate``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro import kernels
+from repro.control.forecast import (FORECAST_KINDS, PersistenceForecast,
+                                    make_forecast)
+from repro.control.mpc import MPCConfig, MPCPlanner
 from repro.core.api import SolveOptions, SolveRequest, solve
-from repro.core.controller import plan_with_transient_guard
-from repro.core.warmstart import SolveState, compute_digests
+from repro.core.controller import plan_with_transient_guard, shed_plan
+from repro.core.warmstart import SolveState, WarmPool, compute_digests
 from repro.datacenter.builder import DataCenter
 from repro.faults.inject import DegradedView, degraded_view
 from repro.faults.model import FaultKind, FaultSchedule
@@ -51,36 +54,12 @@ from repro.simulate.engine import simulate_trace
 from repro.simulate.events import CoreOutage
 from repro.simulate.metrics import SimulationMetrics
 from repro.thermal.transient import simulate_transient
+from repro.workload.profiles import ArrivalProfile
 from repro.workload.tasktypes import Workload
 from repro.workload.trace import Task
 
 __all__ = ["ReactionPolicy", "IntervalRecord", "ChaosRunResult",
            "FaultAwareController"]
-
-
-@dataclass(frozen=True)
-class _ShedPlan:
-    """Load-shedding fallback when the degraded room admits no plan.
-
-    Quacks like the slice of :class:`AssignmentResult` the run loop
-    consumes: every core off, zero desired rates, the coldest air each
-    (possibly derated) CRAC can still deliver.  Committed when a fault
-    is so severe that even the fully-derated first step is infeasible —
-    the experiment then measures the outage instead of aborting.
-    """
-
-    t_crac_out: np.ndarray
-    pstates: np.ndarray
-    tc: np.ndarray
-    reward_rate: float = 0.0
-
-
-def _shed_plan(datacenter: DataCenter, n_task_types: int) -> _ShedPlan:
-    return _ShedPlan(
-        t_crac_out=np.asarray([c.outlet_range_c[0] for c in datacenter.cracs],
-                              dtype=float),
-        pstates=datacenter.all_off_pstates(),
-        tc=np.zeros((n_task_types, datacenter.n_cores)))
 
 
 @dataclass(frozen=True)
@@ -113,6 +92,26 @@ class ReactionPolicy:
         seeded temperature search after a cap change
         (``SolveOptions.warm_seed``); ``"off"`` disables warm-starting
         entirely.
+    controller:
+        ``"interval"`` (default) replans reactively at inventory changes
+        with the transient-guard derate loop; ``"mpc"`` replans with the
+        receding-horizon planner (:class:`repro.control.mpc.MPCPlanner`),
+        which looks ahead over forecast rates and escalates pre-cooling
+        before derating compute.
+    epoch_s:
+        Optional periodic replan grid added to the fault-boundary cuts.
+        ``None`` (default) keeps the classic fault-boundaries-only
+        timeline; the MPC controller defaults its decision epoch to
+        :attr:`MPCConfig.step_s` when unset.
+    forecast / forecast_seed:
+        Forecast provider for the MPC lookahead when the run is given an
+        arrival profile (``"oracle"`` / ``"persistence"`` / ``"noisy"``,
+        see :mod:`repro.control.forecast`); without a profile the
+        lookahead degenerates to persistence.
+    mpc:
+        Explicit planner tunables; ``None`` derives an
+        :class:`~repro.control.mpc.MPCConfig` from this policy's shared
+        knobs (``psi`` / ``tau_s`` / derate loop / ``warm``).
     """
 
     psi: float = 50.0
@@ -122,6 +121,11 @@ class ReactionPolicy:
     stranded: str = "requeue"
     on_derate_exhausted: str = "best"
     warm: str = "replay"
+    controller: str = "interval"
+    epoch_s: float | None = None
+    forecast: str = "oracle"
+    forecast_seed: int = 0
+    mpc: MPCConfig | None = None
 
     def __post_init__(self) -> None:
         if self.stranded not in ("requeue", "drop"):
@@ -132,6 +136,32 @@ class ReactionPolicy:
         if self.warm not in ("off", "replay", "seed"):
             raise ValueError(
                 f"warm must be 'off', 'replay' or 'seed', got {self.warm!r}")
+        if self.controller not in ("interval", "mpc"):
+            raise ValueError(
+                f"controller must be 'interval' or 'mpc', "
+                f"got {self.controller!r}")
+        if self.epoch_s is not None and self.epoch_s <= 0:
+            raise ValueError(f"epoch_s must be positive, got {self.epoch_s}")
+        if self.forecast not in FORECAST_KINDS:
+            raise ValueError(
+                f"forecast must be one of {FORECAST_KINDS}, "
+                f"got {self.forecast!r}")
+
+    def mpc_config(self) -> MPCConfig:
+        """The planner tunables this policy implies.
+
+        An explicit :attr:`mpc` wins; otherwise the policy's shared
+        knobs are mirrored into an :class:`~repro.control.mpc.MPCConfig`
+        so ``--controller interval`` vs ``mpc`` comparisons differ only
+        in the control law, not in tolerances.
+        """
+        if self.mpc is not None:
+            return self.mpc
+        return MPCConfig(
+            step_s=self.epoch_s if self.epoch_s is not None else 60.0,
+            psi=self.psi, tau_s=self.tau_s,
+            derate_step=self.derate_step, max_derate=self.max_derate,
+            on_exhausted=self.on_derate_exhausted, warm=self.warm)
 
 
 @dataclass
@@ -180,6 +210,9 @@ class IntervalRecord:
     metrics: SimulationMetrics
     #: True when no feasible plan existed and all load was shed.
     shed: bool = False
+    #: Pre-cool level of the committed plan (MPC controller only;
+    #: the reactive interval controller never pre-cools).
+    precooled: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -195,6 +228,7 @@ class IntervalRecord:
             "violation_minutes": self.violation_minutes,
             "replan_wall_s": self.replan_wall_s,
             "shed": self.shed,
+            "precooled": self.precooled,
             "metrics": self.metrics.to_dict(),
         }
 
@@ -245,6 +279,20 @@ class ChaosRunResult:
         return sum(1 for iv in self.intervals if iv.cause != "start")
 
     @property
+    def precools(self) -> int:
+        """Total pre-cool levels committed (MPC controller only)."""
+        return sum(iv.precooled for iv in self.intervals)
+
+    @property
+    def derates(self) -> int:
+        """Total derate steps committed across the run's intervals."""
+        return sum(iv.derated for iv in self.intervals)
+
+    @property
+    def shed_intervals(self) -> int:
+        return sum(1 for iv in self.intervals if iv.shed)
+
+    @property
     def replan_wall_times(self) -> list[float]:
         return [iv.replan_wall_s for iv in self.intervals
                 if iv.cause != "start"]
@@ -266,6 +314,8 @@ class ChaosRunResult:
             "tasks_lost": self.tasks_lost,
             "tasks_requeued": self.tasks_requeued,
             "n_replans": self.n_replans,
+            "precools": self.precools,
+            "derates": self.derates,
             "mean_replan_s": self.mean_replan_s,
             "intervals": [iv.to_dict() for iv in self.intervals],
         }
@@ -308,11 +358,17 @@ class FaultAwareController:
         self.workload = workload
         self.p_const = p_const
         self.policy = policy or ReactionPolicy()
-        # warm-start states keyed by structure digest: the healthy room
-        # and every distinct degraded inventory keep independent chains,
-        # so a recovery replays against the pre-fault state, not the
+        # warm-start chains keyed by structure digest: the healthy room
+        # and every distinct degraded inventory (and, under MPC, every
+        # pre-cool tightening level) keep independent chains, so a
+        # recovery replays against the pre-fault state, not the
         # degraded one
-        self._warm: dict[str, SolveState] = {}
+        self._mpc: MPCPlanner | None = None
+        if self.policy.controller == "mpc":
+            self._mpc = MPCPlanner(self.policy.mpc_config())
+            self._warm: WarmPool = self._mpc.pool
+        else:
+            self._warm = WarmPool()
 
     # ------------------------------------------------------------------
     def _cold_start_t_out(self, view: DegradedView) -> np.ndarray:
@@ -325,18 +381,42 @@ class FaultAwareController:
         return model.steady_state(t_mid, idle).t_out
 
     def run(self, trace: list[Task], horizon_s: float,
-            schedule: FaultSchedule) -> ChaosRunResult:
-        """Replay ``trace`` over ``horizon_s`` seconds under ``schedule``."""
+            schedule: FaultSchedule,
+            profile: ArrivalProfile | None = None) -> ChaosRunResult:
+        """Replay ``trace`` over ``horizon_s`` seconds under ``schedule``.
+
+        With ``profile`` the interval workloads track the drifting
+        arrival rates (and the MPC lookahead reads its forecast from the
+        profile); without it the stationary workload is used everywhere,
+        which keeps the classic chaos runs bit-identical.
+        """
         if horizon_s <= 0:
             raise ValueError("horizon must be positive")
         dc = self.datacenter
         pol = self.policy
         schedule.validate_for(dc.n_nodes, dc.n_crac)
-        cuts = [0.0] + schedule.boundaries(horizon_s) + [float(horizon_s)]
+        cuts = {0.0, float(horizon_s)}
+        cuts.update(schedule.boundaries(horizon_s))
+        grid = None
+        if pol.controller == "mpc":
+            grid = self._mpc.config.step_s
+        elif pol.epoch_s is not None:
+            grid = pol.epoch_s
+        if grid is not None:
+            k = 1
+            while k * grid < horizon_s:
+                cuts.add(float(k * grid))
+                k += 1
+        provider = None
+        if pol.controller == "mpc":
+            provider = (make_forecast(pol.forecast, profile,
+                                      seed=pol.forecast_seed)
+                        if profile is not None else PersistenceForecast())
         intervals: list[IntervalRecord] = []
         t_out_full: np.ndarray | None = None
         cursor = 0
-        for a, b in zip(cuts[:-1], cuts[1:]):
+        ordered = sorted(cuts)
+        for a, b in zip(ordered[:-1], ordered[1:]):
             state = schedule.state_at(a, dc.n_nodes, dc.n_crac)
             view = degraded_view(dc, self.workload, state)
             cap = view.cap(self.p_const)
@@ -345,27 +425,21 @@ class FaultAwareController:
                           n_nodes_alive=view.datacenter.n_nodes):
                 record, t_out_full, cursor = self._run_interval(
                     a, b, horizon_s, cause, state, view, cap, trace,
-                    cursor, t_out_full, schedule)
+                    cursor, t_out_full, schedule, profile, provider)
             intervals.append(record)
         return ChaosRunResult(horizon_s=float(horizon_s), schedule=schedule,
                               intervals=intervals)
 
-    def _run_interval(self, a: float, b: float, horizon_s: float,
-                      cause: str, state, view: DegradedView, cap: float,
-                      trace: list[Task], cursor: int,
-                      t_out_full: np.ndarray | None,
-                      schedule: FaultSchedule
-                      ) -> tuple[IntervalRecord, np.ndarray, int]:
-        """One constant-inventory interval: replan, propagate, replay."""
+    def _replan_interval(self, view: DegradedView, wl_iv: Workload,
+                         cap: float, t_out_full: np.ndarray | None):
+        """The reactive interval replan: guard, derate, shed fallback."""
         pol = self.policy
-        t0 = time.perf_counter()
-        shed = False
         options = SolveOptions(psi=pol.psi, warm_seed=pol.warm == "seed",
                                kernel=kernels.active_name())
         warm_key: str | None = None
         warm_state: SolveState | None = None
         if pol.warm != "off":
-            warm_key = compute_digests(view.datacenter, view.workload,
+            warm_key = compute_digests(view.datacenter, wl_iv,
                                        cap, options).structure
             warm_state = self._warm.get(warm_key)
         try:
@@ -374,13 +448,13 @@ class FaultAwareController:
                     # cold start: no previous operating point to transition
                     # from; commit the plain plan (matches `repro simulate`)
                     plan = solve(SolveRequest(
-                        view.datacenter, view.workload, cap,
+                        view.datacenter, wl_iv, cap,
                         options=options, warm_start=warm_state))
                     derated, overshoot = 0, None
                 else:
                     t_prev = view.reduce_t_out(t_out_full)
                     plan, derated, overshoot = plan_with_transient_guard(
-                        view.datacenter, view.workload, cap, t_prev,
+                        view.datacenter, wl_iv, cap, t_prev,
                         psi=pol.psi, tau_s=pol.tau_s,
                         derate_step=pol.derate_step,
                         max_derate=pol.max_derate,
@@ -388,17 +462,55 @@ class FaultAwareController:
                         warm_start=warm_state,
                         warm_seed=pol.warm == "seed")
             if warm_key is not None:
-                self._warm[warm_key] = plan.state
+                self._warm.put(warm_key, plan.state)
         except RuntimeError:
             # even the (derated) first step is infeasible under this
             # inventory — shed all load rather than abort the run; in
             # strict mode the caller wants the error instead
             if pol.on_derate_exhausted == "raise":
                 raise
-            plan = _shed_plan(view.datacenter,
-                              view.workload.n_task_types)
-            derated, overshoot, shed = 0, None, True
+            plan = shed_plan(view.datacenter, wl_iv.n_task_types)
             obs_metrics.counter("chaos.shed_events").inc()
+            return plan, 0, None, True
+        return plan, derated, overshoot, False
+
+    def _run_interval(self, a: float, b: float, horizon_s: float,
+                      cause: str, state, view: DegradedView, cap: float,
+                      trace: list[Task], cursor: int,
+                      t_out_full: np.ndarray | None,
+                      schedule: FaultSchedule,
+                      profile: ArrivalProfile | None = None,
+                      provider=None
+                      ) -> tuple[IntervalRecord, np.ndarray, int]:
+        """One constant-inventory interval: replan, propagate, replay."""
+        pol = self.policy
+        t0 = time.perf_counter()
+        shed = False
+        precooled = 0
+        wl_iv = view.workload
+        if profile is not None:
+            wl_iv = replace(view.workload, arrival_rates=np.asarray(
+                profile.rates(a), dtype=float))
+        if pol.controller == "mpc":
+            cfg = self._mpc.config
+            forecast_rates = provider.rates_ahead(
+                a, wl_iv.arrival_rates, cfg.horizon_steps, cfg.step_s)
+            t_prev = (None if t_out_full is None
+                      else view.reduce_t_out(t_out_full))
+            with obs_span("replan", cold_start=t_out_full is None):
+                decision = self._mpc.plan(view.datacenter, wl_iv, cap,
+                                          t_prev, forecast_rates,
+                                          first_step_s=b - a)
+            plan = decision.plan
+            derated = decision.derated
+            precooled = decision.precooled
+            overshoot = decision.predicted_overshoot_c
+            shed = decision.shed
+            if shed:
+                obs_metrics.counter("chaos.shed_events").inc()
+        else:
+            plan, derated, overshoot, shed = self._replan_interval(
+                view, wl_iv, cap, t_out_full)
         replan_wall = time.perf_counter() - t0
         if cause != "start":
             obs_metrics.counter("chaos.replans").inc()
@@ -450,7 +562,7 @@ class FaultAwareController:
                     start_s=b - a,
                     cores=tuple(node.core_indices)))
         metrics = simulate_trace(
-            view.datacenter, view.workload, plan.tc, plan.pstates,
+            view.datacenter, wl_iv, plan.tc, plan.pstates,
             chunk, duration=b - a,
             faults=outages if outages else None,
             stranded_policy=pol.stranded)
@@ -465,5 +577,6 @@ class FaultAwareController:
             violation_minutes=violation_min,
             replan_wall_s=replan_wall,
             metrics=metrics,
-            shed=shed)
+            shed=shed,
+            precooled=precooled)
         return record, t_out_full, cursor

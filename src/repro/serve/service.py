@@ -36,6 +36,8 @@ from typing import AsyncIterator, Iterable, Iterator
 import numpy as np
 
 from repro import kernels
+from repro.control.forecast import ForecastProvider
+from repro.control.mpc import MPCConfig, MPCPlanner
 from repro.core.api import SolveOptions, SolveRequest, solve
 from repro.core.controller import plan_with_transient_guard
 from repro.core.warmstart import SolveState
@@ -70,6 +72,15 @@ class ServeConfig:
         solves every tick cold.
     queue_depth:
         Bound of the producer/consumer queue (back-pressure).
+    controller:
+        ``"interval"`` (default) replans each tick reactively with the
+        transient guard; ``"mpc"`` plans with the receding-horizon
+        planner (:mod:`repro.control.mpc`), looking ``horizon_ticks``
+        ticks ahead and pre-cooling before derating.
+    horizon_ticks:
+        MPC lookahead depth, in ticks.
+    precool_step_c / max_precool:
+        MPC pre-cool escalation (redline tightening per level, levels).
     """
 
     tick_s: float = 60.0
@@ -79,6 +90,10 @@ class ServeConfig:
     max_derate: int = 10
     warm: str = "replay"
     queue_depth: int = 4
+    controller: str = "interval"
+    horizon_ticks: int = 3
+    precool_step_c: float = 1.0
+    max_precool: int = 3
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
@@ -88,6 +103,22 @@ class ServeConfig:
                 f"warm must be 'off', 'replay' or 'seed', got {self.warm!r}")
         if self.queue_depth < 1:
             raise ValueError("queue_depth must be at least 1")
+        if self.controller not in ("interval", "mpc"):
+            raise ValueError(
+                f"controller must be 'interval' or 'mpc', "
+                f"got {self.controller!r}")
+        if self.horizon_ticks < 1:
+            raise ValueError("horizon_ticks must be at least 1")
+
+    def mpc_config(self) -> MPCConfig:
+        """The planner tunables this service config implies."""
+        return MPCConfig(
+            horizon_steps=self.horizon_ticks, step_s=self.tick_s,
+            psi=self.psi, tau_s=self.tau_s,
+            precool_step_c=self.precool_step_c,
+            max_precool=self.max_precool,
+            derate_step=self.derate_step, max_derate=self.max_derate,
+            on_exhausted="best", warm=self.warm)
 
 
 @dataclass
@@ -114,6 +145,9 @@ class TickRecord:
         admitted; the rest was shed.
     shed:
         True when the tick shed any load (including shed-all ticks).
+    precooled:
+        Pre-cool level the committed plan was solved at (MPC controller
+        only; the reactive tick controller never pre-cools).
     """
 
     index: int
@@ -126,6 +160,7 @@ class TickRecord:
     admitted: int
     shed_tasks: int
     shed: bool
+    precooled: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -139,6 +174,7 @@ class TickRecord:
             "admitted": self.admitted,
             "shed_tasks": self.shed_tasks,
             "shed": self.shed,
+            "precooled": self.precooled,
         }
 
 
@@ -229,10 +265,16 @@ class ControlService:
         Room power cap, kW.
     config:
         Service tunables (:class:`ServeConfig`).
+    forecast:
+        Optional :class:`~repro.control.forecast.ForecastProvider` for
+        the MPC lookahead (``controller="mpc"``); ``None`` degenerates
+        the lookahead to persistence (every future tick looks like the
+        current one).
     """
 
     def __init__(self, datacenter: DataCenter, workload: Workload,
-                 p_const: float, config: ServeConfig | None = None):
+                 p_const: float, config: ServeConfig | None = None,
+                 forecast: ForecastProvider | None = None):
         if p_const <= 0:
             raise ValueError("power cap must be positive")
         datacenter.require_thermal()
@@ -240,48 +282,80 @@ class ControlService:
         self.workload = workload
         self.p_const = p_const
         self.config = config or ServeConfig()
+        self.forecast = forecast
+        self._mpc: MPCPlanner | None = None
+        if self.config.controller == "mpc":
+            self._mpc = MPCPlanner(self.config.mpc_config())
         self._warm: SolveState | None = None
         self._t_out: np.ndarray | None = None
 
     # ------------------------------------------------------------------
+    def _shed_all(self, demand: TickDemand) -> TickRecord:
+        """Shed-all tick: the room admitted no feasible plan."""
+        obs_metrics.counter("serve.shed_events").inc()
+        obs_metrics.counter("serve.shed_tasks").inc(len(demand.tasks))
+        obs_annotate(warm_level="shed")
+        return TickRecord(
+            index=demand.index, start_s=demand.start_s,
+            rates=[float(r) for r in demand.rates],
+            reward_rate=0.0, warm_level="shed", derated=0,
+            arrived=len(demand.tasks), admitted=0,
+            shed_tasks=len(demand.tasks), shed=True)
+
+    def _mpc_step(self, demand: TickDemand, wl: Workload):
+        """Plan one tick with the receding-horizon planner."""
+        cfg = self.config
+        rates = wl.arrival_rates
+        if self.forecast is not None:
+            forecast_rates = self.forecast.rates_ahead(
+                demand.start_s, rates, cfg.horizon_ticks, cfg.tick_s)
+        else:
+            forecast_rates = np.tile(rates, (cfg.horizon_ticks, 1))
+        return self._mpc.plan(self.datacenter, wl, self.p_const,
+                              self._t_out, forecast_rates,
+                              first_step_s=cfg.tick_s)
+
     def _control_step(self, demand: TickDemand) -> TickRecord:
         """One tick: warm replan, transient guard, admission control."""
         cfg = self.config
         wl = replace(self.workload,
                      arrival_rates=np.asarray(demand.rates, dtype=float))
-        options = SolveOptions(psi=cfg.psi, warm_seed=cfg.warm == "seed",
-                               kernel=kernels.active_name())
-        state = self._warm if cfg.warm != "off" else None
-        try:
-            if self._t_out is None:
-                # first tick: no operating point to transition from
-                plan = solve(SolveRequest(self.datacenter, wl,
-                                          self.p_const, options=options,
-                                          warm_start=state))
-                derated = 0
-            else:
-                plan, derated, _ = plan_with_transient_guard(
-                    self.datacenter, wl, self.p_const, self._t_out,
-                    psi=cfg.psi, tau_s=cfg.tau_s,
-                    derate_step=cfg.derate_step,
-                    max_derate=cfg.max_derate, on_exhausted="best",
-                    warm_start=state, warm_seed=cfg.warm == "seed")
-        except RuntimeError:
-            # the room admits no plan at these rates — shed everything
-            # this tick and keep the service alive
-            obs_metrics.counter("serve.shed_events").inc()
-            obs_metrics.counter("serve.shed_tasks").inc(len(demand.tasks))
-            obs_annotate(warm_level="shed")
-            return TickRecord(
-                index=demand.index, start_s=demand.start_s,
-                rates=[float(r) for r in demand.rates],
-                reward_rate=0.0, warm_level="shed", derated=0,
-                arrived=len(demand.tasks), admitted=0,
-                shed_tasks=len(demand.tasks), shed=True)
-        if cfg.warm != "off":
-            self._warm = plan.state
-        runtime = plan.state.runtime
-        warm_level = runtime.level if runtime is not None else "none"
+        precooled = 0
+        if cfg.controller == "mpc":
+            decision = self._mpc_step(demand, wl)
+            if decision.shed:
+                return self._shed_all(demand)
+            plan = decision.plan
+            derated = decision.derated
+            precooled = decision.precooled
+            warm_level = decision.warm_level
+        else:
+            options = SolveOptions(psi=cfg.psi,
+                                   warm_seed=cfg.warm == "seed",
+                                   kernel=kernels.active_name())
+            state = self._warm if cfg.warm != "off" else None
+            try:
+                if self._t_out is None:
+                    # first tick: no operating point to transition from
+                    plan = solve(SolveRequest(self.datacenter, wl,
+                                              self.p_const, options=options,
+                                              warm_start=state))
+                    derated = 0
+                else:
+                    plan, derated, _ = plan_with_transient_guard(
+                        self.datacenter, wl, self.p_const, self._t_out,
+                        psi=cfg.psi, tau_s=cfg.tau_s,
+                        derate_step=cfg.derate_step,
+                        max_derate=cfg.max_derate, on_exhausted="best",
+                        warm_start=state, warm_seed=cfg.warm == "seed")
+            except RuntimeError:
+                # the room admits no plan at these rates — shed
+                # everything this tick and keep the service alive
+                return self._shed_all(demand)
+            if cfg.warm != "off":
+                self._warm = plan.state
+            runtime = plan.state.runtime
+            warm_level = runtime.level if runtime is not None else "none"
 
         # propagate the room's operating point for the next transition
         model = self.datacenter.require_thermal()
@@ -301,7 +375,7 @@ class ControlService:
             reward_rate=float(plan.reward_rate), warm_level=warm_level,
             derated=derated, arrived=len(demand.tasks),
             admitted=admitted, shed_tasks=shed_tasks,
-            shed=shed_tasks > 0)
+            shed=shed_tasks > 0, precooled=precooled)
 
     # ------------------------------------------------------------------
     async def _produce(self, source: Iterable[TickDemand],
@@ -346,7 +420,8 @@ class ControlService:
 
 def serve_trace(datacenter: DataCenter, workload: Workload, p_const: float,
                 source: Iterable[TickDemand],
-                config: ServeConfig | None = None) -> ServeResult:
+                config: ServeConfig | None = None,
+                forecast: ForecastProvider | None = None) -> ServeResult:
     """Synchronous convenience wrapper: run the service to completion."""
-    service = ControlService(datacenter, workload, p_const, config)
+    service = ControlService(datacenter, workload, p_const, config, forecast)
     return asyncio.run(service.run(source))

@@ -166,9 +166,26 @@ def time_to_steady_state(model: HeatFlowModel,
     Returns ``inf`` if not settled within ``max_s`` (should not happen
     for a stable model).  This quantifies the "orders of minutes" claim
     that justifies the paper's two-step split.
+
+    A room already *at* the fixed point settles in ``0.0`` seconds by
+    definition, and that answer must not depend on the integration
+    bookkeeping (``max_s`` / ``dt_s`` validation): holding the model at
+    its own steady state is checked before any trajectory is built, so
+    even a degenerate ``max_s`` of 0 returns immediately instead of
+    tripping the positive-duration validation of
+    :func:`simulate_transient`.
     """
     target = model.steady_state(np.asarray(t_crac_out, dtype=float),
                                 np.asarray(node_power_kw, dtype=float))
+    x0 = np.asarray(t_out_initial, dtype=float).copy()
+    if x0.shape != (model.n_units,):
+        raise ValueError(
+            f"initial state must have {model.n_units} entries")
+    # CRAC control is instantaneous, so the effective start state has
+    # the commanded outlets substituted before the fixed-point check
+    x0[:model.n_crac] = np.asarray(t_crac_out, dtype=float)
+    if float(np.abs(x0 - target.t_out).max()) <= tolerance_c:
+        return 0.0
     result = simulate_transient(model, t_crac_out, node_power_kw,
                                 t_out_initial, max_s, tau_s, dt_s)
     err = np.abs(result.t_out - target.t_out[None, :]).max(axis=1)

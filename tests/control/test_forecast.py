@@ -1,0 +1,108 @@
+"""Tests for repro.control.forecast — provider contract and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.control.forecast import (FORECAST_KINDS, ForecastProvider,
+                                    NoisyOracleForecast, OracleForecast,
+                                    PersistenceForecast, make_forecast)
+from repro.workload.profiles import ConstantProfile, DiurnalProfile
+
+RATES = np.asarray([2.0, 1.0, 3.0])
+
+
+def _profile():
+    return DiurnalProfile(base_rates=RATES, amplitude=0.5, period_s=600.0)
+
+
+def _providers():
+    profile = _profile()
+    return [OracleForecast(profile), PersistenceForecast(),
+            NoisyOracleForecast(profile, sigma=0.3, seed=7)]
+
+
+class TestContract:
+    def test_row_zero_is_rates_now_verbatim(self):
+        """The present is measured, never forecast — for every provider."""
+        measured = RATES * 1.7  # deliberately differs from the profile
+        for provider in _providers():
+            out = provider.rates_ahead(120.0, measured, 4, 60.0)
+            assert out.shape == (4, RATES.size)
+            np.testing.assert_array_equal(out[0], measured)
+
+    def test_rows_never_negative(self):
+        for provider in _providers():
+            out = provider.rates_ahead(0.0, RATES, 6, 60.0)
+            assert np.all(out >= 0.0)
+
+    def test_all_kinds_satisfy_protocol(self):
+        for kind in FORECAST_KINDS:
+            provider = make_forecast(kind, _profile(), seed=1)
+            assert isinstance(provider, ForecastProvider)
+
+
+class TestOracle:
+    def test_future_rows_come_from_profile(self):
+        profile = _profile()
+        out = OracleForecast(profile).rates_ahead(100.0, RATES, 3, 60.0)
+        np.testing.assert_allclose(out[1], profile.rates(160.0))
+        np.testing.assert_allclose(out[2], profile.rates(220.0))
+
+    def test_constant_profile_oracle_equals_persistence(self):
+        profile = ConstantProfile(base_rates=RATES)
+        oracle = OracleForecast(profile).rates_ahead(0.0, RATES, 4, 30.0)
+        persist = PersistenceForecast().rates_ahead(0.0, RATES, 4, 30.0)
+        np.testing.assert_array_equal(oracle, persist)
+
+
+class TestPersistence:
+    def test_every_row_repeats_now(self):
+        out = PersistenceForecast().rates_ahead(300.0, RATES, 5, 60.0)
+        np.testing.assert_array_equal(out, np.tile(RATES, (5, 1)))
+
+
+class TestNoisyOracle:
+    def test_deterministic_in_seed_and_instant(self):
+        profile = _profile()
+        a = NoisyOracleForecast(profile, seed=3).rates_ahead(
+            90.0, RATES, 4, 60.0)
+        b = NoisyOracleForecast(profile, seed=3).rates_ahead(
+            90.0, RATES, 4, 60.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_future(self):
+        profile = _profile()
+        a = NoisyOracleForecast(profile, seed=3).rates_ahead(
+            90.0, RATES, 4, 60.0)
+        c = NoisyOracleForecast(profile, seed=4).rates_ahead(
+            90.0, RATES, 4, 60.0)
+        assert not np.array_equal(a[1:], c[1:])
+        np.testing.assert_array_equal(a[0], c[0])  # row 0 is still exact
+
+    def test_noise_is_independent_of_call_order(self):
+        """Forecasts are pure in (seed, t0, step) — recomputing a later
+        instant first does not shift the noise."""
+        profile = _profile()
+        p = NoisyOracleForecast(profile, seed=11)
+        late_first = p.rates_ahead(600.0, RATES, 3, 60.0)
+        p.rates_ahead(0.0, RATES, 3, 60.0)
+        late_again = p.rates_ahead(600.0, RATES, 3, 60.0)
+        np.testing.assert_array_equal(late_first, late_again)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown forecast kind"):
+            make_forecast("psychic", _profile())
+
+    def test_bad_steps_rejected(self):
+        with pytest.raises(ValueError, match="steps"):
+            PersistenceForecast().rates_ahead(0.0, RATES, 0, 60.0)
+
+    def test_bad_step_length_rejected(self):
+        with pytest.raises(ValueError, match="step_s"):
+            PersistenceForecast().rates_ahead(0.0, RATES, 3, 0.0)
+
+    def test_matrix_rates_rejected(self):
+        with pytest.raises(ValueError, match="vector"):
+            PersistenceForecast().rates_ahead(0.0, np.ones((2, 3)), 3, 60.0)

@@ -139,6 +139,68 @@ def test_stage1_zonal_golden(golden):
     })
 
 
+def test_mpc_trajectory_golden(golden):
+    """One MPC controller run, epoch by epoch, on a flash-crowd trace.
+
+    Pins the committed operating points (CRAC outlets, reward rates),
+    the escalation ladder (pre-cool/derate levels) and the measured
+    transition diagnostics, so a planner/predictor change that moves
+    any decision shows up as a per-epoch diff.
+    """
+    from repro.control.mpc import MPCConfig, MPCController
+    from repro.workload import ConstantProfile, FlashCrowdProfile
+
+    sc = generate_scenario(scaled_down(PAPER_SET_1, 10), SEED)
+    profile = FlashCrowdProfile(
+        ConstantProfile(base_rates=sc.workload.arrival_rates),
+        bursts=((30.0, 30.0, 3.0),))
+    controller = MPCController(
+        sc.datacenter, sc.workload, sc.p_const,
+        MPCConfig(horizon_steps=3, step_s=30.0, tau_s=60.0,
+                  settle_factor=3.0))
+    result = controller.run(profile, 90.0, np.random.default_rng(SEED + 1))
+    golden("mpc_trajectory", {
+        "reward_rate": result.reward_rate,
+        "total_reward": result.total_reward,
+        "violation_minutes": result.violation_minutes,
+        "precools": result.precools,
+        "derates": result.derates,
+        "shed_epochs": result.shed_epochs,
+        "epochs": [{
+            "start_s": e.start_s,
+            "end_s": e.end_s,
+            "rates": [float(r) for r in e.rates],
+            "plan_reward_rate": float(e.plan.reward_rate),
+            "t_crac_out_c": [float(t) for t in e.plan.t_crac_out],
+            "precooled": e.precooled,
+            "derated": e.derated,
+            "predicted_overshoot_c": e.predicted_overshoot_c,
+            "transient_overshoot_c": e.transient_overshoot_c,
+            "violation_minutes": e.violation_minutes,
+            "warm_level": e.warm_level,
+            "shed": e.shed,
+        } for e in result.epochs],
+    })
+
+
+def test_control_sweep_golden(golden):
+    """MPC vs interval on one faulted flash-crowd room.
+
+    Control points carry no wall-clock fields by design, so the whole
+    point payload is pinned verbatim — including the escalation counts
+    that tell the two control laws apart.
+    """
+    from repro.experiments.control import ControlConfig, sweep_control
+
+    config = ControlConfig(n_nodes=6, seed=SEED, horizon_s=120.0,
+                           epoch_s=30.0, burst_start_s=30.0,
+                           burst_duration_s=60.0)
+    points = sweep_control(config, [0.0, 1.0])
+    golden("control_sweep", {
+        "points": [p.to_dict() for p in points],
+    })
+
+
 def test_chaos_golden(golden):
     """Fault-injection sweep: healthy control plus factor 1.
 

@@ -59,7 +59,7 @@ class TestDeterminism:
             assert set(tick) == {"index", "start_s", "rates",
                                  "reward_rate", "warm_level", "derated",
                                  "arrived", "admitted", "shed_tasks",
-                                 "shed"}
+                                 "shed", "precooled"}
 
 
 class TestWarmLevels:
